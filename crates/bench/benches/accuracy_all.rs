@@ -1,0 +1,25 @@
+//! E6–E9 (Figure 15): end-to-end dataset scoring. The measured value
+//! is throughput; the printed side effect of `experiments fig15` holds
+//! the accuracy numbers themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaform_datasets::{new_source, random};
+use metaform_eval::score_dataset;
+use metaform_extractor::FormExtractor;
+
+fn bench_accuracy(c: &mut Criterion) {
+    let extractor = FormExtractor::new();
+    let ns = new_source();
+    let rnd = random();
+
+    let mut group = c.benchmark_group("accuracy_all");
+    group.sample_size(10);
+    group.bench_function("new_source_30", |b| {
+        b.iter(|| score_dataset(&extractor, &ns))
+    });
+    group.bench_function("random_30", |b| b.iter(|| score_dataset(&extractor, &rnd)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E4 (§5.1): the paper's batch measurement — parsing 120 interfaces
+//! of average size ≈22 (paper: <100 s on 2004 hardware).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaform_bench::tokens_of;
+use metaform_core::Token;
+use metaform_datasets::basic;
+use metaform_grammar::global_grammar;
+use metaform_parser::parse;
+
+fn bench_batch(c: &mut Criterion) {
+    let grammar = global_grammar();
+    let batch: Vec<Vec<Token>> = basic()
+        .sources
+        .iter()
+        .take(120)
+        .map(|s| tokens_of(&s.html))
+        .collect();
+    let avg: f64 = batch.iter().map(Vec::len).sum::<usize>() as f64 / batch.len() as f64;
+    eprintln!("batch_120: {} interfaces, avg {avg:.1} tokens", batch.len());
+
+    let mut group = c.benchmark_group("batch_120");
+    group.sample_size(10);
+    group.bench_function("parse_120_interfaces", |b| {
+        b.iter(|| {
+            let mut trees = 0usize;
+            for tokens in &batch {
+                trees += parse(&grammar, tokens).trees.len();
+            }
+            trees
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E4 (§5.1): parse time as a function of interface size.
+//!
+//! The paper reports ≈1 s for a 25-token interface on 2004 hardware;
+//! the claim to reproduce is the *shape*: tractable growth with token
+//! count despite the NP-complete general problem, thanks to
+//! just-in-time pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metaform_bench::{mixed_form, synthetic_form, tokens_of};
+use metaform_grammar::global_grammar;
+use metaform_parser::parse;
+
+fn bench_parse_scaling(c: &mut Criterion) {
+    let grammar = global_grammar();
+    let mut group = c.benchmark_group("parse_scaling/simple_rows");
+    group.sample_size(20);
+    for rows in [5usize, 12, 25, 50] {
+        let tokens = tokens_of(&synthetic_form(rows));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tokens.len()),
+            &tokens,
+            |b, tokens| b.iter(|| parse(&grammar, tokens)),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("parse_scaling/mixed_patterns");
+    group.sample_size(20);
+    for groups in [1usize, 2, 4] {
+        let tokens = tokens_of(&mixed_form(groups));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tokens.len()),
+            &tokens,
+            |b, tokens| b.iter(|| parse(&grammar, tokens)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse_scaling);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E12: cost of each parser component — full best-effort vs brute
+//! force vs rollback disabled — on a mixed workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaform_bench::{mixed_form, tokens_of};
+use metaform_grammar::global_grammar;
+use metaform_parser::{parse_with, ParserOptions};
+
+fn bench_parser_ablation(c: &mut Criterion) {
+    let grammar = global_grammar();
+    let tokens = tokens_of(&mixed_form(2));
+
+    let mut group = c.benchmark_group("parser_ablation");
+    // The brute-force mode takes seconds per iteration; keep samples low.
+    group.sample_size(10);
+    group.bench_function("full", |b| {
+        b.iter(|| parse_with(&grammar, &tokens, &ParserOptions::default()))
+    });
+    group.bench_function("no_rollback", |b| {
+        let opts = ParserOptions {
+            rollback: false,
+            ..ParserOptions::default()
+        };
+        b.iter(|| parse_with(&grammar, &tokens, &opts))
+    });
+    group.bench_function("no_preferences", |b| {
+        let opts = ParserOptions {
+            max_instances: 500_000,
+            ..ParserOptions::brute_force()
+        };
+        b.iter(|| parse_with(&grammar, &tokens, &opts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser_ablation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Stage-by-stage cost of the Figure 2 pipeline on the paper's Qam
+//! interface: HTML parsing, layout, tokenization, parsing, merging.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaform_datasets::fixtures::qam;
+use metaform_extractor::FormExtractor;
+use metaform_grammar::global_grammar;
+use metaform_parser::{merge, parse};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let html = qam().html;
+    let grammar = global_grammar();
+
+    let mut group = c.benchmark_group("pipeline/qam");
+    group.bench_function("html_parse", |b| b.iter(|| metaform_html::parse(&html)));
+
+    let doc = metaform_html::parse(&html);
+    group.bench_function("layout", |b| b.iter(|| metaform_layout::layout(&doc)));
+
+    let lay = metaform_layout::layout(&doc);
+    group.bench_function("tokenize", |b| {
+        b.iter(|| metaform_tokenizer::tokenize(&doc, &lay))
+    });
+
+    let tokens = metaform_tokenizer::tokenize(&doc, &lay).tokens;
+    group.bench_function("parse", |b| b.iter(|| parse(&grammar, &tokens)));
+
+    let parsed = parse(&grammar, &tokens);
+    group.bench_function("merge", |b| b.iter(|| merge(&parsed.chart, &parsed.trees)));
+
+    let extractor = FormExtractor::new();
+    group.bench_function("end_to_end", |b| b.iter(|| extractor.extract(&html)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

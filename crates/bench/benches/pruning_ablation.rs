@@ -1,0 +1,27 @@
+//! E3 (§4.2.1): just-in-time pruning vs the exhaustive brute-force
+//! fix-point, on the paper's Qam interface under grammar *G*.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaform_bench::tokens_of;
+use metaform_datasets::fixtures::qam;
+use metaform_grammar::paper_example_grammar;
+use metaform_parser::{parse_with, ParserOptions};
+
+fn bench_pruning(c: &mut Criterion) {
+    let grammar = paper_example_grammar();
+    let tokens = tokens_of(&qam().html);
+
+    let mut group = c.benchmark_group("pruning_ablation");
+    // Brute force takes seconds per iteration on the full Qam page.
+    group.sample_size(10);
+    group.bench_function("just_in_time", |b| {
+        b.iter(|| parse_with(&grammar, &tokens, &ParserOptions::default()))
+    });
+    group.bench_function("brute_force", |b| {
+        b.iter(|| parse_with(&grammar, &tokens, &ParserOptions::brute_force()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E1/E2 (Figure 4): vocabulary analyses over the Basic dataset —
+//! generation, growth curve, and ranked frequencies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaform_datasets::basic;
+use metaform_eval::{growth_curve, occurrences, ranked_frequencies};
+
+fn bench_vocabulary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vocabulary");
+    group.sample_size(20);
+    group.bench_function("generate_basic_150", |b| b.iter(basic));
+    let ds = basic();
+    group.bench_function("growth_curve", |b| b.iter(|| growth_curve(&ds)));
+    group.bench_function("occurrence_matrix", |b| b.iter(|| occurrences(&ds)));
+    group.bench_function("ranked_frequencies", |b| b.iter(|| ranked_frequencies(&ds)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_vocabulary);
+criterion_main!(benches);

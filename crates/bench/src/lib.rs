@@ -1,0 +1,65 @@
+//! Shared helpers for the metaform benchmark suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use metaform_core::Token;
+
+/// Builds a synthetic form page with `rows` label+textbox conditions —
+/// a size-controllable workload for scaling benches (each row adds two
+/// tokens plus one submit button overall).
+pub fn synthetic_form(rows: usize) -> String {
+    let mut html = String::from("<form>\n");
+    for i in 0..rows {
+        html.push_str(&format!(
+            "Field{i} <input type=\"text\" name=\"f{i}\" size=\"20\"><br>\n"
+        ));
+    }
+    html.push_str("<input type=\"submit\" value=\"Go\">\n</form>\n");
+    html
+}
+
+/// Builds a synthetic form mixing pattern shapes (radio operators,
+/// selects, ranges) for richer scaling workloads.
+pub fn mixed_form(groups: usize) -> String {
+    let mut html = String::from("<form>\n");
+    for i in 0..groups {
+        html.push_str(&format!(
+            "Alpha{i} <input type=\"text\" name=\"a{i}\" size=\"20\"><br>\n\
+             <input type=\"radio\" name=\"o{i}\" checked> exact match\n\
+             <input type=\"radio\" name=\"o{i}\"> starts with<br>\n\
+             Beta{i} <select name=\"b{i}\"><option>One<option>Two</select><br>\n\
+             Gamma{i} <input type=\"text\" name=\"g{i}l\" size=\"6\"> to \
+             <input type=\"text\" name=\"g{i}h\" size=\"6\"><br>\n"
+        ));
+    }
+    html.push_str("<input type=\"submit\" value=\"Go\">\n</form>\n");
+    html
+}
+
+/// Standard tokenization pipeline for bench inputs.
+pub fn tokens_of(html: &str) -> Vec<Token> {
+    let doc = metaform_html::parse(html);
+    let lay = metaform_layout::layout(&doc);
+    metaform_tokenizer::tokenize(&doc, &lay).tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_form_scales_linearly() {
+        assert_eq!(tokens_of(&synthetic_form(5)).len(), 11);
+        assert_eq!(tokens_of(&synthetic_form(12)).len(), 25);
+    }
+
+    #[test]
+    fn mixed_form_has_all_widget_kinds() {
+        let toks = tokens_of(&mixed_form(2));
+        use metaform_core::TokenKind;
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Radiobutton));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::SelectionList));
+        assert!(toks.iter().filter(|t| t.kind == TokenKind::Textbox).count() >= 6);
+    }
+}

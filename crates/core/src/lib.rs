@@ -1,0 +1,32 @@
+//! # metaform-core
+//!
+//! Shared vocabulary of the `metaform` form extractor — a Rust
+//! reproduction of *"Understanding Web Query Interfaces: Best-Effort
+//! Parsing with Hidden Syntax"* (Zhang, He & Chang, SIGMOD 2004).
+//!
+//! This crate defines the types every other crate speaks:
+//!
+//! - [`geom::BBox`] — integer pixel bounding boxes (`pos` attributes);
+//! - [`relations`] — the topological predicates (left/above adjacency,
+//!   alignment) that 2P-grammar productions are written in;
+//! - [`token::Token`] / [`token::TokenKind`] — visual tokens, the
+//!   terminal alphabet;
+//! - [`condition::Condition`] — the semantic model `[attribute;
+//!   operators; domain]`;
+//! - [`report::ExtractionReport`] — extractor output with conflict and
+//!   missing-element errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod condition;
+pub mod geom;
+pub mod relations;
+pub mod report;
+pub mod token;
+
+pub use condition::{Condition, DomainKind, DomainSpec};
+pub use geom::BBox;
+pub use relations::Proximity;
+pub use report::{Conflict, ExtractionReport};
+pub use token::{normalize_label, Token, TokenId, TokenKind};

@@ -1,0 +1,102 @@
+//! Extraction output: the semantic model plus error reports.
+//!
+//! The merger "combines multiple parse trees by taking the union of
+//! their extracted conditions … \[and\] reports errors, which will be
+//! useful for further error handling by the client" (paper §3.4). Two
+//! error types exist: *conflicts* (the same token claimed by different
+//! conditions) and *missing elements* (tokens not covered by any parse).
+
+use crate::condition::Condition;
+use crate::token::TokenId;
+use std::fmt;
+
+/// A token claimed by two different conditions coming from different
+/// (partial) parse trees — e.g. the number selection list contested by
+/// "number of passengers" and "adults" in paper Figure 14.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Conflict {
+    /// The contested token.
+    pub token: TokenId,
+    /// Index (into [`ExtractionReport::conditions`]) of the condition
+    /// the merger kept for this token.
+    pub kept: usize,
+    /// Index of the competing condition.
+    pub dropped: usize,
+}
+
+/// The full output of the form extractor for one query interface.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ExtractionReport {
+    /// The extracted semantic model: union of conditions over all
+    /// maximal partial parse trees, deduplicated by equivalence.
+    pub conditions: Vec<Condition>,
+    /// Conflicting token claims, for client-side resolution.
+    pub conflicts: Vec<Conflict>,
+    /// Tokens not covered by any parse tree (grammar incompleteness).
+    pub missing: Vec<TokenId>,
+}
+
+impl ExtractionReport {
+    /// True when every token was interpreted and no claims collided.
+    pub fn is_clean(&self) -> bool {
+        self.conflicts.is_empty() && self.missing.is_empty()
+    }
+}
+
+impl fmt::Display for ExtractionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} condition(s):", self.conditions.len())?;
+        for c in &self.conditions {
+            writeln!(f, "  {c}")?;
+        }
+        if !self.conflicts.is_empty() {
+            writeln!(f, "{} conflict(s):", self.conflicts.len())?;
+            for c in &self.conflicts {
+                writeln!(
+                    f,
+                    "  token {:?} claimed by condition #{} (kept) and #{} (dropped)",
+                    c.token, c.kept, c.dropped
+                )?;
+            }
+        }
+        if !self.missing.is_empty() {
+            let ids: Vec<String> = self.missing.iter().map(|t| format!("{t:?}")).collect();
+            writeln!(f, "missing element(s): {}", ids.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::DomainSpec;
+
+    #[test]
+    fn clean_report() {
+        let r = ExtractionReport::default();
+        assert!(r.is_clean());
+        assert_eq!(format!("{r}"), "0 condition(s):\n");
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let r = ExtractionReport {
+            conditions: vec![
+                Condition::new("author", vec![], DomainSpec::text(), vec![TokenId(0)]),
+                Condition::new("adults", vec![], DomainSpec::text(), vec![TokenId(2)]),
+            ],
+            conflicts: vec![Conflict {
+                token: TokenId(2),
+                kept: 1,
+                dropped: 0,
+            }],
+            missing: vec![TokenId(5), TokenId(6)],
+        };
+        assert!(!r.is_clean());
+        let s = format!("{r}");
+        assert!(s.contains("2 condition(s)"));
+        assert!(s.contains("token t2"));
+        assert!(s.contains("missing element(s): t5, t6"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the geometry algebra.
+
+use metaform_core::geom::BBox;
+use metaform_core::relations::{self, Proximity};
+use proptest::prelude::*;
+
+fn bbox_strategy() -> impl Strategy<Value = BBox> {
+    (-500i32..500, -500i32..500, 0i32..400, 0i32..400)
+        .prop_map(|(x, y, w, h)| BBox::at(x, y, w, h))
+}
+
+proptest! {
+    #[test]
+    fn new_always_normalized(l in -1000i32..1000, t in -1000i32..1000,
+                             r in -1000i32..1000, b in -1000i32..1000) {
+        let bb = BBox::new(l, t, r, b);
+        prop_assert!(bb.left <= bb.right);
+        prop_assert!(bb.top <= bb.bottom);
+        prop_assert!(bb.width() >= 0 && bb.height() >= 0);
+    }
+
+    #[test]
+    fn union_is_commutative_and_covering(a in bbox_strategy(), b in bbox_strategy()) {
+        let u1 = a.union(&b);
+        let u2 = b.union(&a);
+        prop_assert_eq!(u1, u2);
+        prop_assert!(u1.contains(&a));
+        prop_assert!(u1.contains(&b));
+    }
+
+    #[test]
+    fn union_is_associative(a in bbox_strategy(), b in bbox_strategy(), c in bbox_strategy()) {
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn union_is_idempotent(a in bbox_strategy()) {
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn intersection_within_both(a in bbox_strategy(), b in bbox_strategy()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains(&i));
+            prop_assert!(b.contains(&i));
+            prop_assert!(i.area() <= a.area() && i.area() <= b.area());
+        } else {
+            // Disjoint boxes have a nonnegative edge distance.
+            prop_assert!(a.distance(&b) >= 0);
+        }
+    }
+
+    #[test]
+    fn intersection_is_commutative(a in bbox_strategy(), b in bbox_strategy()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_overlap(a in bbox_strategy(), b in bbox_strategy()) {
+        prop_assert_eq!(a.distance(&b), b.distance(&a));
+        if a.intersects(&b) {
+            prop_assert_eq!(a.distance(&b), 0);
+        }
+    }
+
+    #[test]
+    fn translation_preserves_relations(a in bbox_strategy(), b in bbox_strategy(),
+                                       dx in -200i32..200, dy in -200i32..200) {
+        let p = Proximity::default();
+        let (ta, tb) = (a.translated(dx, dy), b.translated(dx, dy));
+        prop_assert_eq!(relations::left(&a, &b, &p), relations::left(&ta, &tb, &p));
+        prop_assert_eq!(relations::above(&a, &b, &p), relations::above(&ta, &tb, &p));
+        prop_assert_eq!(relations::align_top(&a, &b, &p), relations::align_top(&ta, &tb, &p));
+        prop_assert_eq!(a.distance(&b), ta.distance(&tb));
+    }
+
+    #[test]
+    fn left_and_right_are_mirrors(a in bbox_strategy(), b in bbox_strategy()) {
+        let p = Proximity::default();
+        prop_assert_eq!(relations::left(&a, &b, &p), relations::right(&b, &a, &p));
+        prop_assert_eq!(relations::above(&a, &b, &p), relations::below(&b, &a, &p));
+    }
+
+    #[test]
+    fn overlap_projections_are_symmetric(a in bbox_strategy(), b in bbox_strategy()) {
+        prop_assert_eq!(a.v_overlap(&b), b.v_overlap(&a));
+        prop_assert_eq!(a.h_overlap(&b), b.h_overlap(&a));
+    }
+}

@@ -1,0 +1,249 @@
+//! Domain schemas for the survey's three core domains (Books,
+//! Automobiles, Airfares), the NewDomain set, and the generic pools
+//! behind the Random dataset.
+
+use crate::schema::{Field, FieldKind, Schema};
+
+fn f(label: &str, control: &str, kind: FieldKind) -> Field {
+    Field::new(label, control, kind)
+}
+
+fn en(values: &[&str]) -> FieldKind {
+    FieldKind::Enum(values.iter().map(|s| s.to_string()).collect())
+}
+
+fn nr(values: &[&str]) -> FieldKind {
+    FieldKind::NumRange(values.iter().map(|s| s.to_string()).collect())
+}
+
+fn qty(n: u32) -> FieldKind {
+    FieldKind::Quantity((1..=n).map(|i| i.to_string()).collect())
+}
+
+/// Books — the amazon.com-style domain of paper Figure 3(a).
+pub fn books() -> Schema {
+    Schema {
+        name: "Books".into(),
+        fields: vec![
+            f("Author", "author", FieldKind::FreeText),
+            f("Title", "title", FieldKind::FreeText),
+            f("Keywords", "keywords", FieldKind::FreeText),
+            f("Subject", "subject", en(&["Fiction", "Nonfiction", "Mystery", "Romance", "History", "Science"])),
+            f("Publisher", "publisher", FieldKind::FreeText),
+            f("Price", "price", nr(&["5", "10", "20", "50", "100"])),
+            f("Format", "format", en(&["Hardcover", "Paperback", "Audio"])),
+            f("ISBN", "isbn", FieldKind::FreeText),
+            f("Reader age", "age", en(&["0-4 years", "5-8 years", "9-12 years", "Teens", "Adult"])),
+            f("Condition", "cond", en(&["New", "Used", "Collectible"])),
+            f("In stock only", "stock", FieldKind::Flag),
+            f("Language", "lang", en(&["English", "Spanish", "French", "German"])),
+        ],
+    }
+}
+
+/// Automobiles — classifieds-style search.
+pub fn automobiles() -> Schema {
+    Schema {
+        name: "Automobiles".into(),
+        fields: vec![
+            f("Make", "make", en(&["Ford", "Toyota", "Honda", "Chevrolet", "BMW", "Nissan"])),
+            f("Model", "model", FieldKind::FreeText),
+            f("Price", "price", nr(&["5000", "10000", "15000", "20000", "30000"])),
+            f("Year", "year", FieldKind::YearRange),
+            f("Zip code", "zip", FieldKind::FreeText),
+            f("Distance", "dist", FieldKind::FreeText),
+            f("Body style", "body", en(&["Sedan", "Coupe", "SUV", "Truck", "Convertible"])),
+            f("Mileage", "miles", nr(&["10000", "30000", "60000", "100000"])),
+            f("Color", "color", en(&["Black", "White", "Silver", "Red", "Blue"])),
+            f("Transmission", "trans", en(&["Automatic", "Manual"])),
+            f("Photos only", "photos", FieldKind::Flag),
+            f("Keywords", "kw", FieldKind::FreeText),
+        ],
+    }
+}
+
+/// Airfares — the aa.com-style domain of paper Figure 3(b).
+pub fn airfares() -> Schema {
+    Schema {
+        name: "Airfares".into(),
+        fields: vec![
+            f("From", "orig", FieldKind::FreeText),
+            f("To", "dest", FieldKind::FreeText),
+            f("Departing", "dep", FieldKind::Date),
+            f("Returning", "ret", FieldKind::Date),
+            f("Adults", "adults", qty(6)),
+            f("Children", "children", qty(5)),
+            f("Trip type", "trip", en(&["Round trip", "One way", "Multi-city"])),
+            f("Class", "class", en(&["Coach", "Business", "First"])),
+            f("Airline", "airline", en(&["American", "United", "Delta", "Continental"])),
+            f("Seniors", "seniors", qty(4)),
+            f("Flexible dates", "flex", FieldKind::Flag),
+        ],
+    }
+}
+
+/// The six NewDomain schemas (five TEL-8 domains plus RealEstates,
+/// paper §6).
+pub fn new_domains() -> Vec<Schema> {
+    vec![
+        Schema {
+            name: "Jobs".into(),
+            fields: vec![
+                f("Keywords", "kw", FieldKind::FreeText),
+                f("Location", "loc", FieldKind::FreeText),
+                f("Category", "cat", en(&["Engineering", "Sales", "Finance", "Education", "Healthcare"])),
+                f("Salary", "salary", nr(&["30000", "50000", "80000", "120000"])),
+                f("Job type", "type", en(&["Full time", "Part time", "Contract"])),
+                f("Posted within", "posted", en(&["1 day", "7 days", "30 days"])),
+                f("Company", "company", FieldKind::FreeText),
+            ],
+        },
+        Schema {
+            name: "Movies".into(),
+            fields: vec![
+                f("Title", "title", FieldKind::FreeText),
+                f("Genre", "genre", en(&["Action", "Comedy", "Drama", "Horror", "Documentary"])),
+                f("Director", "director", FieldKind::FreeText),
+                f("Actor", "actor", FieldKind::FreeText),
+                f("Rating", "rating", en(&["G", "PG", "PG-13", "R"])),
+                f("Format", "format", en(&["DVD", "VHS"])),
+                f("Price", "price", nr(&["5", "10", "20", "35"])),
+            ],
+        },
+        Schema {
+            name: "Music".into(),
+            fields: vec![
+                f("Artist", "artist", FieldKind::FreeText),
+                f("Album", "album", FieldKind::FreeText),
+                f("Song title", "song", FieldKind::FreeText),
+                f("Genre", "genre", en(&["Rock", "Jazz", "Classical", "Pop", "Country"])),
+                f("Format", "format", en(&["CD", "Cassette", "Vinyl"])),
+                f("Price", "price", nr(&["5", "10", "15", "25"])),
+            ],
+        },
+        Schema {
+            name: "Hotels".into(),
+            fields: vec![
+                f("City", "city", FieldKind::FreeText),
+                f("Check in", "checkin", FieldKind::Date),
+                f("Check out", "checkout", FieldKind::Date),
+                f("Guests", "guests", qty(6)),
+                f("Rooms", "rooms", qty(4)),
+                f("Stars", "stars", en(&["2 stars", "3 stars", "4 stars", "5 stars"])),
+                f("Price", "price", nr(&["50", "100", "200", "400"])),
+            ],
+        },
+        Schema {
+            name: "CarRentals".into(),
+            fields: vec![
+                f("Pick up city", "pucity", FieldKind::FreeText),
+                f("Pick up date", "pudate", FieldKind::Date),
+                f("Drop off date", "dodate", FieldKind::Date),
+                f("Car type", "cartype", en(&["Economy", "Compact", "Midsize", "SUV", "Luxury"])),
+                f("Company", "company", en(&["Hertz", "Avis", "Budget", "National"])),
+                f("Drivers", "drivers", qty(3)),
+            ],
+        },
+        Schema {
+            name: "RealEstates".into(),
+            fields: vec![
+                f("City", "city", FieldKind::FreeText),
+                f("State", "state", en(&["IL", "CA", "NY", "TX", "FL", "WA"])),
+                f("Price", "price", nr(&["100000", "200000", "400000", "800000"])),
+                f("Bedrooms", "beds", qty(6)),
+                f("Bathrooms", "baths", qty(4)),
+                f("Property type", "ptype", en(&["House", "Condo", "Townhouse", "Land"])),
+                f("New construction", "newc", FieldKind::Flag),
+            ],
+        },
+    ]
+}
+
+/// Sixteen generic mini-schemas standing in for invisible-web.net's
+/// top-level categories (the Random dataset covered "16 out of the 18
+/// top level domains", §6).
+pub fn random_pools() -> Vec<Schema> {
+    let topics: [(&str, [&str; 3]); 16] = [
+        ("Reference", ["Encyclopedias", "Dictionaries", "Almanacs"]),
+        ("Government", ["Federal", "State", "Local"]),
+        ("Health", ["Clinics", "Trials", "Providers"]),
+        ("Law", ["Cases", "Statutes", "Attorneys"]),
+        ("News", ["Headlines", "Archives", "Columns"]),
+        ("Shopping", ["Electronics", "Apparel", "Toys"]),
+        ("Science", ["Journals", "Datasets", "Labs"]),
+        ("Sports", ["Scores", "Teams", "Players"]),
+        ("Travel", ["Tours", "Cruises", "Guides"]),
+        ("Education", ["Colleges", "Courses", "Scholarships"]),
+        ("Arts", ["Galleries", "Artists", "Auctions"]),
+        ("Business", ["Companies", "Patents", "Trademarks"]),
+        ("Computers", ["Software", "Hardware", "Drivers"]),
+        ("Genealogy", ["Records", "Censuses", "Obituaries"]),
+        ("Library", ["Catalogs", "Periodicals", "Theses"]),
+        ("Weather", ["Forecasts", "Stations", "Storms"]),
+    ];
+    topics
+        .iter()
+        .map(|(name, cats)| Schema {
+            name: (*name).to_string(),
+            fields: vec![
+                f("Keywords", "kw", FieldKind::FreeText),
+                f("Title", "title", FieldKind::FreeText),
+                f("Category", "cat", en(cats)),
+                f("Date", "date", FieldKind::Date),
+                f("Region", "region", en(&["North", "South", "East", "West"])),
+                f("Results per page", "rpp", qty(5)),
+                f("Price", "price", nr(&["10", "25", "50", "100"])),
+                f("Exact match only", "exact", FieldKind::Flag),
+                f("Name", "name", FieldKind::FreeText),
+            ],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_domains_have_rich_pools() {
+        for s in [books(), automobiles(), airfares()] {
+            assert!(s.fields.len() >= 10, "{} too small", s.name);
+        }
+    }
+
+    #[test]
+    fn six_new_domains() {
+        let nd = new_domains();
+        assert_eq!(nd.len(), 6);
+        assert!(nd.iter().any(|s| s.name == "RealEstates"));
+        for s in &nd {
+            assert!(s.fields.len() >= 6);
+        }
+    }
+
+    #[test]
+    fn sixteen_random_pools() {
+        let pools = random_pools();
+        assert_eq!(pools.len(), 16);
+        let names: std::collections::BTreeSet<&str> =
+            pools.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), 16, "unique names");
+    }
+
+    #[test]
+    fn labels_are_nonempty_and_kinds_consistent() {
+        for schema in [books(), automobiles(), airfares()]
+            .into_iter()
+            .chain(new_domains())
+            .chain(random_pools())
+        {
+            for field in &schema.fields {
+                assert!(!field.label.is_empty());
+                assert!(!field.control.is_empty());
+                if let FieldKind::Enum(v) = &field.kind {
+                    assert!(v.len() >= 2, "{}.{}", schema.name, field.label);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Hand-written fixture interfaces from the paper's figures.
+
+use crate::dataset::Source;
+use crate::patterns::PatternId;
+use metaform_core::{Condition, DomainKind, DomainSpec};
+
+/// Qam — amazon.com's book search (paper Figure 3(a)): five conditions
+/// on author, title, subject, ISBN, and publisher, the first three with
+/// operator radio lists.
+pub fn qam() -> Source {
+    let row = |label: &str, i: usize, ops: [&str; 3]| {
+        format!(
+            "<b>{label}</b> <input type=\"text\" name=\"query-{i}\" size=\"30\"><br>\n\
+             <input type=\"radio\" name=\"field-{i}\" value=\"1\" checked> {}\n\
+             <input type=\"radio\" name=\"field-{i}\" value=\"2\"> {}\n\
+             <input type=\"radio\" name=\"field-{i}\" value=\"3\"> {}<br>\n",
+            ops[0], ops[1], ops[2]
+        )
+    };
+    let html = format!(
+        "<h2>Books Search</h2>\n<form action=\"/exec/obidos\">\n{}{}{}\
+         <b>ISBN</b> <input type=\"text\" name=\"query-3\" size=\"30\"><br>\n\
+         <b>Publisher</b> <input type=\"text\" name=\"query-4\" size=\"30\"><br>\n\
+         <input type=\"submit\" value=\"Search Now\">\n</form>\n",
+        row(
+            "Author",
+            0,
+            [
+                "first name/initials and last name",
+                "start of last name",
+                "exact name",
+            ]
+        ),
+        row(
+            "Title",
+            1,
+            [
+                "title word(s)",
+                "start(s) of title word(s)",
+                "exact start of title",
+            ]
+        ),
+        row(
+            "Subject",
+            2,
+            ["subject word(s)", "start(s) of subject word(s)", "exact subject"]
+        ),
+    );
+    let text_cond = |attr: &str| Condition::new(attr, vec![], DomainSpec::text(), vec![]);
+    Source {
+        name: "qam".into(),
+        domain: "Books".into(),
+        html,
+        truth: vec![
+            text_cond("Author"),
+            text_cond("Title"),
+            text_cond("Subject"),
+            text_cond("ISBN"),
+            text_cond("Publisher"),
+        ],
+        patterns: vec![
+            PatternId::TextOpRadio,
+            PatternId::TextOpRadio,
+            PatternId::TextOpRadio,
+            PatternId::TextLeft,
+            PatternId::TextLeft,
+        ],
+    }
+}
+
+/// Qaa — aa.com's flight search (paper Figure 3(b)).
+pub fn qaa() -> Source {
+    let month = "<option>January<option>February<option>March<option>April<option>May\
+                 <option>June<option>July<option>August<option>September<option>October\
+                 <option>November<option>December";
+    let days: String = (1..=31).map(|d| format!("<option>{d}")).collect();
+    let html = format!(
+        "<h2>Airfares Search</h2>\n<form action=\"/booking\">\n\
+         <input type=\"radio\" name=\"trip\" checked> Round trip\n\
+         <input type=\"radio\" name=\"trip\"> One way<br>\n\
+         <table>\n\
+         <tr><td>From</td><td><input type=\"text\" name=\"orig\" size=\"18\"></td>\
+             <td>To</td><td><input type=\"text\" name=\"dest\" size=\"18\"></td></tr>\n\
+         </table>\n\
+         Departing <select name=\"dm\">{month}</select> <select name=\"dd\">{days}</select><br>\n\
+         Returning <select name=\"rm\">{month}</select> <select name=\"rd\">{days}</select><br>\n\
+         Adults <select name=\"adults\"><option>1<option>2<option>3<option>4<option>5<option>6</select>\n\
+         Children <select name=\"children\"><option>0<option>1<option>2<option>3<option>4</select><br>\n\
+         <input type=\"submit\" value=\"GO\">\n</form>\n"
+    );
+    Source {
+        name: "qaa".into(),
+        domain: "Airfares".into(),
+        html,
+        truth: vec![
+            Condition::new(
+                "Trip type",
+                vec![],
+                DomainSpec::enumerated(vec!["Round trip".into(), "One way".into()]),
+                vec![],
+            ),
+            Condition::new("From", vec![], DomainSpec::text(), vec![]),
+            Condition::new("To", vec![], DomainSpec::text(), vec![]),
+            Condition::new("Departing", vec![], DomainSpec::of(DomainKind::Date), vec![]),
+            Condition::new("Returning", vec![], DomainSpec::of(DomainKind::Date), vec![]),
+            Condition::new("Adults", vec![], DomainSpec::of(DomainKind::Numeric), vec![]),
+            Condition::new("Children", vec![], DomainSpec::of(DomainKind::Numeric), vec![]),
+        ],
+        patterns: vec![
+            PatternId::EnumRadioBare,
+            PatternId::TextLeft,
+            PatternId::TextLeft,
+            PatternId::DateMd,
+            PatternId::DateMd,
+            PatternId::NumSel,
+            PatternId::NumSel,
+        ],
+    }
+}
+
+/// The Figure 14 variation of Qaa: the lower part is arranged "column
+/// by column instead of row by row", defeating the row-major form
+/// pattern, and the passenger radio list is contested between "Number
+/// of passengers" (above it) and "Adults" (left of it) — two labeled
+/// enumerations claiming the same list, the conflict the merger must
+/// report.
+pub fn qaa_column_variant() -> String {
+    "<form action=\"/booking\">\n\
+     <table>\n\
+     <tr><td>From</td><td><input type=\"text\" name=\"orig\" size=\"14\"></td></tr>\n\
+     <tr><td>To</td><td><input type=\"text\" name=\"dest\" size=\"14\"></td></tr>\n\
+     </table>\n\
+     Number of passengers<br>\n\
+     Adults <input type=\"radio\" name=\"pax\" checked> 1\n\
+     <input type=\"radio\" name=\"pax\"> 2\n\
+     <input type=\"radio\" name=\"pax\"> 3<br>\n\
+     Children <select name=\"children\"><option>0<option>1<option>2<option>3</select><br>\n\
+     <input type=\"submit\" value=\"GO\">\n</form>\n"
+        .to_string()
+}
+
+/// The paper's Figure 5 fragment: the author and title rows of Qam
+/// exactly — 16 tokens — used by the §4.2.1 ambiguity experiment.
+pub fn figure5_fragment() -> String {
+    "<form>\n\
+     <b>Author</b> <input type=\"text\" name=\"query-0\" size=\"30\"><br>\n\
+     <input type=\"radio\" name=\"field-0\" value=\"1\" checked> first name/initials and last name\n\
+     <input type=\"radio\" name=\"field-0\" value=\"2\"> start of last name\n\
+     <input type=\"radio\" name=\"field-0\" value=\"3\"> exact name<br>\n\
+     <b>Title</b> <input type=\"text\" name=\"query-1\" size=\"30\"><br>\n\
+     <input type=\"radio\" name=\"field-1\" value=\"1\" checked> title word(s)\n\
+     <input type=\"radio\" name=\"field-1\" value=\"2\"> start(s) of title word(s)\n\
+     <input type=\"radio\" name=\"field-1\" value=\"3\"> exact start of title\n\
+     </form>\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qam_shape() {
+        let s = qam();
+        assert_eq!(s.truth.len(), 5);
+        assert_eq!(s.html.matches("type=\"radio\"").count(), 9);
+        assert_eq!(s.html.matches("type=\"text\"").count(), 5);
+        let doc = metaform_html::parse(&s.html);
+        assert!(!doc.elements_by_tag(doc.root(), "form").is_empty());
+    }
+
+    #[test]
+    fn qaa_shape() {
+        let s = qaa();
+        assert_eq!(s.truth.len(), 7);
+        assert_eq!(s.html.matches("<select").count(), 6);
+        assert_eq!(s.patterns.len(), s.truth.len());
+    }
+
+    #[test]
+    fn column_variant_contests_the_number_list() {
+        let html = qaa_column_variant();
+        assert!(html.contains("Number of passengers<br>"));
+        assert!(html.contains("Adults <input type=\"radio\""));
+    }
+
+    #[test]
+    fn figure5_fragment_has_sixteen_tokens() {
+        let html = figure5_fragment();
+        assert_eq!(html.matches("type=\"radio\"").count(), 6);
+        assert_eq!(html.matches("type=\"text\"").count(), 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! # metaform-datasets
+//!
+//! Seed-deterministic synthetic deep-Web sources with ground truth —
+//! our substitute for the paper's TEL-8 / invisible-web.net collections
+//! (see DESIGN.md §2 for the substitution argument). Provides:
+//!
+//! - the 25-entry condition-[`patterns`] catalog (21 in-grammar, 4
+//!   withheld) with the survey's Zipf frequency profile;
+//! - domain [`schema`]s for Books/Automobiles/Airfares, six NewDomain
+//!   schemas, and 16 generic Random pools;
+//! - page [`render`] templates (flow, table, staggered columns);
+//! - the four evaluation [`dataset`]s: Basic (150), NewSource (30),
+//!   NewDomain (42), Random (30);
+//! - hand-written [`fixtures`] of the paper's Qam/Qaa figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod domains;
+pub mod fixtures;
+pub mod patterns;
+pub mod render;
+pub mod schema;
+pub mod zipf;
+
+pub use dataset::{all_datasets, basic, new_domain, new_source, random, Dataset, GenParams, Source};
+pub use patterns::PatternId;
+pub use schema::{Field, FieldKind, Schema};

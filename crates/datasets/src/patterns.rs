@@ -1,0 +1,656 @@
+//! The condition-pattern catalog.
+//!
+//! The paper's survey found "only 25 condition patterns overall", 21 of
+//! which occur more than once (Figure 4(a)) — a small, converging,
+//! Zipf-distributed vocabulary. This module is the *generation* side of
+//! that catalog: each pattern renders a schema field into HTML the way
+//! autonomous sources conventionally do. Four patterns are deliberately
+//! **withheld from the derived grammar** (the singletons of the
+//! survey), so generated datasets exercise grammar incompleteness
+//! exactly as random Web sources did.
+
+use crate::schema::{Field, FieldKind};
+use rand::Rng;
+
+/// The 25 condition patterns. Variants are ordered by overall
+/// frequency rank (see [`PatternId::rank`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum PatternId {
+    /// `Label [textbox]` — the keyword-search workhorse.
+    TextLeft,
+    /// `Label [select]`.
+    SelLeft,
+    /// Label above a textbox.
+    TextAbove,
+    /// Label above a select.
+    SelAbove,
+    /// Unlabeled keyword box (attribute implicit).
+    KeywordBare,
+    /// Label + horizontal radio value list.
+    EnumRadioLabeled,
+    /// Label + month/day/year selects.
+    DateMdy,
+    /// `Label [tb] to [tb]` textbox range.
+    RangeTextConnector,
+    /// Label + small numeric select (passengers, rooms).
+    NumSel,
+    /// Textbox with radio operator list below (amazon-style).
+    TextOpRadio,
+    /// Label + checkbox value list.
+    EnumCheckLabeled,
+    /// Single checkbox with caption ("Hardcover only").
+    BoolCheck,
+    /// Label + two numeric selects (price brackets).
+    RangeSelect,
+    /// Unlabeled select with "Select a …" placeholder option.
+    SelPlaceholder,
+    /// Label + operator select + textbox.
+    TextOpSelect,
+    /// Label + two year selects (automobiles).
+    YearRangePair,
+    /// Bare radio list (trip type).
+    EnumRadioBare,
+    /// `Label [tb] unit` with a trailing lowercase unit word.
+    UnitText,
+    /// Label + month/day selects (no year).
+    DateMd,
+    /// Label + multi-line textarea.
+    TextAreaCond,
+    /// Label *below* the textbox (rare).
+    TextBelow,
+    /// UNSEEN: date as three slash-separated textboxes.
+    TwoBoxDate,
+    /// UNSEEN: textbox with its label on the right.
+    RightLabel,
+    /// UNSEEN: `Label between [tb] and [tb]` (leading connector).
+    BetweenRange,
+    /// UNSEEN: select with its label on the right.
+    SelRight,
+}
+
+impl PatternId {
+    /// All patterns, rank order.
+    pub const ALL: [PatternId; 25] = [
+        PatternId::TextLeft,
+        PatternId::SelLeft,
+        PatternId::TextAbove,
+        PatternId::SelAbove,
+        PatternId::KeywordBare,
+        PatternId::EnumRadioLabeled,
+        PatternId::DateMdy,
+        PatternId::RangeTextConnector,
+        PatternId::NumSel,
+        PatternId::TextOpRadio,
+        PatternId::EnumCheckLabeled,
+        PatternId::BoolCheck,
+        PatternId::RangeSelect,
+        PatternId::SelPlaceholder,
+        PatternId::TextOpSelect,
+        PatternId::YearRangePair,
+        PatternId::EnumRadioBare,
+        PatternId::UnitText,
+        PatternId::DateMd,
+        PatternId::TextAreaCond,
+        PatternId::TextBelow,
+        PatternId::TwoBoxDate,
+        PatternId::RightLabel,
+        PatternId::BetweenRange,
+        PatternId::SelRight,
+    ];
+
+    /// Overall frequency rank (1 = most common), driving the Zipf
+    /// sampling of Figure 4(b).
+    pub fn rank(self) -> u32 {
+        Self::ALL
+            .iter()
+            .position(|p| *p == self)
+            .expect("pattern in ALL") as u32
+            + 1
+    }
+
+    /// Whether the derived global grammar captures this pattern.
+    /// The four singleton patterns of the survey are withheld.
+    pub fn in_grammar(self) -> bool {
+        !matches!(
+            self,
+            PatternId::TwoBoxDate
+                | PatternId::RightLabel
+                | PatternId::BetweenRange
+                | PatternId::SelRight
+        )
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PatternId::TextLeft => "text-left",
+            PatternId::SelLeft => "sel-left",
+            PatternId::TextAbove => "text-above",
+            PatternId::SelAbove => "sel-above",
+            PatternId::KeywordBare => "keyword-bare",
+            PatternId::EnumRadioLabeled => "enum-radio",
+            PatternId::DateMdy => "date-mdy",
+            PatternId::RangeTextConnector => "range-text",
+            PatternId::NumSel => "num-sel",
+            PatternId::TextOpRadio => "textop-radio",
+            PatternId::EnumCheckLabeled => "enum-check",
+            PatternId::BoolCheck => "bool-check",
+            PatternId::RangeSelect => "range-sel",
+            PatternId::SelPlaceholder => "sel-placeholder",
+            PatternId::TextOpSelect => "textop-sel",
+            PatternId::YearRangePair => "year-range",
+            PatternId::EnumRadioBare => "enum-radio-bare",
+            PatternId::UnitText => "unit-text",
+            PatternId::DateMd => "date-md",
+            PatternId::TextAreaCond => "textarea",
+            PatternId::TextBelow => "text-below",
+            PatternId::TwoBoxDate => "twobox-date",
+            PatternId::RightLabel => "right-label",
+            PatternId::BetweenRange => "between-range",
+            PatternId::SelRight => "sel-right",
+        }
+    }
+
+    /// Patterns able to present a field of the given kind. The last
+    /// entries are the unseen variants (used only when a generator
+    /// explicitly injects incompleteness).
+    pub fn compatible(kind: &FieldKind) -> (&'static [PatternId], &'static [PatternId]) {
+        use PatternId::*;
+        match kind {
+            FieldKind::FreeText => (
+                &[
+                    TextLeft,
+                    TextAbove,
+                    KeywordBare,
+                    TextOpRadio,
+                    TextOpSelect,
+                    UnitText,
+                    TextAreaCond,
+                    TextBelow,
+                ],
+                &[RightLabel],
+            ),
+            FieldKind::Enum(_) => (
+                &[
+                    SelLeft,
+                    SelAbove,
+                    EnumRadioLabeled,
+                    EnumCheckLabeled,
+                    SelPlaceholder,
+                    EnumRadioBare,
+                ],
+                &[SelRight],
+            ),
+            FieldKind::NumRange(_) => (
+                &[RangeTextConnector, RangeSelect],
+                &[BetweenRange],
+            ),
+            FieldKind::YearRange => (&[YearRangePair], &[BetweenRange]),
+            FieldKind::Date => (&[DateMdy, DateMd], &[TwoBoxDate]),
+            FieldKind::Quantity(_) => (&[NumSel], &[]),
+            FieldKind::Flag => (&[BoolCheck], &[]),
+        }
+    }
+}
+
+/// Where a rendered field's label sits relative to its widget HTML.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Placement {
+    /// Label immediately left of the widget.
+    LeftOf,
+    /// Label on its own line above the widget.
+    AboveOf,
+    /// Label on its own line below the widget.
+    BelowOf,
+    /// No separate label (bare patterns, or label baked into `widget`).
+    Bare,
+}
+
+/// One field rendered under one pattern.
+#[derive(Clone, Debug)]
+pub struct RenderedField {
+    /// Label HTML (`None` for bare/inline patterns).
+    pub label: Option<String>,
+    /// Widget HTML (may contain several controls and inline text).
+    pub widget: String,
+    /// Label placement.
+    pub placement: Placement,
+}
+
+/// Operator caption pools.
+const RADIO_OPS: [[&str; 3]; 2] = [
+    ["contains my words", "starts with", "exact match"],
+    ["all of the words", "any of the words", "exact phrase"],
+];
+const SELECT_OPS: [&str; 3] = ["contains", "begins with", "exact match"];
+const MONTHS: [&str; 12] = [
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
+];
+
+fn select(name: &str, options: &[String], leading_any: bool) -> String {
+    let mut s = format!("<select name=\"{name}\">");
+    if leading_any {
+        s.push_str("<option>Any");
+    }
+    for o in options {
+        s.push_str("<option>");
+        s.push_str(o);
+    }
+    s.push_str("</select>");
+    s
+}
+
+fn month_select(name: &str) -> String {
+    select(
+        name,
+        &MONTHS.iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+        false,
+    )
+}
+
+fn day_select(name: &str) -> String {
+    select(
+        name,
+        &(1..=31).map(|d| d.to_string()).collect::<Vec<_>>(),
+        false,
+    )
+}
+
+fn year_select(name: &str, from: i32, to: i32) -> String {
+    select(
+        name,
+        &(from..=to).map(|y| y.to_string()).collect::<Vec<_>>(),
+        false,
+    )
+}
+
+fn radio_list(name: &str, captions: &[String]) -> String {
+    captions
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let checked = if i == 0 { " checked" } else { "" };
+            format!("<input type=\"radio\" name=\"{name}\" value=\"{i}\"{checked}> {c}")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn checkbox_list(name: &str, captions: &[String]) -> String {
+    captions
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("<input type=\"checkbox\" name=\"{name}{i}\"> {c}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn enum_values(field: &Field) -> Vec<String> {
+    match &field.kind {
+        FieldKind::Enum(v) => v.clone(),
+        other => panic!("enum pattern over non-enum field: {other:?}"),
+    }
+}
+
+fn range_values(field: &Field) -> Vec<String> {
+    match &field.kind {
+        FieldKind::NumRange(v) => v.clone(),
+        FieldKind::YearRange => (1995..=2004).map(|y| y.to_string()).collect(),
+        other => panic!("range pattern over non-range field: {other:?}"),
+    }
+}
+
+/// Renders `field` under `pattern`. `control` is the HTML name to use
+/// (the generator decides whether it is meaningful or opaque).
+pub fn render<R: Rng>(
+    pattern: PatternId,
+    field: &Field,
+    control: &str,
+    rng: &mut R,
+) -> RenderedField {
+    let label = field.label.clone();
+    match pattern {
+        PatternId::TextLeft => RenderedField {
+            label: Some(label),
+            widget: format!("<input type=\"text\" name=\"{control}\" size=\"25\">"),
+            placement: Placement::LeftOf,
+        },
+        PatternId::TextAbove => RenderedField {
+            label: Some(label),
+            widget: format!("<input type=\"text\" name=\"{control}\" size=\"25\">"),
+            placement: Placement::AboveOf,
+        },
+        PatternId::TextBelow => RenderedField {
+            label: Some(label),
+            widget: format!("<input type=\"text\" name=\"{control}\" size=\"25\">"),
+            placement: Placement::BelowOf,
+        },
+        PatternId::KeywordBare => RenderedField {
+            label: None,
+            widget: format!("<input type=\"text\" name=\"{control}\" size=\"30\">"),
+            placement: Placement::Bare,
+        },
+        PatternId::TextAreaCond => RenderedField {
+            label: Some(label),
+            widget: format!("<textarea name=\"{control}\" rows=\"3\" cols=\"30\"></textarea>"),
+            placement: Placement::LeftOf,
+        },
+        PatternId::UnitText => {
+            let unit = ["miles", "km", "pages", "days"][rng.gen_range(0..4)];
+            RenderedField {
+                label: Some(label),
+                widget: format!(
+                    "<input type=\"text\" name=\"{control}\" size=\"6\"> {unit}"
+                ),
+                placement: Placement::LeftOf,
+            }
+        }
+        PatternId::TextOpRadio => {
+            let ops = &RADIO_OPS[rng.gen_range(0..RADIO_OPS.len())];
+            let caps: Vec<String> = ops.iter().map(|s| s.to_string()).collect();
+            RenderedField {
+                label: None,
+                widget: format!(
+                    "{label} <input type=\"text\" name=\"{control}\" size=\"25\"><br>\n{}",
+                    radio_list(&format!("{control}_op"), &caps)
+                ),
+                placement: Placement::Bare,
+            }
+        }
+        PatternId::TextOpSelect => {
+            let ops: Vec<String> = SELECT_OPS.iter().map(|s| s.to_string()).collect();
+            RenderedField {
+                label: Some(label),
+                widget: format!(
+                    "{} <input type=\"text\" name=\"{control}\" size=\"22\">",
+                    select(&format!("{control}_op"), &ops, false)
+                ),
+                placement: Placement::LeftOf,
+            }
+        }
+        PatternId::SelLeft => RenderedField {
+            label: Some(label),
+            widget: select(control, &enum_values(field), rng.gen_bool(0.5)),
+            placement: Placement::LeftOf,
+        },
+        PatternId::SelAbove => RenderedField {
+            label: Some(label),
+            widget: select(control, &enum_values(field), rng.gen_bool(0.5)),
+            placement: Placement::AboveOf,
+        },
+        PatternId::SelPlaceholder => {
+            let mut options = vec![format!("Select a {}", field.label)];
+            options.extend(enum_values(field));
+            RenderedField {
+                label: None,
+                widget: select(control, &options, false),
+                placement: Placement::Bare,
+            }
+        }
+        PatternId::SelRight => RenderedField {
+            label: None,
+            widget: format!(
+                "{} {}",
+                select(control, &enum_values(field), false),
+                field.label
+            ),
+            placement: Placement::Bare,
+        },
+        PatternId::EnumRadioLabeled => RenderedField {
+            label: Some(label),
+            widget: radio_list(control, &enum_values(field)),
+            placement: if rng.gen_bool(0.5) {
+                Placement::LeftOf
+            } else {
+                Placement::AboveOf
+            },
+        },
+        PatternId::EnumRadioBare => RenderedField {
+            label: None,
+            widget: radio_list(control, &enum_values(field)),
+            placement: Placement::Bare,
+        },
+        PatternId::EnumCheckLabeled => RenderedField {
+            label: Some(label),
+            widget: checkbox_list(control, &enum_values(field)),
+            placement: Placement::LeftOf,
+        },
+        PatternId::BoolCheck => RenderedField {
+            label: None,
+            widget: format!(
+                "<input type=\"checkbox\" name=\"{control}\"> {}",
+                field.label
+            ),
+            placement: Placement::Bare,
+        },
+        PatternId::RangeTextConnector => RenderedField {
+            label: Some(label),
+            widget: format!(
+                "<input type=\"text\" name=\"{control}_lo\" size=\"6\"> to \
+                 <input type=\"text\" name=\"{control}_hi\" size=\"6\">"
+            ),
+            placement: Placement::LeftOf,
+        },
+        PatternId::BetweenRange => RenderedField {
+            label: Some(label),
+            widget: format!(
+                "between <input type=\"text\" name=\"{control}_lo\" size=\"6\"> and \
+                 <input type=\"text\" name=\"{control}_hi\" size=\"6\">"
+            ),
+            placement: Placement::LeftOf,
+        },
+        PatternId::RangeSelect => {
+            let values = range_values(field);
+            let lo = select(&format!("{control}_lo"), &values, false);
+            let hi = select(&format!("{control}_hi"), &values, false);
+            let conn = if rng.gen_bool(0.5) { " to " } else { " " };
+            RenderedField {
+                label: Some(label),
+                widget: format!("{lo}{conn}{hi}"),
+                placement: Placement::LeftOf,
+            }
+        }
+        PatternId::YearRangePair => {
+            let lo = year_select(&format!("{control}_lo"), 1990, 2004);
+            let hi = year_select(&format!("{control}_hi"), 1990, 2004);
+            let conn = if rng.gen_bool(0.5) { " to " } else { " " };
+            RenderedField {
+                label: Some(label),
+                widget: format!("{lo}{conn}{hi}"),
+                placement: Placement::LeftOf,
+            }
+        }
+        PatternId::DateMdy => RenderedField {
+            label: Some(label),
+            widget: format!(
+                "{} {} {}",
+                month_select(&format!("{control}_m")),
+                day_select(&format!("{control}_d")),
+                year_select(&format!("{control}_y"), 2004, 2006)
+            ),
+            placement: if rng.gen_bool(0.7) {
+                Placement::LeftOf
+            } else {
+                Placement::AboveOf
+            },
+        },
+        PatternId::DateMd => RenderedField {
+            label: Some(label),
+            widget: format!(
+                "{} {}",
+                month_select(&format!("{control}_m")),
+                day_select(&format!("{control}_d"))
+            ),
+            placement: Placement::LeftOf,
+        },
+        PatternId::TwoBoxDate => RenderedField {
+            label: Some(label),
+            widget: format!(
+                "<input type=\"text\" name=\"{control}_m\" size=\"2\"> / \
+                 <input type=\"text\" name=\"{control}_d\" size=\"2\"> / \
+                 <input type=\"text\" name=\"{control}_y\" size=\"4\">"
+            ),
+            placement: Placement::LeftOf,
+        },
+        PatternId::RightLabel => RenderedField {
+            label: None,
+            widget: format!(
+                "<input type=\"text\" name=\"{control}\" size=\"20\"> {}",
+                field.label
+            ),
+            placement: Placement::Bare,
+        },
+        PatternId::NumSel => {
+            let values = match &field.kind {
+                FieldKind::Quantity(v) => v.clone(),
+                _ => (1..=6).map(|n| n.to_string()).collect(),
+            };
+            RenderedField {
+                label: Some(label),
+                widget: select(control, &values, false),
+                placement: Placement::LeftOf,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn text_field() -> Field {
+        Field::new("Author", "author", FieldKind::FreeText)
+    }
+
+    fn enum_field() -> Field {
+        Field::new(
+            "Format",
+            "fmt",
+            FieldKind::Enum(vec!["Hardcover".into(), "Paperback".into()]),
+        )
+    }
+
+    #[test]
+    fn ranks_are_unique_and_complete() {
+        let mut ranks: Vec<u32> = PatternId::ALL.iter().map(|p| p.rank()).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (1..=25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn twenty_one_in_grammar_four_withheld() {
+        let in_g = PatternId::ALL.iter().filter(|p| p.in_grammar()).count();
+        assert_eq!(in_g, 21);
+        assert!(!PatternId::TwoBoxDate.in_grammar());
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = PatternId::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 25);
+    }
+
+    #[test]
+    fn compatibility_covers_every_kind() {
+        for kind in [
+            FieldKind::FreeText,
+            FieldKind::Enum(vec!["a".into()]),
+            FieldKind::NumRange(vec!["1".into()]),
+            FieldKind::YearRange,
+            FieldKind::Date,
+            FieldKind::Quantity(vec!["1".into()]),
+            FieldKind::Flag,
+        ] {
+            let (seen, _unseen) = PatternId::compatible(&kind);
+            assert!(!seen.is_empty(), "{kind:?}");
+            assert!(seen.iter().all(|p| p.in_grammar()));
+        }
+    }
+
+    #[test]
+    fn text_left_renders_label_and_box() {
+        let r = render(PatternId::TextLeft, &text_field(), "author", &mut rng());
+        assert_eq!(r.label.as_deref(), Some("Author"));
+        assert!(r.widget.contains("type=\"text\""));
+        assert_eq!(r.placement, Placement::LeftOf);
+    }
+
+    #[test]
+    fn textop_radio_embeds_ops_below_box() {
+        let r = render(PatternId::TextOpRadio, &text_field(), "q0", &mut rng());
+        assert!(r.label.is_none(), "label baked into the widget");
+        let box_at = r.widget.find("type=\"text\"").unwrap();
+        let br_at = r.widget.find("<br>").unwrap();
+        let radio_at = r.widget.find("type=\"radio\"").unwrap();
+        assert!(box_at < br_at && br_at < radio_at);
+        assert!(r.widget.matches("type=\"radio\"").count() == 3);
+    }
+
+    #[test]
+    fn enum_widgets_carry_values() {
+        let r = render(PatternId::EnumRadioLabeled, &enum_field(), "fmt", &mut rng());
+        assert!(r.widget.contains("Hardcover"));
+        assert!(r.widget.contains("Paperback"));
+        let cb = render(PatternId::EnumCheckLabeled, &enum_field(), "fmt", &mut rng());
+        assert_eq!(cb.widget.matches("checkbox").count(), 2);
+    }
+
+    #[test]
+    fn placeholder_select_names_the_attribute() {
+        let r = render(PatternId::SelPlaceholder, &enum_field(), "x9", &mut rng());
+        assert!(r.widget.contains("Select a Format"));
+        assert!(r.label.is_none());
+    }
+
+    #[test]
+    fn range_and_date_composites() {
+        let price = Field::new(
+            "Price",
+            "price",
+            FieldKind::NumRange(vec!["5".into(), "20".into(), "50".into()]),
+        );
+        let r = render(PatternId::RangeTextConnector, &price, "price", &mut rng());
+        assert_eq!(r.widget.matches("type=\"text\"").count(), 2);
+        assert!(r.widget.contains(" to "));
+
+        let date = Field::new("Departing", "dep", FieldKind::Date);
+        let d = render(PatternId::DateMdy, &date, "dep", &mut rng());
+        assert!(d.widget.contains("January"));
+        assert_eq!(d.widget.matches("<select").count(), 3);
+    }
+
+    #[test]
+    fn unseen_patterns_render_too() {
+        let date = Field::new("Departing", "dep", FieldKind::Date);
+        let r = render(PatternId::TwoBoxDate, &date, "dep", &mut rng());
+        assert_eq!(r.widget.matches("type=\"text\"").count(), 3);
+
+        let rl = render(PatternId::RightLabel, &text_field(), "zz", &mut rng());
+        assert!(rl.widget.ends_with("Author"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic_per_seed() {
+        let a = render(PatternId::SelLeft, &enum_field(), "fmt", &mut rng());
+        let b = render(PatternId::SelLeft, &enum_field(), "fmt", &mut rng());
+        assert_eq!(a.widget, b.widget);
+    }
+}

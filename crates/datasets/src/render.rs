@@ -1,0 +1,215 @@
+//! Form templates: how rendered fields are arranged into a page.
+//!
+//! Sources conventionally lay conditions out as table rows, as
+//! `<br>`-separated flow lines, or — the arrangement that defeats the
+//! paper's row-major form pattern (Figure 14) — as side-by-side
+//! columns.
+
+use crate::patterns::{Placement, RenderedField};
+
+/// Page-level arrangement of a form's conditions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Template {
+    /// `label widget<br>` lines.
+    Flow,
+    /// One `<table>` row per condition.
+    Table,
+    /// Two staggered columns of conditions (Figure 14 style).
+    Columns,
+}
+
+/// Non-condition page furniture.
+#[derive(Clone, Debug)]
+pub struct Chrome {
+    /// Heading shown above the form.
+    pub title: Option<String>,
+    /// Submit button caption.
+    pub submit: String,
+    /// Include a reset button.
+    pub reset: bool,
+    /// Include a hidden session input.
+    pub hidden: bool,
+    /// Extra decorative lines inserted before given item indexes.
+    pub notes: Vec<(usize, String)>,
+}
+
+impl Default for Chrome {
+    fn default() -> Self {
+        Chrome {
+            title: None,
+            submit: "Search".to_string(),
+            reset: false,
+            hidden: false,
+            notes: Vec::new(),
+        }
+    }
+}
+
+fn flow_item(item: &RenderedField) -> String {
+    match (&item.label, item.placement) {
+        (Some(l), Placement::LeftOf) => format!("{l} {}<br>\n", item.widget),
+        (Some(l), Placement::AboveOf) => format!("{l}<br>\n{}<br>\n", item.widget),
+        (Some(l), Placement::BelowOf) => format!("{}<br>\n{l}<br>\n", item.widget),
+        (_, _) => format!("{}<br>\n", item.widget),
+    }
+}
+
+fn table_row(item: &RenderedField) -> String {
+    match (&item.label, item.placement) {
+        (Some(l), Placement::LeftOf) => {
+            format!("<tr><td>{l}</td><td>{}</td></tr>\n", item.widget)
+        }
+        (Some(l), Placement::AboveOf) => format!(
+            "<tr><td colspan=\"2\">{l}<br>{}</td></tr>\n",
+            item.widget
+        ),
+        (Some(l), Placement::BelowOf) => format!(
+            "<tr><td colspan=\"2\">{}<br>{l}</td></tr>\n",
+            item.widget
+        ),
+        (_, _) => format!("<tr><td colspan=\"2\">{}</td></tr>\n", item.widget),
+    }
+}
+
+/// Assembles the full page for a set of rendered fields.
+pub fn render_form(items: &[RenderedField], template: Template, chrome: &Chrome) -> String {
+    let mut body = String::new();
+    let note_for = |i: usize| -> String {
+        chrome
+            .notes
+            .iter()
+            .filter(|(at, _)| *at == i)
+            .map(|(_, n)| n.clone())
+            .collect::<Vec<_>>()
+            .join("")
+    };
+    match template {
+        Template::Flow => {
+            for (i, item) in items.iter().enumerate() {
+                body.push_str(&note_for(i));
+                body.push_str(&flow_item(item));
+            }
+        }
+        Template::Table => {
+            body.push_str("<table>\n");
+            for (i, item) in items.iter().enumerate() {
+                let note = note_for(i);
+                if !note.is_empty() {
+                    body.push_str(&format!("<tr><td colspan=\"2\">{note}</td></tr>\n"));
+                }
+                body.push_str(&table_row(item));
+            }
+            body.push_str("</table>\n");
+        }
+        Template::Columns => {
+            // Two side-by-side stacks. The left column additionally
+            // carries a lead-in line, so the two stacks stagger
+            // vertically — rows do not align and the row-major form
+            // pattern cannot join them (Figure 14's failure mode).
+            let mid = items.len().div_ceil(2);
+            let (left, right) = items.split_at(mid);
+            let column = |chunk: &[RenderedField]| -> String {
+                chunk.iter().map(flow_item).collect()
+            };
+            body.push_str("<table>\n<tr><td>");
+            body.push_str("Narrow your search<br>\n");
+            body.push_str(&column(left));
+            body.push_str("</td><td>");
+            body.push_str(&column(right));
+            body.push_str("</td></tr>\n</table>\n");
+        }
+    }
+
+    let mut page = String::new();
+    if let Some(t) = &chrome.title {
+        page.push_str(&format!("<h2>{t}</h2>\n"));
+    }
+    page.push_str("<form action=\"/search\" method=\"get\">\n");
+    if chrome.hidden {
+        page.push_str("<input type=\"hidden\" name=\"session\" value=\"fe81a\">\n");
+    }
+    page.push_str(&body);
+    page.push_str(&format!(
+        "<input type=\"submit\" value=\"{}\">",
+        chrome.submit
+    ));
+    if chrome.reset {
+        page.push_str(" <input type=\"reset\" value=\"Clear\">");
+    }
+    page.push_str("\n</form>\n");
+    page
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(label: Option<&str>, widget: &str, placement: Placement) -> RenderedField {
+        RenderedField {
+            label: label.map(str::to_string),
+            widget: widget.to_string(),
+            placement,
+        }
+    }
+
+    #[test]
+    fn flow_layout_variants() {
+        let items = vec![
+            item(Some("Author"), "<input name=a>", Placement::LeftOf),
+            item(Some("Title"), "<input name=t>", Placement::AboveOf),
+            item(None, "<input name=k>", Placement::Bare),
+        ];
+        let html = render_form(&items, Template::Flow, &Chrome::default());
+        assert!(html.contains("Author <input name=a><br>"));
+        assert!(html.contains("Title<br>\n<input name=t><br>"));
+        assert!(html.contains("<form"));
+        assert!(html.contains("type=\"submit\""));
+    }
+
+    #[test]
+    fn table_layout_rows() {
+        let items = vec![
+            item(Some("From"), "<input name=f>", Placement::LeftOf),
+            item(Some("Departing"), "<select name=d></select>", Placement::AboveOf),
+        ];
+        let html = render_form(&items, Template::Table, &Chrome::default());
+        assert!(html.contains("<tr><td>From</td><td><input name=f></td></tr>"));
+        assert!(html.contains("colspan=\"2\">Departing<br>"));
+        assert_eq!(html.matches("<table>").count(), 1);
+    }
+
+    #[test]
+    fn columns_split_and_stagger() {
+        let items: Vec<RenderedField> = (0..4)
+            .map(|i| item(Some("L"), &format!("<input name=x{i}>"), Placement::LeftOf))
+            .collect();
+        let html = render_form(&items, Template::Columns, &Chrome::default());
+        assert!(html.contains("Narrow your search"));
+        assert_eq!(html.matches("<td>").count(), 2);
+        assert!(html.contains("x0") && html.contains("x3"));
+    }
+
+    #[test]
+    fn chrome_options() {
+        let chrome = Chrome {
+            title: Some("MegaBooks".into()),
+            submit: "Find it".into(),
+            reset: true,
+            hidden: true,
+            notes: vec![(0, "e.g. Tom Clancy<br>\n".into())],
+        };
+        let html = render_form(
+            &[item(Some("Author"), "<input name=a>", Placement::LeftOf)],
+            Template::Flow,
+            &chrome,
+        );
+        assert!(html.contains("<h2>MegaBooks</h2>"));
+        assert!(html.contains("type=\"hidden\""));
+        assert!(html.contains("e.g. Tom Clancy"));
+        assert!(html.contains("value=\"Find it\""));
+        assert!(html.contains("type=\"reset\""));
+        let note_at = html.find("Tom Clancy").unwrap();
+        let author_at = html.find("Author").unwrap();
+        assert!(note_at < author_at, "note precedes its item");
+    }
+}

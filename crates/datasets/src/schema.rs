@@ -1,0 +1,111 @@
+//! Domain schemas: the queryable fields a source's database exposes.
+
+use metaform_core::{Condition, DomainKind, DomainSpec};
+
+/// The semantic shape of a field, which constrains both its ground-truth
+/// domain and the presentation patterns that can render it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FieldKind {
+    /// Free-text search (author, title, keywords…).
+    FreeText,
+    /// Closed set of values.
+    Enum(Vec<String>),
+    /// Numeric range with endpoint choices.
+    NumRange(Vec<String>),
+    /// A year interval (automobiles).
+    YearRange,
+    /// A calendar date.
+    Date,
+    /// A small quantity (passengers, rooms).
+    Quantity(Vec<String>),
+    /// A yes/no toggle.
+    Flag,
+}
+
+impl FieldKind {
+    /// Ground-truth domain for this field.
+    pub fn domain(&self) -> DomainSpec {
+        match self {
+            FieldKind::FreeText => DomainSpec::text(),
+            FieldKind::Enum(v) => DomainSpec::enumerated(v.clone()),
+            FieldKind::NumRange(v) => DomainSpec {
+                kind: DomainKind::Range,
+                values: v.clone(),
+            },
+            FieldKind::YearRange => DomainSpec::of(DomainKind::Range),
+            FieldKind::Date => DomainSpec::of(DomainKind::Date),
+            FieldKind::Quantity(v) => DomainSpec {
+                kind: DomainKind::Numeric,
+                values: v.clone(),
+            },
+            FieldKind::Flag => DomainSpec::of(DomainKind::Boolean),
+        }
+    }
+}
+
+/// One queryable field of a domain schema.
+#[derive(Clone, Debug)]
+pub struct Field {
+    /// Display label (the ground-truth attribute).
+    pub label: String,
+    /// HTML control-name stem.
+    pub control: String,
+    /// Semantic shape.
+    pub kind: FieldKind,
+}
+
+impl Field {
+    /// Convenience constructor.
+    pub fn new(label: &str, control: &str, kind: FieldKind) -> Self {
+        Field {
+            label: label.to_string(),
+            control: control.to_string(),
+            kind,
+        }
+    }
+
+    /// The ground-truth condition this field contributes.
+    pub fn truth(&self) -> Condition {
+        Condition::new(self.label.clone(), vec![], self.kind.domain(), vec![])
+    }
+}
+
+/// A domain schema: a named pool of fields sources draw from.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    /// Domain name (e.g. `Books`).
+    pub name: String,
+    /// Field pool, most-queried first (sources prefer early fields).
+    pub fields: Vec<Field>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_condition_carries_domain() {
+        let f = Field::new(
+            "Format",
+            "fmt",
+            FieldKind::Enum(vec!["Hardcover".into(), "Paperback".into()]),
+        );
+        let c = f.truth();
+        assert_eq!(c.attribute, "Format");
+        assert_eq!(c.domain.kind, DomainKind::Enumerated);
+        assert_eq!(c.domain.values.len(), 2);
+        assert!(c.operators.is_empty());
+    }
+
+    #[test]
+    fn field_kinds_map_to_domain_kinds() {
+        assert_eq!(FieldKind::FreeText.domain().kind, DomainKind::Text);
+        assert_eq!(FieldKind::Date.domain().kind, DomainKind::Date);
+        assert_eq!(FieldKind::Flag.domain().kind, DomainKind::Boolean);
+        assert_eq!(FieldKind::YearRange.domain().kind, DomainKind::Range);
+        assert_eq!(
+            FieldKind::Quantity(vec!["1".into()]).domain().kind,
+            DomainKind::Numeric
+        );
+    }
+}

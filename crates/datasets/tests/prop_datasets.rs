@@ -1,0 +1,93 @@
+//! Property tests: any generator configuration produces sources the
+//! pipeline can consume, deterministically.
+
+use metaform_datasets::dataset::{generate_source, GenParams};
+use metaform_datasets::domains;
+use proptest::prelude::*;
+
+fn params() -> impl Strategy<Value = GenParams> {
+    (
+        1usize..4,
+        4usize..9,
+        0.0f64..0.5,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0u32..5,
+        0u32..5,
+        0u32..5,
+    )
+        .prop_map(|(lo, hi, unseen, opaque, noise, wf, wt, wc)| GenParams {
+            min_conditions: lo,
+            max_conditions: hi.max(lo),
+            unseen_prob: unseen,
+            opaque_name_prob: opaque,
+            noise_prob: noise,
+            // At least one template must be possible.
+            template_weights: (wf + 1, wt, wc),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated source round-trips: its HTML parses, lays out,
+    /// and tokenizes into at least one widget per truth condition.
+    #[test]
+    fn sources_always_pipeline(p in params(), idx in 0usize..40, seed in 0u64..1000,
+                               which in 0usize..3) {
+        let schemas = [domains::books(), domains::automobiles(), domains::airfares()];
+        let src = generate_source(&schemas[which], idx, seed, &p);
+        prop_assert!(!src.truth.is_empty());
+        prop_assert_eq!(src.truth.len(), src.patterns.len());
+        prop_assert!(src.truth.len() >= p.min_conditions.min(schemas[which].fields.len()));
+
+        let doc = metaform_html::parse(&src.html);
+        let lay = metaform_layout::layout(&doc);
+        let tokens = metaform_tokenizer::tokenize(&doc, &lay).tokens;
+        let widgets = tokens.iter().filter(|t| t.kind.is_input_field()).count();
+        prop_assert!(widgets >= src.truth.len(),
+            "at least one input control per condition: {widgets} < {}", src.truth.len());
+        // Dense token ids in reading order.
+        for (i, t) in tokens.iter().enumerate() {
+            prop_assert_eq!(t.id.index(), i);
+        }
+    }
+
+    /// Same (schema, index, seed, params) → byte-identical source.
+    #[test]
+    fn generation_is_pure(p in params(), idx in 0usize..20, seed in 0u64..100) {
+        let schema = domains::books();
+        let a = generate_source(&schema, idx, seed, &p);
+        let b = generate_source(&schema, idx, seed, &p);
+        prop_assert_eq!(a.html, b.html);
+        prop_assert_eq!(a.patterns, b.patterns);
+    }
+
+    /// Different seeds diversify output across a batch.
+    #[test]
+    fn seeds_diversify(seed_a in 0u64..50, seed_b in 51u64..100) {
+        let schema = domains::airfares();
+        let p = GenParams::basic();
+        let pages_a: Vec<String> =
+            (0..5).map(|i| generate_source(&schema, i, seed_a, &p).html).collect();
+        let pages_b: Vec<String> =
+            (0..5).map(|i| generate_source(&schema, i, seed_b, &p).html).collect();
+        prop_assert_ne!(pages_a, pages_b);
+    }
+
+    /// Truth conditions carry presentation-independent domains.
+    #[test]
+    fn truth_is_schema_derived(idx in 0usize..30, seed in 0u64..50) {
+        let schema = domains::automobiles();
+        let p = GenParams::random();
+        let src = generate_source(&schema, idx, seed, &p);
+        for cond in &src.truth {
+            let field = schema
+                .fields
+                .iter()
+                .find(|f| f.label == cond.attribute)
+                .expect("truth attribute must come from the schema");
+            prop_assert_eq!(cond.domain.kind, field.kind.domain().kind);
+        }
+    }
+}

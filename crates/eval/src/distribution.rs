@@ -1,0 +1,94 @@
+//! Source distributions over precision/recall (paper Figure 15(a,b)).
+//!
+//! The paper plots, for each dataset, the percentage of sources whose
+//! per-source precision (recall) reaches each threshold on the x-axis
+//! `1.0, .9, .8, .7, .6, 0` — a cumulative distribution ("69% sources
+//! have precision 1.0" is the value at 1.0).
+
+use crate::metrics::DatasetScore;
+
+/// The paper's x-axis thresholds.
+pub const THRESHOLDS: [f64; 6] = [1.0, 0.9, 0.8, 0.7, 0.6, 0.0];
+
+/// Percentage of sources (0–100) whose metric is ≥ each threshold.
+pub fn cumulative(values: &[f64]) -> [f64; 6] {
+    let n = values.len().max(1) as f64;
+    let mut out = [0.0; 6];
+    for (i, &th) in THRESHOLDS.iter().enumerate() {
+        let hits = values.iter().filter(|&&v| v >= th - 1e-9).count();
+        out[i] = 100.0 * hits as f64 / n;
+    }
+    out
+}
+
+/// Precision distribution for a dataset.
+pub fn precision_distribution(score: &DatasetScore) -> [f64; 6] {
+    let values: Vec<f64> = score.sources.iter().map(|s| s.precision()).collect();
+    cumulative(&values)
+}
+
+/// Recall distribution for a dataset.
+pub fn recall_distribution(score: &DatasetScore) -> [f64; 6] {
+    let values: Vec<f64> = score.sources.iter().map(|s| s.recall()).collect();
+    cumulative(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SourceScore;
+
+    #[test]
+    fn cumulative_is_monotone_and_ends_at_100() {
+        let values = [1.0, 1.0, 0.85, 0.7, 0.5, 0.0];
+        let dist = cumulative(&values);
+        for w in dist.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "{dist:?}");
+        }
+        assert_eq!(dist[5], 100.0);
+        // Two of six sources at exactly 1.0.
+        assert!((dist[0] - 33.333).abs() < 0.01);
+    }
+
+    #[test]
+    fn threshold_boundaries_inclusive() {
+        let dist = cumulative(&[0.9, 0.8]);
+        assert_eq!(dist[1], 50.0, "0.9 counts at the 0.9 threshold");
+        assert_eq!(dist[2], 100.0);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let dist = cumulative(&[]);
+        assert_eq!(dist, [0.0; 6]);
+    }
+
+    #[test]
+    fn dataset_wrappers() {
+        let ds = DatasetScore {
+            name: "T".into(),
+            sources: vec![
+                SourceScore {
+                    name: "a".into(),
+                    domain: "d".into(),
+                    matched: 1,
+                    extracted: 1,
+                    truth: 2,
+                    tokens: 0,
+                },
+                SourceScore {
+                    name: "b".into(),
+                    domain: "d".into(),
+                    matched: 2,
+                    extracted: 2,
+                    truth: 2,
+                    tokens: 0,
+                },
+            ],
+        };
+        let p = precision_distribution(&ds);
+        assert_eq!(p[0], 100.0, "both sources precision 1.0");
+        let r = recall_distribution(&ds);
+        assert_eq!(r[0], 50.0, "one source at recall 1.0");
+    }
+}

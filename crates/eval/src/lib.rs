@@ -1,0 +1,27 @@
+//! # metaform-eval
+//!
+//! Evaluation harness for the reproduction: the paper's metrics
+//! (per-source and overall precision/recall, §6.1), source
+//! distributions over thresholds (Figure 15(a,b)), pattern-vocabulary
+//! analyses (Figure 4), parse timing (§5.1), and our additional
+//! ablations (grammar sweep, parser-component switches, baseline
+//! comparison).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod distribution;
+pub mod metrics;
+pub mod table;
+pub mod timing;
+pub mod vocabulary;
+
+pub use ablation::{extractor_for, filter_grammar, global_grammar_top_k, ParserMode};
+pub use distribution::{cumulative, precision_distribution, recall_distribution, THRESHOLDS};
+pub use metrics::{
+    match_count, score_dataset, score_dataset_baseline, score_source, score_source_baseline,
+    DatasetScore, SourceScore,
+};
+pub use table::TextTable;
+pub use vocabulary::{growth_curve, occurrences, ranked_frequencies};

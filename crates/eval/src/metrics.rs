@@ -1,0 +1,296 @@
+//! Precision/recall metrics (paper §6.1).
+//!
+//! Per-source: `Ps(q) = |Cs∩Es| / |Es|`, `Rs(q) = |Cs∩Es| / |Cs|` where
+//! `Cs` is the manual (here: generated) semantic model and `Es` the
+//! extracted one. Overall: the same ratios over all conditions
+//! aggregated across a dataset. Accuracy is the average of overall
+//! precision and recall (the paper's headline "above 85%").
+
+use metaform_core::Condition;
+use metaform_datasets::{Dataset, Source};
+use metaform_extractor::FormExtractor;
+
+/// Do a truth condition and an extracted condition denote the same
+/// query capability? Primarily [`Condition::equivalent`] (same
+/// normalized attribute, same domain shape). When one side carries no
+/// attribute label — a bare radio group has none on the page — a human
+/// annotator identifies the condition by its value set, so an exact
+/// value-set match of an enumerated domain also counts.
+pub fn conditions_match(truth: &Condition, extracted: &Condition) -> bool {
+    if truth.equivalent(extracted) {
+        return true;
+    }
+    truth.domain.kind == extracted.domain.kind
+        && (truth.attribute.is_empty() || extracted.attribute.is_empty())
+        && !truth.domain.values.is_empty()
+        && truth.domain.values == extracted.domain.values
+}
+
+/// Greedy one-to-one matching of extracted conditions against truth
+/// under [`conditions_match`]; returns the number of matched pairs
+/// (`|Cs ∩ Es|`).
+pub fn match_count(truth: &[Condition], extracted: &[Condition]) -> usize {
+    let mut used = vec![false; extracted.len()];
+    let mut matched = 0;
+    for t in truth {
+        if let Some(i) = extracted
+            .iter()
+            .enumerate()
+            .position(|(i, e)| !used[i] && conditions_match(t, e))
+        {
+            used[i] = true;
+            matched += 1;
+        }
+    }
+    matched
+}
+
+/// Per-source evaluation outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SourceScore {
+    /// Source identifier.
+    pub name: String,
+    /// Domain the source belongs to.
+    pub domain: String,
+    /// `|Cs ∩ Es|`.
+    pub matched: usize,
+    /// `|Es|` — extracted conditions.
+    pub extracted: usize,
+    /// `|Cs|` — ground-truth conditions.
+    pub truth: usize,
+    /// Tokens in the interface (for timing/size analyses).
+    pub tokens: usize,
+}
+
+impl SourceScore {
+    /// `Ps(q)`. An extractor that extracts nothing has made no false
+    /// claims, so empty `Es` scores precision 1.
+    pub fn precision(&self) -> f64 {
+        if self.extracted == 0 {
+            1.0
+        } else {
+            self.matched as f64 / self.extracted as f64
+        }
+    }
+
+    /// `Rs(q)`; empty truth scores recall 1.
+    pub fn recall(&self) -> f64 {
+        if self.truth == 0 {
+            1.0
+        } else {
+            self.matched as f64 / self.truth as f64
+        }
+    }
+}
+
+/// Dataset-level evaluation outcome.
+#[derive(Clone, Debug)]
+pub struct DatasetScore {
+    /// Dataset name.
+    pub name: String,
+    /// Per-source scores, in dataset order.
+    pub sources: Vec<SourceScore>,
+}
+
+impl DatasetScore {
+    /// Average per-source precision (Figure 15(c)).
+    pub fn avg_precision(&self) -> f64 {
+        avg(self.sources.iter().map(SourceScore::precision))
+    }
+
+    /// Average per-source recall (Figure 15(c)).
+    pub fn avg_recall(&self) -> f64 {
+        avg(self.sources.iter().map(SourceScore::recall))
+    }
+
+    /// Overall precision `Pa` (Figure 15(d)).
+    pub fn overall_precision(&self) -> f64 {
+        let matched: usize = self.sources.iter().map(|s| s.matched).sum();
+        let extracted: usize = self.sources.iter().map(|s| s.extracted).sum();
+        if extracted == 0 {
+            1.0
+        } else {
+            matched as f64 / extracted as f64
+        }
+    }
+
+    /// Overall recall `Ra` (Figure 15(d)).
+    pub fn overall_recall(&self) -> f64 {
+        let matched: usize = self.sources.iter().map(|s| s.matched).sum();
+        let truth: usize = self.sources.iter().map(|s| s.truth).sum();
+        if truth == 0 {
+            1.0
+        } else {
+            matched as f64 / truth as f64
+        }
+    }
+
+    /// Accuracy: the average of overall precision and recall, as in
+    /// the paper's "accuracy of 0.85" summary.
+    pub fn accuracy(&self) -> f64 {
+        (self.overall_precision() + self.overall_recall()) / 2.0
+    }
+}
+
+fn avg(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Evaluates one source with the parsing extractor.
+pub fn score_source(extractor: &FormExtractor, src: &Source) -> SourceScore {
+    let extraction = extractor.extract(&src.html);
+    SourceScore {
+        name: src.name.clone(),
+        domain: src.domain.clone(),
+        matched: match_count(&src.truth, &extraction.report.conditions),
+        extracted: extraction.report.conditions.len(),
+        truth: src.truth.len(),
+        tokens: extraction.tokens.len(),
+    }
+}
+
+/// Evaluates one source with the pairwise-proximity baseline.
+pub fn score_source_baseline(src: &Source) -> SourceScore {
+    let doc = metaform_html::parse(&src.html);
+    let lay = metaform_layout::layout(&doc);
+    let tokens = metaform_tokenizer::tokenize(&doc, &lay).tokens;
+    let report = metaform_extractor::extract_baseline(&tokens);
+    SourceScore {
+        name: src.name.clone(),
+        domain: src.domain.clone(),
+        matched: match_count(&src.truth, &report.conditions),
+        extracted: report.conditions.len(),
+        truth: src.truth.len(),
+        tokens: tokens.len(),
+    }
+}
+
+/// Evaluates a whole dataset.
+pub fn score_dataset(extractor: &FormExtractor, ds: &Dataset) -> DatasetScore {
+    DatasetScore {
+        name: ds.name.clone(),
+        sources: ds
+            .sources
+            .iter()
+            .map(|s| score_source(extractor, s))
+            .collect(),
+    }
+}
+
+/// Evaluates a whole dataset with the baseline.
+pub fn score_dataset_baseline(ds: &Dataset) -> DatasetScore {
+    DatasetScore {
+        name: format!("{}(baseline)", ds.name),
+        sources: ds.sources.iter().map(score_source_baseline).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaform_core::{DomainKind, DomainSpec};
+
+    fn cond(attr: &str, kind: DomainKind) -> Condition {
+        Condition::new(attr, vec![], DomainSpec::of(kind), vec![])
+    }
+
+    #[test]
+    fn matching_is_one_to_one() {
+        let truth = vec![cond("author", DomainKind::Text), cond("title", DomainKind::Text)];
+        let extracted = vec![
+            cond("Author:", DomainKind::Text),
+            cond("Author", DomainKind::Text), // duplicate cannot double-match
+            cond("price", DomainKind::Range),
+        ];
+        assert_eq!(match_count(&truth, &extracted), 1);
+    }
+
+    #[test]
+    fn precision_recall_formulas() {
+        let s = SourceScore {
+            name: "x".into(),
+            domain: "d".into(),
+            matched: 3,
+            extracted: 4,
+            truth: 5,
+            tokens: 20,
+        };
+        assert!((s.precision() - 0.75).abs() < 1e-9);
+        assert!((s.recall() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_edges() {
+        let empty = SourceScore {
+            name: "x".into(),
+            domain: "d".into(),
+            matched: 0,
+            extracted: 0,
+            truth: 0,
+            tokens: 0,
+        };
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+    }
+
+    #[test]
+    fn dataset_aggregates() {
+        let ds = DatasetScore {
+            name: "T".into(),
+            sources: vec![
+                SourceScore {
+                    name: "a".into(),
+                    domain: "d".into(),
+                    matched: 2,
+                    extracted: 2,
+                    truth: 4,
+                    tokens: 0,
+                },
+                SourceScore {
+                    name: "b".into(),
+                    domain: "d".into(),
+                    matched: 2,
+                    extracted: 4,
+                    truth: 2,
+                    tokens: 0,
+                },
+            ],
+        };
+        assert!((ds.avg_precision() - 0.75).abs() < 1e-9);
+        assert!((ds.avg_recall() - 0.75).abs() < 1e-9);
+        assert!((ds.overall_precision() - 4.0 / 6.0).abs() < 1e-9);
+        assert!((ds.overall_recall() - 4.0 / 6.0).abs() < 1e-9);
+        assert!((ds.accuracy() - 4.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scoring_the_qam_fixture_is_perfect() {
+        let extractor = FormExtractor::new();
+        let score = score_source(&extractor, &metaform_datasets::fixtures::qam());
+        assert_eq!(score.truth, 5);
+        assert_eq!(score.matched, 5, "all five Qam conditions recovered");
+        assert_eq!(score.precision(), 1.0);
+        assert_eq!(score.recall(), 1.0);
+    }
+
+    #[test]
+    fn baseline_scores_strictly_worse_on_qam() {
+        let extractor = FormExtractor::new();
+        let parser = score_source(&extractor, &metaform_datasets::fixtures::qam());
+        let baseline = score_source_baseline(&metaform_datasets::fixtures::qam());
+        assert!(baseline.precision() <= parser.precision());
+        assert!(
+            baseline.precision() < 1.0,
+            "operator captions confuse the baseline"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Pattern-vocabulary analyses (paper Figure 4).
+//!
+//! Figure 4(a): pattern occurrences across sources, and the cumulative
+//! vocabulary-growth curve that "flattens rapidly". Figure 4(b):
+//! pattern frequencies over ranks — the Zipf profile, per domain and
+//! overall.
+
+use metaform_datasets::{Dataset, PatternId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Occurrence matrix entry: pattern `p` occurs in source at index `x`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Occurrence {
+    /// Source index along the survey's x-axis.
+    pub source: usize,
+    /// Pattern.
+    pub pattern: PatternId,
+}
+
+/// All (source, pattern) occurrences for a dataset (Figure 4(a)'s `+`
+/// marks).
+pub fn occurrences(ds: &Dataset) -> Vec<Occurrence> {
+    let mut out = Vec::new();
+    for (i, src) in ds.sources.iter().enumerate() {
+        let distinct: BTreeSet<PatternId> = src.patterns.iter().copied().collect();
+        out.extend(distinct.into_iter().map(|pattern| Occurrence {
+            source: i,
+            pattern,
+        }));
+    }
+    out
+}
+
+/// Cumulative distinct-vocabulary size after each source.
+pub fn growth_curve(ds: &Dataset) -> Vec<usize> {
+    let mut seen: BTreeSet<PatternId> = BTreeSet::new();
+    ds.sources
+        .iter()
+        .map(|src| {
+            seen.extend(src.patterns.iter().copied());
+            seen.len()
+        })
+        .collect()
+}
+
+/// Per-domain and total occurrence counts of each pattern, sorted by
+/// total count descending (Figure 4(b)'s ranked x-axis).
+#[derive(Clone, Debug)]
+pub struct RankedFrequencies {
+    /// Domain column labels.
+    pub domains: Vec<String>,
+    /// Rows: (pattern, per-domain counts, total), sorted by total desc.
+    pub rows: Vec<(PatternId, Vec<usize>, usize)>,
+}
+
+/// Computes ranked pattern frequencies over a dataset.
+pub fn ranked_frequencies(ds: &Dataset) -> RankedFrequencies {
+    let mut domains: Vec<String> = ds.sources.iter().map(|s| s.domain.clone()).collect();
+    domains.sort();
+    domains.dedup();
+    let dom_idx: BTreeMap<&str, usize> = domains
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.as_str(), i))
+        .collect();
+
+    let mut counts: BTreeMap<PatternId, Vec<usize>> = BTreeMap::new();
+    for src in &ds.sources {
+        let di = dom_idx[src.domain.as_str()];
+        for &p in &src.patterns {
+            counts.entry(p).or_insert_with(|| vec![0; domains.len()])[di] += 1;
+        }
+    }
+    let mut rows: Vec<(PatternId, Vec<usize>, usize)> = counts
+        .into_iter()
+        .map(|(p, per)| {
+            let total = per.iter().sum();
+            (p, per, total)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+    RankedFrequencies { domains, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaform_datasets::basic;
+
+    #[test]
+    fn growth_curve_is_monotone_and_flattens() {
+        let ds = basic();
+        let curve = growth_curve(&ds);
+        assert_eq!(curve.len(), 150);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // The curve flattens: domain-specific patterns (dates, year
+        // ranges) only appear once their domain starts (sources are
+        // ordered Books, Automobiles, Airfares as in Figure 4(a)), but
+        // by two-thirds of the x-axis the vocabulary is essentially
+        // complete.
+        let two_thirds = curve[99];
+        let last = *curve.last().expect("nonempty");
+        assert!(
+            two_thirds * 10 >= last * 8,
+            "first 100 sources should reveal ≥80% of the vocabulary: {two_thirds}/{last}"
+        );
+        assert!(last <= 25);
+        assert!(last >= 15, "a rich vocabulary emerges: {last}");
+    }
+
+    #[test]
+    fn occurrences_dedupe_within_source() {
+        let ds = basic();
+        let occ = occurrences(&ds);
+        // No duplicate (source, pattern) pairs.
+        let mut seen = BTreeSet::new();
+        for o in &occ {
+            assert!(seen.insert((o.source, o.pattern)));
+        }
+        assert!(occ.len() > 300);
+    }
+
+    #[test]
+    fn ranked_frequencies_are_sorted_and_zipfish() {
+        let rf = ranked_frequencies(&basic());
+        assert_eq!(rf.domains.len(), 3);
+        for w in rf.rows.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+        let top = rf.rows[0].2;
+        let mid = rf.rows[rf.rows.len() / 2].2;
+        assert!(top >= 3 * mid, "skewed head: top={top}, mid={mid}");
+        // Per-domain counts sum to the total.
+        for (_, per, total) in &rf.rows {
+            assert_eq!(per.iter().sum::<usize>(), *total);
+        }
+    }
+}

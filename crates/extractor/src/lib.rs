@@ -1,0 +1,31 @@
+//! # metaform-extractor
+//!
+//! The end-to-end **form extractor** (paper Figure 2): given an HTML
+//! query form, produce its query capabilities — the set of conditions
+//! `[attribute; operators; domain]` — by running the layout engine,
+//! tokenizer, best-effort parser (under the derived 2P grammar), and
+//! merger in sequence.
+//!
+//! ```
+//! use metaform_extractor::FormExtractor;
+//!
+//! let html = "<form>Author <input type=text name=q>\
+//!             <input type=submit value=Search></form>";
+//! let extraction = FormExtractor::new().extract(html);
+//! assert_eq!(extraction.report.conditions.len(), 1);
+//! assert_eq!(extraction.report.conditions[0].attribute, "Author");
+//! ```
+//!
+//! Also includes the pairwise-proximity [`baseline`] comparator used in
+//! the evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod pipeline;
+pub mod resolve;
+
+pub use baseline::extract_baseline;
+pub use pipeline::{Extraction, FormExtractor};
+pub use resolve::{attach_missing, resolve_conflicts, DomainKnowledge};

@@ -1,0 +1,248 @@
+//! The form extractor pipeline (paper Figure 2):
+//!
+//! ```text
+//! HTML query form → [layout engine] → [tokenizer] →
+//!   [best-effort parser ⟲ 2P grammar] → [merger] → query capabilities
+//! ```
+
+use metaform_core::{ExtractionReport, Token};
+use metaform_grammar::{global_grammar, Grammar};
+use metaform_html::parse as parse_html;
+use metaform_layout::{layout_with, LayoutOptions};
+use metaform_parser::{merge, parse_with, ParseStats, ParserOptions};
+use metaform_tokenizer::tokenize;
+
+/// Result of extracting one query interface.
+#[derive(Clone, Debug)]
+pub struct Extraction {
+    /// The semantic model plus conflict/missing reports.
+    pub report: ExtractionReport,
+    /// Parser counters (instances, pruning, timing).
+    pub stats: ParseStats,
+    /// The visual tokens the interface was reduced to.
+    pub tokens: Vec<Token>,
+}
+
+/// End-to-end form extractor with a configurable grammar, layout, and
+/// parser.
+#[derive(Clone, Debug)]
+pub struct FormExtractor {
+    grammar: Grammar,
+    layout: LayoutOptions,
+    parser: ParserOptions,
+}
+
+impl FormExtractor {
+    /// Extractor over the derived global grammar (the configuration
+    /// evaluated in the paper's experiments).
+    pub fn new() -> Self {
+        FormExtractor {
+            grammar: global_grammar(),
+            layout: LayoutOptions::default(),
+            parser: ParserOptions::default(),
+        }
+    }
+
+    /// Extractor over a custom grammar — the extensibility story of
+    /// §4.1: change the grammar, keep the machinery.
+    pub fn with_grammar(grammar: Grammar) -> Self {
+        FormExtractor {
+            grammar,
+            layout: LayoutOptions::default(),
+            parser: ParserOptions::default(),
+        }
+    }
+
+    /// Overrides layout options (builder style).
+    pub fn layout_options(mut self, layout: LayoutOptions) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Overrides parser options (builder style).
+    pub fn parser_options(mut self, parser: ParserOptions) -> Self {
+        self.parser = parser;
+        self
+    }
+
+    /// The grammar in use.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// Runs the full pipeline on an HTML page containing a query form.
+    pub fn extract(&self, html: &str) -> Extraction {
+        let doc = parse_html(html);
+        let lay = layout_with(&doc, &self.layout);
+        let tokenized = tokenize(&doc, &lay);
+        self.extract_tokens(&tokenized.tokens)
+    }
+
+    /// Extracts every `<form>` on the page separately, in document
+    /// order — entry pages often pair a site-wide keyword box with the
+    /// main query form.
+    pub fn extract_all(&self, html: &str) -> Vec<Extraction> {
+        let doc = parse_html(html);
+        let lay = layout_with(&doc, &self.layout);
+        metaform_tokenizer::tokenize_all_forms(&doc, &lay)
+            .into_iter()
+            .map(|t| self.extract_tokens(&t.tokens))
+            .collect()
+    }
+
+    /// Runs parsing + merging on pre-tokenized input (useful for tests
+    /// and for the paper's walk-through figures).
+    pub fn extract_tokens(&self, tokens: &[Token]) -> Extraction {
+        let result = parse_with(&self.grammar, tokens, &self.parser);
+        let report = merge(&result.chart, &result.trees);
+        Extraction {
+            report,
+            stats: result.stats,
+            tokens: tokens.to_vec(),
+        }
+    }
+}
+
+impl Default for FormExtractor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaform_core::DomainKind;
+
+    /// The paper's running example Qam (amazon.com, Figure 3(a)),
+    /// reduced to its author/title/subject rows.
+    pub const QAM: &str = r#"
+    <form action="/search">
+      <b>Author</b> <input type="text" name="query-0" size="30"><br>
+      <input type="radio" name="field-0" value="1"> first name/initials and last name
+      <input type="radio" name="field-0" value="2"> start of last name
+      <input type="radio" name="field-0" value="3" checked> exact name<br>
+      <b>Title</b> <input type="text" name="query-1" size="30"><br>
+      <input type="radio" name="field-1" value="1"> title word(s)
+      <input type="radio" name="field-1" value="2"> start(s) of title word(s)
+      <input type="radio" name="field-1" value="3"> exact start of title<br>
+      <b>Subject</b> <input type="text" name="query-2" size="30"><br>
+      <input type="submit" value="Search Now">
+    </form>"#;
+
+    #[test]
+    fn qam_extracts_three_operator_conditions() {
+        let extraction = FormExtractor::new().extract(QAM);
+        let conds = &extraction.report.conditions;
+        assert_eq!(conds.len(), 3, "{:#?}", conds);
+        assert_eq!(conds[0].attribute, "Author");
+        assert_eq!(conds[0].operators.len(), 3);
+        assert!(conds[0].operators[2].contains("exact name"));
+        assert_eq!(conds[1].attribute, "Title");
+        assert_eq!(conds[1].operators.len(), 3);
+        assert_eq!(conds[2].attribute, "Subject");
+        assert_eq!(conds[2].domain.kind, DomainKind::Text);
+        assert!(extraction.report.missing.is_empty(), "submit covered by ActionRow");
+        assert!(extraction.report.conflicts.is_empty());
+    }
+
+    #[test]
+    fn aa_style_flight_form() {
+        // Paper Figure 3(b), Qaa: round-trip radios, city pairs, dates,
+        // passenger count.
+        let html = r#"
+        <form>
+          <input type="radio" name="trip" checked> Round Trip
+          <input type="radio" name="trip"> One Way<br>
+          <table>
+            <tr><td>From</td><td><input type="text" name="orig" size="18"></td>
+                <td>To</td><td><input type="text" name="dest" size="18"></td></tr>
+          </table>
+          Departing <select name="dm"><option>January<option>February<option>March<option>April<option>May<option>June<option>July<option>August<option>September<option>October<option>November<option>December</select>
+          <select name="dd"><option>1<option>2<option>3<option>4<option>5<option>6<option>7<option>8<option>9<option>10<option>11<option>12<option>13<option>14<option>15<option>16<option>17<option>18<option>19<option>20<option>21<option>22<option>23<option>24<option>25<option>26<option>27<option>28<option>29<option>30<option>31</select><br>
+          Number of passengers <select name="pax"><option>1<option>2<option>3<option>4<option>5<option>6</select><br>
+          <input type="submit" value="GO">
+        </form>"#;
+        let extraction = FormExtractor::new().extract(html);
+        let conds = &extraction.report.conditions;
+        let attrs: Vec<&str> = conds.iter().map(|c| c.attribute.as_str()).collect();
+        assert!(attrs.contains(&"From"), "{attrs:?}");
+        assert!(attrs.contains(&"To"), "{attrs:?}");
+        assert!(attrs.contains(&"Departing"), "{attrs:?}");
+        assert!(attrs.contains(&"Number of passengers"), "{attrs:?}");
+        let trip = conds
+            .iter()
+            .find(|c| c.domain.values.contains(&"Round Trip".to_string()))
+            .expect("trip-type enumeration");
+        assert_eq!(trip.domain.values.len(), 2);
+        let dep = conds.iter().find(|c| c.attribute == "Departing").unwrap();
+        assert_eq!(dep.domain.kind, DomainKind::Date);
+        let pax = conds
+            .iter()
+            .find(|c| c.attribute == "Number of passengers")
+            .unwrap();
+        assert_eq!(pax.domain.kind, DomainKind::Numeric);
+    }
+
+    #[test]
+    fn price_range_and_checkbox_form() {
+        let html = r#"
+        <form>
+          Price range <input type="text" name="lo" size="6"> to <input type="text" name="hi" size="6"><br>
+          Format: <input type="checkbox" name="hc"> Hardcover
+                  <input type="checkbox" name="pb"> Paperback
+                  <input type="checkbox" name="ab"> Audio<br>
+          <input type="submit" value="Find">
+        </form>"#;
+        let extraction = FormExtractor::new().extract(html);
+        let conds = &extraction.report.conditions;
+        let range = conds
+            .iter()
+            .find(|c| c.attribute.contains("Price"))
+            .expect("price range extracted");
+        assert_eq!(range.domain.kind, DomainKind::Range);
+        let format = conds
+            .iter()
+            .find(|c| c.attribute.starts_with("Format"))
+            .expect("format enumeration");
+        assert_eq!(format.domain.kind, DomainKind::Enumerated);
+        assert_eq!(
+            format.domain.values,
+            vec!["Hardcover", "Paperback", "Audio"]
+        );
+    }
+
+    #[test]
+    fn custom_grammar_swaps_in() {
+        let custom = metaform_grammar::paper_example_grammar();
+        let ex = FormExtractor::with_grammar(custom)
+            .extract("<form>Author <input type=text name=q></form>");
+        assert_eq!(ex.report.conditions.len(), 1);
+        assert_eq!(ex.report.conditions[0].attribute, "Author");
+    }
+
+    #[test]
+    fn empty_form_is_fine() {
+        let ex = FormExtractor::new().extract("<form></form>");
+        assert!(ex.report.conditions.is_empty());
+        assert!(ex.tokens.is_empty());
+    }
+
+    #[test]
+    fn extract_all_handles_multi_form_pages() {
+        let html = "<form>Site search <input type=text name=q></form>\n\
+                    <form>Author <input type=text name=a></form>";
+        let all = FormExtractor::new().extract_all(html);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].report.conditions[0].attribute, "Site search");
+        assert_eq!(all[1].report.conditions[0].attribute, "Author");
+        assert!(FormExtractor::new().extract_all("no forms").is_empty());
+    }
+
+    #[test]
+    fn stats_flow_through() {
+        let ex = FormExtractor::new().extract(QAM);
+        assert!(ex.stats.created > ex.tokens.len());
+        assert!(ex.stats.invalidated > 0, "preferences fired");
+    }
+}

@@ -1,0 +1,362 @@
+//! Declarative spatial and lexical constraints for productions.
+//!
+//! "In two dimensional grammars, productions need to capture spatial
+//! relations, which essentially are constraints to be verified on the
+//! constructs" (paper §4.1). Constraints are plain data — an expression
+//! tree over component indexes — so the grammar stays declarative and
+//! the parser generic.
+
+use crate::payload::Payload;
+use metaform_core::{normalize_label, relations, BBox, Proximity, Token};
+
+/// A read-only view of a candidate component instance during constraint
+/// evaluation and construction.
+#[derive(Clone, Copy, Debug)]
+pub struct View<'a> {
+    /// The instance's bounding box.
+    pub bbox: BBox,
+    /// The instance's semantic payload.
+    pub payload: &'a Payload,
+    /// The underlying token for terminal instances.
+    pub token: Option<&'a Token>,
+}
+
+/// Lexical predicates on a single component.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pred {
+    /// Text plausibly naming an attribute: short, wordy, not a pure
+    /// connector, contains letters.
+    AttrLike,
+    /// Caption list (options) reading like operators ("exact match",
+    /// "starts with", …) — used to spot operator selection lists.
+    OpsLike,
+    /// Text is a range connector ("to", "-", "and", "through", "between").
+    RangeConnector,
+    /// Text has at most this many words.
+    MaxWords(u8),
+    /// Select options look like operator captions.
+    OptionsOpsLike,
+    /// Text is written entirely in lowercase — the convention for
+    /// inline unit/connector words ("miles", "of"), as opposed to
+    /// capitalized field labels ("To", "City").
+    LowercaseText,
+    /// The component's caption list has at least this many entries —
+    /// a *group* of radio buttons/checkboxes, as opposed to a lone
+    /// boolean checkbox.
+    MinOps(u8),
+}
+
+/// Spatial/lexical constraint tree over production components
+/// (indexes refer to positions in the production's component list).
+#[derive(Clone, Debug)]
+pub enum Constraint {
+    /// Always satisfied.
+    True,
+    /// `i` left-adjacent to `j` (paper's `Left`, adjacency implied).
+    Left(usize, usize),
+    /// `i` above-adjacent to `j`.
+    Above(usize, usize),
+    /// `i` below-adjacent to `j` (sugar for `Above(j, i)`).
+    Below(usize, usize),
+    /// `i` before `j` on a shared row, any gap up to the given pixels.
+    LeftWithin(usize, usize, i32),
+    /// `i` above `j`, any vertical gap up to the given pixels, with
+    /// horizontally overlapping extents.
+    AboveWithin(usize, usize, i32),
+    /// Boxes share a row band.
+    SameRow(usize, usize),
+    /// Boxes share a column band.
+    SameCol(usize, usize),
+    /// Bottom edges aligned.
+    AlignBottom(usize, usize),
+    /// Top edges aligned.
+    AlignTop(usize, usize),
+    /// Left edges aligned.
+    AlignLeft(usize, usize),
+    /// Closest-edge Manhattan distance at most the given pixels.
+    MaxDist(usize, usize, i32),
+    /// Lexical predicate on one component.
+    Is(usize, Pred),
+    /// All of.
+    And(Vec<Constraint>),
+    /// Any of.
+    Or(Vec<Constraint>),
+    /// Negation.
+    Not(Box<Constraint>),
+}
+
+impl Constraint {
+    /// Conjunction helper.
+    pub fn all(cs: impl IntoIterator<Item = Constraint>) -> Constraint {
+        Constraint::And(cs.into_iter().collect())
+    }
+
+    /// Evaluates against candidate component views.
+    pub fn eval(&self, views: &[View<'_>], prox: &Proximity) -> bool {
+        match self {
+            Constraint::True => true,
+            Constraint::Left(i, j) => relations::left(&views[*i].bbox, &views[*j].bbox, prox),
+            Constraint::Above(i, j) => relations::above(&views[*i].bbox, &views[*j].bbox, prox),
+            Constraint::Below(i, j) => relations::above(&views[*j].bbox, &views[*i].bbox, prox),
+            Constraint::LeftWithin(i, j, max) => {
+                let (a, b) = (&views[*i].bbox, &views[*j].bbox);
+                let gap = a.h_gap_to(b);
+                (-prox.align_tol..=*max).contains(&gap) && relations::same_row(a, b, prox)
+            }
+            Constraint::AboveWithin(i, j, max) => {
+                let (a, b) = (&views[*i].bbox, &views[*j].bbox);
+                let gap = a.v_gap_to(b);
+                (-prox.align_tol..=*max).contains(&gap) && a.h_overlap(b) > 0
+            }
+            Constraint::SameRow(i, j) => {
+                relations::same_row(&views[*i].bbox, &views[*j].bbox, prox)
+            }
+            Constraint::SameCol(i, j) => {
+                relations::same_col(&views[*i].bbox, &views[*j].bbox, prox)
+            }
+            Constraint::AlignBottom(i, j) => {
+                relations::align_bottom(&views[*i].bbox, &views[*j].bbox, prox)
+            }
+            Constraint::AlignTop(i, j) => {
+                relations::align_top(&views[*i].bbox, &views[*j].bbox, prox)
+            }
+            Constraint::AlignLeft(i, j) => {
+                relations::align_left(&views[*i].bbox, &views[*j].bbox, prox)
+            }
+            Constraint::MaxDist(i, j, max) => views[*i].bbox.distance(&views[*j].bbox) <= *max,
+            Constraint::Is(i, pred) => eval_pred(*pred, &views[*i]),
+            Constraint::And(cs) => cs.iter().all(|c| c.eval(views, prox)),
+            Constraint::Or(cs) => cs.iter().any(|c| c.eval(views, prox)),
+            Constraint::Not(c) => !c.eval(views, prox),
+        }
+    }
+}
+
+/// Operator-caption keywords seen across sources.
+const OP_WORDS: &[&str] = &[
+    "exact",
+    "start",
+    "starts",
+    "begin",
+    "begins",
+    "contain",
+    "contains",
+    "keyword",
+    "keywords",
+    "phrase",
+    "match",
+    "matches",
+    "at least",
+    "at most",
+    "less than",
+    "greater than",
+    "is exactly",
+    "all of",
+    "any of",
+    "whole word",
+    "first name",
+    "last name",
+    "initials",
+];
+
+fn looks_op_like(s: &str) -> bool {
+    let t = s.to_lowercase();
+    OP_WORDS.iter().any(|w| t.contains(w))
+}
+
+fn is_connector(s: &str) -> bool {
+    let t = s.trim().trim_end_matches(':');
+    // Case matters: an inline range connector is written lowercase
+    // ("$[ ] to $[ ]"), whereas "To" / "TO" is a field label (city
+    // pairs on airfare forms). Dashes are caseless.
+    matches!(t, "-" | "–" | "—")
+        || matches!(t, "to" | "and" | "through" | "thru" | "between" | "up to")
+}
+
+fn eval_pred(pred: Pred, view: &View<'_>) -> bool {
+    match pred {
+        Pred::AttrLike => {
+            let Some(text) = view.payload.text() else {
+                return false;
+            };
+            let norm = normalize_label(text);
+            !norm.is_empty()
+                && norm.len() <= 48
+                && norm.split_whitespace().count() <= 6
+                && norm.chars().any(|c| c.is_alphabetic())
+                && !is_connector(text)
+        }
+        Pred::OpsLike => view
+            .payload
+            .ops()
+            .is_some_and(|ops| !ops.is_empty() && ops.iter().all(|o| looks_op_like(o))),
+        Pred::RangeConnector => view.payload.text().is_some_and(is_connector),
+        Pred::MaxWords(n) => view
+            .payload
+            .text()
+            .is_some_and(|t| t.split_whitespace().count() <= n as usize),
+        Pred::OptionsOpsLike => view.token.is_some_and(|t| {
+            !t.options.is_empty() && t.options.iter().all(|o| looks_op_like(o))
+        }),
+        Pred::LowercaseText => view
+            .payload
+            .text()
+            .is_some_and(|t| !t.is_empty() && !t.chars().any(|c| c.is_uppercase())),
+        Pred::MinOps(n) => view
+            .payload
+            .ops()
+            .is_some_and(|ops| ops.len() >= n as usize),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaform_core::DomainSpec;
+
+    fn view_at<'a>(payloads: &'a [Payload], boxes: &[BBox]) -> Vec<View<'a>> {
+        payloads
+            .iter()
+            .zip(boxes)
+            .map(|(p, b)| View {
+                bbox: *b,
+                payload: p,
+                token: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spatial_constraints_delegate_to_relations() {
+        let payloads = vec![Payload::None, Payload::None];
+        let boxes = vec![BBox::new(0, 0, 40, 16), BBox::new(48, 0, 120, 16)];
+        let views = view_at(&payloads, &boxes);
+        let p = Proximity::default();
+        assert!(Constraint::Left(0, 1).eval(&views, &p));
+        assert!(!Constraint::Left(1, 0).eval(&views, &p));
+        assert!(Constraint::SameRow(0, 1).eval(&views, &p));
+        assert!(Constraint::AlignTop(0, 1).eval(&views, &p));
+        assert!(Constraint::AlignBottom(0, 1).eval(&views, &p));
+        assert!(Constraint::MaxDist(0, 1, 10).eval(&views, &p));
+        assert!(!Constraint::MaxDist(0, 1, 5).eval(&views, &p));
+    }
+
+    #[test]
+    fn loose_variants_allow_wider_gaps() {
+        let payloads = vec![Payload::None, Payload::None];
+        let boxes = vec![BBox::new(0, 0, 40, 16), BBox::new(240, 0, 300, 16)];
+        let views = view_at(&payloads, &boxes);
+        let p = Proximity::default();
+        assert!(!Constraint::Left(0, 1).eval(&views, &p), "200px gap too far");
+        assert!(Constraint::LeftWithin(0, 1, 300).eval(&views, &p));
+        assert!(!Constraint::LeftWithin(1, 0, 300).eval(&views, &p), "ordered");
+
+        let below = vec![BBox::new(0, 0, 40, 16), BBox::new(0, 80, 40, 96)];
+        let views = view_at(&payloads, &below);
+        assert!(!Constraint::Above(0, 1).eval(&views, &p));
+        assert!(Constraint::AboveWithin(0, 1, 100).eval(&views, &p));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let payloads = vec![Payload::None];
+        let boxes = vec![BBox::ZERO];
+        let views = view_at(&payloads, &boxes);
+        let p = Proximity::default();
+        assert!(Constraint::True.eval(&views, &p));
+        assert!(!Constraint::Not(Box::new(Constraint::True)).eval(&views, &p));
+        assert!(Constraint::all([Constraint::True, Constraint::True]).eval(&views, &p));
+        assert!(Constraint::Or(vec![
+            Constraint::Not(Box::new(Constraint::True)),
+            Constraint::True
+        ])
+        .eval(&views, &p));
+    }
+
+    #[test]
+    fn attr_like_predicate() {
+        let p = Proximity::default();
+        let good = [Payload::Text("Author:".into())];
+        let views = view_at(&good, &[BBox::ZERO]);
+        assert!(Constraint::Is(0, Pred::AttrLike).eval(&views, &p));
+
+        for bad in [
+            Payload::Text("".into()),
+            Payload::Text("to".into()),
+            Payload::Text("-".into()),
+            Payload::Text("1234".into()),
+            Payload::Text(
+                "a very long explanatory sentence that cannot possibly be a label".into(),
+            ),
+            Payload::None,
+        ] {
+            let arr = [bad];
+            let views = view_at(&arr, &[BBox::ZERO]);
+            assert!(
+                !Constraint::Is(0, Pred::AttrLike).eval(&views, &p),
+                "{:?}",
+                arr[0]
+            );
+        }
+    }
+
+    #[test]
+    fn ops_like_predicate() {
+        let p = Proximity::default();
+        let ops = [Payload::Ops(vec![
+            "exact name".into(),
+            "start of last name".into(),
+        ])];
+        let views = view_at(&ops, &[BBox::ZERO]);
+        assert!(Constraint::Is(0, Pred::OpsLike).eval(&views, &p));
+
+        let not_ops = [Payload::Ops(vec!["Round trip".into(), "One way".into()])];
+        let views = view_at(&not_ops, &[BBox::ZERO]);
+        assert!(!Constraint::Is(0, Pred::OpsLike).eval(&views, &p));
+    }
+
+    #[test]
+    fn connector_predicate() {
+        let p = Proximity::default();
+        for (text, expect) in [
+            ("to", true),
+            ("-", true),
+            ("and", true),
+            ("miles", false),
+            ("To", false),   // capitalized: a label, not a connector
+            ("to:", true),
+        ] {
+            let arr = [Payload::Text(text.into())];
+            let views = view_at(&arr, &[BBox::ZERO]);
+            assert_eq!(
+                Constraint::Is(0, Pred::RangeConnector).eval(&views, &p),
+                expect,
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn options_ops_like_reads_token() {
+        let p = Proximity::default();
+        let tok = Token::widget(0, metaform_core::TokenKind::SelectionList, "op", BBox::ZERO)
+            .with_options(vec!["contains".into(), "exact phrase".into()]);
+        let payload = Payload::Val(DomainSpec::text());
+        let views = [View {
+            bbox: BBox::ZERO,
+            payload: &payload,
+            token: Some(&tok),
+        }];
+        assert!(Constraint::Is(0, Pred::OptionsOpsLike).eval(&views, &p));
+        assert!(!Constraint::Is(0, Pred::OpsLike).eval(&views, &p), "payload has no ops");
+    }
+
+    #[test]
+    fn max_words() {
+        let p = Proximity::default();
+        let arr = [Payload::Text("within miles of".into())];
+        let views = view_at(&arr, &[BBox::ZERO]);
+        assert!(Constraint::Is(0, Pred::MaxWords(3)).eval(&views, &p));
+        assert!(!Constraint::Is(0, Pred::MaxWords(2)).eval(&views, &p));
+    }
+}

@@ -1,0 +1,362 @@
+//! Production constructors: how a head instance's semantic payload is
+//! assembled from its components.
+//!
+//! "Each production has a constructor, which defines how to instantiate
+//! an instance of the head symbol from the components" (paper §4.1).
+//! The bounding box of the new instance is always the union of the
+//! components' boxes; the constructor decides the *semantic* payload.
+
+use crate::constraint::View;
+use crate::payload::Payload;
+use metaform_core::{normalize_label, Condition, DomainKind, DomainSpec};
+
+/// Declarative constructor actions (indexes refer to components).
+#[derive(Clone, Debug)]
+pub enum Constructor {
+    /// Structural grouping: no payload.
+    Group,
+    /// Copy component `i`'s payload.
+    Inherit(usize),
+    /// Component `i` is text: payload becomes `Attr`.
+    MakeAttr(usize),
+    /// Component `i` carries a caption: payload becomes `Text`.
+    TextOf(usize),
+    /// Start an operator/caption list from component `i`'s caption.
+    ListStart(usize),
+    /// Extend the caption list of `list` with `unit`'s caption.
+    ListAppend {
+        /// Index of the existing list component.
+        list: usize,
+        /// Index of the unit whose caption to append.
+        unit: usize,
+    },
+    /// Operator list from a select component's options.
+    OpsFromOptions(usize),
+    /// Assemble a condition: optional attribute, optional operator
+    /// list, a `Val` component, optional domain-kind override.
+    MakeCond {
+        /// Attribute component index (payload `Attr`/`Text`), if any.
+        attr: Option<usize>,
+        /// Operator-list component index (payload `Ops`), if any.
+        ops: Option<usize>,
+        /// Value component index (payload `Val`).
+        val: usize,
+        /// Forces a different domain kind (e.g. `Numeric`).
+        kind: Option<DomainKind>,
+    },
+    /// Condition whose enumerated domain comes from a caption list
+    /// (radio/checkbox groups).
+    MakeEnumCond {
+        /// Attribute component index, if labeled.
+        attr: Option<usize>,
+        /// Caption-list component index (payload `Ops`).
+        list: usize,
+    },
+    /// Boolean condition from a single checkbox unit's caption.
+    MakeBoolCond(usize),
+    /// Range condition from an attribute and two value components.
+    MakeRange {
+        /// Attribute component index.
+        attr: usize,
+        /// Low endpoint component index.
+        lo: usize,
+        /// High endpoint component index.
+        hi: usize,
+    },
+    /// Date condition from an attribute and date-part components.
+    MakeDate(usize),
+    /// Condition for an unlabeled widget: attribute from the widget's
+    /// control name or placeholder option.
+    MakeUnlabeledCond(usize),
+    /// Union all conditions found in the components.
+    CollectConds,
+}
+
+impl Constructor {
+    /// Builds the head payload from component views. Conditions are
+    /// created with empty token lists; the parser fills them from the
+    /// new instance's span.
+    pub fn eval(&self, views: &[View<'_>]) -> Payload {
+        match self {
+            Constructor::Group => Payload::None,
+            Constructor::Inherit(i) => views[*i].payload.clone(),
+            Constructor::MakeAttr(i) => {
+                Payload::Attr(views[*i].payload.text().unwrap_or("").trim().to_string())
+            }
+            Constructor::TextOf(i) => {
+                Payload::Text(views[*i].payload.text().unwrap_or("").trim().to_string())
+            }
+            Constructor::ListStart(i) => {
+                Payload::Ops(vec![views[*i].payload.text().unwrap_or("").to_string()])
+            }
+            Constructor::ListAppend { list, unit } => {
+                let mut ops = views[*list].payload.ops().unwrap_or(&[]).to_vec();
+                ops.push(views[*unit].payload.text().unwrap_or("").to_string());
+                Payload::Ops(ops)
+            }
+            Constructor::OpsFromOptions(i) => Payload::Ops(
+                views[*i]
+                    .token
+                    .map(|t| t.options.clone())
+                    .unwrap_or_default(),
+            ),
+            Constructor::MakeCond {
+                attr,
+                ops,
+                val,
+                kind,
+            } => {
+                let attribute = attr
+                    .and_then(|i| views[i].payload.text())
+                    .unwrap_or("")
+                    .to_string();
+                let operators = ops
+                    .and_then(|i| views[i].payload.ops())
+                    .unwrap_or(&[])
+                    .to_vec();
+                let mut domain = views[*val]
+                    .payload
+                    .val()
+                    .cloned()
+                    .unwrap_or_else(DomainSpec::text);
+                if let Some(k) = kind {
+                    domain.kind = *k;
+                }
+                Payload::Cond(Condition::new(attribute, operators, domain, vec![]))
+            }
+            Constructor::MakeEnumCond { attr, list } => {
+                let attribute = attr
+                    .and_then(|i| views[i].payload.text())
+                    .unwrap_or("")
+                    .to_string();
+                let values = views[*list].payload.ops().unwrap_or(&[]).to_vec();
+                Payload::Cond(Condition::new(
+                    attribute,
+                    vec![],
+                    DomainSpec::enumerated(values),
+                    vec![],
+                ))
+            }
+            Constructor::MakeBoolCond(i) => {
+                let caption = views[*i].payload.text().unwrap_or("").to_string();
+                Payload::Cond(Condition::new(
+                    caption,
+                    vec![],
+                    DomainSpec::of(DomainKind::Boolean),
+                    vec![],
+                ))
+            }
+            Constructor::MakeRange { attr, lo, hi } => {
+                let attribute = views[*attr].payload.text().unwrap_or("").to_string();
+                let mut values = Vec::new();
+                for &i in &[*lo, *hi] {
+                    if let Some(v) = views[i].payload.val() {
+                        values.extend(v.values.iter().cloned());
+                    }
+                }
+                Payload::Cond(Condition::new(
+                    attribute,
+                    vec![],
+                    DomainSpec {
+                        kind: DomainKind::Range,
+                        values,
+                    },
+                    vec![],
+                ))
+            }
+            Constructor::MakeDate(attr) => {
+                let attribute = views[*attr].payload.text().unwrap_or("").to_string();
+                Payload::Cond(Condition::new(
+                    attribute,
+                    vec![],
+                    DomainSpec::of(DomainKind::Date),
+                    vec![],
+                ))
+            }
+            Constructor::MakeUnlabeledCond(i) => {
+                let view = &views[*i];
+                let domain = view.payload.val().cloned().unwrap_or_else(DomainSpec::text);
+                let attribute = view
+                    .token
+                    .map(|t| unlabeled_attribute(&t.name, &t.options))
+                    .unwrap_or_default();
+                Payload::Cond(Condition::new(attribute, vec![], domain, vec![]))
+            }
+            Constructor::CollectConds => {
+                let mut conds = Vec::new();
+                for v in views {
+                    conds.extend_from_slice(v.payload.conditions());
+                }
+                Payload::Conds(conds)
+            }
+        }
+    }
+}
+
+/// Derives an attribute label for an unlabeled widget from its control
+/// name (`dept`, `pub_year`) or a placeholder option ("Select a State").
+fn unlabeled_attribute(name: &str, options: &[String]) -> String {
+    if let Some(first) = options.first() {
+        let norm = normalize_label(first);
+        for prefix in ["select a ", "select ", "choose a ", "choose ", "pick a "] {
+            if let Some(rest) = norm.strip_prefix(prefix) {
+                if !rest.is_empty() {
+                    return rest.to_string();
+                }
+            }
+        }
+    }
+    name.replace(['_', '-', '.'], " ").trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaform_core::{BBox, Token, TokenKind};
+
+    fn v(p: &Payload) -> View<'_> {
+        View {
+            bbox: BBox::ZERO,
+            payload: p,
+            token: None,
+        }
+    }
+
+    #[test]
+    fn attr_and_text_constructors_trim() {
+        let p = Payload::Text("  Author:  ".into());
+        assert_eq!(
+            Constructor::MakeAttr(0).eval(&[v(&p)]),
+            Payload::Attr("Author:".into())
+        );
+        assert_eq!(
+            Constructor::TextOf(0).eval(&[v(&p)]),
+            Payload::Text("Author:".into())
+        );
+    }
+
+    #[test]
+    fn list_building() {
+        let first = Payload::Text("exact name".into());
+        let started = Constructor::ListStart(0).eval(&[v(&first)]);
+        assert_eq!(started.ops().unwrap(), ["exact name"]);
+
+        let second = Payload::Text("start of name".into());
+        let extended =
+            Constructor::ListAppend { list: 0, unit: 1 }.eval(&[v(&started), v(&second)]);
+        assert_eq!(extended.ops().unwrap(), ["exact name", "start of name"]);
+    }
+
+    #[test]
+    fn make_cond_assembles_tuple() {
+        let attr = Payload::Attr("Author".into());
+        let ops = Payload::Ops(vec!["exact name".into()]);
+        let val = Payload::Val(DomainSpec::text());
+        let out = Constructor::MakeCond {
+            attr: Some(0),
+            ops: Some(1),
+            val: 2,
+            kind: None,
+        }
+        .eval(&[v(&attr), v(&ops), v(&val)]);
+        let c = &out.conditions()[0];
+        assert_eq!(c.attribute, "Author");
+        assert_eq!(c.operators, vec!["exact name"]);
+        assert_eq!(c.domain.kind, DomainKind::Text);
+    }
+
+    #[test]
+    fn make_cond_kind_override_and_defaults() {
+        let val = Payload::Val(DomainSpec::enumerated(vec!["1".into(), "2".into()]));
+        let out = Constructor::MakeCond {
+            attr: None,
+            ops: None,
+            val: 0,
+            kind: Some(DomainKind::Numeric),
+        }
+        .eval(&[v(&val)]);
+        let c = &out.conditions()[0];
+        assert_eq!(c.attribute, "");
+        assert_eq!(c.domain.kind, DomainKind::Numeric);
+        assert_eq!(c.domain.values, vec!["1", "2"]);
+    }
+
+    #[test]
+    fn enum_and_bool_conditions() {
+        let attr = Payload::Attr("Format".into());
+        let list = Payload::Ops(vec!["Hardcover".into(), "Paperback".into()]);
+        let out = Constructor::MakeEnumCond {
+            attr: Some(0),
+            list: 1,
+        }
+        .eval(&[v(&attr), v(&list)]);
+        let c = &out.conditions()[0];
+        assert_eq!(c.domain.kind, DomainKind::Enumerated);
+        assert_eq!(c.domain.values, vec!["Hardcover", "Paperback"]);
+
+        let caption = Payload::Text("Hardcover only".into());
+        let b = Constructor::MakeBoolCond(0).eval(&[v(&caption)]);
+        assert_eq!(b.conditions()[0].domain.kind, DomainKind::Boolean);
+        assert_eq!(b.conditions()[0].attribute, "Hardcover only");
+    }
+
+    #[test]
+    fn range_unions_endpoint_values() {
+        let attr = Payload::Attr("Price".into());
+        let lo = Payload::Val(DomainSpec::enumerated(vec!["5".into()]));
+        let hi = Payload::Val(DomainSpec::enumerated(vec!["50".into()]));
+        let out = Constructor::MakeRange {
+            attr: 0,
+            lo: 1,
+            hi: 2,
+        }
+        .eval(&[v(&attr), v(&lo), v(&hi)]);
+        let c = &out.conditions()[0];
+        assert_eq!(c.domain.kind, DomainKind::Range);
+        assert_eq!(c.domain.values, vec!["5", "50"]);
+    }
+
+    #[test]
+    fn unlabeled_widget_attribute_sources() {
+        let tok = Token::widget(0, TokenKind::SelectionList, "pub_year", BBox::ZERO)
+            .with_options(vec!["Select a State".into(), "IL".into()]);
+        let p = Payload::Val(DomainSpec::enumerated(tok.options.clone()));
+        let view = View {
+            bbox: BBox::ZERO,
+            payload: &p,
+            token: Some(&tok),
+        };
+        let out = Constructor::MakeUnlabeledCond(0).eval(&[view]);
+        assert_eq!(out.conditions()[0].attribute, "state", "placeholder wins");
+
+        let tok2 = Token::widget(0, TokenKind::Textbox, "pub_year", BBox::ZERO);
+        let p2 = Payload::Val(DomainSpec::text());
+        let view2 = View {
+            bbox: BBox::ZERO,
+            payload: &p2,
+            token: Some(&tok2),
+        };
+        let out2 = Constructor::MakeUnlabeledCond(0).eval(&[view2]);
+        assert_eq!(out2.conditions()[0].attribute, "pub year");
+    }
+
+    #[test]
+    fn collect_conditions_flattens() {
+        let c1 = Payload::Cond(Condition::new("a", vec![], DomainSpec::text(), vec![]));
+        let c2 = Payload::Conds(vec![
+            Condition::new("b", vec![], DomainSpec::text(), vec![]),
+            Condition::new("c", vec![], DomainSpec::text(), vec![]),
+        ]);
+        let none = Payload::None;
+        let out = Constructor::CollectConds.eval(&[v(&c1), v(&c2), v(&none)]);
+        let attrs: Vec<&str> = out.conditions().iter().map(|c| c.attribute.as_str()).collect();
+        assert_eq!(attrs, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn group_and_inherit() {
+        let p = Payload::Ops(vec!["x".into()]);
+        assert_eq!(Constructor::Group.eval(&[v(&p)]), Payload::None);
+        assert_eq!(Constructor::Inherit(0).eval(&[v(&p)]), p);
+    }
+}

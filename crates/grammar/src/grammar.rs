@@ -1,0 +1,331 @@
+//! The 2P grammar: ⟨Σ, N, s, Pd, Pf⟩ (paper Definition 1) plus a
+//! builder.
+
+use crate::constraint::Constraint;
+use crate::constructor::Constructor;
+use crate::preference::{ConflictCond, Preference, PrefId, WinCriteria};
+use crate::production::{ProdId, Production};
+use crate::symbol::{SymbolId, SymbolTable};
+use metaform_core::{Proximity, TokenKind};
+use std::fmt;
+
+/// Errors raised while assembling or validating a grammar.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GrammarError {
+    /// A production references a head that is a terminal.
+    TerminalHead(String),
+    /// A production has no components.
+    EmptyProduction(String),
+    /// The d-edges (head → component) contain a cycle through distinct
+    /// nonterminals, so symbol-by-symbol instantiation cannot be
+    /// scheduled (self-recursion is allowed and handled by the
+    /// per-symbol fix-point).
+    CyclicProductions(String),
+    /// The start symbol has no productions.
+    UselessStart(String),
+}
+
+impl fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrammarError::TerminalHead(n) => write!(f, "terminal symbol {n} used as head"),
+            GrammarError::EmptyProduction(n) => write!(f, "production {n} has no components"),
+            GrammarError::CyclicProductions(n) => {
+                write!(f, "cyclic mutual recursion through symbol {n}")
+            }
+            GrammarError::UselessStart(n) => write!(f, "start symbol {n} has no productions"),
+        }
+    }
+}
+
+impl std::error::Error for GrammarError {}
+
+/// A complete 2P grammar.
+#[derive(Clone, Debug)]
+pub struct Grammar {
+    /// Σ ∪ N.
+    pub symbols: SymbolTable,
+    /// s — the start symbol.
+    pub start: SymbolId,
+    /// Pd — production rules.
+    pub productions: Vec<Production>,
+    /// Pf — preference rules.
+    pub preferences: Vec<Preference>,
+    /// Adjacency thresholds the constraints evaluate under.
+    pub proximity: Proximity,
+    /// Per-symbol production index (ids of productions with that head).
+    heads: Vec<Vec<ProdId>>,
+}
+
+impl Grammar {
+    /// Productions whose head is `symbol`.
+    pub fn productions_of(&self, symbol: SymbolId) -> &[ProdId] {
+        self.heads
+            .get(symbol.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Borrow a production.
+    pub fn production(&self, id: ProdId) -> &Production {
+        &self.productions[id.index()]
+    }
+
+    /// Borrow a preference.
+    pub fn preference(&self, id: PrefId) -> &Preference {
+        &self.preferences[id.index()]
+    }
+
+    /// All preference ids.
+    pub fn preference_ids(&self) -> impl Iterator<Item = PrefId> {
+        (0..self.preferences.len() as u32).map(PrefId)
+    }
+
+    /// Summary line for reports: counts of terminals, nonterminals,
+    /// productions, preferences.
+    pub fn stats(&self) -> String {
+        format!(
+            "{} terminals, {} nonterminals, {} productions, {} preferences",
+            self.symbols.len() - self.symbols.nonterminal_count(),
+            self.symbols.nonterminal_count(),
+            self.productions.len(),
+            self.preferences.len()
+        )
+    }
+}
+
+/// Incremental grammar builder.
+///
+/// ```
+/// use metaform_core::TokenKind;
+/// use metaform_grammar::{Constraint, Constructor, GrammarBuilder, Pred};
+///
+/// let mut b = GrammarBuilder::new("QI");
+/// let text = b.t(TokenKind::Text);
+/// let attr = b.nt("Attr");
+/// let qi = b.nt("QI");
+/// b.production("Attr", attr, vec![text],
+///              Constraint::Is(0, Pred::AttrLike), Constructor::MakeAttr(0));
+/// b.production("QI", qi, vec![attr], Constraint::True, Constructor::Group);
+/// let grammar = b.build().unwrap();
+/// assert_eq!(grammar.symbols.nonterminal_count(), 2);
+/// assert_eq!(grammar.productions_of(qi).len(), 1);
+/// ```
+pub struct GrammarBuilder {
+    symbols: SymbolTable,
+    start_name: String,
+    productions: Vec<Production>,
+    preferences: Vec<Preference>,
+    proximity: Proximity,
+}
+
+impl GrammarBuilder {
+    /// Creates a builder whose start symbol is `start`.
+    pub fn new(start: &str) -> Self {
+        let mut symbols = SymbolTable::new();
+        symbols.intern(start);
+        GrammarBuilder {
+            symbols,
+            start_name: start.to_string(),
+            productions: Vec::new(),
+            preferences: Vec::new(),
+            proximity: Proximity::default(),
+        }
+    }
+
+    /// Overrides adjacency thresholds.
+    pub fn proximity(&mut self, p: Proximity) -> &mut Self {
+        self.proximity = p;
+        self
+    }
+
+    /// Terminal symbol for a token kind.
+    pub fn t(&self, kind: TokenKind) -> SymbolId {
+        self.symbols.terminal(kind)
+    }
+
+    /// Interns (or finds) a nonterminal.
+    pub fn nt(&mut self, name: &str) -> SymbolId {
+        self.symbols.intern(name)
+    }
+
+    /// Adds a production.
+    pub fn production(
+        &mut self,
+        name: &str,
+        head: SymbolId,
+        components: Vec<SymbolId>,
+        constraint: Constraint,
+        constructor: Constructor,
+    ) -> &mut Self {
+        self.productions.push(Production {
+            name: name.to_string(),
+            head,
+            components,
+            constraint,
+            constructor,
+        });
+        self
+    }
+
+    /// Adds a preference.
+    pub fn preference(
+        &mut self,
+        name: &str,
+        winner: SymbolId,
+        loser: SymbolId,
+        condition: ConflictCond,
+        criteria: WinCriteria,
+    ) -> &mut Self {
+        self.preferences.push(Preference {
+            name: name.to_string(),
+            winner,
+            loser,
+            condition,
+            criteria,
+        });
+        self
+    }
+
+    /// Validates and finishes the grammar.
+    pub fn build(self) -> Result<Grammar, GrammarError> {
+        let start = self
+            .symbols
+            .lookup(&self.start_name)
+            .expect("start symbol interned in new()");
+        let mut heads: Vec<Vec<ProdId>> = vec![Vec::new(); self.symbols.len()];
+        for (i, p) in self.productions.iter().enumerate() {
+            if self.symbols.is_terminal(p.head) {
+                return Err(GrammarError::TerminalHead(p.name.clone()));
+            }
+            if p.components.is_empty() {
+                return Err(GrammarError::EmptyProduction(p.name.clone()));
+            }
+            heads[p.head.index()].push(ProdId(i as u32));
+        }
+        if heads[start.index()].is_empty() {
+            return Err(GrammarError::UselessStart(self.start_name.clone()));
+        }
+        let g = Grammar {
+            symbols: self.symbols,
+            start,
+            productions: self.productions,
+            preferences: self.preferences,
+            proximity: self.proximity,
+            heads,
+        };
+        // d-edge acyclicity (ignoring self-loops) is checked here so a
+        // bad grammar fails at build time, not at first parse.
+        crate::schedule::check_d_acyclic(&g)?;
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_minimal_grammar() {
+        let mut b = GrammarBuilder::new("QI");
+        let text = b.t(TokenKind::Text);
+        let qi = b.nt("QI");
+        b.production("only", qi, vec![text], Constraint::True, Constructor::Group);
+        let g = b.build().expect("valid grammar");
+        assert_eq!(g.productions_of(qi).len(), 1);
+        assert_eq!(g.symbols.nonterminal_count(), 1);
+        assert!(g.stats().contains("1 productions"));
+    }
+
+    #[test]
+    fn terminal_head_rejected() {
+        let mut b = GrammarBuilder::new("QI");
+        let text = b.t(TokenKind::Text);
+        let qi = b.nt("QI");
+        b.production("ok", qi, vec![text], Constraint::True, Constructor::Group);
+        b.production(
+            "bad",
+            text,
+            vec![text],
+            Constraint::True,
+            Constructor::Group,
+        );
+        assert!(matches!(b.build(), Err(GrammarError::TerminalHead(_))));
+    }
+
+    #[test]
+    fn empty_production_rejected() {
+        let mut b = GrammarBuilder::new("QI");
+        let qi = b.nt("QI");
+        b.production("bad", qi, vec![], Constraint::True, Constructor::Group);
+        assert!(matches!(b.build(), Err(GrammarError::EmptyProduction(_))));
+    }
+
+    #[test]
+    fn useless_start_rejected() {
+        let mut b = GrammarBuilder::new("QI");
+        let text = b.t(TokenKind::Text);
+        let other = b.nt("Other");
+        b.production(
+            "other",
+            other,
+            vec![text],
+            Constraint::True,
+            Constructor::Group,
+        );
+        assert!(matches!(b.build(), Err(GrammarError::UselessStart(_))));
+    }
+
+    #[test]
+    fn mutual_recursion_rejected_self_recursion_allowed() {
+        // Self-recursive list rule: fine.
+        let mut b = GrammarBuilder::new("QI");
+        let text = b.t(TokenKind::Text);
+        let qi = b.nt("QI");
+        b.production("base", qi, vec![text], Constraint::True, Constructor::Group);
+        b.production(
+            "rec",
+            qi,
+            vec![qi, text],
+            Constraint::True,
+            Constructor::Group,
+        );
+        assert!(b.build().is_ok());
+
+        // Mutual recursion A → B → A: unschedulable.
+        let mut b = GrammarBuilder::new("A");
+        let text = b.t(TokenKind::Text);
+        let a = b.nt("A");
+        let bb = b.nt("B");
+        b.production("a", a, vec![bb], Constraint::True, Constructor::Group);
+        b.production("b", bb, vec![a], Constraint::True, Constructor::Group);
+        b.production("a2", a, vec![text], Constraint::True, Constructor::Group);
+        assert!(matches!(b.build(), Err(GrammarError::CyclicProductions(_))));
+    }
+
+    #[test]
+    fn preferences_recorded() {
+        let mut b = GrammarBuilder::new("QI");
+        let text = b.t(TokenKind::Text);
+        let qi = b.nt("QI");
+        let attr = b.nt("Attr");
+        b.production("q", qi, vec![text], Constraint::True, Constructor::Group);
+        b.production(
+            "a",
+            attr,
+            vec![text],
+            Constraint::True,
+            Constructor::MakeAttr(0),
+        );
+        b.preference(
+            "R1",
+            qi,
+            attr,
+            ConflictCond::Overlap,
+            WinCriteria::Always,
+        );
+        let g = b.build().unwrap();
+        assert_eq!(g.preferences.len(), 1);
+        assert_eq!(g.preference(PrefId(0)).name, "R1");
+    }
+}

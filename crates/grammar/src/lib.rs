@@ -1,0 +1,44 @@
+//! # metaform-grammar
+//!
+//! The **2P grammar** mechanism (paper §4): a grammar is a 5-tuple
+//! ⟨Σ, N, s, Pd, Pf⟩ where productions *Pd* declaratively capture
+//! condition patterns via spatial constraints, and preferences *Pf*
+//! capture their precedence for ambiguity resolution. This crate
+//! provides:
+//!
+//! - the declarative machinery ([`Constraint`], [`Constructor`],
+//!   [`Production`], [`Preference`], [`GrammarBuilder`]);
+//! - the **2P schedule graph** ([`schedule::build_schedule`]): d-edges
+//!   (children before parents) merged with r-edges (winners before
+//!   losers), with the r-edge *transformation* of paper Figure 13 and
+//!   greedy cycle avoidance;
+//! - the **derived global grammar** ([`global::global_grammar`])
+//!   reproducing the paper's 21-pattern catalog, and the Figure 6
+//!   example grammar *G*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraint;
+pub mod constructor;
+pub mod describe;
+pub mod dsl;
+pub mod global;
+pub mod grammar;
+pub mod payload;
+pub mod preference;
+pub mod production;
+pub mod schedule;
+pub mod symbol;
+
+pub use constraint::{Constraint, Pred, View};
+pub use constructor::Constructor;
+pub use describe::{constraint_to_string, schedule_to_dot};
+pub use dsl::{from_dsl, to_dsl, DslError};
+pub use global::{global_grammar, paper_example_grammar};
+pub use grammar::{Grammar, GrammarBuilder, GrammarError};
+pub use payload::Payload;
+pub use preference::{ConflictCond, Preference, PrefId, WinCriteria};
+pub use production::{ProdId, Production};
+pub use schedule::{build_schedule, Schedule};
+pub use symbol::{SymbolId, SymbolKind, SymbolTable};

@@ -1,0 +1,132 @@
+//! Semantic payloads of parse-tree instances.
+//!
+//! Each instance carries, besides its bounding box and token span, the
+//! semantic content the constructors have assembled so far — a caption,
+//! an attribute, an operator list, a value domain, or finished
+//! conditions. This is how "tagging" (paper §1) falls out of parsing:
+//! the payload records the semantic role of the construct.
+
+use metaform_core::{Condition, DomainSpec, Token, TokenKind};
+
+/// Semantic content of an instance.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum Payload {
+    /// No semantic content (buttons, structural groups).
+    #[default]
+    None,
+    /// Raw caption text (text tokens, radio/checkbox units).
+    Text(String),
+    /// An attribute label.
+    Attr(String),
+    /// An operator caption list (radio lists, operator selects).
+    Ops(Vec<String>),
+    /// A value domain.
+    Val(DomainSpec),
+    /// One assembled query condition.
+    Cond(Condition),
+    /// Several conditions (rows, whole interfaces).
+    Conds(Vec<Condition>),
+}
+
+impl Payload {
+    /// The initial payload of a terminal instance for `token`.
+    pub fn for_token(token: &Token) -> Payload {
+        match token.kind {
+            TokenKind::Text => Payload::Text(token.sval.trim().to_string()),
+            TokenKind::Textbox | TokenKind::Password | TokenKind::TextArea => {
+                Payload::Val(DomainSpec::text())
+            }
+            TokenKind::SelectionList => {
+                Payload::Val(DomainSpec::enumerated(token.options.clone()))
+            }
+            TokenKind::NumberList => Payload::Val(DomainSpec {
+                kind: metaform_core::DomainKind::Numeric,
+                values: token.options.clone(),
+            }),
+            TokenKind::MonthList | TokenKind::DayList | TokenKind::YearList => {
+                Payload::Val(DomainSpec {
+                    kind: metaform_core::DomainKind::Date,
+                    values: token.options.clone(),
+                })
+            }
+            _ => Payload::None,
+        }
+    }
+
+    /// Caption text carried by `Text`/`Attr` payloads.
+    pub fn text(&self) -> Option<&str> {
+        match self {
+            Payload::Text(s) | Payload::Attr(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Operator list carried by `Ops`.
+    pub fn ops(&self) -> Option<&[String]> {
+        match self {
+            Payload::Ops(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Domain carried by `Val`.
+    pub fn val(&self) -> Option<&DomainSpec> {
+        match self {
+            Payload::Val(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// All conditions carried (one for `Cond`, many for `Conds`).
+    pub fn conditions(&self) -> &[Condition] {
+        match self {
+            Payload::Cond(c) => std::slice::from_ref(c),
+            Payload::Conds(v) => v,
+            _ => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaform_core::{BBox, DomainKind};
+
+    #[test]
+    fn terminal_payloads() {
+        let text = Token::text(0, " Author ", BBox::ZERO);
+        assert_eq!(Payload::for_token(&text), Payload::Text("Author".into()));
+
+        let tb = Token::widget(1, TokenKind::Textbox, "q", BBox::ZERO);
+        assert_eq!(Payload::for_token(&tb).val().unwrap().kind, DomainKind::Text);
+
+        let sel = Token::widget(2, TokenKind::SelectionList, "c", BBox::ZERO)
+            .with_options(vec!["Coach".into(), "First".into()]);
+        let val = Payload::for_token(&sel).val().unwrap().clone();
+        assert_eq!(val.kind, DomainKind::Enumerated);
+        assert_eq!(val.values, vec!["Coach", "First"]);
+
+        let num = Token::widget(3, TokenKind::NumberList, "n", BBox::ZERO)
+            .with_options(vec!["1".into(), "2".into()]);
+        assert_eq!(Payload::for_token(&num).val().unwrap().kind, DomainKind::Numeric);
+
+        let month = Token::widget(4, TokenKind::MonthList, "m", BBox::ZERO);
+        assert_eq!(Payload::for_token(&month).val().unwrap().kind, DomainKind::Date);
+
+        let radio = Token::widget(5, TokenKind::Radiobutton, "r", BBox::ZERO);
+        assert_eq!(Payload::for_token(&radio), Payload::None);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Payload::Text("x".into()).text(), Some("x"));
+        assert_eq!(Payload::Attr("y".into()).text(), Some("y"));
+        assert_eq!(Payload::None.text(), None);
+        let ops = Payload::Ops(vec!["exact".into()]);
+        assert_eq!(ops.ops().unwrap().len(), 1);
+        assert!(Payload::None.conditions().is_empty());
+        let c = Condition::new("a", vec![], DomainSpec::text(), vec![]);
+        assert_eq!(Payload::Cond(c.clone()).conditions(), std::slice::from_ref(&c));
+        assert_eq!(Payload::Conds(vec![c.clone(), c.clone()]).conditions().len(), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Preferences: ⟨Conflicting instances, Conflicting condition, Winning
+//! criteria⟩ (paper Definition 3).
+//!
+//! A preference resolves a particular ambiguity between two types of
+//! conflicting instances by giving priority to one over the other. The
+//! *conflicting condition* describes when two instances are actually in
+//! conflict; the *winning criteria* decides the winner (always `v1`,
+//! the instance of [`Preference::winner`]).
+
+use crate::symbol::SymbolId;
+use std::fmt;
+
+/// Identifier of a preference within a grammar.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PrefId(pub u32);
+
+impl PrefId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PrefId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// When do a winner-typed instance `v1` and a loser-typed instance `v2`
+/// conflict? (Both conditions additionally require the instances to be
+/// distinct, valid, and not structurally nested in one another — nested
+/// instances are one interpretation, not competing ones.)
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConflictCond {
+    /// The token spans intersect.
+    Overlap,
+    /// `v2`'s span is a subset of `v1`'s span.
+    LoserSubsumed,
+}
+
+/// How to pick `v1` as the winner once a conflict is established.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WinCriteria {
+    /// Unconditional: `v1`'s type always beats `v2`'s (paper's R1).
+    Always,
+    /// `v1` covers strictly more tokens (paper's R2: "pick the longer
+    /// one as the winner").
+    WinnerLarger,
+    /// `v1`'s components sit closer together than `v2`'s
+    /// (inter-component distance, paper Figure 13 discussion).
+    WinnerTighter,
+}
+
+/// One preference rule.
+#[derive(Clone, Debug)]
+pub struct Preference {
+    /// Name for listings (e.g. `R1:RBU>Attr`).
+    pub name: String,
+    /// Symbol of `v1`, the instance type given priority.
+    pub winner: SymbolId,
+    /// Symbol of `v2`, the instance type that loses.
+    pub loser: SymbolId,
+    /// Conflict test.
+    pub condition: ConflictCond,
+    /// Winner test.
+    pub criteria: WinCriteria,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    #[test]
+    fn preference_shape() {
+        let mut syms = SymbolTable::new();
+        let rbu = syms.intern("RBU");
+        let attr = syms.intern("Attr");
+        let r1 = Preference {
+            name: "R1".into(),
+            winner: rbu,
+            loser: attr,
+            condition: ConflictCond::Overlap,
+            criteria: WinCriteria::Always,
+        };
+        assert_eq!(r1.winner, rbu);
+        assert_ne!(r1.winner, r1.loser);
+        assert_eq!(format!("{:?}", PrefId(1)), "R1");
+    }
+
+    #[test]
+    fn same_symbol_preference_is_expressible() {
+        // Paper's R2: two RBList instances, longer wins.
+        let mut syms = SymbolTable::new();
+        let rblist = syms.intern("RBList");
+        let r2 = Preference {
+            name: "R2".into(),
+            winner: rblist,
+            loser: rblist,
+            condition: ConflictCond::LoserSubsumed,
+            criteria: WinCriteria::WinnerLarger,
+        };
+        assert_eq!(r2.winner, r2.loser);
+    }
+}

@@ -1,0 +1,74 @@
+//! Productions: ⟨Head, Components, Constraint, Constructor⟩ (paper
+//! Definition 2).
+
+use crate::constraint::Constraint;
+use crate::constructor::Constructor;
+use crate::symbol::SymbolId;
+use std::fmt;
+
+/// Identifier of a production within a grammar.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProdId(pub u32);
+
+impl ProdId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProdId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// One production rule.
+///
+/// Components are an ordered list (the paper's multiset plus an
+/// ordering so constraints can reference positions); the parser
+/// enumerates ordered, token-disjoint combinations of instances.
+#[derive(Clone, Debug)]
+pub struct Production {
+    /// Human-readable name for listings and debugging (e.g. `TextOp`).
+    pub name: String,
+    /// Head nonterminal.
+    pub head: SymbolId,
+    /// Component symbols in constraint-index order.
+    pub components: Vec<SymbolId>,
+    /// Spatial/lexical constraint over the components.
+    pub constraint: Constraint,
+    /// Payload constructor.
+    pub constructor: Constructor,
+}
+
+impl Production {
+    /// Arity (number of components).
+    pub fn arity(&self) -> usize {
+        self.components.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+    use metaform_core::TokenKind;
+
+    #[test]
+    fn production_shape() {
+        let mut syms = SymbolTable::new();
+        let attr = syms.intern("Attr");
+        let text = syms.terminal(TokenKind::Text);
+        let p = Production {
+            name: "Attr".into(),
+            head: attr,
+            components: vec![text],
+            constraint: Constraint::True,
+            constructor: Constructor::MakeAttr(0),
+        };
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.head, attr);
+        assert_eq!(format!("{:?}", ProdId(3)), "P3");
+    }
+}

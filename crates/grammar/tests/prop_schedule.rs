@@ -1,0 +1,178 @@
+//! Property tests: 2P schedule invariants over randomly generated
+//! grammars.
+
+use metaform_core::TokenKind;
+use metaform_grammar::{
+    build_schedule, ConflictCond, Constraint, Constructor, GrammarBuilder, WinCriteria,
+};
+use proptest::prelude::*;
+
+/// A random layered grammar: nonterminal `i` may only use components
+/// from layers below it (plus itself, recursively), which guarantees
+/// d-acyclicity by construction. Preferences are arbitrary pairs.
+#[derive(Debug, Clone)]
+struct Spec {
+    /// For each nonterminal: list of productions, each a list of
+    /// component indexes (usize::MAX means the text terminal).
+    prods: Vec<Vec<Vec<usize>>>,
+    /// (winner, loser) preference pairs.
+    prefs: Vec<(usize, usize)>,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (2usize..8).prop_flat_map(|n| {
+        let prods = proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec(0usize..n + 1, 1..3),
+                1..3,
+            ),
+            n,
+        );
+        let prefs = proptest::collection::vec((0usize..n, 0usize..n), 0..6);
+        (prods, prefs).prop_map(move |(raw, prefs)| {
+            // Layer the components: production of NT i may reference
+            // NT j only when j <= i (self-recursion allowed); other
+            // indexes collapse to the terminal.
+            let prods = raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, alts)| {
+                    alts.into_iter()
+                        .map(|comps| {
+                            comps
+                                .into_iter()
+                                .map(|c| if c <= i { c } else { usize::MAX })
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect();
+            Spec { prods, prefs }
+        })
+    })
+}
+
+fn build(spec: &Spec) -> metaform_grammar::Grammar {
+    let n = spec.prods.len();
+    let start_name = format!("N{}", n - 1);
+    let mut b = GrammarBuilder::new(&start_name);
+    let text = b.t(TokenKind::Text);
+    let nts: Vec<_> = (0..n).map(|i| b.nt(&format!("N{i}"))).collect();
+    for (i, alts) in spec.prods.iter().enumerate() {
+        for (j, comps) in alts.iter().enumerate() {
+            let components: Vec<_> = comps
+                .iter()
+                .map(|&c| if c == usize::MAX { text } else { nts[c] })
+                .collect();
+            // Guard self-recursive rules with a terminal base case so
+            // the grammar stays meaningful (not required for
+            // scheduling, which ignores self-loops anyway).
+            b.production(
+                &format!("p{i}_{j}"),
+                nts[i],
+                components,
+                Constraint::True,
+                Constructor::Group,
+            );
+        }
+    }
+    for (k, &(w, l)) in spec.prefs.iter().enumerate() {
+        b.preference(
+            &format!("r{k}"),
+            nts[w],
+            nts[l],
+            ConflictCond::Overlap,
+            WinCriteria::Always,
+        );
+    }
+    b.build().expect("layered grammars are d-acyclic")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The schedule always exists for d-acyclic grammars, covers every
+    /// nonterminal exactly once, and respects children-before-parents.
+    #[test]
+    fn schedule_exists_and_is_sound(s in spec()) {
+        let g = build(&s);
+        let sched = build_schedule(&g).expect("schedulable");
+        // Every nonterminal exactly once.
+        prop_assert_eq!(sched.order.len(), g.symbols.nonterminal_count());
+        let mut sorted = sched.order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), sched.order.len());
+        // d-edges respected: every component precedes its head.
+        let pos = |sym| sched.order.iter().position(|&x| x == sym).unwrap();
+        for p in &g.productions {
+            for &c in &p.components {
+                if !g.symbols.is_terminal(c) && c != p.head {
+                    prop_assert!(pos(c) < pos(p.head),
+                        "{} must precede {}", g.symbols.name(c), g.symbols.name(p.head));
+                }
+            }
+        }
+    }
+
+    /// Kept (non-rollback, non-transformed) r-edges are respected:
+    /// winner precedes loser.
+    #[test]
+    fn kept_r_edges_are_respected(s in spec()) {
+        let g = build(&s);
+        let sched = build_schedule(&g).expect("schedulable");
+        let pos = |sym| sched.order.iter().position(|&x| x == sym).unwrap();
+        for (i, pref) in g.preferences.iter().enumerate() {
+            if pref.winner == pref.loser
+                || sched.needs_rollback[i]
+                || sched.transformed[i]
+            {
+                continue;
+            }
+            prop_assert!(
+                pos(pref.winner) < pos(pref.loser),
+                "winner {} after loser {}",
+                g.symbols.name(pref.winner),
+                g.symbols.name(pref.loser)
+            );
+        }
+    }
+
+    /// Scheduling is deterministic.
+    #[test]
+    fn schedule_is_deterministic(s in spec()) {
+        let g = build(&s);
+        let a = build_schedule(&g).unwrap();
+        let b = build_schedule(&g).unwrap();
+        prop_assert_eq!(a.order, b.order);
+        prop_assert_eq!(a.needs_rollback, b.needs_rollback);
+        prop_assert_eq!(a.transformed, b.transformed);
+    }
+
+    /// Transformed r-edges satisfy the paper's indirect guarantee: the
+    /// winner precedes every parent of the loser.
+    #[test]
+    fn transformed_edges_guard_parents(s in spec()) {
+        let g = build(&s);
+        let sched = build_schedule(&g).unwrap();
+        let pos = |sym| sched.order.iter().position(|&x| x == sym).unwrap();
+        for (i, pref) in g.preferences.iter().enumerate() {
+            if !sched.transformed[i] {
+                continue;
+            }
+            for p in &g.productions {
+                if p.head != pref.loser
+                    && p.head != pref.winner
+                    && p.components.contains(&pref.loser)
+                {
+                    prop_assert!(
+                        pos(pref.winner) < pos(p.head),
+                        "transformed winner {} must precede loser's parent {}",
+                        g.symbols.name(pref.winner),
+                        g.symbols.name(p.head)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests: the HTML pipeline never panics and preserves text.
+
+use metaform_html::entity::decode_entities;
+use metaform_html::parse;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary byte soup must never panic the lexer/tree builder.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in "\\PC{0,300}") {
+        let doc = parse(&s);
+        // Traversal must terminate and visit every node exactly once.
+        let visited = doc.descendants(doc.root()).count();
+        prop_assert_eq!(visited, doc.len());
+    }
+
+    /// Tag-free text round-trips through parse + text_content.
+    #[test]
+    fn plain_text_round_trips(s in "[a-zA-Z0-9 ,.:;!?-]{0,120}") {
+        let doc = parse(&s);
+        prop_assert_eq!(doc.text_content(doc.root()), s);
+    }
+
+    /// Entity encoding of the HTML-significant characters round-trips.
+    #[test]
+    fn escaped_text_round_trips(s in "[a-zA-Z<>&\"' ]{0,80}") {
+        let escaped = s
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let doc = parse(&escaped);
+        prop_assert_eq!(doc.text_content(doc.root()), s);
+    }
+
+    /// decode_entities is idempotent on entity-free output alphabets.
+    #[test]
+    fn decode_idempotent_without_amp(s in "[a-zA-Z0-9 ;#]{0,60}") {
+        let once = decode_entities(&s);
+        let twice = decode_entities(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Every attribute written in canonical form is recoverable.
+    #[test]
+    fn attributes_round_trip(name in "[a-z]{1,8}", value in "[a-zA-Z0-9 _.-]{0,20}") {
+        let html = format!("<input {name}=\"{value}\">");
+        let doc = parse(&html);
+        let input = doc.elements_by_tag(doc.root(), "input")[0];
+        prop_assert_eq!(doc.attr(input, &name), Some(value.as_str()));
+    }
+
+    /// Balanced nesting of inline tags preserves depth-order text.
+    #[test]
+    fn nested_inline_tags_preserve_text(words in proptest::collection::vec("[a-z]{1,6}", 1..6)) {
+        let mut html = String::new();
+        for w in &words {
+            html.push_str(&format!("<b>{w}</b> "));
+        }
+        let doc = parse(&html);
+        let expect: String = words.iter().map(|w| format!("{w} ")).collect();
+        prop_assert_eq!(doc.text_content(doc.root()), expect);
+    }
+}

@@ -1,0 +1,184 @@
+//! ASCII rendering of a laid-out page — a debugging aid that draws
+//! what the tokenizer "sees": text fragments in place, widget boxes as
+//! outlines. One character cell is 8×16 pixels.
+
+use crate::output::Layout;
+use metaform_core::BBox;
+use metaform_html::{Document, NodeId};
+
+/// Pixels per character column.
+const CELL_W: i32 = 8;
+/// Pixels per character row.
+const CELL_H: i32 = 16;
+
+/// Renders the layout as monospace art.
+pub fn render(doc: &Document, layout: &Layout) -> String {
+    let Some(root) = layout.bbox(doc.root()) else {
+        return String::new();
+    };
+    let cols = (root.right / CELL_W + 2).max(1) as usize;
+    let rows = (root.bottom / CELL_H + 1).max(1) as usize;
+    let mut grid = vec![vec![' '; cols]; rows];
+
+    // Widgets first (text draws over their interiors if they overlap).
+    for n in doc.descendants(doc.root()) {
+        let widget = matches!(
+            doc.tag(n),
+            Some("input" | "select" | "textarea" | "button" | "img")
+        );
+        if widget {
+            if let Some(b) = layout.bbox(n) {
+                draw_box(&mut grid, &b, glyph_for(doc, n));
+            }
+        }
+    }
+    for n in doc.descendants(doc.root()) {
+        for f in layout.fragments(n) {
+            let row = (f.bbox.center().1 / CELL_H) as usize;
+            let col = (f.bbox.left / CELL_W) as usize;
+            draw_text(&mut grid, row, col, &f.text);
+        }
+    }
+
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for row in &grid {
+        let line: String = row.iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    // Trim trailing blank lines.
+    while out.ends_with("\n\n") {
+        out.pop();
+    }
+    out
+}
+
+fn glyph_for(doc: &Document, n: NodeId) -> char {
+    match doc.tag(n) {
+        Some("select") => '=',
+        Some("textarea") => '~',
+        Some("img") => '%',
+        Some("input") => match doc.attr(n, "type").unwrap_or("text") {
+            "radio" => 'o',
+            "checkbox" => 'x',
+            "submit" | "reset" | "button" | "image" => '#',
+            _ => '_',
+        },
+        _ => '?',
+    }
+}
+
+fn draw_box(grid: &mut [Vec<char>], b: &BBox, fill: char) {
+    let (c0, c1) = ((b.left / CELL_W) as usize, (b.right / CELL_W) as usize);
+    // Single-line widgets (textboxes, selects) collapse to their center
+    // row so they share a line with their caption; tall widgets
+    // (textareas) keep their full vertical extent.
+    let (r0, r1) = if b.height() <= 24 {
+        let r = (b.center().1 / CELL_H) as usize;
+        (r, r)
+    } else {
+        (
+            (b.top / CELL_H) as usize,
+            ((b.bottom - 1).max(b.top) / CELL_H) as usize,
+        )
+    };
+    for r in r0..=r1.min(grid.len().saturating_sub(1)) {
+        let row = &mut grid[r];
+        let end = (c1 + 1).min(row.len());
+        for cell in row.iter_mut().take(end).skip(c0) {
+            *cell = fill;
+        }
+    }
+    // Corner markers make separate widgets distinguishable; tiny
+    // glyph-sized widgets (radio/checkbox) keep their fill character.
+    if c1 - c0 >= 2 {
+        if r0 < grid.len() && c0 < grid[r0].len() {
+            grid[r0][c0] = '[';
+        }
+        if r1 < grid.len() && c1 < grid[r1].len() {
+            grid[r1][c1] = ']';
+        }
+    }
+}
+
+fn draw_text(grid: &mut [Vec<char>], row: usize, col: usize, text: &str) {
+    if row >= grid.len() {
+        return;
+    }
+    let line = &mut grid[row];
+    for (i, ch) in text.chars().enumerate() {
+        let at = col + i;
+        if at >= line.len() {
+            break;
+        }
+        line[at] = ch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::layout;
+    use metaform_html::parse;
+
+    fn art(html: &str) -> String {
+        let doc = parse(html);
+        let lay = layout(&doc);
+        render(&doc, &lay)
+    }
+
+    #[test]
+    fn label_and_textbox_on_one_line() {
+        let a = art("Author <input type=text name=q size=10>");
+        let line = a
+            .lines()
+            .find(|l| l.contains("Author"))
+            .expect("a line with the label");
+        assert!(line.contains("Author"), "{a}");
+        assert!(line.contains('['), "{a}");
+        assert!(line.contains('_'), "{a}");
+        let author_at = line.find("Author").unwrap();
+        let box_at = line.find('[').unwrap();
+        assert!(author_at < box_at, "label left of widget\n{a}");
+    }
+
+    #[test]
+    fn rows_stack_in_output() {
+        let a = art("Author <input type=text name=a size=8><br>Title <input type=text name=t size=8>");
+        let lines: Vec<&str> = a.lines().filter(|l| !l.trim().is_empty()).collect();
+        assert!(lines.len() >= 2, "{a}");
+        assert!(lines[0].contains("Author"));
+        assert!(lines[1].contains("Title"));
+    }
+
+    #[test]
+    fn widget_glyphs_by_kind() {
+        let a = art(
+            "<input type=radio name=r> yes <input type=checkbox name=c> no \
+             <select name=s><option>abc</select> <input type=submit value=Go>",
+        );
+        for glyph in ['o', 'x', '=', '#'] {
+            assert!(a.contains(glyph), "missing {glyph:?} in\n{a}");
+        }
+    }
+
+    #[test]
+    fn table_columns_align() {
+        let a = art(
+            "<table><tr><td>From</td><td><input type=text name=f size=6></td></tr>\
+             <tr><td>To</td><td><input type=text name=t size=6></td></tr></table>",
+        );
+        let lines: Vec<&str> = a.lines().filter(|l| l.contains('[')).collect();
+        assert_eq!(lines.len(), 2, "{a}");
+        assert_eq!(
+            lines[0].find('[').unwrap(),
+            lines[1].find('[').unwrap(),
+            "boxes in the same column\n{a}"
+        );
+    }
+
+    #[test]
+    fn empty_page_is_empty_art() {
+        assert_eq!(art(""), "");
+    }
+}

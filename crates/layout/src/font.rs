@@ -1,0 +1,62 @@
+//! Deterministic font metrics.
+//!
+//! The engine renders all text in a synthetic monospace face: a fixed
+//! advance per character and a fixed line height. Real browsers use
+//! proportional fonts, but the grammar consumes only *topology*
+//! (adjacency, alignment, row membership), which a monospace metric
+//! preserves; determinism in exchange is what makes every experiment
+//! reproducible bit-for-bit.
+
+/// Horizontal advance of one character cell, in pixels.
+pub const CHAR_W: i32 = 7;
+
+/// Height of one line box, in pixels.
+pub const LINE_H: i32 = 16;
+
+/// Width of one inter-word space.
+pub const SPACE_W: i32 = CHAR_W;
+
+/// Rendered width of a string: one cell per `char`.
+///
+/// Non-breaking spaces count as ordinary cells (they glue words
+/// together, which is exactly why form authors used them).
+pub fn text_width(s: &str) -> i32 {
+    s.chars().count() as i32 * CHAR_W
+}
+
+/// Splits text into words for line wrapping, collapsing ASCII
+/// whitespace runs. Non-breaking spaces (`\u{00A0}`) do *not* split.
+pub fn words(s: &str) -> impl Iterator<Item = &str> {
+    s.split([' ', '\t', '\n', '\r']).filter(|w| !w.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_counts_chars() {
+        assert_eq!(text_width(""), 0);
+        assert_eq!(text_width("Author"), 6 * CHAR_W);
+        assert_eq!(text_width("café"), 4 * CHAR_W, "chars, not bytes");
+    }
+
+    #[test]
+    fn words_collapse_whitespace() {
+        let w: Vec<&str> = words("  price \t range\n(USD) ").collect();
+        assert_eq!(w, vec!["price", "range", "(USD)"]);
+    }
+
+    #[test]
+    fn nbsp_glues_words() {
+        let w: Vec<&str> = words("price\u{00A0}range").collect();
+        assert_eq!(w, vec!["price\u{00A0}range"]);
+        assert_eq!(text_width(w[0]), 11 * CHAR_W);
+    }
+
+    #[test]
+    fn empty_input_yields_no_words() {
+        assert_eq!(words("   ").count(), 0);
+        assert_eq!(words("").count(), 0);
+    }
+}

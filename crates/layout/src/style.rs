@@ -1,0 +1,112 @@
+//! Display classification and box-model constants.
+//!
+//! Maps tags onto the handful of display roles the engine understands.
+//! The values mirror default browser stylesheets of the era closely
+//! enough that the *topology* of a rendered form (what is in the same
+//! row, what is below what) matches what designers intended.
+
+/// How an element participates in layout.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Display {
+    /// Stacks vertically, takes the full available width.
+    Block,
+    /// Flows within line boxes.
+    Inline,
+    /// Atomic inline box with intrinsic size (form widgets, images).
+    InlineWidget,
+    /// `<table>`.
+    Table,
+    /// `<tr>`.
+    TableRow,
+    /// `<td>` / `<th>`.
+    TableCell,
+    /// `<thead>` / `<tbody>` / `<tfoot>`.
+    TableSection,
+    /// Not rendered at all (`<head>`, `<meta>`, …).
+    Hidden,
+}
+
+/// Vertical margin applied above and below a block element, in pixels.
+pub fn block_margin(tag: &str) -> i32 {
+    match tag {
+        "p" => 8,
+        "h1" | "h2" | "h3" | "h4" | "h5" | "h6" => 10,
+        "ul" | "ol" | "dl" => 8,
+        "hr" => 4,
+        "table" => 2,
+        _ => 0,
+    }
+}
+
+/// Left indentation applied to list items.
+pub const LIST_INDENT: i32 = 30;
+
+/// Default table cell padding.
+pub const CELL_PADDING: i32 = 2;
+
+/// Default table border spacing.
+pub const CELL_SPACING: i32 = 2;
+
+/// Classifies a tag. Unknown tags default to inline, matching browser
+/// behaviour for unrecognized elements.
+pub fn display_of(tag: &str) -> Display {
+    match tag {
+        "html" | "body" | "div" | "p" | "form" | "fieldset" | "center" | "blockquote"
+        | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "ul" | "ol" | "dl" | "li" | "dt" | "dd"
+        | "pre" | "address" | "hr" | "legend" | "caption" => Display::Block,
+        "table" => Display::Table,
+        "tr" => Display::TableRow,
+        "td" | "th" => Display::TableCell,
+        "thead" | "tbody" | "tfoot" => Display::TableSection,
+        "input" | "select" | "textarea" | "button" | "img" => Display::InlineWidget,
+        "head" | "meta" | "link" | "base" | "option" | "optgroup" | "col" | "colgroup"
+        | "map" | "area" | "param" | "noscript" => Display::Hidden,
+        _ => Display::Inline,
+    }
+}
+
+/// True for elements that force a line break without occupying space.
+pub fn is_line_break(tag: &str) -> bool {
+    tag == "br"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_form_markup() {
+        assert_eq!(display_of("form"), Display::Block);
+        assert_eq!(display_of("b"), Display::Inline);
+        assert_eq!(display_of("span"), Display::Inline);
+        assert_eq!(display_of("input"), Display::InlineWidget);
+        assert_eq!(display_of("select"), Display::InlineWidget);
+        assert_eq!(display_of("table"), Display::Table);
+        assert_eq!(display_of("tr"), Display::TableRow);
+        assert_eq!(display_of("td"), Display::TableCell);
+        assert_eq!(display_of("th"), Display::TableCell);
+        assert_eq!(display_of("tbody"), Display::TableSection);
+        assert_eq!(display_of("option"), Display::Hidden);
+        assert_eq!(display_of("head"), Display::Hidden);
+    }
+
+    #[test]
+    fn unknown_tags_are_inline() {
+        assert_eq!(display_of("blink"), Display::Inline);
+        assert_eq!(display_of("custom-x"), Display::Inline);
+    }
+
+    #[test]
+    fn margins() {
+        assert_eq!(block_margin("p"), 8);
+        assert_eq!(block_margin("div"), 0);
+        assert!(block_margin("h1") > block_margin("table"));
+    }
+
+    #[test]
+    fn br_is_the_only_line_break() {
+        assert!(is_line_break("br"));
+        assert!(!is_line_break("hr"));
+        assert!(!is_line_break("p"));
+    }
+}

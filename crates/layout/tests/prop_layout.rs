@@ -1,0 +1,120 @@
+//! Property tests: layout-engine invariants over generated markup.
+
+use metaform_core::BBox;
+use metaform_html::parse;
+use metaform_layout::{layout, layout_with, LayoutOptions};
+use proptest::prelude::*;
+
+/// Random small form markup: rows of label/widget/br/table fragments.
+fn markup() -> impl Strategy<Value = String> {
+    let piece = prop_oneof![
+        "[a-zA-Z]{1,12}".prop_map(|w| format!("{w} ")),
+        Just("<input type=text name=x> ".to_string()),
+        Just("<input type=radio name=r> ".to_string()),
+        Just("<select name=s><option>a<option>bb</select> ".to_string()),
+        Just("<br>".to_string()),
+        Just("<b>bold</b> ".to_string()),
+        ("[a-z]{1,6}", "[a-z]{1,6}").prop_map(|(a, b)| format!(
+            "<table><tr><td>{a}</td><td>{b}</td></tr></table>"
+        )),
+    ];
+    proptest::collection::vec(piece, 0..12).prop_map(|v| v.concat())
+}
+
+fn all_boxes(html: &str, viewport: i32) -> Vec<BBox> {
+    let doc = parse(html);
+    let lay = layout_with(
+        &doc,
+        &LayoutOptions {
+            viewport,
+            margin: 8,
+        },
+    );
+    let mut out = Vec::new();
+    for n in doc.descendants(doc.root()) {
+        if let Some(b) = lay.bbox(n) {
+            out.push(b);
+        }
+        for f in lay.fragments(n) {
+            out.push(f.bbox);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Layout is total and every box is well-formed and starts within
+    /// the canvas (content may exceed the right edge only via
+    /// unbreakable atoms, never start left of the margin).
+    #[test]
+    fn boxes_are_well_formed(html in markup()) {
+        for b in all_boxes(&html, 800) {
+            prop_assert!(b.left <= b.right && b.top <= b.bottom, "{b:?}");
+            prop_assert!(b.left >= 0, "{b:?}");
+            prop_assert!(b.top >= 0, "{b:?}");
+        }
+    }
+
+    /// Determinism: identical input yields identical geometry.
+    #[test]
+    fn layout_is_deterministic(html in markup()) {
+        prop_assert_eq!(all_boxes(&html, 800), all_boxes(&html, 800));
+    }
+
+    /// Narrowing the viewport never loses content: the rendered text
+    /// (as words) and the widget count are preserved — only line
+    /// breaking changes.
+    #[test]
+    fn viewport_change_preserves_content(html in markup()) {
+        let content = |viewport: i32| {
+            let doc = parse(&html);
+            let lay = layout_with(&doc, &LayoutOptions { viewport, margin: 8 });
+            let mut words: Vec<String> = Vec::new();
+            let mut widgets = 0usize;
+            for n in doc.descendants(doc.root()) {
+                for f in lay.fragments(n) {
+                    words.extend(f.text.split_whitespace().map(str::to_string));
+                }
+                if doc.tag(n).is_some_and(|t| matches!(t, "input" | "select"))
+                    && lay.bbox(n).is_some()
+                {
+                    widgets += 1;
+                }
+            }
+            (words, widgets)
+        };
+        prop_assert_eq!(content(800), content(300));
+    }
+
+    /// Text fragments of one flow never overlap each other.
+    #[test]
+    fn fragments_never_overlap(html in markup()) {
+        let doc = parse(&html);
+        let lay = layout(&doc);
+        let mut frags: Vec<BBox> = Vec::new();
+        for n in doc.descendants(doc.root()) {
+            for f in lay.fragments(n) {
+                frags.push(f.bbox);
+            }
+        }
+        for (i, a) in frags.iter().enumerate() {
+            for b in &frags[i + 1..] {
+                prop_assert!(!a.intersects(b), "{a:?} vs {b:?}\n{html}");
+            }
+        }
+    }
+
+    /// The document root box contains every rendered descendant box.
+    #[test]
+    fn root_contains_everything(html in markup()) {
+        let doc = parse(&html);
+        let lay = layout(&doc);
+        if let Some(root) = lay.bbox(doc.root()) {
+            for b in all_boxes(&html, 800) {
+                prop_assert!(root.contains(&b), "{root:?} !⊇ {b:?}");
+            }
+        }
+    }
+}

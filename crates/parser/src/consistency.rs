@@ -1,0 +1,154 @@
+//! Preference-consistency checking (paper §5.2/§7).
+//!
+//! "The preferences are not consistent if given a set of tokens as
+//! input, different orders of applying the preferences result in
+//! different derivation results. … The algorithm outlined above
+//! assumes the consistency of preferences, and therefore generates a
+//! unique result." The paper asserts its preferences are consistent in
+//! practice; this module makes that claim *checkable*: run the parse
+//! under different preference application orders and compare the
+//! derivation results.
+
+use crate::engine::{parse_with, ParserOptions, PreferenceOrder};
+use crate::merger::merge;
+use metaform_core::Token;
+use metaform_grammar::Grammar;
+
+/// Outcome of a consistency check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Consistency {
+    /// All probed orders produced the same semantic model.
+    Consistent,
+    /// Two orders disagreed; the differing condition lists are carried
+    /// for diagnosis.
+    Inconsistent {
+        /// Conditions under the scheduled order.
+        scheduled: Vec<String>,
+        /// Conditions under the reversed order.
+        reversed: Vec<String>,
+    },
+}
+
+/// Parses `tokens` under the scheduled preference order and under the
+/// reversed order, and compares the merged semantic models.
+pub fn check_preferences(grammar: &Grammar, tokens: &[Token]) -> Consistency {
+    let mut reports = Vec::with_capacity(2);
+    for order in [PreferenceOrder::Scheduled, PreferenceOrder::Reversed] {
+        let opts = ParserOptions {
+            preference_order: order,
+            ..ParserOptions::default()
+        };
+        let result = parse_with(grammar, tokens, &opts);
+        let report = merge(&result.chart, &result.trees);
+        let mut conds: Vec<String> = report.conditions.iter().map(|c| c.to_string()).collect();
+        conds.sort();
+        reports.push(conds);
+    }
+    if reports[0] == reports[1] {
+        Consistency::Consistent
+    } else {
+        Consistency::Inconsistent {
+            scheduled: reports[0].clone(),
+            reversed: reports[1].clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaform_core::{BBox, TokenKind};
+    use metaform_grammar::{
+        global_grammar, paper_example_grammar, ConflictCond, Constraint, Constructor,
+        GrammarBuilder, WinCriteria,
+    };
+
+    fn label_box(id0: u32, label: &str, x: i32, y: i32) -> Vec<Token> {
+        let w = label.len() as i32 * 7;
+        vec![
+            Token::text(id0, label, BBox::new(x, y + 4, x + w, y + 20)),
+            Token::widget(
+                id0 + 1,
+                TokenKind::Textbox,
+                "f",
+                BBox::new(x + w + 8, y, x + w + 120, y + 20),
+            ),
+        ]
+    }
+
+    #[test]
+    fn shipped_grammars_are_consistent_on_fixtures() {
+        let mut tokens = label_box(0, "Author", 10, 10);
+        tokens.extend(label_box(2, "Title", 10, 34));
+        for grammar in [paper_example_grammar(), global_grammar()] {
+            assert_eq!(
+                check_preferences(&grammar, &tokens),
+                Consistency::Consistent
+            );
+        }
+    }
+
+    #[test]
+    fn contradictory_preferences_are_detected() {
+        // Two interpretations of one text+box pair, with *order-dependent*
+        // mutual Always preferences: whichever preference runs first
+        // eliminates the other's instances, so the two orders disagree.
+        let mut b = GrammarBuilder::new("Q");
+        let text = b.t(TokenKind::Text);
+        let tb = b.t(TokenKind::Textbox);
+        let x = b.nt("X");
+        let y = b.nt("Y");
+        let q = b.nt("Q");
+        let mk = |attr| Constructor::MakeCond {
+            attr: Some(attr),
+            ops: None,
+            val: 1,
+            kind: None,
+        };
+        b.production("X", x, vec![text, tb], Constraint::Left(0, 1), mk(0));
+        b.production(
+            "Y",
+            y,
+            vec![text, tb],
+            Constraint::Left(0, 1),
+            Constructor::MakeCond {
+                attr: None,
+                ops: None,
+                val: 1,
+                kind: Some(metaform_core::DomainKind::Numeric),
+            },
+        );
+        b.production("Q<-X", q, vec![x], Constraint::True, Constructor::CollectConds);
+        b.production("Q<-Y", q, vec![y], Constraint::True, Constructor::CollectConds);
+        b.preference("X>Y", x, y, ConflictCond::Overlap, WinCriteria::Always);
+        b.preference("Y>X", y, x, ConflictCond::Overlap, WinCriteria::Always);
+        let g = b.build().expect("builds");
+        let tokens = label_box(0, "Amount", 10, 10);
+        match check_preferences(&g, &tokens) {
+            Consistency::Inconsistent { scheduled, reversed } => {
+                assert_ne!(scheduled, reversed);
+            }
+            Consistency::Consistent => {
+                panic!("mutually-destructive preferences must be inconsistent")
+            }
+        }
+    }
+
+    #[test]
+    fn consistency_on_generated_sources() {
+        // A stronger version of the paper's "in practice we never have
+        // such a situation": probe a slice of the NewSource dataset.
+        let grammar = global_grammar();
+        for src in metaform_datasets::new_source().sources.iter().take(6) {
+            let doc = metaform_html::parse(&src.html);
+            let lay = metaform_layout::layout(&doc);
+            let tokens = metaform_tokenizer::tokenize(&doc, &lay).tokens;
+            assert_eq!(
+                check_preferences(&grammar, &tokens),
+                Consistency::Consistent,
+                "{}",
+                src.name
+            );
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! The best-effort parser `2PParser` (paper Figure 11).
+//!
+//! ```text
+//! Proc 2PParser(TS, G):
+//!   Y = BldSchldGraph(G); find a topological order of symbols in Y
+//!   for each symbol A in order:
+//!     I += instantiate(A)                  // fix-point per symbol
+//!     for each preference R involving A:
+//!       F = enforce(R)                     // just-in-time pruning
+//!       for each invalidated instance i ∈ F: Rollback(i)
+//!   res = PRHandler()                      // partial tree maximization
+//! ```
+
+use crate::instance::{Chart, InstId};
+use crate::maximize::maximize;
+use crate::stats::ParseStats;
+use metaform_core::Token;
+use metaform_grammar::{
+    build_schedule, ConflictCond, Grammar, PrefId, ProdId, Schedule, SymbolId,
+    SymbolKind, WinCriteria,
+};
+use std::time::Instant;
+
+/// Order in which preferences are applied at each enforcement point —
+/// §5.2's consistency probe: "different orders of applying the
+/// preferences" must "yield the same result" for a well-formed
+/// grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PreferenceOrder {
+    /// Declaration order (the default).
+    #[default]
+    Scheduled,
+    /// Reverse declaration order (for consistency checking).
+    Reversed,
+}
+
+/// Parser configuration. The defaults give the full best-effort
+/// behaviour; the switches exist for the paper's ablations.
+#[derive(Clone, Copy, Debug)]
+pub struct ParserOptions {
+    /// Enforce preferences (just-in-time pruning). Off = the basic
+    /// "brute-force" fix-point of §4.2.1 that exhausts all
+    /// interpretations.
+    pub enforce_preferences: bool,
+    /// Compensate dropped r-edges by rolling back false ancestors.
+    pub rollback: bool,
+    /// Hard cap on created instances — a safety valve for the
+    /// exponential brute-force mode (visual-language membership is
+    /// NP-complete, §5.1).
+    pub max_instances: usize,
+    /// Preference application order (see [`PreferenceOrder`]).
+    pub preference_order: PreferenceOrder,
+}
+
+impl Default for ParserOptions {
+    fn default() -> Self {
+        ParserOptions {
+            enforce_preferences: true,
+            rollback: true,
+            max_instances: 2_000_000,
+            preference_order: PreferenceOrder::Scheduled,
+        }
+    }
+}
+
+impl ParserOptions {
+    /// The exhaustive baseline: no pruning at all.
+    pub fn brute_force() -> Self {
+        ParserOptions {
+            enforce_preferences: false,
+            rollback: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// A finished parse: the chart, the maximal partial trees, and stats.
+#[derive(Clone, Debug)]
+pub struct ParseResult {
+    /// All instances created during parsing.
+    pub chart: Chart,
+    /// Roots of the maximal partial parse trees, largest span first.
+    pub trees: Vec<InstId>,
+    /// Counters.
+    pub stats: ParseStats,
+}
+
+/// Parses tokens under a grammar with default options.
+///
+/// ```
+/// use metaform_core::{BBox, Token, TokenKind};
+/// use metaform_grammar::paper_example_grammar;
+/// use metaform_parser::{merge, parse};
+///
+/// // "Author [textbox]" as two visual tokens.
+/// let tokens = vec![
+///     Token::text(0, "Author", BBox::new(10, 12, 52, 28)),
+///     Token::widget(1, TokenKind::Textbox, "q", BBox::new(60, 8, 200, 28)),
+/// ];
+/// let grammar = paper_example_grammar();
+/// let result = parse(&grammar, &tokens);
+/// assert!(result.stats.complete);
+///
+/// let report = merge(&result.chart, &result.trees);
+/// assert_eq!(report.conditions[0].attribute, "Author");
+/// ```
+pub fn parse(grammar: &Grammar, tokens: &[Token]) -> ParseResult {
+    parse_with(grammar, tokens, &ParserOptions::default())
+}
+
+/// Parses tokens under a grammar with explicit options.
+pub fn parse_with(grammar: &Grammar, tokens: &[Token], opts: &ParserOptions) -> ParseResult {
+    let started = Instant::now();
+    let schedule = build_schedule(grammar).expect("grammar validated at build time");
+    let mut p = Parser {
+        grammar,
+        schedule: &schedule,
+        chart: Chart::new(tokens.to_vec(), grammar.symbols.len()),
+        opts: *opts,
+        stats: ParseStats {
+            tokens: tokens.len(),
+            ..Default::default()
+        },
+    };
+    let mut pref_ids: Vec<_> = grammar.preference_ids().collect();
+    if opts.preference_order == PreferenceOrder::Reversed {
+        pref_ids.reverse();
+    }
+    p.seed_terminals();
+    for i in 0..schedule.order.len() {
+        let symbol = schedule.order[i];
+        p.instantiate(symbol);
+        if p.opts.enforce_preferences {
+            for &pref in &pref_ids {
+                let r = grammar.preference(pref);
+                if r.winner == symbol || r.loser == symbol {
+                    p.enforce(pref);
+                }
+            }
+        }
+    }
+    // Final sweep: catches losers of rollback-mode preferences created
+    // after the preference's last scheduled enforcement.
+    if p.opts.enforce_preferences {
+        for &pref in &pref_ids {
+            p.enforce(pref);
+        }
+    }
+    let trees = maximize(&p.chart, grammar);
+    p.stats.trees = trees.len();
+    p.stats.complete = trees.len() == 1
+        && p.chart.get(trees[0]).span.count() == tokens.len()
+        && !tokens.is_empty();
+    p.stats.complete_parses = count_complete_parses(&p.chart, grammar);
+    p.stats.temporary = count_temporary(&p.chart, &trees);
+    p.stats.created = p.chart.len();
+    p.stats.elapsed = started.elapsed();
+    ParseResult {
+        chart: p.chart,
+        trees,
+        stats: p.stats,
+    }
+}
+
+/// Valid start-symbol instances covering every token.
+fn count_complete_parses(chart: &Chart, grammar: &Grammar) -> usize {
+    chart
+        .of_symbol(grammar.start)
+        .iter()
+        .filter(|&&i| {
+            let inst = chart.get(i);
+            inst.valid && inst.span.count() == chart.tokens().len()
+        })
+        .count()
+}
+
+/// Instances not reachable from any selected tree.
+fn count_temporary(chart: &Chart, trees: &[InstId]) -> usize {
+    let mut used = vec![false; chart.len()];
+    for &t in trees {
+        for n in chart.tree_nodes(t) {
+            used[n.index()] = true;
+        }
+    }
+    used.iter().filter(|&&u| !u).count()
+}
+
+struct Parser<'a> {
+    grammar: &'a Grammar,
+    schedule: &'a Schedule,
+    chart: Chart,
+    opts: ParserOptions,
+    stats: ParseStats,
+}
+
+impl Parser<'_> {
+    /// Creates terminal instances for every token.
+    fn seed_terminals(&mut self) {
+        let tokens: Vec<Token> = self.chart.tokens().to_vec();
+        for t in &tokens {
+            let sym = self.grammar.symbols.terminal(t.kind);
+            self.chart.add_terminal(sym, t);
+        }
+    }
+
+    /// `instantiate(A)`: apply every production with head `A` until no
+    /// new instance can be generated (paper Figure 11, `instantiate`).
+    fn instantiate(&mut self, symbol: SymbolId) {
+        debug_assert!(matches!(
+            self.grammar.symbols.kind(symbol),
+            SymbolKind::NonTerminal
+        ));
+        loop {
+            let mut added = false;
+            for &pid in self.grammar.productions_of(symbol) {
+                if self.apply_production(pid) {
+                    added = true;
+                }
+                if self.chart.len() >= self.opts.max_instances {
+                    self.stats.truncated = true;
+                    return;
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+    }
+
+    /// Applies one production over all current valid combinations;
+    /// returns whether anything new was created.
+    fn apply_production(&mut self, pid: ProdId) -> bool {
+        let prod = self.grammar.production(pid);
+        let arity = prod.arity();
+        // Snapshot candidate lists (instances added this round are
+        // picked up by the enclosing fix-point loop).
+        let candidates: Vec<Vec<InstId>> = prod
+            .components
+            .iter()
+            .map(|&s| self.chart.valid_of_symbol(s))
+            .collect();
+        if candidates.iter().any(|c| c.is_empty()) {
+            return false;
+        }
+        let mut combo = vec![InstId(0); arity];
+        let mut added = false;
+        self.enumerate(pid, &candidates, 0, &mut combo, &mut added);
+        added
+    }
+
+    fn enumerate(
+        &mut self,
+        pid: ProdId,
+        candidates: &[Vec<InstId>],
+        depth: usize,
+        combo: &mut Vec<InstId>,
+        added: &mut bool,
+    ) {
+        if self.chart.len() >= self.opts.max_instances {
+            return;
+        }
+        if depth == candidates.len() {
+            self.try_combo(pid, combo, added);
+            return;
+        }
+        // Iterate a snapshot (candidate lists are precomputed).
+        for i in 0..candidates[depth].len() {
+            let cand = candidates[depth][i];
+            // Distinctness and token-disjointness against earlier picks.
+            let mut ok = self.chart.get(cand).valid;
+            if ok {
+                for &prev in combo[..depth].iter() {
+                    if prev == cand
+                        || self
+                            .chart
+                            .get(prev)
+                            .span
+                            .intersects(&self.chart.get(cand).span)
+                    {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            combo[depth] = cand;
+            self.enumerate(pid, candidates, depth + 1, combo, added);
+        }
+    }
+
+    fn try_combo(&mut self, pid: ProdId, combo: &[InstId], added: &mut bool) {
+        if self.chart.seen(pid, combo) {
+            return;
+        }
+        let prod = self.grammar.production(pid);
+        let views: Vec<_> = combo.iter().map(|&c| self.chart.view(c)).collect();
+        if !prod.constraint.eval(&views, &self.grammar.proximity) {
+            return;
+        }
+        let payload = prod.constructor.eval(&views);
+        drop(views);
+        self.chart
+            .add_nonterminal(prod.head, pid, combo.to_vec(), payload);
+        *added = true;
+    }
+
+    /// `enforce(R)`: find conflicting (winner, loser) pairs and
+    /// invalidate the losers, rolling back their false ancestors when
+    /// this preference's r-edge had to be dropped from the schedule.
+    fn enforce(&mut self, pref_id: PrefId) {
+        let pref = self.grammar.preference(pref_id);
+        let winners = self.chart.valid_of_symbol(pref.winner);
+        let losers = self.chart.valid_of_symbol(pref.loser);
+        let needs_rollback =
+            self.opts.rollback && self.schedule.needs_rollback[pref_id.index()];
+        for &w in &winners {
+            if !self.chart.get(w).valid {
+                continue; // may have lost to a peer earlier in this pass
+            }
+            for &l in &losers {
+                if w == l || !self.chart.get(l).valid || !self.chart.get(w).valid {
+                    continue;
+                }
+                if !self.conflicts(w, l, pref.condition) {
+                    continue;
+                }
+                if !self.wins(w, l, pref.criteria) {
+                    continue;
+                }
+                self.chart.invalidate(l);
+                self.stats.invalidated += 1;
+                if needs_rollback {
+                    self.rollback(l);
+                }
+            }
+        }
+    }
+
+    fn conflicts(&self, w: InstId, l: InstId, cond: ConflictCond) -> bool {
+        let (wi, li) = (self.chart.get(w), self.chart.get(l));
+        match cond {
+            ConflictCond::Overlap => wi.span.intersects(&li.span),
+            ConflictCond::LoserSubsumed => li.span.is_subset(&wi.span),
+        }
+    }
+
+    fn wins(&self, w: InstId, l: InstId, criteria: WinCriteria) -> bool {
+        let (wi, li) = (self.chart.get(w), self.chart.get(l));
+        match criteria {
+            WinCriteria::Always => true,
+            WinCriteria::WinnerLarger => wi.span.count() > li.span.count(),
+            WinCriteria::WinnerTighter => self.chart.spread(w) < self.chart.spread(l),
+        }
+    }
+
+    /// `Rollback(i)`: erase the loser's false ancestors — instances
+    /// that were built (transitively) on top of it before the
+    /// preference could fire (paper §5.1: "false instances may
+    /// participate in further instantiations and in turn generate more
+    /// false parents").
+    fn rollback(&mut self, loser: InstId) {
+        let mut stack: Vec<InstId> = self.chart.parents_of(loser).to_vec();
+        while let Some(p) = stack.pop() {
+            if self.chart.invalidate(p) {
+                self.stats.rolled_back += 1;
+                stack.extend(self.chart.parents_of(p).iter().copied());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaform_core::{BBox, TokenKind};
+    use metaform_grammar::paper_example_grammar;
+
+    /// Tokens for the paper's Figure 5 fragment: one "Author" row —
+    /// caption, textbox, three radio buttons with captions (8 tokens).
+    fn author_row(y: i32, id0: u32) -> Vec<Token> {
+        let mut t = Vec::new();
+        t.push(Token::text(id0, "Author", BBox::new(10, y + 4, 52, y + 20)));
+        t.push(Token::widget(
+            id0 + 1,
+            TokenKind::Textbox,
+            "query-0",
+            BBox::new(60, y, 200, y + 20),
+        ));
+        let captions = ["first name/initials and last name", "start of last name", "exact name"];
+        let mut x = 60;
+        for (i, cap) in captions.iter().enumerate() {
+            let rx = x;
+            t.push(
+                Token::widget(
+                    id0 + 2 + 2 * i as u32,
+                    TokenKind::Radiobutton,
+                    "field-0",
+                    BBox::new(rx, y + 26, rx + 13, y + 39),
+                )
+                .with_sval(format!("{i}")),
+            );
+            let w = cap.len() as i32 * 7;
+            t.push(Token::text(
+                id0 + 3 + 2 * i as u32,
+                *cap,
+                BBox::new(rx + 17, y + 25, rx + 17 + w, y + 41),
+            ));
+            x = rx + 17 + w + 12;
+        }
+        t
+    }
+
+    fn renumber(tokens: Vec<Token>) -> Vec<Token> {
+        tokens
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut t)| {
+                t.id = metaform_core::TokenId(i as u32);
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parses_author_row_to_single_textop_tree() {
+        let g = paper_example_grammar();
+        let tokens = renumber(author_row(0, 0));
+        let res = parse(&g, &tokens);
+        assert_eq!(res.stats.tokens, 8);
+        assert_eq!(res.trees.len(), 1, "one maximal tree");
+        let root = res.chart.get(res.trees[0]);
+        assert_eq!(g.symbols.name(root.symbol), "QI");
+        assert_eq!(root.span.count(), 8, "covers the whole row");
+        let conds = root.payload.conditions();
+        assert_eq!(conds.len(), 1);
+        assert_eq!(conds[0].attribute, "Author");
+        assert_eq!(conds[0].operators.len(), 3, "three radio operators");
+        assert!(conds[0]
+            .operators
+            .contains(&"exact name".to_string()));
+        assert!(res.stats.complete);
+    }
+
+    #[test]
+    fn two_rows_parse_into_one_interface() {
+        let g = paper_example_grammar();
+        let mut tokens = author_row(0, 0);
+        // The second row starts right below the first (rows touch, as
+        // flow layout renders them).
+        tokens.extend(author_row(44, 8));
+        // Relabel the second row's caption.
+        tokens[8].sval = "Title".to_string();
+        let tokens = renumber(tokens);
+        let res = parse(&g, &tokens);
+        assert_eq!(res.trees.len(), 1);
+        let conds = res.chart.get(res.trees[0]).payload.conditions();
+        assert_eq!(conds.len(), 2);
+        assert_eq!(conds[0].attribute, "Author");
+        assert_eq!(conds[1].attribute, "Title");
+        assert_eq!(res.stats.complete_parses, 1);
+    }
+
+    #[test]
+    fn brute_force_explodes_where_pruning_does_not() {
+        let g = paper_example_grammar();
+        let tokens = renumber(author_row(0, 0));
+        let pruned = parse(&g, &tokens);
+        let brute = parse_with(&g, &tokens, &ParserOptions::brute_force());
+        assert!(
+            brute.stats.created > pruned.stats.created,
+            "brute {} !> pruned {}",
+            brute.stats.created,
+            pruned.stats.created
+        );
+        assert!(
+            brute.stats.complete_parses > 1,
+            "global ambiguity yields multiple complete parses, got {}",
+            brute.stats.complete_parses
+        );
+        assert_eq!(pruned.stats.complete_parses, 1);
+        assert!(brute.stats.temporary > pruned.stats.temporary);
+        assert!(pruned.stats.invalidated > 0);
+        assert_eq!(brute.stats.invalidated, 0);
+    }
+
+    #[test]
+    fn preference_r1_prunes_caption_attrs() {
+        let g = paper_example_grammar();
+        let tokens = renumber(author_row(0, 0));
+        let res = parse(&g, &tokens);
+        let attr_sym = g.symbols.lookup("Attr").unwrap();
+        let valid_attrs = res.chart.valid_of_symbol(attr_sym);
+        // Only "Author" should survive as an attribute; the three radio
+        // captions are claimed by RBUs (paper Example 5).
+        assert_eq!(valid_attrs.len(), 1);
+        let payload = &res.chart.get(valid_attrs[0]).payload;
+        assert_eq!(payload.text(), Some("Author"));
+    }
+
+    #[test]
+    fn preference_r2_keeps_only_longest_rblist() {
+        let g = paper_example_grammar();
+        let tokens = renumber(author_row(0, 0));
+        let res = parse(&g, &tokens);
+        let rblist = g.symbols.lookup("RBList").unwrap();
+        let valid: Vec<_> = res.chart.valid_of_symbol(rblist);
+        assert_eq!(valid.len(), 1, "paper Figure 8: one list of length 3");
+        assert_eq!(res.chart.get(valid[0]).span.count(), 6);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_result() {
+        let g = paper_example_grammar();
+        let res = parse(&g, &[]);
+        assert_eq!(res.trees.len(), 0);
+        assert!(!res.stats.complete);
+        assert_eq!(res.stats.created, 0);
+    }
+
+    #[test]
+    fn instance_cap_truncates_safely() {
+        let g = paper_example_grammar();
+        let tokens = renumber(author_row(0, 0));
+        let res = parse_with(
+            &g,
+            &tokens,
+            &ParserOptions {
+                max_instances: 12,
+                ..ParserOptions::brute_force()
+            },
+        );
+        assert!(res.stats.truncated);
+        assert!(res.stats.created <= 13);
+    }
+
+    #[test]
+    fn unparseable_tokens_become_trivial_trees_elsewhere() {
+        // A lone radio button (no caption): no RBU can form; the token
+        // remains uncovered by any nonterminal tree.
+        let g = paper_example_grammar();
+        let tokens = vec![Token::widget(
+            0,
+            TokenKind::Radiobutton,
+            "r",
+            BBox::new(0, 0, 13, 13),
+        )];
+        let res = parse(&g, &tokens);
+        assert_eq!(res.trees.len(), 0);
+        assert_eq!(res.chart.uncovered_tokens(&res.trees), vec![metaform_core::TokenId(0)]);
+    }
+}

@@ -1,0 +1,398 @@
+//! Instances and the parse chart.
+//!
+//! An *instance* is one application of a production (or a terminal
+//! token) — a node of some derivation tree. The chart is the arena all
+//! instances live in, with per-symbol indexes, parent links (for
+//! rollback), and a dedup set so the fix-point terminates.
+
+use crate::tokenset::TokenSet;
+use metaform_core::{BBox, Token, TokenId};
+use metaform_grammar::{Payload, ProdId, SymbolId, View};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Identifier of an instance within one chart.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub u32);
+
+impl InstId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// One parse-chart instance.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Symbol this instance instantiates.
+    pub symbol: SymbolId,
+    /// Producing rule (`None` for terminal instances).
+    pub prod: Option<ProdId>,
+    /// Component instances, in production order.
+    pub children: Vec<InstId>,
+    /// The underlying token for terminal instances.
+    pub token: Option<TokenId>,
+    /// Tokens covered by this derivation.
+    pub span: TokenSet,
+    /// Union bounding box.
+    pub bbox: BBox,
+    /// Semantic payload.
+    pub payload: Payload,
+    /// False once invalidated by a preference (or rollback).
+    pub valid: bool,
+}
+
+/// The parse chart: instance arena plus indexes.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    tokens: Vec<Token>,
+    instances: Vec<Instance>,
+    by_symbol: Vec<Vec<InstId>>,
+    parents: Vec<Vec<InstId>>,
+    dedup: HashSet<(ProdId, Vec<InstId>)>,
+}
+
+impl Chart {
+    /// Creates a chart over the given tokens with `symbol_count`
+    /// symbols in the grammar.
+    pub fn new(tokens: Vec<Token>, symbol_count: usize) -> Self {
+        Chart {
+            tokens,
+            instances: Vec::new(),
+            by_symbol: vec![Vec::new(); symbol_count],
+            parents: Vec::new(),
+            dedup: HashSet::new(),
+        }
+    }
+
+    /// The interface's tokens.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Number of instances ever created (valid or not).
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when no instances exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Borrow an instance.
+    pub fn get(&self, id: InstId) -> &Instance {
+        &self.instances[id.index()]
+    }
+
+    /// All instance ids of a symbol (including invalidated ones).
+    pub fn of_symbol(&self, s: SymbolId) -> &[InstId] {
+        &self.by_symbol[s.index()]
+    }
+
+    /// Valid instance ids of a symbol, in creation order.
+    pub fn valid_of_symbol(&self, s: SymbolId) -> Vec<InstId> {
+        self.by_symbol[s.index()]
+            .iter()
+            .copied()
+            .filter(|&i| self.get(i).valid)
+            .collect()
+    }
+
+    /// All instance ids.
+    pub fn ids(&self) -> impl Iterator<Item = InstId> {
+        (0..self.instances.len() as u32).map(InstId)
+    }
+
+    /// Parent instances (those using `id` as a component).
+    pub fn parents_of(&self, id: InstId) -> &[InstId] {
+        &self.parents[id.index()]
+    }
+
+    /// Adds a terminal instance for token `t`.
+    pub fn add_terminal(&mut self, symbol: SymbolId, token: &Token) -> InstId {
+        let id = InstId(self.instances.len() as u32);
+        self.instances.push(Instance {
+            symbol,
+            prod: None,
+            children: Vec::new(),
+            token: Some(token.id),
+            span: TokenSet::singleton(self.tokens.len(), token.id),
+            bbox: token.pos,
+            payload: Payload::for_token(token),
+            valid: true,
+        });
+        self.by_symbol[symbol.index()].push(id);
+        self.parents.push(Vec::new());
+        id
+    }
+
+    /// True when an instance for `(prod, children)` already exists.
+    pub fn seen(&self, prod: ProdId, children: &[InstId]) -> bool {
+        self.dedup.contains(&(prod, children.to_vec()))
+    }
+
+    /// Adds a nonterminal instance produced by `prod` over `children`.
+    /// The caller must have verified dedup, disjointness, and
+    /// constraints. Conditions in the payload get their token lists
+    /// filled from the new instance's span.
+    pub fn add_nonterminal(
+        &mut self,
+        symbol: SymbolId,
+        prod: ProdId,
+        children: Vec<InstId>,
+        mut payload: Payload,
+    ) -> InstId {
+        let mut span = TokenSet::new(self.tokens.len());
+        let mut bbox: Option<BBox> = None;
+        for &c in &children {
+            let child = self.get(c);
+            span.union_with(&child.span);
+            bbox = Some(bbox.map_or(child.bbox, |b| b.union(&child.bbox)));
+        }
+        if let Payload::Cond(c) = &mut payload {
+            c.tokens = span.iter().collect();
+        }
+        let id = InstId(self.instances.len() as u32);
+        self.dedup.insert((prod, children.clone()));
+        for &c in &children {
+            self.parents[c.index()].push(id);
+        }
+        self.instances.push(Instance {
+            symbol,
+            prod: Some(prod),
+            children,
+            token: None,
+            span,
+            bbox: bbox.unwrap_or(BBox::ZERO),
+            payload,
+            valid: true,
+        });
+        self.by_symbol[symbol.index()].push(id);
+        self.parents.push(Vec::new());
+        id
+    }
+
+    /// Marks an instance invalid; returns whether it was valid before.
+    pub fn invalidate(&mut self, id: InstId) -> bool {
+        let inst = &mut self.instances[id.index()];
+        let was = inst.valid;
+        inst.valid = false;
+        was
+    }
+
+    /// A constraint/constructor view of an instance.
+    pub fn view(&self, id: InstId) -> View<'_> {
+        let inst = self.get(id);
+        View {
+            bbox: inst.bbox,
+            payload: &inst.payload,
+            token: inst.token.map(|t| &self.tokens[t.index()]),
+        }
+    }
+
+    /// How loosely an instance's components are arranged — the
+    /// "inter-component distance" preferences compare (paper Figure 13
+    /// discussion). Zero for terminals and unary instances.
+    ///
+    /// The measure is arrangement-aware: components on a shared row
+    /// score their edge distance, while vertically stacked components
+    /// score a large constant plus distance. This encodes the
+    /// presentation convention that horizontal adjacency binds tighter
+    /// than vertical adjacency (a label reads with the widget *beside*
+    /// it before the widget *below* it).
+    pub fn spread(&self, id: InstId) -> i32 {
+        const STACKED: i32 = 1000;
+        let prox = metaform_core::Proximity::default();
+        let children = &self.get(id).children;
+        let mut max = 0;
+        for (i, &a) in children.iter().enumerate() {
+            for &b in &children[i + 1..] {
+                let (ba, bb) = (self.get(a).bbox, self.get(b).bbox);
+                let d = ba.distance(&bb);
+                let score = if metaform_core::relations::same_row(&ba, &bb, &prox) {
+                    d
+                } else {
+                    STACKED + d
+                };
+                max = max.max(score);
+            }
+        }
+        max
+    }
+
+    /// Is `ancestor` a (possibly transitive) structural ancestor of
+    /// `descendant`? Pruned by span containment.
+    pub fn is_ancestor(&self, ancestor: InstId, descendant: InstId) -> bool {
+        if ancestor == descendant {
+            return false;
+        }
+        let dspan = &self.get(descendant).span;
+        if !dspan.is_subset(&self.get(ancestor).span) {
+            return false;
+        }
+        let mut stack = vec![ancestor];
+        while let Some(cur) = stack.pop() {
+            for &c in &self.get(cur).children {
+                if c == descendant {
+                    return true;
+                }
+                if dspan.is_subset(&self.get(c).span) {
+                    stack.push(c);
+                }
+            }
+        }
+        false
+    }
+
+    /// All instances in the derivation of `root` (inclusive), deduped.
+    pub fn tree_nodes(&self, root: InstId) -> Vec<InstId> {
+        let mut seen = vec![false; self.instances.len()];
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(cur) = stack.pop() {
+            if seen[cur.index()] {
+                continue;
+            }
+            seen[cur.index()] = true;
+            out.push(cur);
+            stack.extend(self.get(cur).children.iter().copied());
+        }
+        out
+    }
+
+    /// Tokens covered by no instance in `roots`.
+    pub fn uncovered_tokens(&self, roots: &[InstId]) -> Vec<TokenId> {
+        let mut covered = TokenSet::new(self.tokens.len());
+        for &r in roots {
+            covered.union_with(&self.get(r).span);
+        }
+        self.tokens
+            .iter()
+            .map(|t| t.id)
+            .filter(|&t| !covered.contains(t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaform_core::TokenKind;
+    use metaform_grammar::SymbolTable;
+
+    fn setup() -> (Chart, SymbolId, SymbolId, SymbolId) {
+        let mut syms = SymbolTable::new();
+        let text_sym = syms.terminal(TokenKind::Text);
+        let tb_sym = syms.terminal(TokenKind::Textbox);
+        let nt = syms.intern("TextVal");
+        let tokens = vec![
+            Token::text(0, "Author", BBox::new(0, 0, 40, 16)),
+            Token::widget(1, TokenKind::Textbox, "q", BBox::new(50, 0, 190, 20)),
+        ];
+        let chart = Chart::new(tokens, syms.len());
+        (chart, text_sym, tb_sym, nt)
+    }
+
+    #[test]
+    fn terminal_instances() {
+        let (mut chart, text_sym, tb_sym, _) = setup();
+        let t0 = chart.tokens()[0].clone();
+        let t1 = chart.tokens()[1].clone();
+        let a = chart.add_terminal(text_sym, &t0);
+        let b = chart.add_terminal(tb_sym, &t1);
+        assert_eq!(chart.len(), 2);
+        assert_eq!(chart.get(a).span.count(), 1);
+        assert!(chart.get(a).valid);
+        assert_eq!(chart.of_symbol(text_sym), &[a]);
+        assert_eq!(chart.of_symbol(tb_sym), &[b]);
+        assert_eq!(chart.view(a).payload.text(), Some("Author"));
+        assert!(chart.view(b).token.is_some());
+    }
+
+    #[test]
+    fn nonterminal_assembly_fills_condition_tokens() {
+        let (mut chart, text_sym, tb_sym, nt) = setup();
+        let t0 = chart.tokens()[0].clone();
+        let t1 = chart.tokens()[1].clone();
+        let a = chart.add_terminal(text_sym, &t0);
+        let b = chart.add_terminal(tb_sym, &t1);
+        let cond = metaform_core::Condition::new(
+            "Author",
+            vec![],
+            metaform_core::DomainSpec::text(),
+            vec![],
+        );
+        let id = chart.add_nonterminal(
+            nt,
+            ProdId(0),
+            vec![a, b],
+            Payload::Cond(cond),
+        );
+        let inst = chart.get(id);
+        assert_eq!(inst.span.count(), 2);
+        assert_eq!(inst.bbox, BBox::new(0, 0, 190, 20));
+        let got = &inst.payload.conditions()[0];
+        assert_eq!(got.tokens, vec![TokenId(0), TokenId(1)]);
+        assert_eq!(chart.parents_of(a), &[id]);
+        assert!(chart.seen(ProdId(0), &[a, b]));
+        assert!(!chart.seen(ProdId(0), &[b, a]));
+    }
+
+    #[test]
+    fn invalidate_and_valid_filter() {
+        let (mut chart, text_sym, ..) = setup();
+        let t0 = chart.tokens()[0].clone();
+        let a = chart.add_terminal(text_sym, &t0);
+        assert_eq!(chart.valid_of_symbol(text_sym), vec![a]);
+        assert!(chart.invalidate(a));
+        assert!(!chart.invalidate(a), "second call reports already-invalid");
+        assert!(chart.valid_of_symbol(text_sym).is_empty());
+        assert_eq!(chart.of_symbol(text_sym).len(), 1, "index keeps the id");
+    }
+
+    #[test]
+    fn ancestry_and_tree_walk() {
+        let (mut chart, text_sym, tb_sym, nt) = setup();
+        let t0 = chart.tokens()[0].clone();
+        let t1 = chart.tokens()[1].clone();
+        let a = chart.add_terminal(text_sym, &t0);
+        let b = chart.add_terminal(tb_sym, &t1);
+        let p = chart.add_nonterminal(nt, ProdId(0), vec![a, b], Payload::None);
+        assert!(chart.is_ancestor(p, a));
+        assert!(chart.is_ancestor(p, b));
+        assert!(!chart.is_ancestor(a, p));
+        assert!(!chart.is_ancestor(p, p));
+        let mut nodes = chart.tree_nodes(p);
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![a, b, p]);
+    }
+
+    #[test]
+    fn spread_measures_component_distance() {
+        let (mut chart, text_sym, tb_sym, nt) = setup();
+        let t0 = chart.tokens()[0].clone();
+        let t1 = chart.tokens()[1].clone();
+        let a = chart.add_terminal(text_sym, &t0);
+        let b = chart.add_terminal(tb_sym, &t1);
+        assert_eq!(chart.spread(a), 0);
+        let p = chart.add_nonterminal(nt, ProdId(0), vec![a, b], Payload::None);
+        assert_eq!(chart.spread(p), 10, "gap between the two boxes");
+    }
+
+    #[test]
+    fn uncovered_tokens_reports_gaps() {
+        let (mut chart, text_sym, ..) = setup();
+        let t0 = chart.tokens()[0].clone();
+        let a = chart.add_terminal(text_sym, &t0);
+        assert_eq!(chart.uncovered_tokens(&[a]), vec![TokenId(1)]);
+        assert_eq!(chart.uncovered_tokens(&[]).len(), 2);
+    }
+}

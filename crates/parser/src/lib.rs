@@ -1,0 +1,35 @@
+//! # metaform-parser
+//!
+//! The **best-effort parser** for 2P grammars (paper §5): a fix-point
+//! bottom-up parser that, instead of insisting on a single perfect
+//! parse, (a) prunes wrong interpretations as much and as early as
+//! possible — *just-in-time pruning* via the 2P schedule, with
+//! *rollback* compensating dropped r-edges — and (b) interprets the
+//! input as much as possible — *partial tree maximization* by maximum
+//! subsumption. The companion **merger** unions the maximal trees'
+//! conditions into the final semantic model and reports conflicts and
+//! missing elements.
+//!
+//! The exhaustive baseline of §4.2.1 is available through
+//! [`ParserOptions::brute_force`] for the ambiguity experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consistency;
+pub mod display;
+pub mod engine;
+pub mod instance;
+pub mod maximize;
+pub mod merger;
+pub mod stats;
+pub mod tokenset;
+
+pub use consistency::{check_preferences, Consistency};
+pub use display::render_tree;
+pub use engine::{parse, parse_with, ParseResult, ParserOptions, PreferenceOrder};
+pub use instance::{Chart, InstId, Instance};
+pub use maximize::maximize;
+pub use merger::merge;
+pub use stats::ParseStats;
+pub use tokenset::TokenSet;

@@ -1,0 +1,142 @@
+//! Partial tree maximization (paper §5.3).
+//!
+//! "We use *maximum subsumption* to choose parse trees that assemble a
+//! maximum set of tokens not subsumed by any other parse." A complete
+//! parse is the special case of a single maximal tree covering all
+//! tokens. Maximal trees may overlap (Figure 14 trees 2–4), which is
+//! what the merger's conflict reporting is for.
+
+use crate::instance::{Chart, InstId};
+use metaform_grammar::Grammar;
+
+/// Selects the maximal partial parse trees of a chart: valid
+/// nonterminal instances whose token span is not strictly subsumed by
+/// another valid instance's span. Among equal-span instances, only the
+/// topmost of a unary derivation chain is kept (e.g. `QI ← HQI ← CP`
+/// over the same tokens yields one tree rooted at `QI`).
+///
+/// Returned largest-span first (ties: lower instance id first) so the
+/// merger visits broader context earlier.
+pub fn maximize(chart: &Chart, grammar: &Grammar) -> Vec<InstId> {
+    let valid: Vec<InstId> = chart
+        .ids()
+        .filter(|&i| {
+            let inst = chart.get(i);
+            inst.valid && inst.prod.is_some() && !inst.span.is_empty()
+        })
+        .collect();
+
+    // Keep instances whose span is not strictly contained in another
+    // valid instance's span.
+    let mut maximal: Vec<InstId> = valid
+        .iter()
+        .copied()
+        .filter(|&i| {
+            let span = &chart.get(i).span;
+            !valid.iter().any(|&j| {
+                j != i && span.is_strict_subset(&chart.get(j).span)
+            })
+        })
+        .collect();
+
+    // Equal-span chains: drop instances that are descendants of another
+    // selected instance with the same span.
+    let snapshot = maximal.clone();
+    maximal.retain(|&i| {
+        !snapshot.iter().any(|&j| {
+            j != i
+                && chart.get(i).span == chart.get(j).span
+                && chart.is_ancestor(j, i)
+        })
+    });
+
+    maximal.sort_by_key(|&i| {
+        (
+            std::cmp::Reverse(chart.get(i).span.count()),
+            i,
+        )
+    });
+    let _ = grammar; // reserved for future symbol-rank tie-breaking
+    maximal
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::engine::parse;
+    use metaform_core::{BBox, Token, TokenKind};
+    use metaform_grammar::paper_example_grammar;
+
+    fn label_box_pair(id0: u32, label: &str, x: i32, y: i32) -> Vec<Token> {
+        let w = label.len() as i32 * 7;
+        vec![
+            Token::text(id0, label, BBox::new(x, y + 4, x + w, y + 20)),
+            Token::widget(
+                id0 + 1,
+                TokenKind::Textbox,
+                "f",
+                BBox::new(x + w + 8, y, x + w + 148, y + 20),
+            ),
+        ]
+    }
+
+    #[test]
+    fn complete_parse_is_single_maximal_tree() {
+        let g = paper_example_grammar();
+        let tokens = label_box_pair(0, "Author", 10, 10);
+        let res = parse(&g, &tokens);
+        assert_eq!(res.trees.len(), 1);
+        let root = res.chart.get(res.trees[0]);
+        assert_eq!(g.symbols.name(root.symbol), "QI", "topmost of the chain");
+        assert_eq!(root.span.count(), 2);
+    }
+
+    #[test]
+    fn disconnected_regions_yield_multiple_maximal_trees() {
+        let g = paper_example_grammar();
+        let mut tokens = label_box_pair(0, "Author", 10, 10);
+        // Far below and not vertically stackable (x-disjoint, gap >
+        // AboveWithin limit).
+        tokens.extend(label_box_pair(2, "Title", 500, 600));
+        let res = parse(&g, &tokens);
+        assert_eq!(res.trees.len(), 2, "two partial interpretations");
+        let spans: Vec<usize> = res
+            .trees
+            .iter()
+            .map(|&t| res.chart.get(t).span.count())
+            .collect();
+        assert_eq!(spans, vec![2, 2]);
+        // Union covers everything: nothing missing.
+        assert!(res.chart.uncovered_tokens(&res.trees).is_empty());
+    }
+
+    #[test]
+    fn decorative_text_left_uncovered() {
+        let g = paper_example_grammar();
+        let mut tokens = vec![Token::text(
+            0,
+            "this long banner headline is certainly not an attribute label at all",
+            BBox::new(10, 0, 400, 16),
+        )];
+        tokens.extend(label_box_pair(1, "Author", 10, 40));
+        let res = parse(&g, &tokens);
+        assert_eq!(res.trees.len(), 1);
+        let uncovered = res.chart.uncovered_tokens(&res.trees);
+        assert_eq!(uncovered, vec![metaform_core::TokenId(0)]);
+    }
+
+    #[test]
+    fn ordering_is_largest_first() {
+        let g = paper_example_grammar();
+        let mut tokens = label_box_pair(0, "Author", 10, 10);
+        tokens.extend(label_box_pair(2, "Title", 10, 40));
+        // Third, disconnected pair far away.
+        tokens.extend(label_box_pair(4, "Price", 600, 700));
+        let res = parse(&g, &tokens);
+        assert_eq!(res.trees.len(), 2);
+        let first = res.chart.get(res.trees[0]).span.count();
+        let second = res.chart.get(res.trees[1]).span.count();
+        assert!(first >= second);
+        assert_eq!(first, 4, "stacked Author+Title rows grouped into one QI");
+    }
+}

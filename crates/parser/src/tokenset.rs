@@ -1,0 +1,171 @@
+//! Dense bitsets over token ids.
+//!
+//! Every instance records which tokens its derivation covers; conflict
+//! detection (span intersection) and subsumption tests are the hottest
+//! operations in preference enforcement and partial-tree maximization,
+//! so they run word-wise over a compact bitset.
+
+use metaform_core::TokenId;
+
+/// A set of token ids, sized at construction for one interface.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TokenSet {
+    words: Vec<u64>,
+    len: u32,
+}
+
+impl TokenSet {
+    /// Empty set able to hold ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        TokenSet {
+            words: vec![0; capacity.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Singleton set.
+    pub fn singleton(capacity: usize, id: TokenId) -> Self {
+        let mut s = Self::new(capacity);
+        s.insert(id);
+        s
+    }
+
+    /// Adds an id.
+    pub fn insert(&mut self, id: TokenId) {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let mask = 1u64 << b;
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.len += 1;
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: TokenId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        self.words
+            .get(w)
+            .is_some_and(|word| word & (1u64 << b) != 0)
+    }
+
+    /// Number of ids in the set.
+    pub fn count(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no ids are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &TokenSet) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        self.len = self.words.iter().map(|w| w.count_ones()).sum();
+    }
+
+    /// Do the sets share any id?
+    pub fn intersects(&self, other: &TokenSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &TokenSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Is `self ⊂ other` (subset and strictly smaller)?
+    pub fn is_strict_subset(&self, other: &TokenSet) -> bool {
+        self.len < other.len && self.is_subset(other)
+    }
+
+    /// Ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = TokenId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros();
+                w &= w - 1;
+                Some(TokenId((wi * 64) as u32 + b))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut s = TokenSet::new(100);
+        assert!(s.is_empty());
+        s.insert(TokenId(0));
+        s.insert(TokenId(63));
+        s.insert(TokenId(64));
+        s.insert(TokenId(99));
+        s.insert(TokenId(99)); // duplicate
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(TokenId(63)));
+        assert!(s.contains(TokenId(64)));
+        assert!(!s.contains(TokenId(1)));
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let mut a = TokenSet::new(130);
+        let mut b = TokenSet::new(130);
+        a.insert(TokenId(3));
+        a.insert(TokenId(127));
+        b.insert(TokenId(64));
+        assert!(!a.intersects(&b));
+        a.union_with(&b);
+        assert_eq!(a.count(), 3);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let mut small = TokenSet::new(80);
+        let mut big = TokenSet::new(80);
+        for i in [1u32, 70] {
+            small.insert(TokenId(i));
+            big.insert(TokenId(i));
+        }
+        big.insert(TokenId(5));
+        assert!(small.is_subset(&big));
+        assert!(small.is_strict_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(small.is_subset(&small));
+        assert!(!small.is_strict_subset(&small));
+    }
+
+    #[test]
+    fn iter_yields_sorted_ids() {
+        let mut s = TokenSet::new(200);
+        for i in [150u32, 3, 64, 65] {
+            s.insert(TokenId(i));
+        }
+        let ids: Vec<u32> = s.iter().map(|t| t.0).collect();
+        assert_eq!(ids, vec![3, 64, 65, 150]);
+    }
+
+    #[test]
+    fn singleton() {
+        let s = TokenSet::singleton(10, TokenId(7));
+        assert_eq!(s.count(), 1);
+        assert!(s.contains(TokenId(7)));
+    }
+}

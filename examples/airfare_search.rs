@@ -1,0 +1,60 @@
+//! Best-effort parsing under grammar incompleteness: the aa.com-style
+//! interface (Qaa, Figure 3(b)) and its column-major variation
+//! (Figure 14), where multiple partial parse trees are merged and a
+//! conflicting token claim is reported.
+//!
+//! ```text
+//! cargo run --example airfare_search
+//! ```
+
+use metaform::{global_grammar, FormExtractor};
+use metaform_datasets::fixtures::{qaa, qaa_column_variant};
+use metaform_parser::{merge, parse};
+
+fn main() {
+    // Part 1: the well-formed interface parses into one model.
+    let source = qaa();
+    println!("== {} ==", source.name);
+    let extraction = FormExtractor::new().extract(&source.html);
+    for condition in &extraction.report.conditions {
+        println!("  {condition}");
+    }
+
+    // Part 2: the Figure 14 variation. Its lower part is arranged
+    // column by column, which the grammar's row-major form pattern does
+    // not capture, so parsing stops at multiple maximal partial trees.
+    println!("\n== column-by-column variation (paper Figure 14) ==");
+    let html = qaa_column_variant();
+    let grammar = global_grammar();
+
+    let doc = metaform_html::parse(&html);
+    let layout = metaform_layout::layout(&doc);
+    let tokens = metaform_tokenizer::tokenize(&doc, &layout).tokens;
+    let result = parse(&grammar, &tokens);
+
+    println!(
+        "{} tokens, {} maximal partial parse trees:",
+        tokens.len(),
+        result.trees.len()
+    );
+    for (i, &tree) in result.trees.iter().enumerate() {
+        let inst = result.chart.get(tree);
+        println!(
+            "  tree {}: rooted at {}, covering {} tokens",
+            i + 1,
+            grammar.symbols.name(inst.symbol),
+            inst.span.count()
+        );
+    }
+
+    // The merger unions the trees' conditions and reports the contested
+    // token — the passenger list claimed by both "Adults" and
+    // "Number of passengers", exactly the error class of Figure 14.
+    let report = merge(&result.chart, &result.trees);
+    println!("\nmerged semantic model:\n{report}");
+    assert!(
+        !report.conflicts.is_empty(),
+        "the passenger list must be contested"
+    );
+    println!("The client application decides such conflicts (paper §7).");
+}

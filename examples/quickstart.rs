@@ -1,0 +1,45 @@
+//! Quickstart: extract the semantic model of the paper's running
+//! example — amazon.com's book search (Qam, Figure 3(a)).
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use metaform::FormExtractor;
+use metaform_datasets::fixtures::qam;
+
+fn main() {
+    let source = qam();
+    println!("Input interface: {} ({} domain)\n", source.name, source.domain);
+
+    let extractor = FormExtractor::new();
+    let extraction = extractor.extract(&source.html);
+
+    println!("Extracted query capabilities:");
+    for condition in &extraction.report.conditions {
+        println!("  {condition}");
+    }
+
+    println!("\nParse diagnostics: {}", extraction.stats.summary());
+    if extraction.report.is_clean() {
+        println!("No conflicts, no missing elements — a complete understanding.");
+    } else {
+        println!("{}", extraction.report);
+    }
+
+    // The condition the paper walks through: c_author with its three
+    // operator radio buttons.
+    let author = extraction
+        .report
+        .conditions
+        .iter()
+        .find(|c| c.attribute == "Author")
+        .expect("Qam always yields an author condition");
+    assert_eq!(author.operators.len(), 3);
+    println!(
+        "\nc_author = [{}; {{{}}}; {}] — as in paper §1.",
+        author.attribute,
+        author.operators.join(", "),
+        author.domain
+    );
+}

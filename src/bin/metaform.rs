@@ -1,0 +1,160 @@
+//! `metaform` — command-line form extractor.
+//!
+//! ```text
+//! metaform <page.html>          extract and print the semantic model
+//! metaform - < page.html       read the page from stdin
+//! metaform --tokens <page>     also print the visual tokens
+//! metaform --ascii <page>      draw the rendered layout as ASCII art
+//! metaform --trees <page>      also print the maximal parse trees
+//! metaform --grammar           print the derived global grammar
+//! metaform --export-grammar    print the grammar in its textual (.2pg) form
+//! metaform --grammar-file <f>  parse with a grammar loaded from a .2pg file
+//! metaform --schedule-dot      print the 2P schedule graph as DOT
+//! ```
+
+use metaform::{global_grammar, FormExtractor};
+use metaform_grammar::{build_schedule, schedule_to_dot};
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Options {
+    show_tokens: bool,
+    show_trees: bool,
+    show_ascii: bool,
+    grammar_file: Option<String>,
+    input: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: metaform [--tokens] [--trees] [--ascii] [--grammar-file <f.2pg>] <page.html | ->\n\
+         \x20      metaform --grammar | --export-grammar | --schedule-dot"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options {
+        show_tokens: false,
+        show_trees: false,
+        show_ascii: false,
+        grammar_file: None,
+        input: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--export-grammar" => {
+                print!("{}", metaform_grammar::to_dsl(&global_grammar()));
+                return ExitCode::SUCCESS;
+            }
+            "--grammar-file" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--grammar-file needs a path");
+                    return usage();
+                };
+                opts.grammar_file = Some(path);
+            }
+            "--grammar" => {
+                print!("{}", global_grammar().describe());
+                return ExitCode::SUCCESS;
+            }
+            "--schedule-dot" => {
+                let g = global_grammar();
+                let s = build_schedule(&g).expect("global grammar schedulable");
+                print!("{}", schedule_to_dot(&g, &s));
+                return ExitCode::SUCCESS;
+            }
+            "--tokens" => opts.show_tokens = true,
+            "--ascii" => opts.show_ascii = true,
+            "--trees" => opts.show_trees = true,
+            "--help" | "-h" => {
+                let _ = usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown option: {other}");
+                return usage();
+            }
+            path => opts.input = Some(path.to_string()),
+        }
+    }
+    let Some(path) = opts.input else {
+        return usage();
+    };
+
+    let html = if path == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("error: stdin is not valid UTF-8");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let extractor = match &opts.grammar_file {
+        Some(path) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match metaform_grammar::from_dsl(&src) {
+                Ok(g) => FormExtractor::with_grammar(g),
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => FormExtractor::new(),
+    };
+    if opts.show_ascii {
+        let doc = metaform_html::parse(&html);
+        let lay = metaform_layout::layout(&doc);
+        println!("{}", metaform_layout::ascii_render(&doc, &lay));
+    }
+    let extraction = extractor.extract(&html);
+    if opts.show_tokens {
+        println!("tokens ({}):", extraction.tokens.len());
+        for t in &extraction.tokens {
+            let extra = if t.kind == metaform::TokenKind::Text {
+                format!(" {:?}", t.sval)
+            } else if !t.name.is_empty() {
+                format!(" name={}", t.name)
+            } else {
+                String::new()
+            };
+            println!("  {:?} {} {:?}{extra}", t.id, t.kind, t.pos);
+        }
+        println!();
+    }
+    if opts.show_trees {
+        println!("parse: {}", extraction.stats.summary());
+        let grammar = match &opts.grammar_file {
+            Some(path) => metaform_grammar::from_dsl(
+                &std::fs::read_to_string(path).expect("read above"),
+            )
+            .expect("parsed above"),
+            None => global_grammar(),
+        };
+        let result = metaform::parse(&grammar, &extraction.tokens);
+        for (i, &tree) in result.trees.iter().enumerate() {
+            println!("\nmaximal tree {}:", i + 1);
+            print!("{}", metaform_parser::render_tree(&result.chart, &grammar, tree));
+        }
+        println!();
+    }
+    print!("{}", extraction.report);
+    ExitCode::SUCCESS
+}

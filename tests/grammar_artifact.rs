@@ -1,0 +1,37 @@
+//! The shipped grammar artifact (`grammars/global.2pg`) must stay in
+//! sync with the built-in derived grammar — the analogue of the paper
+//! publishing its grammar online.
+
+use metaform::global_grammar;
+use metaform_grammar::{build_schedule, from_dsl, to_dsl};
+
+fn artifact() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/grammars/global.2pg");
+    std::fs::read_to_string(path).expect("grammars/global.2pg exists")
+}
+
+#[test]
+fn shipped_grammar_matches_builtin() {
+    assert_eq!(
+        artifact(),
+        to_dsl(&global_grammar()),
+        "regenerate with: cargo run --bin metaform -- --export-grammar > grammars/global.2pg"
+    );
+}
+
+#[test]
+fn shipped_grammar_loads_and_schedules() {
+    let g = from_dsl(&artifact()).expect("artifact parses");
+    assert_eq!(g.productions.len(), global_grammar().productions.len());
+    let schedule = build_schedule(&g).expect("schedulable");
+    assert_eq!(schedule.rollback_prefs().count(), 0);
+}
+
+#[test]
+fn shipped_grammar_extracts_like_builtin() {
+    let g = from_dsl(&artifact()).expect("artifact parses");
+    let html = metaform_datasets::fixtures::qam().html;
+    let builtin = metaform::FormExtractor::new().extract(&html);
+    let loaded = metaform::FormExtractor::with_grammar(g).extract(&html);
+    assert_eq!(builtin.report, loaded.report);
+}

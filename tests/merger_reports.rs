@@ -1,0 +1,90 @@
+//! Integration tests of the merger's error reporting (paper §3.4):
+//! conflicts and missing elements across the full pipeline.
+
+use metaform::{global_grammar, FormExtractor};
+use metaform_datasets::fixtures::qaa_column_variant;
+use metaform_parser::{merge, parse};
+
+fn tokens_of(html: &str) -> Vec<metaform::Token> {
+    let doc = metaform_html::parse(html);
+    let layout = metaform_layout::layout(&doc);
+    metaform_tokenizer::tokenize(&doc, &layout).tokens
+}
+
+#[test]
+fn figure14_conflict_is_reported_and_union_covers() {
+    let html = qaa_column_variant();
+    let grammar = global_grammar();
+    let tokens = tokens_of(&html);
+    let result = parse(&grammar, &tokens);
+
+    assert!(result.trees.len() >= 2, "partial parses expected");
+    assert!(!result.stats.complete);
+
+    let report = merge(&result.chart, &result.trees);
+    // Both claims stay in the model, the conflict is surfaced.
+    let attrs: Vec<&str> = report
+        .conditions
+        .iter()
+        .map(|c| c.attribute.as_str())
+        .collect();
+    assert!(attrs.contains(&"Adults"), "{attrs:?}");
+    assert!(attrs.contains(&"Number of passengers"), "{attrs:?}");
+    assert_eq!(report.conflicts.len(), 1, "{:#?}", report.conflicts);
+    let conflict = &report.conflicts[0];
+    let kept = &report.conditions[conflict.kept];
+    let dropped = &report.conditions[conflict.dropped];
+    assert_ne!(kept.attribute, dropped.attribute);
+    // The contested token belongs to both conditions.
+    assert!(kept.tokens.contains(&conflict.token));
+    assert!(dropped.tokens.contains(&conflict.token));
+    // Union of the trees still covers everything.
+    assert!(report.missing.is_empty(), "{:?}", report.missing);
+}
+
+#[test]
+fn uncaptured_widgets_become_missing_elements() {
+    // A file-upload input participates in no condition pattern; only
+    // the ActionRow covers it, and a stray password box with no label
+    // gets a keyword fallback. A lone radio button is truly missing.
+    let html = r#"<form>
+      Author <input type="text" name="a" size="20"><br>
+      <input type="radio" name="solo"><br>
+      <input type="submit" value="Go"></form>"#;
+    let extraction = FormExtractor::new().extract(html);
+    assert_eq!(extraction.report.conditions.len(), 1);
+    assert_eq!(
+        extraction.report.missing.len(),
+        1,
+        "{:?}",
+        extraction.report.missing
+    );
+}
+
+#[test]
+fn decorative_banner_is_missing_not_misparsed() {
+    let html = r#"<form>
+      This engine searches over four million listings updated daily for your convenience<br>
+      Author <input type="text" name="a" size="20"><br>
+      <input type="submit" value="Go"></form>"#;
+    let extraction = FormExtractor::new().extract(html);
+    assert_eq!(extraction.report.conditions.len(), 1);
+    assert_eq!(extraction.report.conditions[0].attribute, "Author");
+    assert_eq!(extraction.report.missing.len(), 1, "the banner text");
+}
+
+#[test]
+fn overlapping_trees_do_not_duplicate_equivalent_conditions() {
+    let html = qaa_column_variant();
+    let extraction = FormExtractor::new().extract(&html);
+    let mut attrs: Vec<String> = extraction
+        .report
+        .conditions
+        .iter()
+        .map(|c| format!("{}/{}", c.normalized_attribute(), c.domain.kind.name()))
+        .collect();
+    let before = attrs.len();
+    attrs.sort();
+    attrs.dedup();
+    assert_eq!(attrs.len(), before, "no equivalent duplicates in the union");
+}

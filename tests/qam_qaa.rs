@@ -1,0 +1,106 @@
+//! Integration tests for the paper's walk-through interfaces
+//! (Figure 3): Qam (amazon.com) and Qaa (aa.com), end to end through
+//! the full pipeline.
+
+use metaform::{DomainKind, FormExtractor, TokenKind};
+use metaform_datasets::fixtures::{figure5_fragment, qaa, qam};
+
+#[test]
+fn qam_full_semantic_model() {
+    let source = qam();
+    let extraction = FormExtractor::new().extract(&source.html);
+    let conditions = &extraction.report.conditions;
+
+    assert_eq!(conditions.len(), 5, "{conditions:#?}");
+    let attrs: Vec<&str> = conditions.iter().map(|c| c.attribute.as_str()).collect();
+    assert_eq!(attrs, vec!["Author", "Title", "Subject", "ISBN", "Publisher"]);
+
+    // The three operator rows carry their radio captions as operators.
+    for (i, ops) in [
+        &["first name/initials and last name", "start of last name", "exact name"][..],
+        &["title word(s)", "start(s) of title word(s)", "exact start of title"][..],
+        &["subject word(s)", "start(s) of subject word(s)", "exact subject"][..],
+    ]
+    .iter()
+    .enumerate()
+    {
+        assert_eq!(conditions[i].operators, ops.to_vec(), "row {i}");
+        assert_eq!(conditions[i].domain.kind, DomainKind::Text);
+    }
+    // ISBN/Publisher are plain keyword conditions.
+    assert!(conditions[3].operators.is_empty());
+    assert!(conditions[4].operators.is_empty());
+
+    assert!(extraction.report.is_clean());
+}
+
+#[test]
+fn qam_grouping_is_hierarchical() {
+    // The paper stresses c_author groups 8 elements: one caption, one
+    // textbox, three radio buttons, three radio captions.
+    let source = qam();
+    let extraction = FormExtractor::new().extract(&source.html);
+    let author = &extraction.report.conditions[0];
+    assert_eq!(author.tokens.len(), 8, "{:?}", author.tokens);
+}
+
+#[test]
+fn figure5_fragment_tokenizes_to_sixteen() {
+    let html = figure5_fragment();
+    let doc = metaform_html::parse(&html);
+    let layout = metaform_layout::layout(&doc);
+    let tokens = metaform_tokenizer::tokenize(&doc, &layout).tokens;
+    assert_eq!(tokens.len(), 16, "paper Figure 5 lists 16 tokens");
+    assert_eq!(
+        tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Radiobutton)
+            .count(),
+        6
+    );
+    assert_eq!(
+        tokens.iter().filter(|t| t.kind == TokenKind::Text).count(),
+        8
+    );
+}
+
+#[test]
+fn qaa_full_semantic_model() {
+    let source = qaa();
+    let extraction = FormExtractor::new().extract(&source.html);
+    let conditions = &extraction.report.conditions;
+
+    let find = |attr: &str| {
+        conditions
+            .iter()
+            .find(|c| c.attribute == attr)
+            .unwrap_or_else(|| panic!("{attr} missing from {conditions:#?}"))
+    };
+    assert_eq!(find("From").domain.kind, DomainKind::Text);
+    assert_eq!(find("To").domain.kind, DomainKind::Text);
+    assert_eq!(find("Departing").domain.kind, DomainKind::Date);
+    assert_eq!(find("Returning").domain.kind, DomainKind::Date);
+    assert_eq!(find("Adults").domain.kind, DomainKind::Numeric);
+    assert_eq!(find("Children").domain.kind, DomainKind::Numeric);
+
+    // The bare trip-type radios come out as an unlabeled enumeration.
+    let trip = conditions
+        .iter()
+        .find(|c| c.domain.values == vec!["Round trip".to_string(), "One way".to_string()])
+        .expect("trip-type enumeration");
+    assert_eq!(trip.domain.kind, DomainKind::Enumerated);
+}
+
+#[test]
+fn both_fixtures_score_perfectly() {
+    let extractor = FormExtractor::new();
+    for source in [qam(), qaa()] {
+        let score = metaform_eval::score_source(&extractor, &source);
+        assert_eq!(
+            (score.matched, score.extracted, score.truth),
+            (score.truth, score.truth, score.truth),
+            "{}: {score:?}",
+            source.name
+        );
+    }
+}
