@@ -1,0 +1,192 @@
+//! Offline stand-in for the slice of the `criterion` API this
+//! workspace's benches use: `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId::from_parameter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Semantics match upstream where it matters for this repo:
+//! - under `cargo bench` (the harness receives a `--bench` argument)
+//!   each routine is warmed up, timed over `sample_size` samples, and
+//!   a `name  time: [min mean max]` line is printed;
+//! - under `cargo test` (no `--bench` argument) each routine runs
+//!   once as a smoke test, so benches stay cheap in the test suite.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    run_measurements: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries with `--bench`; plain test runs
+        // (and direct execution) smoke-test instead of measuring.
+        let run_measurements = std::env::args().any(|a| a == "--bench");
+        Criterion { run_measurements }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let run_measurements = self.run_measurements;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            run_measurements,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    run_measurements: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| routine(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| routine(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: BenchmarkId, mut routine: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id.0);
+        if !self.run_measurements {
+            // Smoke mode: one iteration proves the routine still runs.
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            eprintln!("{label}: smoke ok");
+            return;
+        }
+        // Warm-up: estimate per-iteration cost off a single run.
+        let mut warm = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut warm);
+        let estimate = warm.elapsed.max(Duration::from_nanos(1));
+        // Aim for ~20 ms per sample, clamped to keep totals bounded.
+        let per_sample =
+            (Duration::from_millis(20).as_nanos() / estimate.as_nanos()).clamp(1, 100_000) as u64;
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: per_sample,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{label}  time: [{} {} {}]",
+            fmt_time(samples[0]),
+            fmt_time(mean),
+            fmt_time(*samples.last().unwrap()),
+        );
+    }
+}
+
+/// Timing handle passed to benchmark routines.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

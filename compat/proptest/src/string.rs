@@ -1,0 +1,197 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supports exactly what the workspace's property tests use: literal
+//! characters, character classes with ranges (`[a-zA-Z0-9 _.-]`),
+//! `\PC` (any printable character), and `{m}` / `{m,n}` / `?` / `*` /
+//! `+` quantifiers.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    /// Explicit character class, ranges pre-expanded.
+    Class(Vec<char>),
+    /// `\PC`: any printable character (mostly ASCII, some multibyte).
+    AnyPrintable,
+    Literal(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Non-ASCII printables sprinkled into `\PC` draws so multibyte UTF-8
+/// reaches the parsers under test.
+const WIDE: &[char] = &['é', 'ß', 'λ', '中', '文', '∑', '€', '→', 'Ω', 'ñ'];
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut items = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        items.push(chars[i + 1]);
+                        i += 2;
+                    } else {
+                        items.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                i += 1; // consume ']'
+                Atom::Class(expand_class(&items, pattern))
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape in {pattern:?}");
+                if chars[i + 1] == 'P' && i + 2 < chars.len() && chars[i + 2] == 'C' {
+                    i += 3;
+                    Atom::AnyPrintable
+                } else {
+                    let c = chars[i + 1];
+                    i += 2;
+                    Atom::Literal(c)
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            *i += 1;
+            let mut lo = String::new();
+            while chars.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+                lo.push(chars[*i]);
+                *i += 1;
+            }
+            let min: usize = lo
+                .parse()
+                .unwrap_or_else(|_| panic!("bad {{}} in {pattern:?}"));
+            let max = if chars.get(*i) == Some(&',') {
+                *i += 1;
+                let mut hi = String::new();
+                while chars.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+                    hi.push(chars[*i]);
+                    *i += 1;
+                }
+                hi.parse()
+                    .unwrap_or_else(|_| panic!("bad {{}} in {pattern:?}"))
+            } else {
+                min
+            };
+            assert_eq!(
+                chars.get(*i),
+                Some(&'}'),
+                "unterminated {{}} in {pattern:?}"
+            );
+            *i += 1;
+            (min, max)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn expand_class(items: &[char], pattern: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < items.len() {
+        // `a-z` is a range unless the `-` is first or last in the class.
+        if i + 2 < items.len() && items[i + 1] == '-' {
+            let (lo, hi) = (items[i], items[i + 2]);
+            assert!(lo <= hi, "bad range {lo}-{hi} in {pattern:?}");
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(items[i]);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "empty class in {pattern:?}");
+    out
+}
+
+fn printable(rng: &mut TestRng) -> char {
+    // 15/16 ASCII printable, 1/16 multibyte, to exercise both paths.
+    if rng.below(16) == 0 {
+        WIDE[rng.below(WIDE.len())]
+    } else {
+        char::from(0x20 + rng.below(0x7f - 0x20) as u8)
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let n = piece.min + rng.below(piece.max - piece.min + 1);
+        for _ in 0..n {
+            match &piece.atom {
+                Atom::Class(chars) => out.push(chars[rng.below(chars.len())]),
+                Atom::AnyPrintable => out.push(printable(rng)),
+                Atom::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn classes_ranges_and_quantifiers() {
+        let mut rng = TestRng::for_test("string::tests");
+        for _ in 0..500 {
+            let s = generate("[a-zA-Z0-9 ,.:;!?-]{0,120}", &mut rng);
+            assert!(s.len() <= 120);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " ,.:;!?-".contains(c)));
+
+            let t = generate("[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&t.len()));
+            assert!(t.chars().all(|c| c.is_ascii_lowercase()));
+
+            let p = generate("\\PC{0,300}", &mut rng);
+            assert!(p.chars().count() <= 300);
+            assert!(p.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn literals_and_fixed_counts() {
+        let mut rng = TestRng::for_test("string::tests2");
+        assert_eq!(generate("abc", &mut rng), "abc");
+        assert_eq!(generate("x{3}", &mut rng), "xxx");
+    }
+}

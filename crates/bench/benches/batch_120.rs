@@ -1,27 +1,47 @@
 //! E4 (§5.1): the paper's batch measurement — parsing 120 interfaces
-//! of average size ≈22 (paper: <100 s on 2004 hardware).
+//! of average size ≈22 (paper: <100 s on 2004 hardware) — in three
+//! regimes:
+//!
+//! * `cold_compile_per_interface` — the one-shot [`parse`] path, which
+//!   rebuilds the schedule and preference index for every interface;
+//! * `warm_shared_compiled` — one process-wide `CompiledGrammar`, one
+//!   recycled `ParseSession` for the whole batch;
+//! * `parallel_extract_batch` — `FormExtractor::extract_batch` over the
+//!   raw HTML pages, scoped worker threads sharing the compiled
+//!   grammar.
+//!
+//! The warm and parallel variants run under the compile-once contract,
+//! asserted here via the process-wide `schedule_build_count` /
+//! `compile_count` counters and the per-parse `schedules_built` stat.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use metaform_bench::tokens_of;
 use metaform_core::Token;
 use metaform_datasets::basic;
-use metaform_grammar::global_grammar;
-use metaform_parser::parse;
+use metaform_extractor::FormExtractor;
+use metaform_grammar::{compile_count, global_compiled, schedule_build_count};
+use metaform_parser::{parse, ParseSession};
 
 fn bench_batch(c: &mut Criterion) {
-    let grammar = global_grammar();
-    let batch: Vec<Vec<Token>> = basic()
+    let ds = basic();
+    let pages: Vec<&str> = ds
         .sources
         .iter()
         .take(120)
-        .map(|s| tokens_of(&s.html))
+        .map(|s| s.html.as_str())
         .collect();
+    let batch: Vec<Vec<Token>> = pages.iter().map(|p| tokens_of(p)).collect();
     let avg: f64 = batch.iter().map(Vec::len).sum::<usize>() as f64 / batch.len() as f64;
     eprintln!("batch_120: {} interfaces, avg {avg:.1} tokens", batch.len());
 
+    let compiled = global_compiled();
+    let grammar = compiled.grammar().clone();
+
     let mut group = c.benchmark_group("batch_120");
     group.sample_size(10);
-    group.bench_function("parse_120_interfaces", |b| {
+
+    // Cold: schedule + preference index rebuilt for every interface.
+    group.bench_function("cold_compile_per_interface", |b| {
         b.iter(|| {
             let mut trees = 0usize;
             for tokens in &batch {
@@ -30,6 +50,44 @@ fn bench_batch(c: &mut Criterion) {
             trees
         })
     });
+
+    // Warm: one shared compiled grammar, one recycled session.
+    let schedules_before = schedule_build_count();
+    group.bench_function("warm_shared_compiled", |b| {
+        let mut session = ParseSession::new(compiled.clone());
+        b.iter(|| {
+            let mut trees = 0usize;
+            for tokens in &batch {
+                let result = session.parse(tokens);
+                assert_eq!(result.stats.schedules_built, 0, "compile-once violated");
+                trees += result.trees.len();
+                session.recycle(result);
+            }
+            trees
+        })
+    });
+    assert_eq!(
+        schedule_build_count(),
+        schedules_before,
+        "warm variant must not rebuild any schedule"
+    );
+
+    // Parallel: extract_batch over the raw pages, end to end.
+    group.bench_function("parallel_extract_batch", |b| {
+        let extractor = FormExtractor::new();
+        b.iter(|| extractor.extract_batch(&pages).len())
+    });
+    let (_, stats) = FormExtractor::new().extract_batch_stats(&pages);
+    assert_eq!(
+        stats.schedules_built, 0,
+        "batch path must reuse the compiled grammar"
+    );
+    assert_eq!(
+        compile_count(),
+        1,
+        "the global grammar compiles exactly once per process"
+    );
+
     group.finish();
 }
 

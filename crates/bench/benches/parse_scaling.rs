@@ -3,23 +3,32 @@
 //! The paper reports ≈1 s for a 25-token interface on 2004 hardware;
 //! the claim to reproduce is the *shape*: tractable growth with token
 //! count despite the NP-complete general problem, thanks to
-//! just-in-time pruning.
+//! just-in-time pruning. Parses run through a recycled `ParseSession`
+//! so the measurement is pure parse work, not schedule rebuilding.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use metaform_bench::{mixed_form, synthetic_form, tokens_of};
-use metaform_grammar::global_grammar;
-use metaform_parser::parse;
+use metaform_grammar::global_compiled;
+use metaform_parser::ParseSession;
 
 fn bench_parse_scaling(c: &mut Criterion) {
-    let grammar = global_grammar();
+    let compiled = global_compiled();
     let mut group = c.benchmark_group("parse_scaling/simple_rows");
     group.sample_size(20);
     for rows in [5usize, 12, 25, 50] {
         let tokens = tokens_of(&synthetic_form(rows));
+        let mut session = ParseSession::new(compiled.clone());
         group.bench_with_input(
             BenchmarkId::from_parameter(tokens.len()),
             &tokens,
-            |b, tokens| b.iter(|| parse(&grammar, tokens)),
+            |b, tokens| {
+                b.iter(|| {
+                    let result = session.parse(tokens);
+                    let trees = result.trees.len();
+                    session.recycle(result);
+                    trees
+                })
+            },
         );
     }
     group.finish();
@@ -28,10 +37,18 @@ fn bench_parse_scaling(c: &mut Criterion) {
     group.sample_size(20);
     for groups in [1usize, 2, 4] {
         let tokens = tokens_of(&mixed_form(groups));
+        let mut session = ParseSession::new(compiled.clone());
         group.bench_with_input(
             BenchmarkId::from_parameter(tokens.len()),
             &tokens,
-            |b, tokens| b.iter(|| parse(&grammar, tokens)),
+            |b, tokens| {
+                b.iter(|| {
+                    let result = session.parse(tokens);
+                    let trees = result.trees.len();
+                    session.recycle(result);
+                    trees
+                })
+            },
         );
     }
     group.finish();

@@ -1,34 +1,53 @@
 //! E12: cost of each parser component — full best-effort vs brute
-//! force vs rollback disabled — on a mixed workload.
+//! force vs rollback disabled — on a mixed workload. One compiled
+//! grammar serves all modes; each mode gets its own recycled session.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use metaform_bench::{mixed_form, tokens_of};
-use metaform_grammar::global_grammar;
-use metaform_parser::{parse_with, ParserOptions};
+use metaform_grammar::global_compiled;
+use metaform_parser::{ParseSession, ParserOptions};
 
 fn bench_parser_ablation(c: &mut Criterion) {
-    let grammar = global_grammar();
+    let compiled = global_compiled();
     let tokens = tokens_of(&mixed_form(2));
 
     let mut group = c.benchmark_group("parser_ablation");
     // The brute-force mode takes seconds per iteration; keep samples low.
     group.sample_size(10);
     group.bench_function("full", |b| {
-        b.iter(|| parse_with(&grammar, &tokens, &ParserOptions::default()))
+        let mut session = ParseSession::new(compiled.clone());
+        b.iter(|| {
+            let result = session.parse(&tokens);
+            let created = result.stats.created;
+            session.recycle(result);
+            created
+        })
     });
     group.bench_function("no_rollback", |b| {
         let opts = ParserOptions {
             rollback: false,
             ..ParserOptions::default()
         };
-        b.iter(|| parse_with(&grammar, &tokens, &opts))
+        let mut session = ParseSession::with_options(compiled.clone(), opts);
+        b.iter(|| {
+            let result = session.parse(&tokens);
+            let created = result.stats.created;
+            session.recycle(result);
+            created
+        })
     });
     group.bench_function("no_preferences", |b| {
         let opts = ParserOptions {
             max_instances: 500_000,
             ..ParserOptions::brute_force()
         };
-        b.iter(|| parse_with(&grammar, &tokens, &opts))
+        let mut session = ParseSession::with_options(compiled.clone(), opts);
+        b.iter(|| {
+            let result = session.parse(&tokens);
+            let created = result.stats.created;
+            session.recycle(result);
+            created
+        })
     });
     group.finish();
 }

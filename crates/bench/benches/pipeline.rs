@@ -4,12 +4,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use metaform_datasets::fixtures::qam;
 use metaform_extractor::FormExtractor;
-use metaform_grammar::global_grammar;
-use metaform_parser::{merge, parse};
+use metaform_parser::merge;
 
 fn bench_pipeline(c: &mut Criterion) {
     let html = qam().html;
-    let grammar = global_grammar();
+    let extractor = FormExtractor::new();
 
     let mut group = c.benchmark_group("pipeline/qam");
     group.bench_function("html_parse", |b| b.iter(|| metaform_html::parse(&html)));
@@ -23,12 +22,19 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 
     let tokens = metaform_tokenizer::tokenize(&doc, &lay).tokens;
-    group.bench_function("parse", |b| b.iter(|| parse(&grammar, &tokens)));
+    group.bench_function("parse", |b| {
+        let mut session = extractor.session();
+        b.iter(|| {
+            let result = session.parse(&tokens);
+            let trees = result.trees.len();
+            session.recycle(result);
+            trees
+        })
+    });
 
-    let parsed = parse(&grammar, &tokens);
+    let parsed = extractor.session().parse(&tokens);
     group.bench_function("merge", |b| b.iter(|| merge(&parsed.chart, &parsed.trees)));
 
-    let extractor = FormExtractor::new();
     group.bench_function("end_to_end", |b| b.iter(|| extractor.extract(&html)));
     group.finish();
 }

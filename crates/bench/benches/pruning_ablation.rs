@@ -1,24 +1,44 @@
 //! E3 (§4.2.1): just-in-time pruning vs the exhaustive brute-force
-//! fix-point, on the paper's Qam interface under grammar *G*.
+//! fix-point, on the paper's Qam interface under grammar *G*. Both
+//! modes parse through recycled sessions over one compiled grammar so
+//! the comparison isolates the pruning policy.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use metaform_bench::tokens_of;
 use metaform_datasets::fixtures::qam;
 use metaform_grammar::paper_example_grammar;
-use metaform_parser::{parse_with, ParserOptions};
+use metaform_parser::{ParseSession, ParserOptions};
+use std::sync::Arc;
 
 fn bench_pruning(c: &mut Criterion) {
-    let grammar = paper_example_grammar();
+    let compiled = Arc::new(
+        paper_example_grammar()
+            .compile()
+            .expect("paper grammar is schedulable"),
+    );
     let tokens = tokens_of(&qam().html);
 
     let mut group = c.benchmark_group("pruning_ablation");
     // Brute force takes seconds per iteration on the full Qam page.
     group.sample_size(10);
     group.bench_function("just_in_time", |b| {
-        b.iter(|| parse_with(&grammar, &tokens, &ParserOptions::default()))
+        let mut session = ParseSession::new(compiled.clone());
+        b.iter(|| {
+            let result = session.parse(&tokens);
+            let created = result.stats.created;
+            session.recycle(result);
+            created
+        })
     });
     group.bench_function("brute_force", |b| {
-        b.iter(|| parse_with(&grammar, &tokens, &ParserOptions::brute_force()))
+        let mut session =
+            ParseSession::with_options(compiled.clone(), ParserOptions::brute_force());
+        b.iter(|| {
+            let result = session.parse(&tokens);
+            let created = result.stats.created;
+            session.recycle(result);
+            created
+        })
     });
     group.finish();
 }

@@ -15,8 +15,9 @@ use metaform_eval::{
     ablation, distribution, metrics, timing, vocabulary, DatasetScore, ParserMode, THRESHOLDS,
 };
 use metaform_extractor::FormExtractor;
-use metaform_grammar::{global_grammar, paper_example_grammar};
-use metaform_parser::{merge, parse, parse_with, ParserOptions};
+use metaform_grammar::{global_compiled, paper_example_grammar};
+use metaform_parser::{merge, ParseSession, ParserOptions};
+use std::sync::Arc;
 
 /// Output sink: prints tables and optionally mirrors them as CSV files
 /// under `--csv <dir>` for external plotting.
@@ -38,18 +39,15 @@ impl Out {
 
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
-    let csv_dir = raw
-        .iter()
-        .position(|a| a == "--csv")
-        .map(|at| {
-            raw.remove(at);
-            if at < raw.len() {
-                std::path::PathBuf::from(raw.remove(at))
-            } else {
-                eprintln!("--csv needs a directory");
-                std::process::exit(2);
-            }
-        });
+    let csv_dir = raw.iter().position(|a| a == "--csv").map(|at| {
+        raw.remove(at);
+        if at < raw.len() {
+            std::path::PathBuf::from(raw.remove(at))
+        } else {
+            eprintln!("--csv needs a directory");
+            std::process::exit(2);
+        }
+    });
     if let Some(dir) = &csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
@@ -61,8 +59,10 @@ fn main() {
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
 
     println!("metaform experiments — reproduction of Zhang, He & Chang, SIGMOD 2004");
-    let g = global_grammar();
-    println!("global grammar: {}\n", g.stats());
+    // Compiled once here; every experiment below shares this artifact
+    // (FormExtractor::new() taps the same process-wide cache).
+    let compiled = global_compiled();
+    println!("global grammar: {}\n", compiled.grammar().stats());
 
     if want("fig4a") {
         fig4a(&out);
@@ -151,10 +151,14 @@ fn fig4b(out: &Out) {
 /// the Figure 5 fragment (grammar G).
 fn ambiguity(out: &Out) {
     println!("== Section 4.2.1: inherent ambiguity (grammar G, Figure 5 fragment) ==");
-    let g = paper_example_grammar();
+    let g = Arc::new(
+        paper_example_grammar()
+            .compile()
+            .expect("paper grammar is schedulable"),
+    );
     let tokens = timing::tokenize_source(&fixtures::figure5_fragment());
-    let pruned = parse(&g, &tokens);
-    let brute = parse_with(&g, &tokens, &ParserOptions::brute_force());
+    let pruned = ParseSession::new(g.clone()).parse(&tokens);
+    let brute = ParseSession::with_options(g, ParserOptions::brute_force()).parse(&tokens);
     let mut t = TextTable::new(&[
         "mode",
         "tokens",
@@ -197,6 +201,15 @@ fn timing_experiment() {
         "{} interfaces (avg size {:.1}): total parse time {:?}",
         batch.interfaces, batch.avg_tokens, batch.total_parse_time
     );
+    let pages: Vec<&str> = ds
+        .sources
+        .iter()
+        .take(120)
+        .map(|s| s.html.as_str())
+        .collect();
+    let (_, stats) = ex.extract_batch_stats(&pages);
+    assert_eq!(stats.schedules_built, 0, "compile-once violated");
+    println!("parallel end-to-end batch: {}", stats.summary());
     println!(
         "paper (P4 1.8GHz, 2004): ~1 s for a 25-token interface; \
          120 interfaces (avg 22) < 100 s\n"
@@ -208,9 +221,9 @@ fn timing_experiment() {
 fn fig14() {
     println!("== Figure 14: partial trees under an uncaptured form pattern ==");
     let html = fixtures::qaa_column_variant();
-    let g = global_grammar();
+    let compiled = global_compiled();
     let tokens = timing::tokenize_source(&html);
-    let result = parse(&g, &tokens);
+    let result = ParseSession::new(compiled.clone()).parse(&tokens);
     println!(
         "tokens={} maximal partial trees={} (complete parse: {})",
         tokens.len(),
@@ -222,7 +235,7 @@ fn fig14() {
         println!(
             "  tree {}: {} covering {} tokens",
             i + 1,
-            g.symbols.name(inst.symbol),
+            compiled.grammar().symbols.name(inst.symbol),
             inst.span.count()
         );
     }
@@ -245,9 +258,19 @@ fn fig15(out: &Out) {
         .collect();
 
     println!("-- (a) source distribution over precision (cumulative %) --");
-    dist_table(out, "fig15a_precision_distribution", &scores, distribution::precision_distribution);
+    dist_table(
+        out,
+        "fig15a_precision_distribution",
+        &scores,
+        distribution::precision_distribution,
+    );
     println!("-- (b) source distribution over recall (cumulative %) --");
-    dist_table(out, "fig15b_recall_distribution", &scores, distribution::recall_distribution);
+    dist_table(
+        out,
+        "fig15b_recall_distribution",
+        &scores,
+        distribution::recall_distribution,
+    );
 
     println!("-- (c) average per-source precision and recall --");
     let mut t = TextTable::new(&["dataset", "avg precision", "avg recall"]);

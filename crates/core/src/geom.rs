@@ -76,10 +76,7 @@ impl BBox {
 
     /// Center point, rounded toward the top-left.
     pub fn center(&self) -> (i32, i32) {
-        (
-            self.left + self.width() / 2,
-            self.top + self.height() / 2,
-        )
+        (self.left + self.width() / 2, self.top + self.height() / 2)
     }
 
     /// Smallest box covering both operands.
@@ -154,8 +151,12 @@ impl BBox {
     /// Manhattan distance between the closest points of the two boxes;
     /// zero when they touch or overlap.
     pub fn distance(&self, other: &BBox) -> i32 {
-        let dx = (other.left - self.right).max(self.left - other.right).max(0);
-        let dy = (other.top - self.bottom).max(self.top - other.bottom).max(0);
+        let dx = (other.left - self.right)
+            .max(self.left - other.right)
+            .max(0);
+        let dy = (other.top - self.bottom)
+            .max(self.top - other.bottom)
+            .max(0);
         dx + dy
     }
 

@@ -84,10 +84,7 @@ pub fn below(a: &BBox, b: &BBox, p: &Proximity) -> bool {
 
 /// Boxes share a horizontal band (vertical projections overlap enough).
 pub fn same_row(a: &BBox, b: &BBox, p: &Proximity) -> bool {
-    let need = p
-        .min_overlap
-        .min(a.height().min(b.height()) / 2)
-        .max(1);
+    let need = p.min_overlap.min(a.height().min(b.height()) / 2).max(1);
     a.v_overlap(b) >= need
 }
 

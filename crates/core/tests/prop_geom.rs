@@ -5,8 +5,7 @@ use metaform_core::relations::{self, Proximity};
 use proptest::prelude::*;
 
 fn bbox_strategy() -> impl Strategy<Value = BBox> {
-    (-500i32..500, -500i32..500, 0i32..400, 0i32..400)
-        .prop_map(|(x, y, w, h)| BBox::at(x, y, w, h))
+    (-500i32..500, -500i32..500, 0i32..400, 0i32..400).prop_map(|(x, y, w, h)| BBox::at(x, y, w, h))
 }
 
 proptest! {

@@ -115,12 +115,7 @@ fn meaningful_control(label: &str) -> String {
 }
 
 /// Generates one source from a schema.
-pub fn generate_source(
-    schema: &Schema,
-    index: usize,
-    seed: u64,
-    params: &GenParams,
-) -> Source {
+pub fn generate_source(schema: &Schema, index: usize, seed: u64, params: &GenParams) -> Source {
     let mut hash = seed;
     for b in schema.name.bytes() {
         hash = hash.wrapping_mul(0x100000001B3).wrapping_add(u64::from(b));
@@ -177,7 +172,7 @@ pub fn generate_source(
 
     let mut chrome = Chrome {
         title: Some(format!("{} Search", schema.name)),
-        submit: ["Search", "Go", "Find", "Submit Query"][rng.gen_range(0..4)].to_string(),
+        submit: ["Search", "Go", "Find", "Submit Query"][rng.gen_range(0..4usize)].to_string(),
         reset: rng.gen_bool(0.4),
         hidden: rng.gen_bool(0.3),
         notes: Vec::new(),
@@ -191,7 +186,7 @@ pub fn generate_source(
             "All fields are optional and may be combined freely<br>\n",
             "<img src=\"spacer.gif\" width=\"120\" height=\"8\"><br>\n",
             "<hr>\n",
-        ][rng.gen_range(0..6)];
+        ][rng.gen_range(0..6usize)];
         chrome.notes.push((at, note.to_string()));
     }
 
@@ -245,7 +240,12 @@ pub fn new_source() -> Dataset {
 pub fn new_domain() -> Dataset {
     Dataset {
         name: "NewDomain".into(),
-        sources: generate_many(&domains::new_domains(), 7, 0xD033A1, &GenParams::new_domain()),
+        sources: generate_many(
+            &domains::new_domains(),
+            7,
+            0xD033A1,
+            &GenParams::new_domain(),
+        ),
     }
 }
 

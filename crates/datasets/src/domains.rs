@@ -28,15 +28,34 @@ pub fn books() -> Schema {
             f("Author", "author", FieldKind::FreeText),
             f("Title", "title", FieldKind::FreeText),
             f("Keywords", "keywords", FieldKind::FreeText),
-            f("Subject", "subject", en(&["Fiction", "Nonfiction", "Mystery", "Romance", "History", "Science"])),
+            f(
+                "Subject",
+                "subject",
+                en(&[
+                    "Fiction",
+                    "Nonfiction",
+                    "Mystery",
+                    "Romance",
+                    "History",
+                    "Science",
+                ]),
+            ),
             f("Publisher", "publisher", FieldKind::FreeText),
             f("Price", "price", nr(&["5", "10", "20", "50", "100"])),
             f("Format", "format", en(&["Hardcover", "Paperback", "Audio"])),
             f("ISBN", "isbn", FieldKind::FreeText),
-            f("Reader age", "age", en(&["0-4 years", "5-8 years", "9-12 years", "Teens", "Adult"])),
+            f(
+                "Reader age",
+                "age",
+                en(&["0-4 years", "5-8 years", "9-12 years", "Teens", "Adult"]),
+            ),
             f("Condition", "cond", en(&["New", "Used", "Collectible"])),
             f("In stock only", "stock", FieldKind::Flag),
-            f("Language", "lang", en(&["English", "Spanish", "French", "German"])),
+            f(
+                "Language",
+                "lang",
+                en(&["English", "Spanish", "French", "German"]),
+            ),
         ],
     }
 }
@@ -46,15 +65,35 @@ pub fn automobiles() -> Schema {
     Schema {
         name: "Automobiles".into(),
         fields: vec![
-            f("Make", "make", en(&["Ford", "Toyota", "Honda", "Chevrolet", "BMW", "Nissan"])),
+            f(
+                "Make",
+                "make",
+                en(&["Ford", "Toyota", "Honda", "Chevrolet", "BMW", "Nissan"]),
+            ),
             f("Model", "model", FieldKind::FreeText),
-            f("Price", "price", nr(&["5000", "10000", "15000", "20000", "30000"])),
+            f(
+                "Price",
+                "price",
+                nr(&["5000", "10000", "15000", "20000", "30000"]),
+            ),
             f("Year", "year", FieldKind::YearRange),
             f("Zip code", "zip", FieldKind::FreeText),
             f("Distance", "dist", FieldKind::FreeText),
-            f("Body style", "body", en(&["Sedan", "Coupe", "SUV", "Truck", "Convertible"])),
-            f("Mileage", "miles", nr(&["10000", "30000", "60000", "100000"])),
-            f("Color", "color", en(&["Black", "White", "Silver", "Red", "Blue"])),
+            f(
+                "Body style",
+                "body",
+                en(&["Sedan", "Coupe", "SUV", "Truck", "Convertible"]),
+            ),
+            f(
+                "Mileage",
+                "miles",
+                nr(&["10000", "30000", "60000", "100000"]),
+            ),
+            f(
+                "Color",
+                "color",
+                en(&["Black", "White", "Silver", "Red", "Blue"]),
+            ),
             f("Transmission", "trans", en(&["Automatic", "Manual"])),
             f("Photos only", "photos", FieldKind::Flag),
             f("Keywords", "kw", FieldKind::FreeText),
@@ -73,9 +112,17 @@ pub fn airfares() -> Schema {
             f("Returning", "ret", FieldKind::Date),
             f("Adults", "adults", qty(6)),
             f("Children", "children", qty(5)),
-            f("Trip type", "trip", en(&["Round trip", "One way", "Multi-city"])),
+            f(
+                "Trip type",
+                "trip",
+                en(&["Round trip", "One way", "Multi-city"]),
+            ),
             f("Class", "class", en(&["Coach", "Business", "First"])),
-            f("Airline", "airline", en(&["American", "United", "Delta", "Continental"])),
+            f(
+                "Airline",
+                "airline",
+                en(&["American", "United", "Delta", "Continental"]),
+            ),
             f("Seniors", "seniors", qty(4)),
             f("Flexible dates", "flex", FieldKind::Flag),
         ],
@@ -91,10 +138,26 @@ pub fn new_domains() -> Vec<Schema> {
             fields: vec![
                 f("Keywords", "kw", FieldKind::FreeText),
                 f("Location", "loc", FieldKind::FreeText),
-                f("Category", "cat", en(&["Engineering", "Sales", "Finance", "Education", "Healthcare"])),
-                f("Salary", "salary", nr(&["30000", "50000", "80000", "120000"])),
-                f("Job type", "type", en(&["Full time", "Part time", "Contract"])),
-                f("Posted within", "posted", en(&["1 day", "7 days", "30 days"])),
+                f(
+                    "Category",
+                    "cat",
+                    en(&["Engineering", "Sales", "Finance", "Education", "Healthcare"]),
+                ),
+                f(
+                    "Salary",
+                    "salary",
+                    nr(&["30000", "50000", "80000", "120000"]),
+                ),
+                f(
+                    "Job type",
+                    "type",
+                    en(&["Full time", "Part time", "Contract"]),
+                ),
+                f(
+                    "Posted within",
+                    "posted",
+                    en(&["1 day", "7 days", "30 days"]),
+                ),
                 f("Company", "company", FieldKind::FreeText),
             ],
         },
@@ -102,7 +165,11 @@ pub fn new_domains() -> Vec<Schema> {
             name: "Movies".into(),
             fields: vec![
                 f("Title", "title", FieldKind::FreeText),
-                f("Genre", "genre", en(&["Action", "Comedy", "Drama", "Horror", "Documentary"])),
+                f(
+                    "Genre",
+                    "genre",
+                    en(&["Action", "Comedy", "Drama", "Horror", "Documentary"]),
+                ),
                 f("Director", "director", FieldKind::FreeText),
                 f("Actor", "actor", FieldKind::FreeText),
                 f("Rating", "rating", en(&["G", "PG", "PG-13", "R"])),
@@ -116,7 +183,11 @@ pub fn new_domains() -> Vec<Schema> {
                 f("Artist", "artist", FieldKind::FreeText),
                 f("Album", "album", FieldKind::FreeText),
                 f("Song title", "song", FieldKind::FreeText),
-                f("Genre", "genre", en(&["Rock", "Jazz", "Classical", "Pop", "Country"])),
+                f(
+                    "Genre",
+                    "genre",
+                    en(&["Rock", "Jazz", "Classical", "Pop", "Country"]),
+                ),
                 f("Format", "format", en(&["CD", "Cassette", "Vinyl"])),
                 f("Price", "price", nr(&["5", "10", "15", "25"])),
             ],
@@ -129,7 +200,11 @@ pub fn new_domains() -> Vec<Schema> {
                 f("Check out", "checkout", FieldKind::Date),
                 f("Guests", "guests", qty(6)),
                 f("Rooms", "rooms", qty(4)),
-                f("Stars", "stars", en(&["2 stars", "3 stars", "4 stars", "5 stars"])),
+                f(
+                    "Stars",
+                    "stars",
+                    en(&["2 stars", "3 stars", "4 stars", "5 stars"]),
+                ),
                 f("Price", "price", nr(&["50", "100", "200", "400"])),
             ],
         },
@@ -139,8 +214,16 @@ pub fn new_domains() -> Vec<Schema> {
                 f("Pick up city", "pucity", FieldKind::FreeText),
                 f("Pick up date", "pudate", FieldKind::Date),
                 f("Drop off date", "dodate", FieldKind::Date),
-                f("Car type", "cartype", en(&["Economy", "Compact", "Midsize", "SUV", "Luxury"])),
-                f("Company", "company", en(&["Hertz", "Avis", "Budget", "National"])),
+                f(
+                    "Car type",
+                    "cartype",
+                    en(&["Economy", "Compact", "Midsize", "SUV", "Luxury"]),
+                ),
+                f(
+                    "Company",
+                    "company",
+                    en(&["Hertz", "Avis", "Budget", "National"]),
+                ),
                 f("Drivers", "drivers", qty(3)),
             ],
         },
@@ -149,10 +232,18 @@ pub fn new_domains() -> Vec<Schema> {
             fields: vec![
                 f("City", "city", FieldKind::FreeText),
                 f("State", "state", en(&["IL", "CA", "NY", "TX", "FL", "WA"])),
-                f("Price", "price", nr(&["100000", "200000", "400000", "800000"])),
+                f(
+                    "Price",
+                    "price",
+                    nr(&["100000", "200000", "400000", "800000"]),
+                ),
                 f("Bedrooms", "beds", qty(6)),
                 f("Bathrooms", "baths", qty(4)),
-                f("Property type", "ptype", en(&["House", "Condo", "Townhouse", "Land"])),
+                f(
+                    "Property type",
+                    "ptype",
+                    en(&["House", "Condo", "Townhouse", "Land"]),
+                ),
                 f("New construction", "newc", FieldKind::Flag),
             ],
         },

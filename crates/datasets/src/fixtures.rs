@@ -43,7 +43,11 @@ pub fn qam() -> Source {
         row(
             "Subject",
             2,
-            ["subject word(s)", "start(s) of subject word(s)", "exact subject"]
+            [
+                "subject word(s)",
+                "start(s) of subject word(s)",
+                "exact subject"
+            ]
         ),
     );
     let text_cond = |attr: &str| Condition::new(attr, vec![], DomainSpec::text(), vec![]);
@@ -101,10 +105,30 @@ pub fn qaa() -> Source {
             ),
             Condition::new("From", vec![], DomainSpec::text(), vec![]),
             Condition::new("To", vec![], DomainSpec::text(), vec![]),
-            Condition::new("Departing", vec![], DomainSpec::of(DomainKind::Date), vec![]),
-            Condition::new("Returning", vec![], DomainSpec::of(DomainKind::Date), vec![]),
-            Condition::new("Adults", vec![], DomainSpec::of(DomainKind::Numeric), vec![]),
-            Condition::new("Children", vec![], DomainSpec::of(DomainKind::Numeric), vec![]),
+            Condition::new(
+                "Departing",
+                vec![],
+                DomainSpec::of(DomainKind::Date),
+                vec![],
+            ),
+            Condition::new(
+                "Returning",
+                vec![],
+                DomainSpec::of(DomainKind::Date),
+                vec![],
+            ),
+            Condition::new(
+                "Adults",
+                vec![],
+                DomainSpec::of(DomainKind::Numeric),
+                vec![],
+            ),
+            Condition::new(
+                "Children",
+                vec![],
+                DomainSpec::of(DomainKind::Numeric),
+                vec![],
+            ),
         ],
         patterns: vec![
             PatternId::EnumRadioBare,

@@ -24,6 +24,8 @@ pub mod render;
 pub mod schema;
 pub mod zipf;
 
-pub use dataset::{all_datasets, basic, new_domain, new_source, random, Dataset, GenParams, Source};
+pub use dataset::{
+    all_datasets, basic, new_domain, new_source, random, Dataset, GenParams, Source,
+};
 pub use patterns::PatternId;
 pub use schema::{Field, FieldKind, Schema};

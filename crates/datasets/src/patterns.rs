@@ -181,10 +181,7 @@ impl PatternId {
                 ],
                 &[SelRight],
             ),
-            FieldKind::NumRange(_) => (
-                &[RangeTextConnector, RangeSelect],
-                &[BetweenRange],
-            ),
+            FieldKind::NumRange(_) => (&[RangeTextConnector, RangeSelect], &[BetweenRange]),
             FieldKind::YearRange => (&[YearRangePair], &[BetweenRange]),
             FieldKind::Date => (&[DateMdy, DateMd], &[TwoBoxDate]),
             FieldKind::Quantity(_) => (&[NumSel], &[]),
@@ -347,12 +344,10 @@ pub fn render<R: Rng>(
             placement: Placement::LeftOf,
         },
         PatternId::UnitText => {
-            let unit = ["miles", "km", "pages", "days"][rng.gen_range(0..4)];
+            let unit = ["miles", "km", "pages", "days"][rng.gen_range(0..4usize)];
             RenderedField {
                 label: Some(label),
-                widget: format!(
-                    "<input type=\"text\" name=\"{control}\" size=\"6\"> {unit}"
-                ),
+                widget: format!("<input type=\"text\" name=\"{control}\" size=\"6\"> {unit}"),
                 placement: Placement::LeftOf,
             }
         }
@@ -606,10 +601,20 @@ mod tests {
 
     #[test]
     fn enum_widgets_carry_values() {
-        let r = render(PatternId::EnumRadioLabeled, &enum_field(), "fmt", &mut rng());
+        let r = render(
+            PatternId::EnumRadioLabeled,
+            &enum_field(),
+            "fmt",
+            &mut rng(),
+        );
         assert!(r.widget.contains("Hardcover"));
         assert!(r.widget.contains("Paperback"));
-        let cb = render(PatternId::EnumCheckLabeled, &enum_field(), "fmt", &mut rng());
+        let cb = render(
+            PatternId::EnumCheckLabeled,
+            &enum_field(),
+            "fmt",
+            &mut rng(),
+        );
         assert_eq!(cb.widget.matches("checkbox").count(), 2);
     }
 

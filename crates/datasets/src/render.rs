@@ -59,14 +59,12 @@ fn table_row(item: &RenderedField) -> String {
         (Some(l), Placement::LeftOf) => {
             format!("<tr><td>{l}</td><td>{}</td></tr>\n", item.widget)
         }
-        (Some(l), Placement::AboveOf) => format!(
-            "<tr><td colspan=\"2\">{l}<br>{}</td></tr>\n",
-            item.widget
-        ),
-        (Some(l), Placement::BelowOf) => format!(
-            "<tr><td colspan=\"2\">{}<br>{l}</td></tr>\n",
-            item.widget
-        ),
+        (Some(l), Placement::AboveOf) => {
+            format!("<tr><td colspan=\"2\">{l}<br>{}</td></tr>\n", item.widget)
+        }
+        (Some(l), Placement::BelowOf) => {
+            format!("<tr><td colspan=\"2\">{}<br>{l}</td></tr>\n", item.widget)
+        }
         (_, _) => format!("<tr><td colspan=\"2\">{}</td></tr>\n", item.widget),
     }
 }
@@ -108,9 +106,8 @@ pub fn render_form(items: &[RenderedField], template: Template, chrome: &Chrome)
             // pattern cannot join them (Figure 14's failure mode).
             let mid = items.len().div_ceil(2);
             let (left, right) = items.split_at(mid);
-            let column = |chunk: &[RenderedField]| -> String {
-                chunk.iter().map(flow_item).collect()
-            };
+            let column =
+                |chunk: &[RenderedField]| -> String { chunk.iter().map(flow_item).collect() };
             body.push_str("<table>\n<tr><td>");
             body.push_str("Narrow your search<br>\n");
             body.push_str(&column(left));
@@ -170,7 +167,11 @@ mod tests {
     fn table_layout_rows() {
         let items = vec![
             item(Some("From"), "<input name=f>", Placement::LeftOf),
-            item(Some("Departing"), "<select name=d></select>", Placement::AboveOf),
+            item(
+                Some("Departing"),
+                "<select name=d></select>",
+                Placement::AboveOf,
+            ),
         ];
         let html = render_form(&items, Template::Table, &Chrome::default());
         assert!(html.contains("<tr><td>From</td><td><input name=f></td></tr>"));

@@ -82,11 +82,16 @@ pub fn filter_grammar(g: &Grammar, disabled_productions: &[&str]) -> Grammar {
         );
     }
     for r in &g.preferences {
-        let alive = |s: metaform_grammar::SymbolId| {
-            g.symbols.is_terminal(s) || has_rules[s.index()]
-        };
+        let alive =
+            |s: metaform_grammar::SymbolId| g.symbols.is_terminal(s) || has_rules[s.index()];
         if alive(r.winner) && alive(r.loser) {
-            b.preference(&r.name, remap(r.winner), remap(r.loser), r.condition, r.criteria);
+            b.preference(
+                &r.name,
+                remap(r.winner),
+                remap(r.loser),
+                r.condition,
+                r.criteria,
+            );
         }
     }
     b.build().expect("filtering preserves validity")
@@ -151,7 +156,10 @@ pub fn extractor_for(mode: ParserMode) -> FormExtractor {
 /// Scores a source counting only conditions from a complete parse
 /// (`NoMaximization` mode): if no single tree covers every token, the
 /// extraction is empty.
-pub fn complete_only(extractor: &FormExtractor, src: &metaform_datasets::Source) -> crate::metrics::SourceScore {
+pub fn complete_only(
+    extractor: &FormExtractor,
+    src: &metaform_datasets::Source,
+) -> crate::metrics::SourceScore {
     let extraction = extractor.extract(&src.html);
     let conditions = if extraction.stats.complete {
         extraction.report.conditions.clone()
@@ -189,10 +197,7 @@ mod tests {
     fn filter_removes_named_productions() {
         let g = global_grammar();
         let filtered = filter_grammar(&g, &["TextVal:left", "TextVal:above", "TextVal:below"]);
-        assert_eq!(
-            filtered.productions.len(),
-            g.productions.len() - 3
-        );
+        assert_eq!(filtered.productions.len(), g.productions.len() - 3);
         assert!(filtered
             .productions
             .iter()

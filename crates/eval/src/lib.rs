@@ -20,8 +20,8 @@ pub mod vocabulary;
 pub use ablation::{extractor_for, filter_grammar, global_grammar_top_k, ParserMode};
 pub use distribution::{cumulative, precision_distribution, recall_distribution, THRESHOLDS};
 pub use metrics::{
-    match_count, score_dataset, score_dataset_baseline, score_source, score_source_baseline,
-    DatasetScore, SourceScore,
+    match_count, score_dataset, score_dataset_baseline, score_extraction, score_source,
+    score_source_baseline, DatasetScore, SourceScore,
 };
 pub use table::TextTable;
 pub use vocabulary::{growth_curve, occurrences, ranked_frequencies};

@@ -147,7 +147,13 @@ fn avg(values: impl Iterator<Item = f64>) -> f64 {
 
 /// Evaluates one source with the parsing extractor.
 pub fn score_source(extractor: &FormExtractor, src: &Source) -> SourceScore {
-    let extraction = extractor.extract(&src.html);
+    score_extraction(src, &extractor.extract(&src.html))
+}
+
+/// Scores an already-computed extraction against its source's ground
+/// truth — the piece of [`score_source`] that composes with
+/// batch-extracted results.
+pub fn score_extraction(src: &Source, extraction: &metaform_extractor::Extraction) -> SourceScore {
     SourceScore {
         name: src.name.clone(),
         domain: src.domain.clone(),
@@ -205,7 +211,10 @@ mod tests {
 
     #[test]
     fn matching_is_one_to_one() {
-        let truth = vec![cond("author", DomainKind::Text), cond("title", DomainKind::Text)];
+        let truth = vec![
+            cond("author", DomainKind::Text),
+            cond("title", DomainKind::Text),
+        ];
         let extracted = vec![
             cond("Author:", DomainKind::Text),
             cond("Author", DomainKind::Text), // duplicate cannot double-match

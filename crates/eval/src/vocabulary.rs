@@ -23,10 +23,11 @@ pub fn occurrences(ds: &Dataset) -> Vec<Occurrence> {
     let mut out = Vec::new();
     for (i, src) in ds.sources.iter().enumerate() {
         let distinct: BTreeSet<PatternId> = src.patterns.iter().copied().collect();
-        out.extend(distinct.into_iter().map(|pattern| Occurrence {
-            source: i,
-            pattern,
-        }));
+        out.extend(
+            distinct
+                .into_iter()
+                .map(|pattern| Occurrence { source: i, pattern }),
+        );
     }
     out
 }

@@ -159,7 +159,12 @@ mod tests {
     }
 
     fn textbox(id: u32, name: &str, x: i32, y: i32) -> Token {
-        Token::widget(id, TokenKind::Textbox, name, BBox::new(x, y, x + 140, y + 20))
+        Token::widget(
+            id,
+            TokenKind::Textbox,
+            name,
+            BBox::new(x, y, x + 140, y + 20),
+        )
     }
 
     #[test]
@@ -211,17 +216,22 @@ mod tests {
         ];
         let report = extract_baseline(&tokens);
         assert_eq!(report.conditions.len(), 2, "split into two conditions");
-        assert!(report
-            .conditions
-            .iter()
-            .all(|c| c.operators.is_empty()), "no operator recognition");
+        assert!(
+            report.conditions.iter().all(|c| c.operators.is_empty()),
+            "no operator recognition"
+        );
     }
 
     #[test]
     fn unpaired_tokens_reported_missing() {
         let tokens = vec![
             label(0, "A banner far away", 10, 0),
-            Token::widget(1, TokenKind::SubmitButton, "go", BBox::new(10, 300, 60, 322)),
+            Token::widget(
+                1,
+                TokenKind::SubmitButton,
+                "go",
+                BBox::new(10, 300, 60, 322),
+            ),
         ];
         let report = extract_baseline(&tokens);
         assert!(report.conditions.is_empty());

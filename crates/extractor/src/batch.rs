@@ -1,0 +1,181 @@
+//! Parallel batch extraction — the parse-many workload the
+//! compile-once split exists for.
+//!
+//! [`FormExtractor::extract_batch`] fans a slice of HTML pages out
+//! over scoped worker threads. Each worker owns one
+//! [`metaform_parser::ParseSession`] (recycling its chart and scratch
+//! across the pages it claims) while all workers share the extractor's
+//! one `Arc<CompiledGrammar>`. Pages are claimed from an atomic
+//! cursor, so workers self-balance; results are written back by input
+//! index, so the output order is the input order and is identical to a
+//! sequential run — parallelism changes wall-clock time, nothing else.
+
+use crate::pipeline::{Extraction, FormExtractor};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Rollup of one [`FormExtractor::extract_batch_stats`] run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Pages extracted.
+    pub pages: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Total tokens across all pages.
+    pub tokens: usize,
+    /// Total instances created across all parses.
+    pub created: usize,
+    /// Total instances invalidated by preference enforcement.
+    pub invalidated: usize,
+    /// Total maximal trees selected.
+    pub trees: usize,
+    /// Schedules built during the batch — 0 under the compile-once
+    /// contract, since every session parses under the already-compiled
+    /// grammar.
+    pub schedules_built: usize,
+    /// Wall-clock time for the whole batch.
+    pub elapsed: Duration,
+}
+
+impl BatchStats {
+    /// One-line summary for experiment tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "pages={} workers={} tokens={} instances={} invalidated={} trees={} schedules_built={} time={:?}",
+            self.pages,
+            self.workers,
+            self.tokens,
+            self.created,
+            self.invalidated,
+            self.trees,
+            self.schedules_built,
+            self.elapsed
+        )
+    }
+}
+
+impl FormExtractor {
+    /// Extracts every page, in parallel, returning results in input
+    /// order. See the module docs for the execution model; see
+    /// [`FormExtractor::extract_batch_stats`] for the rollup-reporting
+    /// form and [`FormExtractor::worker_threads`] to fix the worker
+    /// count.
+    pub fn extract_batch(&self, pages: &[&str]) -> Vec<Extraction> {
+        self.extract_batch_stats(pages).0
+    }
+
+    /// [`FormExtractor::extract_batch`] plus a [`BatchStats`] rollup.
+    pub fn extract_batch_stats(&self, pages: &[&str]) -> (Vec<Extraction>, BatchStats) {
+        let started = Instant::now();
+        let workers = self
+            .workers()
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .clamp(1, pages.len().max(1));
+
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Extraction>> = Vec::new();
+        slots.resize_with(pages.len(), || None);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut session = self.session();
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= pages.len() {
+                                break;
+                            }
+                            out.push((i, self.extract_in(&mut session, pages[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, extraction) in handle.join().expect("batch worker panicked") {
+                    slots[i] = Some(extraction);
+                }
+            }
+        });
+
+        let results: Vec<Extraction> = slots
+            .into_iter()
+            .map(|s| s.expect("every page extracted"))
+            .collect();
+        let mut stats = BatchStats {
+            pages: pages.len(),
+            workers,
+            elapsed: started.elapsed(),
+            ..Default::default()
+        };
+        for ex in &results {
+            stats.tokens += ex.stats.tokens;
+            stats.created += ex.stats.created;
+            stats.invalidated += ex.stats.invalidated;
+            stats.trees += ex.stats.trees;
+            stats.schedules_built += ex.stats.schedules_built;
+        }
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::tests::QAM;
+
+    fn pages() -> Vec<String> {
+        (0..12)
+            .map(|i| {
+                format!(
+                    "<form>Field{i} <input type=text name=f{i}>\
+                     <input type=submit value=Go></form>"
+                )
+            })
+            .chain(std::iter::once(QAM.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_in_input_order() {
+        let pages = pages();
+        let refs: Vec<&str> = pages.iter().map(String::as_str).collect();
+        let extractor = FormExtractor::new().worker_threads(4);
+        let sequential: Vec<Extraction> = refs.iter().map(|p| extractor.extract(p)).collect();
+        let (batch, stats) = extractor.extract_batch_stats(&refs);
+        assert_eq!(batch.len(), sequential.len());
+        assert_eq!(stats.pages, refs.len());
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.schedules_built, 0, "compile-once violated");
+        for (b, s) in batch.iter().zip(&sequential) {
+            assert_eq!(format!("{:?}", b.report), format!("{:?}", s.report));
+            assert_eq!(b.tokens, s.tokens);
+            assert_eq!(b.stats.created, s.stats.created);
+        }
+    }
+
+    #[test]
+    fn single_worker_and_empty_batch_are_fine() {
+        let extractor = FormExtractor::new().worker_threads(1);
+        let (none, stats) = extractor.extract_batch_stats(&[]);
+        assert!(none.is_empty());
+        assert_eq!(stats.pages, 0);
+        let one = extractor.extract_batch(&["<form>A <input type=text name=a></form>"]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].report.conditions[0].attribute, "A");
+    }
+
+    #[test]
+    fn worker_count_is_capped_by_page_count() {
+        let extractor = FormExtractor::new().worker_threads(64);
+        let (_, stats) =
+            extractor.extract_batch_stats(&["<form>A <input type=text name=a></form>"]);
+        assert_eq!(stats.workers, 1);
+    }
+}

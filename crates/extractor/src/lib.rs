@@ -18,14 +18,25 @@
 //!
 //! Also includes the pairwise-proximity [`baseline`] comparator used in
 //! the evaluation.
+//!
+//! ## Compile once, parse many
+//!
+//! A `FormExtractor` compiles its grammar exactly once (the global
+//! grammar is compiled once *per process*) and shares the artifact
+//! behind an `Arc`. Single pages go through [`FormExtractor::extract`];
+//! whole corpora go through [`FormExtractor::extract_batch`], which
+//! fans pages out over worker threads — one parse session per worker,
+//! deterministic input-order results (see [`batch`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod batch;
 pub mod pipeline;
 pub mod resolve;
 
 pub use baseline::extract_baseline;
+pub use batch::BatchStats;
 pub use pipeline::{Extraction, FormExtractor};
 pub use resolve::{attach_missing, resolve_conflicts, DomainKnowledge};

@@ -6,11 +6,12 @@
 //! ```
 
 use metaform_core::{ExtractionReport, Token};
-use metaform_grammar::{global_grammar, Grammar};
+use metaform_grammar::{global_compiled, CompiledGrammar, Grammar, GrammarError};
 use metaform_html::parse as parse_html;
 use metaform_layout::{layout_with, LayoutOptions};
-use metaform_parser::{merge, parse_with, ParseStats, ParserOptions};
+use metaform_parser::{merge, ParseSession, ParseStats, ParserOptions};
 use metaform_tokenizer::tokenize;
+use std::sync::Arc;
 
 /// Result of extracting one query interface.
 #[derive(Clone, Debug)]
@@ -25,31 +26,53 @@ pub struct Extraction {
 
 /// End-to-end form extractor with a configurable grammar, layout, and
 /// parser.
+///
+/// The extractor holds its grammar in compiled form behind an `Arc`,
+/// so it is `Send + Sync` and cheap to clone: every extraction reuses
+/// the one validated schedule, and [`FormExtractor::extract_batch`]
+/// fans pages out across worker threads sharing the same artifact.
 #[derive(Clone, Debug)]
 pub struct FormExtractor {
-    grammar: Grammar,
+    grammar: Arc<CompiledGrammar>,
     layout: LayoutOptions,
     parser: ParserOptions,
+    workers: Option<usize>,
 }
 
 impl FormExtractor {
     /// Extractor over the derived global grammar (the configuration
-    /// evaluated in the paper's experiments).
+    /// evaluated in the paper's experiments). Shares the process-wide
+    /// compiled artifact — no grammar is built, validated, or
+    /// scheduled here, however many extractors are created.
     pub fn new() -> Self {
-        FormExtractor {
-            grammar: global_grammar(),
-            layout: LayoutOptions::default(),
-            parser: ParserOptions::default(),
-        }
+        Self::with_compiled(global_compiled())
     }
 
     /// Extractor over a custom grammar — the extensibility story of
     /// §4.1: change the grammar, keep the machinery.
+    ///
+    /// Compiles the grammar, panicking on the (builder-rejected)
+    /// unschedulable case; use [`FormExtractor::try_with_grammar`] to
+    /// handle compilation errors — e.g. for grammars loaded from DSL
+    /// files — without panicking.
     pub fn with_grammar(grammar: Grammar) -> Self {
+        Self::try_with_grammar(grammar).expect("grammar compiles")
+    }
+
+    /// Fallible form of [`FormExtractor::with_grammar`]: surfaces the
+    /// schedule-graph diagnostic instead of panicking.
+    pub fn try_with_grammar(grammar: Grammar) -> Result<Self, GrammarError> {
+        Ok(Self::with_compiled(Arc::new(grammar.compile()?)))
+    }
+
+    /// Extractor over an already-compiled grammar, sharing it with
+    /// whatever else holds the `Arc`.
+    pub fn with_compiled(grammar: Arc<CompiledGrammar>) -> Self {
         FormExtractor {
             grammar,
             layout: LayoutOptions::default(),
             parser: ParserOptions::default(),
+            workers: None,
         }
     }
 
@@ -65,17 +88,38 @@ impl FormExtractor {
         self
     }
 
+    /// Fixes the number of worker threads batch extraction uses
+    /// (builder style). Defaults to the machine's available
+    /// parallelism, capped by the number of pages.
+    pub fn worker_threads(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
     /// The grammar in use.
     pub fn grammar(&self) -> &Grammar {
+        self.grammar.grammar()
+    }
+
+    /// The configured worker-thread override, if any.
+    pub(crate) fn workers(&self) -> Option<usize> {
+        self.workers
+    }
+
+    /// The compiled artifact extractions parse under.
+    pub fn compiled(&self) -> &Arc<CompiledGrammar> {
         &self.grammar
+    }
+
+    /// A parse session over this extractor's grammar and parser
+    /// options — for callers that drive parsing themselves.
+    pub fn session(&self) -> ParseSession {
+        ParseSession::with_options(self.grammar.clone(), self.parser)
     }
 
     /// Runs the full pipeline on an HTML page containing a query form.
     pub fn extract(&self, html: &str) -> Extraction {
-        let doc = parse_html(html);
-        let lay = layout_with(&doc, &self.layout);
-        let tokenized = tokenize(&doc, &lay);
-        self.extract_tokens(&tokenized.tokens)
+        self.extract_in(&mut self.session(), html)
     }
 
     /// Extracts every `<form>` on the page separately, in document
@@ -84,20 +128,36 @@ impl FormExtractor {
     pub fn extract_all(&self, html: &str) -> Vec<Extraction> {
         let doc = parse_html(html);
         let lay = layout_with(&doc, &self.layout);
+        let mut session = self.session();
         metaform_tokenizer::tokenize_all_forms(&doc, &lay)
             .into_iter()
-            .map(|t| self.extract_tokens(&t.tokens))
+            .map(|t| self.extract_tokens_in(&mut session, &t.tokens))
             .collect()
     }
 
     /// Runs parsing + merging on pre-tokenized input (useful for tests
     /// and for the paper's walk-through figures).
     pub fn extract_tokens(&self, tokens: &[Token]) -> Extraction {
-        let result = parse_with(&self.grammar, tokens, &self.parser);
+        self.extract_tokens_in(&mut self.session(), tokens)
+    }
+
+    /// [`FormExtractor::extract`] through a caller-owned session —
+    /// the parse-many path batch workers run on.
+    pub(crate) fn extract_in(&self, session: &mut ParseSession, html: &str) -> Extraction {
+        let doc = parse_html(html);
+        let lay = layout_with(&doc, &self.layout);
+        let tokenized = tokenize(&doc, &lay);
+        self.extract_tokens_in(session, &tokenized.tokens)
+    }
+
+    fn extract_tokens_in(&self, session: &mut ParseSession, tokens: &[Token]) -> Extraction {
+        let result = session.parse(tokens);
         let report = merge(&result.chart, &result.trees);
+        let stats = result.stats.clone();
+        session.recycle(result);
         Extraction {
             report,
-            stats: result.stats,
+            stats,
             tokens: tokens.to_vec(),
         }
     }
@@ -110,7 +170,7 @@ impl Default for FormExtractor {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use metaform_core::DomainKind;
 
@@ -142,7 +202,10 @@ mod tests {
         assert_eq!(conds[1].operators.len(), 3);
         assert_eq!(conds[2].attribute, "Subject");
         assert_eq!(conds[2].domain.kind, DomainKind::Text);
-        assert!(extraction.report.missing.is_empty(), "submit covered by ActionRow");
+        assert!(
+            extraction.report.missing.is_empty(),
+            "submit covered by ActionRow"
+        );
         assert!(extraction.report.conflicts.is_empty());
     }
 

@@ -5,7 +5,9 @@
 //! it promising to explore matching non-associated tokens by their
 //! textual similarity."
 
-use metaform_core::{normalize_label, relations, Condition, ExtractionReport, Proximity, Token, TokenKind};
+use metaform_core::{
+    normalize_label, relations, Condition, ExtractionReport, Proximity, Token, TokenKind,
+};
 use std::collections::BTreeMap;
 
 /// Attribute vocabulary accumulated from extractions across sources of
@@ -149,8 +151,7 @@ pub fn attach_missing(
         // Find an adjacent condition that lacks a visible label (its
         // attribute came from a control name or is empty).
         let candidate = out.conditions.iter_mut().find(|c| {
-            let unlabeled = c.attribute.is_empty()
-                || knowledge.support(&c.attribute) == 0;
+            let unlabeled = c.attribute.is_empty() || knowledge.support(&c.attribute) == 0;
             unlabeled
                 && c.tokens.iter().any(|&t| {
                     let wb = &tokens[t.index()].pos;

@@ -195,9 +195,9 @@ fn eval_pred(pred: Pred, view: &View<'_>) -> bool {
             .payload
             .text()
             .is_some_and(|t| t.split_whitespace().count() <= n as usize),
-        Pred::OptionsOpsLike => view.token.is_some_and(|t| {
-            !t.options.is_empty() && t.options.iter().all(|o| looks_op_like(o))
-        }),
+        Pred::OptionsOpsLike => view
+            .token
+            .is_some_and(|t| !t.options.is_empty() && t.options.iter().all(|o| looks_op_like(o))),
         Pred::LowercaseText => view
             .payload
             .text()
@@ -247,9 +247,15 @@ mod tests {
         let boxes = vec![BBox::new(0, 0, 40, 16), BBox::new(240, 0, 300, 16)];
         let views = view_at(&payloads, &boxes);
         let p = Proximity::default();
-        assert!(!Constraint::Left(0, 1).eval(&views, &p), "200px gap too far");
+        assert!(
+            !Constraint::Left(0, 1).eval(&views, &p),
+            "200px gap too far"
+        );
         assert!(Constraint::LeftWithin(0, 1, 300).eval(&views, &p));
-        assert!(!Constraint::LeftWithin(1, 0, 300).eval(&views, &p), "ordered");
+        assert!(
+            !Constraint::LeftWithin(1, 0, 300).eval(&views, &p),
+            "ordered"
+        );
 
         let below = vec![BBox::new(0, 0, 40, 16), BBox::new(0, 80, 40, 96)];
         let views = view_at(&payloads, &below);
@@ -323,7 +329,7 @@ mod tests {
             ("-", true),
             ("and", true),
             ("miles", false),
-            ("To", false),   // capitalized: a label, not a connector
+            ("To", false), // capitalized: a label, not a connector
             ("to:", true),
         ] {
             let arr = [Payload::Text(text.into())];
@@ -348,7 +354,10 @@ mod tests {
             token: Some(&tok),
         }];
         assert!(Constraint::Is(0, Pred::OptionsOpsLike).eval(&views, &p));
-        assert!(!Constraint::Is(0, Pred::OpsLike).eval(&views, &p), "payload has no ops");
+        assert!(
+            !Constraint::Is(0, Pred::OpsLike).eval(&views, &p),
+            "payload has no ops"
+        );
     }
 
     #[test]

@@ -349,7 +349,11 @@ mod tests {
         ]);
         let none = Payload::None;
         let out = Constructor::CollectConds.eval(&[v(&c1), v(&c2), v(&none)]);
-        let attrs: Vec<&str> = out.conditions().iter().map(|c| c.attribute.as_str()).collect();
+        let attrs: Vec<&str> = out
+            .conditions()
+            .iter()
+            .map(|c| c.attribute.as_str())
+            .collect();
         assert_eq!(attrs, vec!["a", "b", "c"]);
     }
 

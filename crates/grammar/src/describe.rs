@@ -186,26 +186,26 @@ mod tests {
         assert!(listing.contains("TextOp"), "{listing}");
         assert!(listing.contains("RBU"));
         assert!(listing.contains("≻"), "preferences listed");
-        let starting_with = |prefix: &str| {
-            listing
-                .lines()
-                .filter(|l| l.starts_with(prefix))
-                .count()
-        };
-        assert_eq!(starting_with("  P"), g.productions.len(), "one line per production");
+        let starting_with =
+            |prefix: &str| listing.lines().filter(|l| l.starts_with(prefix)).count();
+        assert_eq!(
+            starting_with("  P"),
+            g.productions.len(),
+            "one line per production"
+        );
         assert_eq!(starting_with("  R"), g.preferences.len());
     }
 
     #[test]
     fn constraint_rendering_uses_component_names() {
-        let c = Constraint::all([
-            Constraint::Left(0, 1),
-            Constraint::Is(0, Pred::AttrLike),
-        ]);
+        let c = Constraint::all([Constraint::Left(0, 1), Constraint::Is(0, Pred::AttrLike)]);
         let s = constraint_to_string(&c, &["Attr", "Val"]);
         assert_eq!(s, "Left(Attr, Val) ∧ attr-like(Attr)");
         let o = Constraint::Or(vec![Constraint::True, Constraint::Below(1, 0)]);
-        assert_eq!(constraint_to_string(&o, &["A", "B"]), "(true ∨ Below(B, A))");
+        assert_eq!(
+            constraint_to_string(&o, &["A", "B"]),
+            "(true ∨ Below(B, A))"
+        );
     }
 
     #[test]

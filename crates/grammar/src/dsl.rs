@@ -115,16 +115,8 @@ fn constraint_dsl(c: &Constraint) -> String {
             Pred::LowercaseText => format!("lowercase({i})"),
             Pred::MinOps(n) => format!("minops({i},{n})"),
         },
-        Constraint::And(cs) => cs
-            .iter()
-            .map(maybe_paren)
-            .collect::<Vec<_>>()
-            .join(" & "),
-        Constraint::Or(cs) => cs
-            .iter()
-            .map(maybe_paren)
-            .collect::<Vec<_>>()
-            .join(" | "),
+        Constraint::And(cs) => cs.iter().map(maybe_paren).collect::<Vec<_>>().join(" & "),
+        Constraint::Or(cs) => cs.iter().map(maybe_paren).collect::<Vec<_>>().join(" | "),
         Constraint::Not(c) => format!("!{}", maybe_paren(c)),
     }
 }
@@ -257,10 +249,7 @@ fn parse_production(
         return err(line, "missing `=> CONSTRUCTOR`");
     };
     let head_sym = symbol(b, head.trim());
-    let components: Vec<_> = comps
-        .split_whitespace()
-        .map(|c| symbol(b, c))
-        .collect();
+    let components: Vec<_> = comps.split_whitespace().map(|c| symbol(b, c)).collect();
     if components.is_empty() {
         return err(line, "production needs at least one component");
     }
@@ -319,7 +308,10 @@ impl ConstraintParser<'_> {
         let c = self.parse_expr()?;
         self.skip_ws();
         if self.pos != self.src.len() {
-            return err(self.line, format!("trailing input at {:?}", &self.src[self.pos..]));
+            return err(
+                self.line,
+                format!("trailing input at {:?}", &self.src[self.pos..]),
+            );
         }
         Ok(c)
     }
@@ -386,13 +378,10 @@ impl ConstraintParser<'_> {
         }
         let args = self.parse_args()?;
         let get = |i: usize| -> Result<usize, DslError> {
-            args.get(i)
-                .copied()
-                .map(|v| v as usize)
-                .ok_or(DslError {
-                    line: self.line,
-                    message: format!("{word}: missing argument {i}"),
-                })
+            args.get(i).copied().map(|v| v as usize).ok_or(DslError {
+                line: self.line,
+                message: format!("{word}: missing argument {i}"),
+            })
         };
         let geti = |i: usize| -> Result<i32, DslError> {
             args.get(i).copied().ok_or(DslError {
@@ -436,12 +425,10 @@ impl ConstraintParser<'_> {
             while self.peek().is_some_and(|c| c.is_ascii_digit() || c == '-') {
                 self.pos += 1;
             }
-            let n: i32 = self.src[start..self.pos]
-                .parse()
-                .map_err(|_| DslError {
-                    line: self.line,
-                    message: "expected a number".into(),
-                })?;
+            let n: i32 = self.src[start..self.pos].parse().map_err(|_| DslError {
+                line: self.line,
+                message: "expected a number".into(),
+            })?;
             args.push(n);
             self.skip_ws();
             match self.peek() {
@@ -469,12 +456,10 @@ impl ConstraintParser<'_> {
 fn parse_constructor(src: &str, line: usize) -> Result<Constructor, DslError> {
     let (name, args_src) = match src.find('(') {
         Some(at) => {
-            let inner = src[at + 1..]
-                .strip_suffix(')')
-                .ok_or(DslError {
-                    line,
-                    message: "constructor: expected `)`".into(),
-                })?;
+            let inner = src[at + 1..].strip_suffix(')').ok_or(DslError {
+                line,
+                message: "constructor: expected `)`".into(),
+            })?;
             (&src[..at], inner)
         }
         None => (src, ""),
@@ -649,7 +634,10 @@ a: Q <- text text : left(0,1) & (attrlike(0) | connector(1)) & !lowercase(0) => 
         let g = from_dsl(src).expect("parses");
         let c = &g.productions[0].constraint;
         let s = constraint_dsl(c);
-        assert_eq!(s, "left(0,1) & (attrlike(0) | connector(1)) & !lowercase(0)");
+        assert_eq!(
+            s,
+            "left(0,1) & (attrlike(0) | connector(1)) & !lowercase(0)"
+        );
     }
 
     #[test]

@@ -12,14 +12,43 @@
 //! *G* of paper Figure 6, used in walk-through examples and the
 //! ambiguity experiments.
 
+use crate::compiled::CompiledGrammar;
 use crate::constraint::{Constraint as C, Pred};
 use crate::constructor::Constructor as K;
 use crate::grammar::{Grammar, GrammarBuilder};
 use crate::preference::{ConflictCond, WinCriteria};
 use metaform_core::{DomainKind, TokenKind};
+use std::sync::{Arc, OnceLock};
+
+/// Returns the compiled global grammar, built at most once per
+/// process and shared behind an `Arc` (see [`CompiledGrammar`]).
+/// Every caller — extractors, sessions, worker threads — gets a
+/// handle to the same artifact; the grammar is constructed, validated,
+/// and scheduled exactly once no matter how many times this is called.
+pub fn global_compiled() -> Arc<CompiledGrammar> {
+    static GLOBAL: OnceLock<Arc<CompiledGrammar>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| {
+            Arc::new(
+                build_global_grammar()
+                    .compile()
+                    .expect("derived global grammar is schedulable"),
+            )
+        })
+        .clone()
+}
 
 /// Builds the global derived grammar used by the form extractor.
+///
+/// Kept for source compatibility: returns an owned clone of the
+/// process-wide cached grammar. Callers that parse should prefer
+/// [`global_compiled`], which shares the already-scheduled artifact
+/// instead of cloning the description.
 pub fn global_grammar() -> Grammar {
+    global_compiled().grammar().clone()
+}
+
+fn build_global_grammar() -> Grammar {
     let mut b = GrammarBuilder::new("QI");
 
     // ---- terminals ----
@@ -337,13 +366,7 @@ pub fn global_grammar() -> Grammar {
         },
     );
     // 19: boolean single checkbox ("Hardcover only").
-    b.production(
-        "BoolCB",
-        bool_cb,
-        vec![cbu],
-        C::True,
-        K::MakeBoolCond(0),
-    );
+    b.production("BoolCB", bool_cb, vec![cbu], C::True, K::MakeBoolCond(0));
     // 20/21: textbox ranges, with or without a connector word.
     b.production(
         "RangeTB:connector",
@@ -512,7 +535,13 @@ pub fn global_grammar() -> Grammar {
     ] {
         b.production(name, action, vec![term], C::True, K::Group);
     }
-    b.production("ActionRow<-Action", action_row, vec![action], C::True, K::Group);
+    b.production(
+        "ActionRow<-Action",
+        action_row,
+        vec![action],
+        C::True,
+        K::Group,
+    );
     b.production(
         "ActionRow<-ActionRow,Action",
         action_row,
@@ -555,7 +584,13 @@ pub fn global_grammar() -> Grammar {
         C::LeftWithin(0, 1, 120),
         K::CollectConds,
     );
-    b.production("HQI<-ActionRow", hqi, vec![action_row], C::True, K::CollectConds);
+    b.production(
+        "HQI<-ActionRow",
+        hqi,
+        vec![action_row],
+        C::True,
+        K::CollectConds,
+    );
     b.production(
         "HQI<-HQI,ActionRow",
         hqi,
@@ -582,29 +617,137 @@ pub fn global_grammar() -> Grammar {
     b.preference("R1:RBU>Attr", rbu, attr, Overlap, Always);
     b.preference("R2:CBU>Attr", cbu, attr, Overlap, Always);
     // Longer lists win (paper R2).
-    b.preference("R3:RBList-longer", rblist, rblist, LoserSubsumed, WinnerLarger);
-    b.preference("R4:CBList-longer", cblist, cblist, LoserSubsumed, WinnerLarger);
+    b.preference(
+        "R3:RBList-longer",
+        rblist,
+        rblist,
+        LoserSubsumed,
+        WinnerLarger,
+    );
+    b.preference(
+        "R4:CBList-longer",
+        cblist,
+        cblist,
+        LoserSubsumed,
+        WinnerLarger,
+    );
     // Richer condition interpretations beat poorer ones on shared tokens.
-    b.preference("R5:TextOp>TextVal", text_op, text_val, Overlap, WinnerLarger);
+    b.preference(
+        "R5:TextOp>TextVal",
+        text_op,
+        text_val,
+        Overlap,
+        WinnerLarger,
+    );
     b.preference("R6:TextOp>EnumRB", text_op, enum_rb, Overlap, WinnerLarger);
-    b.preference("R7:TextOpSel>SelVal", text_op_sel, sel_val, Overlap, WinnerLarger);
-    b.preference("R8:TextOpSel>TextVal", text_op_sel, text_val, Overlap, WinnerLarger);
-    b.preference("R9:RangeTB>TextVal", range_tb, text_val, Overlap, WinnerLarger);
-    b.preference("R10:RangeTB>UnitTB", range_tb, unit_tb, Overlap, WinnerLarger);
-    b.preference("R11:UnitTB>TextVal", unit_tb, text_val, Overlap, WinnerLarger);
-    b.preference("R12:RangeSel>NumCond", range_sel, num_cond, Overlap, WinnerLarger);
-    b.preference("R13:RangeSel>SelfSel", range_sel, self_sel, Overlap, WinnerLarger);
-    b.preference("R14:YearRange>SelVal", year_range, sel_val, Overlap, WinnerLarger);
-    b.preference("R15:DateMDY>SelVal", date_mdy, sel_val, Overlap, WinnerLarger);
-    b.preference("R16:DateMDY>DateMD", date_mdy, date_md, LoserSubsumed, WinnerLarger);
+    b.preference(
+        "R7:TextOpSel>SelVal",
+        text_op_sel,
+        sel_val,
+        Overlap,
+        WinnerLarger,
+    );
+    b.preference(
+        "R8:TextOpSel>TextVal",
+        text_op_sel,
+        text_val,
+        Overlap,
+        WinnerLarger,
+    );
+    b.preference(
+        "R9:RangeTB>TextVal",
+        range_tb,
+        text_val,
+        Overlap,
+        WinnerLarger,
+    );
+    b.preference(
+        "R10:RangeTB>UnitTB",
+        range_tb,
+        unit_tb,
+        Overlap,
+        WinnerLarger,
+    );
+    b.preference(
+        "R11:UnitTB>TextVal",
+        unit_tb,
+        text_val,
+        Overlap,
+        WinnerLarger,
+    );
+    b.preference(
+        "R12:RangeSel>NumCond",
+        range_sel,
+        num_cond,
+        Overlap,
+        WinnerLarger,
+    );
+    b.preference(
+        "R13:RangeSel>SelfSel",
+        range_sel,
+        self_sel,
+        Overlap,
+        WinnerLarger,
+    );
+    b.preference(
+        "R14:YearRange>SelVal",
+        year_range,
+        sel_val,
+        Overlap,
+        WinnerLarger,
+    );
+    b.preference(
+        "R15:DateMDY>SelVal",
+        date_mdy,
+        sel_val,
+        Overlap,
+        WinnerLarger,
+    );
+    b.preference(
+        "R16:DateMDY>DateMD",
+        date_mdy,
+        date_md,
+        LoserSubsumed,
+        WinnerLarger,
+    );
     b.preference("R17:DateMD>SelVal", date_md, sel_val, Overlap, WinnerLarger);
-    b.preference("R18:DateMDY>SelfSel", date_mdy, self_sel, Overlap, WinnerLarger);
+    b.preference(
+        "R18:DateMDY>SelfSel",
+        date_mdy,
+        self_sel,
+        Overlap,
+        WinnerLarger,
+    );
     b.preference("R19:EnumCB>BoolCB", enum_cb, bool_cb, Overlap, WinnerLarger);
     // Dominant arrangements beat the rare label-below one.
-    b.preference("R34:TextVal>TextValB", text_val, text_val_b, Overlap, Always);
-    b.preference("R35:TextOp>TextValB", text_op, text_val_b, Overlap, WinnerLarger);
-    b.preference("R36:RangeTB>TextValB", range_tb, text_val_b, Overlap, WinnerLarger);
-    b.preference("R37:UnitTB>TextValB", unit_tb, text_val_b, Overlap, WinnerLarger);
+    b.preference(
+        "R34:TextVal>TextValB",
+        text_val,
+        text_val_b,
+        Overlap,
+        Always,
+    );
+    b.preference(
+        "R35:TextOp>TextValB",
+        text_op,
+        text_val_b,
+        Overlap,
+        WinnerLarger,
+    );
+    b.preference(
+        "R36:RangeTB>TextValB",
+        range_tb,
+        text_val_b,
+        Overlap,
+        WinnerLarger,
+    );
+    b.preference(
+        "R37:UnitTB>TextValB",
+        unit_tb,
+        text_val_b,
+        Overlap,
+        WinnerLarger,
+    );
     b.preference("R38:TextValB>KwVal", text_val_b, kw_val, Overlap, Always);
     // Labeled interpretations beat unlabeled fallbacks.
     b.preference("R20:TextVal>KwVal", text_val, kw_val, Overlap, Always);
@@ -617,26 +760,99 @@ pub fn global_grammar() -> Grammar {
     // Competing labelings: the tighter pairing wins — also across
     // pattern types (a label reads with the widget beside it before
     // the widget below it; see Chart::spread).
-    b.preference("R27:TextVal-tighter", text_val, text_val, Overlap, WinnerTighter);
-    b.preference("R28:SelVal-tighter", sel_val, sel_val, Overlap, WinnerTighter);
-    b.preference("R39:NumCond-tighter", num_cond, num_cond, Overlap, WinnerTighter);
-    b.preference("R40:SelVal>TextVal", sel_val, text_val, Overlap, WinnerTighter);
-    b.preference("R41:TextVal>SelVal", text_val, sel_val, Overlap, WinnerTighter);
-    b.preference("R42:NumCond>TextVal", num_cond, text_val, Overlap, WinnerTighter);
-    b.preference("R43:TextVal>NumCond", text_val, num_cond, Overlap, WinnerTighter);
-    b.preference("R44:EnumRB>TextVal", enum_rb, text_val, Overlap, WinnerLarger);
-    b.preference("R45:EnumCB>TextVal", enum_cb, text_val, Overlap, WinnerLarger);
+    b.preference(
+        "R27:TextVal-tighter",
+        text_val,
+        text_val,
+        Overlap,
+        WinnerTighter,
+    );
+    b.preference(
+        "R28:SelVal-tighter",
+        sel_val,
+        sel_val,
+        Overlap,
+        WinnerTighter,
+    );
+    b.preference(
+        "R39:NumCond-tighter",
+        num_cond,
+        num_cond,
+        Overlap,
+        WinnerTighter,
+    );
+    b.preference(
+        "R40:SelVal>TextVal",
+        sel_val,
+        text_val,
+        Overlap,
+        WinnerTighter,
+    );
+    b.preference(
+        "R41:TextVal>SelVal",
+        text_val,
+        sel_val,
+        Overlap,
+        WinnerTighter,
+    );
+    b.preference(
+        "R42:NumCond>TextVal",
+        num_cond,
+        text_val,
+        Overlap,
+        WinnerTighter,
+    );
+    b.preference(
+        "R43:TextVal>NumCond",
+        text_val,
+        num_cond,
+        Overlap,
+        WinnerTighter,
+    );
+    b.preference(
+        "R44:EnumRB>TextVal",
+        enum_rb,
+        text_val,
+        Overlap,
+        WinnerLarger,
+    );
+    b.preference(
+        "R45:EnumCB>TextVal",
+        enum_cb,
+        text_val,
+        Overlap,
+        WinnerLarger,
+    );
     b.preference("R46:EnumRB>SelVal", enum_rb, sel_val, Overlap, WinnerLarger);
     b.preference("R47:EnumCB>SelVal", enum_cb, sel_val, Overlap, WinnerLarger);
     // Labeled enumerations beat bare ones; longer assemblies beat
     // their fragments.
-    b.preference("R29:EnumRB-longer", enum_rb, enum_rb, LoserSubsumed, WinnerLarger);
-    b.preference("R30:EnumCB-longer", enum_cb, enum_cb, LoserSubsumed, WinnerLarger);
+    b.preference(
+        "R29:EnumRB-longer",
+        enum_rb,
+        enum_rb,
+        LoserSubsumed,
+        WinnerLarger,
+    );
+    b.preference(
+        "R30:EnumCB-longer",
+        enum_cb,
+        enum_cb,
+        LoserSubsumed,
+        WinnerLarger,
+    );
     b.preference("R31:HQI-longer", hqi, hqi, LoserSubsumed, WinnerLarger);
     b.preference("R32:QI-longer", qi, qi, LoserSubsumed, WinnerLarger);
-    b.preference("R33:ActionRow-longer", action_row, action_row, LoserSubsumed, WinnerLarger);
+    b.preference(
+        "R33:ActionRow-longer",
+        action_row,
+        action_row,
+        LoserSubsumed,
+        WinnerLarger,
+    );
 
-    b.build().expect("the global grammar is valid by construction")
+    b.build()
+        .expect("the global grammar is valid by construction")
 }
 
 /// The paper's Figure 6 example grammar *G* (11 productions), with real

@@ -3,7 +3,7 @@
 
 use crate::constraint::Constraint;
 use crate::constructor::Constructor;
-use crate::preference::{ConflictCond, Preference, PrefId, WinCriteria};
+use crate::preference::{ConflictCond, PrefId, Preference, WinCriteria};
 use crate::production::{ProdId, Production};
 use crate::symbol::{SymbolId, SymbolTable};
 use metaform_core::{Proximity, TokenKind};
@@ -317,13 +317,7 @@ mod tests {
             Constraint::True,
             Constructor::MakeAttr(0),
         );
-        b.preference(
-            "R1",
-            qi,
-            attr,
-            ConflictCond::Overlap,
-            WinCriteria::Always,
-        );
+        b.preference("R1", qi, attr, ConflictCond::Overlap, WinCriteria::Always);
         let g = b.build().unwrap();
         assert_eq!(g.preferences.len(), 1);
         assert_eq!(g.preference(PrefId(0)).name, "R1");

@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod constraint;
 pub mod constructor;
 pub mod describe;
@@ -31,14 +32,15 @@ pub mod production;
 pub mod schedule;
 pub mod symbol;
 
+pub use compiled::{compile_count, preference_index, CompiledGrammar};
 pub use constraint::{Constraint, Pred, View};
 pub use constructor::Constructor;
 pub use describe::{constraint_to_string, schedule_to_dot};
 pub use dsl::{from_dsl, to_dsl, DslError};
-pub use global::{global_grammar, paper_example_grammar};
+pub use global::{global_compiled, global_grammar, paper_example_grammar};
 pub use grammar::{Grammar, GrammarBuilder, GrammarError};
 pub use payload::Payload;
-pub use preference::{ConflictCond, Preference, PrefId, WinCriteria};
+pub use preference::{ConflictCond, PrefId, Preference, WinCriteria};
 pub use production::{ProdId, Production};
-pub use schedule::{build_schedule, Schedule};
+pub use schedule::{build_schedule, schedule_build_count, Schedule};
 pub use symbol::{SymbolId, SymbolKind, SymbolTable};

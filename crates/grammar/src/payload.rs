@@ -36,9 +36,7 @@ impl Payload {
             TokenKind::Textbox | TokenKind::Password | TokenKind::TextArea => {
                 Payload::Val(DomainSpec::text())
             }
-            TokenKind::SelectionList => {
-                Payload::Val(DomainSpec::enumerated(token.options.clone()))
-            }
+            TokenKind::SelectionList => Payload::Val(DomainSpec::enumerated(token.options.clone())),
             TokenKind::NumberList => Payload::Val(DomainSpec {
                 kind: metaform_core::DomainKind::Numeric,
                 values: token.options.clone(),
@@ -98,7 +96,10 @@ mod tests {
         assert_eq!(Payload::for_token(&text), Payload::Text("Author".into()));
 
         let tb = Token::widget(1, TokenKind::Textbox, "q", BBox::ZERO);
-        assert_eq!(Payload::for_token(&tb).val().unwrap().kind, DomainKind::Text);
+        assert_eq!(
+            Payload::for_token(&tb).val().unwrap().kind,
+            DomainKind::Text
+        );
 
         let sel = Token::widget(2, TokenKind::SelectionList, "c", BBox::ZERO)
             .with_options(vec!["Coach".into(), "First".into()]);
@@ -108,10 +109,16 @@ mod tests {
 
         let num = Token::widget(3, TokenKind::NumberList, "n", BBox::ZERO)
             .with_options(vec!["1".into(), "2".into()]);
-        assert_eq!(Payload::for_token(&num).val().unwrap().kind, DomainKind::Numeric);
+        assert_eq!(
+            Payload::for_token(&num).val().unwrap().kind,
+            DomainKind::Numeric
+        );
 
         let month = Token::widget(4, TokenKind::MonthList, "m", BBox::ZERO);
-        assert_eq!(Payload::for_token(&month).val().unwrap().kind, DomainKind::Date);
+        assert_eq!(
+            Payload::for_token(&month).val().unwrap().kind,
+            DomainKind::Date
+        );
 
         let radio = Token::widget(5, TokenKind::Radiobutton, "r", BBox::ZERO);
         assert_eq!(Payload::for_token(&radio), Payload::None);
@@ -126,7 +133,15 @@ mod tests {
         assert_eq!(ops.ops().unwrap().len(), 1);
         assert!(Payload::None.conditions().is_empty());
         let c = Condition::new("a", vec![], DomainSpec::text(), vec![]);
-        assert_eq!(Payload::Cond(c.clone()).conditions(), std::slice::from_ref(&c));
-        assert_eq!(Payload::Conds(vec![c.clone(), c.clone()]).conditions().len(), 2);
+        assert_eq!(
+            Payload::Cond(c.clone()).conditions(),
+            std::slice::from_ref(&c)
+        );
+        assert_eq!(
+            Payload::Conds(vec![c.clone(), c.clone()])
+                .conditions()
+                .len(),
+            2
+        );
     }
 }

@@ -12,6 +12,16 @@ use crate::grammar::{Grammar, GrammarError};
 use crate::preference::PrefId;
 use crate::symbol::SymbolId;
 use std::collections::BTreeSet;
+use std::sync::atomic::AtomicUsize;
+
+static SCHEDULE_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide count of [`build_schedule`] invocations. Compile-once
+/// paths (sessions over a [`crate::CompiledGrammar`]) schedule exactly
+/// once per grammar; tests and benches assert that through this.
+pub fn schedule_build_count() -> usize {
+    SCHEDULE_BUILDS.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 /// The instantiation plan for a grammar.
 #[derive(Clone, Debug)]
@@ -131,7 +141,9 @@ impl NtIndex {
 fn d_graph(g: &Grammar, nts: &NtIndex) -> Graph {
     let mut graph = Graph::new(nts.ids.len());
     for p in &g.productions {
-        let Some(head) = nts.idx(p.head) else { continue };
+        let Some(head) = nts.idx(p.head) else {
+            continue;
+        };
         for &c in &p.components {
             if let Some(comp) = nts.idx(c) {
                 // Component instantiates before head (self-loops are
@@ -185,6 +197,7 @@ fn parents_of(g: &Grammar, s: SymbolId) -> Vec<SymbolId> {
 /// loser), and if the transformation also cycles, the edge is dropped
 /// and the preference marked for rollback.
 pub fn build_schedule(g: &Grammar) -> Result<Schedule, GrammarError> {
+    SCHEDULE_BUILDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let nts = NtIndex::new(g);
     let mut graph = d_graph(g, &nts);
     if graph.topo().is_none() {
@@ -248,7 +261,11 @@ mod tests {
 
     fn pos(sched: &Schedule, g: &Grammar, name: &str) -> usize {
         let id = g.symbols.lookup(name).expect("symbol exists");
-        sched.order.iter().position(|&s| s == id).expect("scheduled")
+        sched
+            .order
+            .iter()
+            .position(|&s| s == id)
+            .expect("scheduled")
     }
 
     /// The paper's grammar G (Figure 6), skeletal.
@@ -279,13 +296,7 @@ mod tests {
         b.production("P9", rbu, vec![radio, text], c.clone(), k.clone());
         b.production("P10", attr, vec![text], c.clone(), k.clone());
         b.production("P11", val, vec![textbox], c.clone(), k.clone());
-        b.preference(
-            "R1",
-            rbu,
-            attr,
-            ConflictCond::Overlap,
-            WinCriteria::Always,
-        );
+        b.preference("R1", rbu, attr, ConflictCond::Overlap, WinCriteria::Always);
         b.preference(
             "R2",
             rblist,
@@ -332,8 +343,20 @@ mod tests {
         bld.production("b", b, vec![a], t.clone(), k.clone());
         bld.production("c", c, vec![a], t.clone(), k.clone());
         bld.production("d", d, vec![c], t.clone(), k.clone());
-        bld.preference("RB>C", b, c, ConflictCond::Overlap, WinCriteria::WinnerTighter);
-        bld.preference("RC>B", c, b, ConflictCond::Overlap, WinCriteria::WinnerTighter);
+        bld.preference(
+            "RB>C",
+            b,
+            c,
+            ConflictCond::Overlap,
+            WinCriteria::WinnerTighter,
+        );
+        bld.preference(
+            "RC>B",
+            c,
+            b,
+            ConflictCond::Overlap,
+            WinCriteria::WinnerTighter,
+        );
         let g = bld.build().unwrap();
         let s = build_schedule(&g).unwrap();
         // First preference adds B→C directly. The second (C before B)
@@ -350,7 +373,13 @@ mod tests {
         // the transformed edge must force C before E (loser B's parent).
         let mut bld = GrammarBuilder::new("E");
         let ta = bld.t(TokenKind::Text);
-        let (a, b, c, d, e) = (bld.nt("A"), bld.nt("B"), bld.nt("C"), bld.nt("D"), bld.nt("E"));
+        let (a, b, c, d, e) = (
+            bld.nt("A"),
+            bld.nt("B"),
+            bld.nt("C"),
+            bld.nt("D"),
+            bld.nt("E"),
+        );
         let t = Constraint::True;
         let k = Constructor::Group;
         bld.production("a", a, vec![ta], t.clone(), k.clone());
@@ -358,12 +387,27 @@ mod tests {
         bld.production("c", c, vec![a], t.clone(), k.clone());
         bld.production("d", d, vec![c], t.clone(), k.clone());
         bld.production("e", e, vec![b], t.clone(), k.clone());
-        bld.preference("RB>C", b, c, ConflictCond::Overlap, WinCriteria::WinnerTighter);
-        bld.preference("RC>B", c, b, ConflictCond::Overlap, WinCriteria::WinnerTighter);
+        bld.preference(
+            "RB>C",
+            b,
+            c,
+            ConflictCond::Overlap,
+            WinCriteria::WinnerTighter,
+        );
+        bld.preference(
+            "RC>B",
+            c,
+            b,
+            ConflictCond::Overlap,
+            WinCriteria::WinnerTighter,
+        );
         let g = bld.build().unwrap();
         let s = build_schedule(&g).unwrap();
         assert!(s.transformed[1]);
-        assert!(pos(&s, &g, "C") < pos(&s, &g, "E"), "winner before loser's parent");
+        assert!(
+            pos(&s, &g, "C") < pos(&s, &g, "E"),
+            "winner before loser's parent"
+        );
         assert!(pos(&s, &g, "B") < pos(&s, &g, "C"));
     }
 
@@ -377,7 +421,13 @@ mod tests {
         // already holds.
         let mut bld = GrammarBuilder::new("Z");
         let ta = bld.t(TokenKind::Text);
-        let (a, b, c, p, z) = (bld.nt("A"), bld.nt("B"), bld.nt("C"), bld.nt("P"), bld.nt("Z"));
+        let (a, b, c, p, z) = (
+            bld.nt("A"),
+            bld.nt("B"),
+            bld.nt("C"),
+            bld.nt("P"),
+            bld.nt("Z"),
+        );
         let t = Constraint::True;
         let k = Constructor::Group;
         bld.production("a", a, vec![ta], t.clone(), k.clone());

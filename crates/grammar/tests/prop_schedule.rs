@@ -22,10 +22,7 @@ struct Spec {
 fn spec() -> impl Strategy<Value = Spec> {
     (2usize..8).prop_flat_map(|n| {
         let prods = proptest::collection::vec(
-            proptest::collection::vec(
-                proptest::collection::vec(0usize..n + 1, 1..3),
-                1..3,
-            ),
+            proptest::collection::vec(proptest::collection::vec(0usize..n + 1, 1..3), 1..3),
             n,
         );
         let prefs = proptest::collection::vec((0usize..n, 0usize..n), 0..6);

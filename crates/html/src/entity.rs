@@ -174,6 +174,9 @@ mod tests {
 
     #[test]
     fn multibyte_text_survives() {
-        assert_eq!(decode_entities("caf\u{00E9} &amp; th\u{00E9}"), "café & thé");
+        assert_eq!(
+            decode_entities("caf\u{00E9} &amp; th\u{00E9}"),
+            "café & thé"
+        );
     }
 }

@@ -120,8 +120,9 @@ impl<'a> Lexer<'a> {
             .find('>')
             .map(|r| body_start + r)
             .unwrap_or(self.bytes.len());
-        self.out
-            .push(HtmlToken::Doctype(self.input[body_start..end].trim().to_string()));
+        self.out.push(HtmlToken::Doctype(
+            self.input[body_start..end].trim().to_string(),
+        ));
         self.pos = (end + 1).min(self.bytes.len());
     }
 
@@ -145,7 +146,8 @@ impl<'a> Lexer<'a> {
     fn lex_start_tag(&mut self) {
         let name_start = self.pos + 1;
         let mut i = name_start;
-        while i < self.bytes.len() && !matches!(self.bytes[i], b' ' | b'\t' | b'\n' | b'\r' | b'>' | b'/')
+        while i < self.bytes.len()
+            && !matches!(self.bytes[i], b' ' | b'\t' | b'\n' | b'\r' | b'>' | b'/')
         {
             i += 1;
         }
@@ -196,7 +198,10 @@ impl<'a> Lexer<'a> {
     fn lex_one_attribute(&mut self) -> Option<(String, String)> {
         let start = self.pos;
         while self.pos < self.bytes.len()
-            && !matches!(self.bytes[self.pos], b'=' | b'>' | b'/' | b' ' | b'\t' | b'\n' | b'\r')
+            && !matches!(
+                self.bytes[self.pos],
+                b'=' | b'>' | b'/' | b' ' | b'\t' | b'\n' | b'\r'
+            )
         {
             self.pos += 1;
         }
@@ -309,7 +314,12 @@ mod tests {
             toks,
             vec![start(
                 "input",
-                &[("type", "text"), ("name", "q"), ("size", "20"), ("disabled", "")]
+                &[
+                    ("type", "text"),
+                    ("name", "q"),
+                    ("size", "20"),
+                    ("disabled", "")
+                ]
             )]
         );
     }
@@ -317,7 +327,10 @@ mod tests {
     #[test]
     fn names_are_lowercased() {
         let toks = lex("<INPUT TYPE=RADIO VALUE=Yes>");
-        assert_eq!(toks, vec![start("input", &[("type", "RADIO"), ("value", "Yes")])]);
+        assert_eq!(
+            toks,
+            vec![start("input", &[("type", "RADIO"), ("value", "Yes")])]
+        );
     }
 
     #[test]

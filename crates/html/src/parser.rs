@@ -50,7 +50,10 @@ fn implied_closes(tag: &str) -> &'static [&'static str] {
 /// Elements acting as scope barriers: an implied or recovery close never
 /// pops past one of these.
 fn is_scope_barrier(tag: &str) -> bool {
-    matches!(tag, "table" | "td" | "th" | "form" | "select" | "html" | "body")
+    matches!(
+        tag,
+        "table" | "td" | "th" | "form" | "select" | "html" | "body"
+    )
 }
 
 /// Parses HTML source into a DOM. Lenient: never fails.

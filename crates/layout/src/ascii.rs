@@ -144,7 +144,8 @@ mod tests {
 
     #[test]
     fn rows_stack_in_output() {
-        let a = art("Author <input type=text name=a size=8><br>Title <input type=text name=t size=8>");
+        let a =
+            art("Author <input type=text name=a size=8><br>Title <input type=text name=t size=8>");
         let lines: Vec<&str> = a.lines().filter(|l| !l.trim().is_empty()).collect();
         assert!(lines.len() >= 2, "{a}");
         assert!(lines[0].contains("Author"));

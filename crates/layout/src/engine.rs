@@ -1,6 +1,6 @@
 //! Normal-flow layout: blocks stack, inline content flows in line boxes.
 
-use crate::font::{words, text_width, LINE_H, SPACE_W};
+use crate::font::{text_width, words, LINE_H, SPACE_W};
 use crate::output::{Fragment, Layout};
 use crate::style::{block_margin, display_of, is_line_break, Display, LIST_INDENT};
 use crate::table;
@@ -385,7 +385,11 @@ mod tests {
         let frags = lay.fragments(text_node);
         assert!(frags.len() > 1, "must wrap into several lines");
         for f in frags {
-            assert!(f.bbox.right <= 200 - 8 + CHAR_W, "inside viewport: {:?}", f.bbox);
+            assert!(
+                f.bbox.right <= 200 - 8 + CHAR_W,
+                "inside viewport: {:?}",
+                f.bbox
+            );
         }
         // Lines strictly stack.
         for w in frags.windows(2) {

@@ -51,16 +51,16 @@ pub const CELL_SPACING: i32 = 2;
 /// behaviour for unrecognized elements.
 pub fn display_of(tag: &str) -> Display {
     match tag {
-        "html" | "body" | "div" | "p" | "form" | "fieldset" | "center" | "blockquote"
-        | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "ul" | "ol" | "dl" | "li" | "dt" | "dd"
-        | "pre" | "address" | "hr" | "legend" | "caption" => Display::Block,
+        "html" | "body" | "div" | "p" | "form" | "fieldset" | "center" | "blockquote" | "h1"
+        | "h2" | "h3" | "h4" | "h5" | "h6" | "ul" | "ol" | "dl" | "li" | "dt" | "dd" | "pre"
+        | "address" | "hr" | "legend" | "caption" => Display::Block,
         "table" => Display::Table,
         "tr" => Display::TableRow,
         "td" | "th" => Display::TableCell,
         "thead" | "tbody" | "tfoot" => Display::TableSection,
         "input" | "select" | "textarea" | "button" | "img" => Display::InlineWidget,
-        "head" | "meta" | "link" | "base" | "option" | "optgroup" | "col" | "colgroup"
-        | "map" | "area" | "param" | "noscript" => Display::Hidden,
+        "head" | "meta" | "link" | "base" | "option" | "optgroup" | "col" | "colgroup" | "map"
+        | "area" | "param" | "noscript" => Display::Hidden,
         _ => Display::Inline,
     }
 }

@@ -116,7 +116,13 @@ pub(crate) fn layout_table(
         let rect_h = span_height(&row_h, cell);
         let inner_w = (rect_w - 2 * CELL_PADDING).max(1);
         let children: Vec<NodeId> = doc.children(cell.node).to_vec();
-        flow.layout_children(buf, &children, cx + CELL_PADDING, cy + CELL_PADDING, inner_w);
+        flow.layout_children(
+            buf,
+            &children,
+            cx + CELL_PADDING,
+            cy + CELL_PADDING,
+            inner_w,
+        );
         // Vertical alignment: HTML defaults to middle; `valign` on the
         // cell (or its row) overrides, as era markup commonly did for
         // label columns.
@@ -137,10 +143,7 @@ pub(crate) fn layout_table(
                 }
             }
         }
-        buf.set_bbox(
-            cell.node,
-            BBox::new(cx, cy, cx + rect_w, cy + rect_h),
-        );
+        buf.set_bbox(cell.node, BBox::new(cx, cy, cx + rect_w, cy + rect_h));
     }
 
     // Row, section, and table boxes.
@@ -189,7 +192,10 @@ fn build_grid(doc: &Document, rows: &[NodeId]) -> Vec<Cell> {
             if !matches!(doc.tag(child), Some("td" | "th")) {
                 continue;
             }
-            while occupied.get(r).is_some_and(|ro| *ro.get(c).unwrap_or(&false)) {
+            while occupied
+                .get(r)
+                .is_some_and(|ro| *ro.get(c).unwrap_or(&false))
+            {
                 c += 1;
             }
             let colspan = attr_usize(doc, child, "colspan").clamp(1, 50);
@@ -227,14 +233,12 @@ fn attr_usize(doc: &Document, node: NodeId, name: &str) -> usize {
 
 fn span_width(col_w: &[i32], cell: &Cell) -> i32 {
     let end = (cell.col + cell.colspan).min(col_w.len());
-    col_w[cell.col..end].iter().sum::<i32>()
-        + (end - cell.col - 1) as i32 * CELL_SPACING
+    col_w[cell.col..end].iter().sum::<i32>() + (end - cell.col - 1) as i32 * CELL_SPACING
 }
 
 fn span_height(row_h: &[i32], cell: &Cell) -> i32 {
     let end = (cell.row + cell.rowspan).min(row_h.len());
-    row_h[cell.row..end].iter().sum::<i32>()
-        + (end - cell.row - 1) as i32 * CELL_SPACING
+    row_h[cell.row..end].iter().sum::<i32>() + (end - cell.row - 1) as i32 * CELL_SPACING
 }
 
 /// Origins: `origin + spacing`, then `+ extent + spacing` per slot.
@@ -292,9 +296,8 @@ mod tests {
 
     #[test]
     fn label_and_field_in_adjacent_cells_share_row() {
-        let (doc, lay) = cell_boxes(
-            "<table><tr><td>From</td><td><input type=text name=f></td></tr></table>",
-        );
+        let (doc, lay) =
+            cell_boxes("<table><tr><td>From</td><td><input type=text name=f></td></tr></table>");
         let td_label = doc.elements_by_tag(doc.root(), "td")[0];
         let label_text = doc.children(td_label)[0];
         let frag = lay.fragments(label_text)[0].bbox;
@@ -370,9 +373,8 @@ mod tests {
 
     #[test]
     fn caption_sits_above_grid() {
-        let (doc, lay) = cell_boxes(
-            "<table><caption>Search</caption><tr><td>body</td></tr></table>",
-        );
+        let (doc, lay) =
+            cell_boxes("<table><caption>Search</caption><tr><td>body</td></tr></table>");
         let cap = doc.elements_by_tag(doc.root(), "caption")[0];
         let td = doc.elements_by_tag(doc.root(), "td")[0];
         assert!(lay.bbox(cap).unwrap().bottom <= lay.bbox(td).unwrap().top);
@@ -396,7 +398,10 @@ mod tests {
         let (top_frag, row) = frag_top("top");
         assert!(top_frag.top - row.top <= 4, "label hugs the row top");
         let (bot_frag, row) = frag_top("bottom");
-        assert!(row.bottom - bot_frag.bottom <= 4, "label hugs the row bottom");
+        assert!(
+            row.bottom - bot_frag.bottom <= 4,
+            "label hugs the row bottom"
+        );
         let (mid_frag, row) = frag_top("middle");
         assert!(mid_frag.top - row.top > 10);
         assert!(row.bottom - mid_frag.bottom > 10);

@@ -126,7 +126,10 @@ mod tests {
 
     #[test]
     fn radio_and_checkbox_are_glyphs() {
-        assert_eq!(size_of(r#"<input type=radio>"#, "input"), Some((GLYPH, GLYPH)));
+        assert_eq!(
+            size_of(r#"<input type=radio>"#, "input"),
+            Some((GLYPH, GLYPH))
+        );
         assert_eq!(
             size_of(r#"<input type=checkbox>"#, "input"),
             Some((GLYPH, GLYPH))
@@ -136,8 +139,7 @@ mod tests {
     #[test]
     fn select_width_tracks_longest_option() {
         let narrow = size_of("<select><option>NY</select>", "select").unwrap();
-        let wide =
-            size_of("<select><option>NY<option>Massachusetts</select>", "select").unwrap();
+        let wide = size_of("<select><option>NY<option>Massachusetts</select>", "select").unwrap();
         assert!(wide.0 > narrow.0);
         assert_eq!(wide.1, FIELD_H, "single-row select");
     }

@@ -14,9 +14,8 @@ fn markup() -> impl Strategy<Value = String> {
         Just("<select name=s><option>a<option>bb</select> ".to_string()),
         Just("<br>".to_string()),
         Just("<b>bold</b> ".to_string()),
-        ("[a-z]{1,6}", "[a-z]{1,6}").prop_map(|(a, b)| format!(
-            "<table><tr><td>{a}</td><td>{b}</td></tr></table>"
-        )),
+        ("[a-z]{1,6}", "[a-z]{1,6}")
+            .prop_map(|(a, b)| format!("<table><tr><td>{a}</td><td>{b}</td></tr></table>")),
     ];
     proptest::collection::vec(piece, 0..12).prop_map(|v| v.concat())
 }

@@ -9,10 +9,12 @@
 //! under different preference application orders and compare the
 //! derivation results.
 
-use crate::engine::{parse_with, ParserOptions, PreferenceOrder};
+use crate::engine::{ParserOptions, PreferenceOrder};
 use crate::merger::merge;
+use crate::session::ParseSession;
 use metaform_core::Token;
-use metaform_grammar::Grammar;
+use metaform_grammar::{CompiledGrammar, Grammar};
+use std::sync::Arc;
 
 /// Outcome of a consistency check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,14 +33,31 @@ pub enum Consistency {
 
 /// Parses `tokens` under the scheduled preference order and under the
 /// reversed order, and compares the merged semantic models.
+///
+/// Compiles the grammar once and probes both orders through sessions
+/// over the shared artifact. An unschedulable grammar is vacuously
+/// consistent (no order parses anything).
 pub fn check_preferences(grammar: &Grammar, tokens: &[Token]) -> Consistency {
+    let Ok(compiled) = CompiledGrammar::new(grammar) else {
+        return Consistency::Consistent;
+    };
+    check_preferences_compiled(&Arc::new(compiled), tokens)
+}
+
+/// [`check_preferences`] over an already-compiled grammar — the
+/// compile-once path for callers probing many token sets.
+pub fn check_preferences_compiled(
+    compiled: &Arc<CompiledGrammar>,
+    tokens: &[Token],
+) -> Consistency {
     let mut reports = Vec::with_capacity(2);
     for order in [PreferenceOrder::Scheduled, PreferenceOrder::Reversed] {
         let opts = ParserOptions {
             preference_order: order,
             ..ParserOptions::default()
         };
-        let result = parse_with(grammar, tokens, &opts);
+        let mut session = ParseSession::with_options(compiled.clone(), opts);
+        let result = session.parse(tokens);
         let report = merge(&result.chart, &result.trees);
         let mut conds: Vec<String> = report.conditions.iter().map(|c| c.to_string()).collect();
         conds.sort();
@@ -118,14 +137,29 @@ mod tests {
                 kind: Some(metaform_core::DomainKind::Numeric),
             },
         );
-        b.production("Q<-X", q, vec![x], Constraint::True, Constructor::CollectConds);
-        b.production("Q<-Y", q, vec![y], Constraint::True, Constructor::CollectConds);
+        b.production(
+            "Q<-X",
+            q,
+            vec![x],
+            Constraint::True,
+            Constructor::CollectConds,
+        );
+        b.production(
+            "Q<-Y",
+            q,
+            vec![y],
+            Constraint::True,
+            Constructor::CollectConds,
+        );
         b.preference("X>Y", x, y, ConflictCond::Overlap, WinCriteria::Always);
         b.preference("Y>X", y, x, ConflictCond::Overlap, WinCriteria::Always);
         let g = b.build().expect("builds");
         let tokens = label_box(0, "Amount", 10, 10);
         match check_preferences(&g, &tokens) {
-            Consistency::Inconsistent { scheduled, reversed } => {
+            Consistency::Inconsistent {
+                scheduled,
+                reversed,
+            } => {
                 assert_ne!(scheduled, reversed);
             }
             Consistency::Consistent => {
@@ -138,13 +172,14 @@ mod tests {
     fn consistency_on_generated_sources() {
         // A stronger version of the paper's "in practice we never have
         // such a situation": probe a slice of the NewSource dataset.
-        let grammar = global_grammar();
+        // One compile serves all probes.
+        let compiled = metaform_grammar::global_compiled();
         for src in metaform_datasets::new_source().sources.iter().take(6) {
             let doc = metaform_html::parse(&src.html);
             let lay = metaform_layout::layout(&doc);
             let tokens = metaform_tokenizer::tokenize(&doc, &lay).tokens;
             assert_eq!(
-                check_preferences(&grammar, &tokens),
+                check_preferences_compiled(&compiled, &tokens),
                 Consistency::Consistent,
                 "{}",
                 src.name

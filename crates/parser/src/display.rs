@@ -47,7 +47,14 @@ fn render_into(
     let children = chart.get(node).children.clone();
     let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
     for (i, &c) in children.iter().enumerate() {
-        render_into(chart, grammar, c, &child_prefix, i + 1 == children.len(), out);
+        render_into(
+            chart,
+            grammar,
+            c,
+            &child_prefix,
+            i + 1 == children.len(),
+            out,
+        );
     }
 }
 

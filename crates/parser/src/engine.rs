@@ -16,7 +16,7 @@ use crate::maximize::maximize;
 use crate::stats::ParseStats;
 use metaform_core::Token;
 use metaform_grammar::{
-    build_schedule, ConflictCond, Grammar, PrefId, ProdId, Schedule, SymbolId,
+    build_schedule, preference_index, ConflictCond, Grammar, PrefId, ProdId, Schedule, SymbolId,
     SymbolKind, WinCriteria,
 };
 use std::time::Instant;
@@ -109,48 +109,85 @@ pub fn parse(grammar: &Grammar, tokens: &[Token]) -> ParseResult {
 }
 
 /// Parses tokens under a grammar with explicit options.
+///
+/// This is the one-shot compatibility path: it rebuilds the schedule
+/// and preference index on every call. Workloads that parse many
+/// interfaces under one grammar should compile once
+/// ([`metaform_grammar::Grammar::compile`]) and reuse a
+/// [`crate::ParseSession`] instead.
+///
+/// Grammars produced by `GrammarBuilder` are already validated, so
+/// scheduling cannot fail for them; should an unschedulable grammar
+/// reach this function anyway, it degrades to an empty best-effort
+/// result (no trees, no instances) rather than panicking. The strict
+/// path is `Grammar::compile`, which surfaces the error.
 pub fn parse_with(grammar: &Grammar, tokens: &[Token], opts: &ParserOptions) -> ParseResult {
-    let started = Instant::now();
-    let schedule = build_schedule(grammar).expect("grammar validated at build time");
-    let mut p = Parser {
-        grammar,
-        schedule: &schedule,
+    let Ok(schedule) = build_schedule(grammar) else {
+        return empty_result(grammar, tokens);
+    };
+    let prefs = preference_index(grammar);
+    let mut scratch = Scratch::default();
+    let chart = Chart::new(tokens.to_vec(), grammar.symbols.len());
+    let mut result = run_parse(grammar, &schedule, &prefs, chart, opts, &mut scratch);
+    result.stats.schedules_built = 1;
+    result
+}
+
+/// The degenerate result for inputs no parse was attempted on.
+fn empty_result(grammar: &Grammar, tokens: &[Token]) -> ParseResult {
+    ParseResult {
         chart: Chart::new(tokens.to_vec(), grammar.symbols.len()),
-        opts: *opts,
+        trees: Vec::new(),
         stats: ParseStats {
             tokens: tokens.len(),
             ..Default::default()
         },
-    };
-    let mut pref_ids: Vec<_> = grammar.preference_ids().collect();
-    if opts.preference_order == PreferenceOrder::Reversed {
-        pref_ids.reverse();
     }
+}
+
+/// The parse core (paper Figure 11), shared by the one-shot wrappers
+/// and [`crate::ParseSession`]. The caller provides the already-built
+/// schedule and per-symbol preference index plus a chart targeted at
+/// the tokens; `scratch` buffers are recycled across calls.
+pub(crate) fn run_parse(
+    grammar: &Grammar,
+    schedule: &Schedule,
+    prefs_by_symbol: &[Vec<PrefId>],
+    chart: Chart,
+    opts: &ParserOptions,
+    scratch: &mut Scratch,
+) -> ParseResult {
+    let started = Instant::now();
+    let token_count = chart.tokens().len();
+    let mut p = Parser {
+        grammar,
+        schedule,
+        prefs_by_symbol,
+        chart,
+        opts: *opts,
+        stats: ParseStats {
+            tokens: token_count,
+            ..Default::default()
+        },
+        scratch,
+    };
     p.seed_terminals();
     for i in 0..schedule.order.len() {
         let symbol = schedule.order[i];
         p.instantiate(symbol);
         if p.opts.enforce_preferences {
-            for &pref in &pref_ids {
-                let r = grammar.preference(pref);
-                if r.winner == symbol || r.loser == symbol {
-                    p.enforce(pref);
-                }
-            }
+            p.enforce_involving(symbol);
         }
     }
     // Final sweep: catches losers of rollback-mode preferences created
     // after the preference's last scheduled enforcement.
     if p.opts.enforce_preferences {
-        for &pref in &pref_ids {
-            p.enforce(pref);
-        }
+        p.enforce_all();
     }
     let trees = maximize(&p.chart, grammar);
     p.stats.trees = trees.len();
-    p.stats.complete = trees.len() == 1
-        && p.chart.get(trees[0]).span.count() == tokens.len()
-        && !tokens.is_empty();
+    p.stats.complete =
+        trees.len() == 1 && p.chart.get(trees[0]).span.count() == token_count && token_count > 0;
     p.stats.complete_parses = count_complete_parses(&p.chart, grammar);
     p.stats.temporary = count_temporary(&p.chart, &trees);
     p.stats.created = p.chart.len();
@@ -185,21 +222,78 @@ fn count_temporary(chart: &Chart, trees: &[InstId]) -> usize {
     used.iter().filter(|&&u| !u).count()
 }
 
+/// Recycled working memory for the parse core: candidate lists for
+/// production enumeration and winner/loser lists for enforcement.
+/// A [`crate::ParseSession`] keeps one `Scratch` alive across parses
+/// so the steady state allocates nothing here.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    /// Per-component candidate lists of the production being applied.
+    candidates: Vec<Vec<InstId>>,
+    /// Empty buffers awaiting reuse as candidate lists.
+    spare_bufs: Vec<Vec<InstId>>,
+    /// The combination being enumerated.
+    combo: Vec<InstId>,
+    /// Winner / loser lists for the preference being enforced.
+    winners: Vec<InstId>,
+    losers: Vec<InstId>,
+}
+
 struct Parser<'a> {
     grammar: &'a Grammar,
     schedule: &'a Schedule,
+    prefs_by_symbol: &'a [Vec<PrefId>],
     chart: Chart,
     opts: ParserOptions,
     stats: ParseStats,
+    scratch: &'a mut Scratch,
 }
 
 impl Parser<'_> {
     /// Creates terminal instances for every token.
     fn seed_terminals(&mut self) {
-        let tokens: Vec<Token> = self.chart.tokens().to_vec();
-        for t in &tokens {
-            let sym = self.grammar.symbols.terminal(t.kind);
-            self.chart.add_terminal(sym, t);
+        for i in 0..self.chart.tokens().len() {
+            let kind = self.chart.tokens()[i].kind;
+            let sym = self.grammar.symbols.terminal(kind);
+            self.chart.add_terminal_index(sym, i);
+        }
+    }
+
+    /// Enforces the preferences involving `symbol`, in the order the
+    /// options dictate — the just-in-time pruning step of Figure 11,
+    /// driven by the pre-resolved per-symbol index instead of a scan
+    /// over every preference in the grammar.
+    fn enforce_involving(&mut self, symbol: SymbolId) {
+        let prefs_by_symbol = self.prefs_by_symbol;
+        let involving = &prefs_by_symbol[symbol.index()];
+        match self.opts.preference_order {
+            PreferenceOrder::Scheduled => {
+                for &pref in involving.iter() {
+                    self.enforce(pref);
+                }
+            }
+            PreferenceOrder::Reversed => {
+                for &pref in involving.iter().rev() {
+                    self.enforce(pref);
+                }
+            }
+        }
+    }
+
+    /// Enforces every preference once, in the configured order.
+    fn enforce_all(&mut self) {
+        let n = self.grammar.preferences.len() as u32;
+        match self.opts.preference_order {
+            PreferenceOrder::Scheduled => {
+                for i in 0..n {
+                    self.enforce(PrefId(i));
+                }
+            }
+            PreferenceOrder::Reversed => {
+                for i in (0..n).rev() {
+                    self.enforce(PrefId(i));
+                }
+            }
         }
     }
 
@@ -232,19 +326,25 @@ impl Parser<'_> {
     fn apply_production(&mut self, pid: ProdId) -> bool {
         let prod = self.grammar.production(pid);
         let arity = prod.arity();
-        // Snapshot candidate lists (instances added this round are
-        // picked up by the enclosing fix-point loop).
-        let candidates: Vec<Vec<InstId>> = prod
-            .components
-            .iter()
-            .map(|&s| self.chart.valid_of_symbol(s))
-            .collect();
-        if candidates.iter().any(|c| c.is_empty()) {
-            return false;
+        // Snapshot candidate lists into recycled buffers (instances
+        // added this round are picked up by the enclosing fix-point
+        // loop).
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
+        for &s in &prod.components {
+            let mut buf = self.scratch.spare_bufs.pop().unwrap_or_default();
+            self.chart.valid_of_symbol_into(s, &mut buf);
+            candidates.push(buf);
         }
-        let mut combo = vec![InstId(0); arity];
         let mut added = false;
-        self.enumerate(pid, &candidates, 0, &mut combo, &mut added);
+        if !candidates.iter().any(|c| c.is_empty()) {
+            let mut combo = std::mem::take(&mut self.scratch.combo);
+            combo.clear();
+            combo.resize(arity, InstId(0));
+            self.enumerate(pid, &candidates, 0, &mut combo, &mut added);
+            self.scratch.combo = combo;
+        }
+        self.scratch.spare_bufs.append(&mut candidates);
+        self.scratch.candidates = candidates;
         added
     }
 
@@ -311,10 +411,11 @@ impl Parser<'_> {
     /// this preference's r-edge had to be dropped from the schedule.
     fn enforce(&mut self, pref_id: PrefId) {
         let pref = self.grammar.preference(pref_id);
-        let winners = self.chart.valid_of_symbol(pref.winner);
-        let losers = self.chart.valid_of_symbol(pref.loser);
-        let needs_rollback =
-            self.opts.rollback && self.schedule.needs_rollback[pref_id.index()];
+        let mut winners = std::mem::take(&mut self.scratch.winners);
+        self.chart.valid_of_symbol_into(pref.winner, &mut winners);
+        let mut losers = std::mem::take(&mut self.scratch.losers);
+        self.chart.valid_of_symbol_into(pref.loser, &mut losers);
+        let needs_rollback = self.opts.rollback && self.schedule.needs_rollback[pref_id.index()];
         for &w in &winners {
             if !self.chart.get(w).valid {
                 continue; // may have lost to a peer earlier in this pass
@@ -336,6 +437,8 @@ impl Parser<'_> {
                 }
             }
         }
+        self.scratch.winners = winners;
+        self.scratch.losers = losers;
     }
 
     fn conflicts(&self, w: InstId, l: InstId, cond: ConflictCond) -> bool {
@@ -388,7 +491,11 @@ mod tests {
             "query-0",
             BBox::new(60, y, 200, y + 20),
         ));
-        let captions = ["first name/initials and last name", "start of last name", "exact name"];
+        let captions = [
+            "first name/initials and last name",
+            "start of last name",
+            "exact name",
+        ];
         let mut x = 60;
         for (i, cap) in captions.iter().enumerate() {
             let rx = x;
@@ -437,9 +544,7 @@ mod tests {
         assert_eq!(conds.len(), 1);
         assert_eq!(conds[0].attribute, "Author");
         assert_eq!(conds[0].operators.len(), 3, "three radio operators");
-        assert!(conds[0]
-            .operators
-            .contains(&"exact name".to_string()));
+        assert!(conds[0].operators.contains(&"exact name".to_string()));
         assert!(res.stats.complete);
     }
 
@@ -548,6 +653,9 @@ mod tests {
         )];
         let res = parse(&g, &tokens);
         assert_eq!(res.trees.len(), 0);
-        assert_eq!(res.chart.uncovered_tokens(&res.trees), vec![metaform_core::TokenId(0)]);
+        assert_eq!(
+            res.chart.uncovered_tokens(&res.trees),
+            vec![metaform_core::TokenId(0)]
+        );
     }
 }

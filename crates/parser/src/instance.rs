@@ -72,6 +72,23 @@ impl Chart {
         }
     }
 
+    /// Clears the chart and re-targets it at a new token slice,
+    /// recycling the arena, index, and dedup allocations. This is the
+    /// parse-many path: a [`crate::ParseSession`] resets one chart per
+    /// parse instead of allocating a fresh one.
+    pub fn reset_for(&mut self, tokens: &[Token], symbol_count: usize) {
+        self.tokens.clear();
+        self.tokens.extend_from_slice(tokens);
+        self.instances.clear();
+        self.by_symbol.truncate(symbol_count);
+        for bucket in &mut self.by_symbol {
+            bucket.clear();
+        }
+        self.by_symbol.resize_with(symbol_count, Vec::new);
+        self.parents.clear();
+        self.dedup.clear();
+    }
+
     /// The interface's tokens.
     pub fn tokens(&self) -> &[Token] {
         &self.tokens
@@ -99,11 +116,21 @@ impl Chart {
 
     /// Valid instance ids of a symbol, in creation order.
     pub fn valid_of_symbol(&self, s: SymbolId) -> Vec<InstId> {
-        self.by_symbol[s.index()]
-            .iter()
-            .copied()
-            .filter(|&i| self.get(i).valid)
-            .collect()
+        let mut out = Vec::new();
+        self.valid_of_symbol_into(s, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Chart::valid_of_symbol`]: clears
+    /// `out` and fills it with the valid ids of `s` in creation order.
+    pub fn valid_of_symbol_into(&self, s: SymbolId, out: &mut Vec<InstId>) {
+        out.clear();
+        out.extend(
+            self.by_symbol[s.index()]
+                .iter()
+                .copied()
+                .filter(|&i| self.get(i).valid),
+        );
     }
 
     /// All instance ids.
@@ -127,6 +154,29 @@ impl Chart {
             span: TokenSet::singleton(self.tokens.len(), token.id),
             bbox: token.pos,
             payload: Payload::for_token(token),
+            valid: true,
+        });
+        self.by_symbol[symbol.index()].push(id);
+        self.parents.push(Vec::new());
+        id
+    }
+
+    /// Adds a terminal instance for the chart's own token at `idx` —
+    /// the seeding path, which avoids cloning the token list first.
+    pub fn add_terminal_index(&mut self, symbol: SymbolId, idx: usize) -> InstId {
+        let (tid, pos, payload) = {
+            let t = &self.tokens[idx];
+            (t.id, t.pos, Payload::for_token(t))
+        };
+        let id = InstId(self.instances.len() as u32);
+        self.instances.push(Instance {
+            symbol,
+            prod: None,
+            children: Vec::new(),
+            token: Some(tid),
+            span: TokenSet::singleton(self.tokens.len(), tid),
+            bbox: pos,
+            payload,
             valid: true,
         });
         self.by_symbol[symbol.index()].push(id);
@@ -330,12 +380,7 @@ mod tests {
             metaform_core::DomainSpec::text(),
             vec![],
         );
-        let id = chart.add_nonterminal(
-            nt,
-            ProdId(0),
-            vec![a, b],
-            Payload::Cond(cond),
-        );
+        let id = chart.add_nonterminal(nt, ProdId(0), vec![a, b], Payload::Cond(cond));
         let inst = chart.get(id);
         assert_eq!(inst.span.count(), 2);
         assert_eq!(inst.bbox, BBox::new(0, 0, 190, 20));

@@ -12,6 +12,17 @@
 //!
 //! The exhaustive baseline of §4.2.1 is available through
 //! [`ParserOptions::brute_force`] for the ambiguity experiments.
+//!
+//! ## Compile once, parse many
+//!
+//! Parsing splits into a fallible *compile* step and an infallible
+//! *parse* step. [`metaform_grammar::Grammar::compile`] validates and
+//! schedules a grammar once, yielding an immutable
+//! `CompiledGrammar`; a [`ParseSession`] then parses any number of
+//! token sequences under it, recycling its chart and scratch buffers
+//! between parses. The free functions [`parse`] and [`parse_with`]
+//! remain as one-shot conveniences that rebuild the schedule per call
+//! — correct, but the wrong tool for batch workloads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,14 +33,16 @@ pub mod engine;
 pub mod instance;
 pub mod maximize;
 pub mod merger;
+pub mod session;
 pub mod stats;
 pub mod tokenset;
 
-pub use consistency::{check_preferences, Consistency};
+pub use consistency::{check_preferences, check_preferences_compiled, Consistency};
 pub use display::render_tree;
 pub use engine::{parse, parse_with, ParseResult, ParserOptions, PreferenceOrder};
 pub use instance::{Chart, InstId, Instance};
 pub use maximize::maximize;
 pub use merger::merge;
+pub use session::ParseSession;
 pub use stats::ParseStats;
 pub use tokenset::TokenSet;

@@ -33,9 +33,9 @@ pub fn maximize(chart: &Chart, grammar: &Grammar) -> Vec<InstId> {
         .copied()
         .filter(|&i| {
             let span = &chart.get(i).span;
-            !valid.iter().any(|&j| {
-                j != i && span.is_strict_subset(&chart.get(j).span)
-            })
+            !valid
+                .iter()
+                .any(|&j| j != i && span.is_strict_subset(&chart.get(j).span))
         })
         .collect();
 
@@ -43,26 +43,19 @@ pub fn maximize(chart: &Chart, grammar: &Grammar) -> Vec<InstId> {
     // selected instance with the same span.
     let snapshot = maximal.clone();
     maximal.retain(|&i| {
-        !snapshot.iter().any(|&j| {
-            j != i
-                && chart.get(i).span == chart.get(j).span
-                && chart.is_ancestor(j, i)
-        })
+        !snapshot
+            .iter()
+            .any(|&j| j != i && chart.get(i).span == chart.get(j).span && chart.is_ancestor(j, i))
     });
 
-    maximal.sort_by_key(|&i| {
-        (
-            std::cmp::Reverse(chart.get(i).span.count()),
-            i,
-        )
-    });
+    maximal.sort_by_key(|&i| (std::cmp::Reverse(chart.get(i).span.count()), i));
     let _ = grammar; // reserved for future symbol-rank tie-breaking
     maximal
 }
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::engine::parse;
     use metaform_core::{BBox, Token, TokenKind};
     use metaform_grammar::paper_example_grammar;

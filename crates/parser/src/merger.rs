@@ -145,10 +145,7 @@ mod tests {
         // The tighter pairing (Adults) parses; Passengers stays either
         // uncovered or in a competing tree. Whatever the split, the
         // merger must not lose the Adults condition.
-        assert!(report
-            .conditions
-            .iter()
-            .any(|c| c.attribute == "Adults"));
+        assert!(report.conditions.iter().any(|c| c.attribute == "Adults"));
     }
 
     #[test]
@@ -157,12 +154,7 @@ mod tests {
         let tokens = label_box_pair(0, "Author", 10, 10);
         let res = parse(&g, &tokens);
         // Merge the same tree twice: the union must not duplicate.
-        let twice: Vec<InstId> = res
-            .trees
-            .iter()
-            .chain(res.trees.iter())
-            .copied()
-            .collect();
+        let twice: Vec<InstId> = res.trees.iter().chain(res.trees.iter()).copied().collect();
         let report = merge(&res.chart, &twice);
         assert_eq!(report.conditions.len(), 1);
         assert!(report.conflicts.is_empty());

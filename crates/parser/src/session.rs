@@ -1,0 +1,172 @@
+//! Reusable parse sessions — the parse-many half of compile-once,
+//! parse-many.
+//!
+//! A [`ParseSession`] pairs a shared [`CompiledGrammar`] with the
+//! working memory one parse needs: the chart arena, candidate-list
+//! pools, and enforcement worklists. The first parse allocates them;
+//! every subsequent parse on the same session recycles them (call
+//! [`ParseSession::recycle`] to hand the chart back too). Tokens are
+//! borrowed, never cloned into an intermediate vector.
+//!
+//! Sessions are cheap to create and single-threaded by design — the
+//! unit of parallelism is *one session per worker thread*, all sharing
+//! one `Arc<CompiledGrammar>`:
+//!
+//! ```
+//! use metaform_core::{BBox, Token, TokenKind};
+//! use metaform_grammar::paper_example_grammar;
+//! use metaform_parser::ParseSession;
+//! use std::sync::Arc;
+//!
+//! let compiled = Arc::new(paper_example_grammar().compile().unwrap());
+//! let mut session = ParseSession::new(compiled);
+//! let tokens = vec![
+//!     Token::text(0, "Author", BBox::new(10, 12, 52, 28)),
+//!     Token::widget(1, TokenKind::Textbox, "q", BBox::new(60, 8, 200, 28)),
+//! ];
+//! for _ in 0..3 {
+//!     let result = session.parse(&tokens);
+//!     assert!(result.stats.complete);
+//!     assert_eq!(result.stats.schedules_built, 0); // compiled once, outside
+//!     session.recycle(result);
+//! }
+//! ```
+
+use crate::engine::{run_parse, ParseResult, ParserOptions, Scratch};
+use crate::instance::Chart;
+use metaform_core::Token;
+use metaform_grammar::CompiledGrammar;
+use std::sync::Arc;
+
+/// A reusable parser over a compiled grammar (see module docs).
+pub struct ParseSession {
+    grammar: Arc<CompiledGrammar>,
+    opts: ParserOptions,
+    /// Chart returned by [`ParseSession::recycle`], reused by the next
+    /// parse.
+    spare: Option<Chart>,
+    scratch: Scratch,
+}
+
+impl ParseSession {
+    /// Creates a session with default [`ParserOptions`].
+    pub fn new(grammar: Arc<CompiledGrammar>) -> Self {
+        Self::with_options(grammar, ParserOptions::default())
+    }
+
+    /// Creates a session with explicit options.
+    pub fn with_options(grammar: Arc<CompiledGrammar>, opts: ParserOptions) -> Self {
+        ParseSession {
+            grammar,
+            opts,
+            spare: None,
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// The compiled grammar this session parses under.
+    pub fn compiled(&self) -> &Arc<CompiledGrammar> {
+        &self.grammar
+    }
+
+    /// The options every parse of this session runs with.
+    pub fn options(&self) -> &ParserOptions {
+        &self.opts
+    }
+
+    /// Parses one token sequence. Borrows the tokens; the result owns
+    /// its chart (hand it back with [`ParseSession::recycle`] to reuse
+    /// the allocation). Infallible: the grammar was validated when it
+    /// was compiled.
+    pub fn parse(&mut self, tokens: &[Token]) -> ParseResult {
+        let mut chart = self
+            .spare
+            .take()
+            .unwrap_or_else(|| Chart::new(Vec::new(), 0));
+        chart.reset_for(tokens, self.grammar.grammar().symbols.len());
+        run_parse(
+            self.grammar.grammar(),
+            self.grammar.schedule(),
+            self.grammar.preference_index(),
+            chart,
+            &self.opts,
+            &mut self.scratch,
+        )
+    }
+
+    /// Returns a finished parse's chart to the session's allocation
+    /// pool. Optional — dropping the result instead is correct, just
+    /// slower for the next parse.
+    pub fn recycle(&mut self, result: ParseResult) {
+        self.spare = Some(result.chart);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{parse_with, PreferenceOrder};
+    use metaform_core::{BBox, TokenKind};
+    use metaform_grammar::paper_example_grammar;
+
+    fn author_row() -> Vec<Token> {
+        vec![
+            Token::text(0, "Author", BBox::new(10, 4, 52, 20)),
+            Token::widget(1, TokenKind::Textbox, "q", BBox::new(60, 0, 200, 20)),
+        ]
+    }
+
+    #[test]
+    fn session_matches_one_shot_parse() {
+        let g = paper_example_grammar();
+        let tokens = author_row();
+        let one_shot = parse_with(&g, &tokens, &ParserOptions::default());
+        let mut session = ParseSession::new(Arc::new(g.compile().unwrap()));
+        let via_session = session.parse(&tokens);
+        assert_eq!(via_session.trees, one_shot.trees);
+        assert_eq!(via_session.chart.len(), one_shot.chart.len());
+        assert_eq!(via_session.stats.created, one_shot.stats.created);
+        assert_eq!(via_session.stats.schedules_built, 0);
+        assert_eq!(one_shot.stats.schedules_built, 1);
+    }
+
+    #[test]
+    fn recycled_chart_yields_identical_results() {
+        let compiled = Arc::new(paper_example_grammar().compile().unwrap());
+        let mut session = ParseSession::new(compiled);
+        let tokens = author_row();
+        let first = session.parse(&tokens);
+        let first_trees = first.trees.clone();
+        let first_created = first.stats.created;
+        session.recycle(first);
+        // Interleave a different input to dirty the recycled chart.
+        let second = session.parse(&[]);
+        assert_eq!(second.trees.len(), 0);
+        session.recycle(second);
+        let third = session.parse(&tokens);
+        assert_eq!(third.trees, first_trees);
+        assert_eq!(third.stats.created, first_created);
+    }
+
+    #[test]
+    fn session_honours_options() {
+        let compiled = Arc::new(paper_example_grammar().compile().unwrap());
+        let tokens = author_row();
+        let mut pruned = ParseSession::new(compiled.clone());
+        let mut brute = ParseSession::with_options(compiled.clone(), ParserOptions::brute_force());
+        let mut reversed = ParseSession::with_options(
+            compiled,
+            ParserOptions {
+                preference_order: PreferenceOrder::Reversed,
+                ..Default::default()
+            },
+        );
+        let p = pruned.parse(&tokens);
+        let b = brute.parse(&tokens);
+        let r = reversed.parse(&tokens);
+        assert_eq!(b.stats.invalidated, 0, "brute force never prunes");
+        assert!(b.stats.created >= p.stats.created);
+        // Consistent grammar: enforcement order must not matter.
+        assert_eq!(p.trees.len(), r.trees.len());
+    }
+}

@@ -69,10 +69,7 @@ impl TokenSet {
 
     /// Do the sets share any id?
     pub fn intersects(&self, other: &TokenSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Is `self ⊆ other`?

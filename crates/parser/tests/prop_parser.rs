@@ -23,39 +23,37 @@ fn token_soup(max: usize) -> impl Strategy<Value = Vec<Token>> {
         Just(TokenKind::NumberList),
         Just(TokenKind::MonthList),
     ];
-    proptest::collection::vec(
-        (kinds, 0i32..600, 0i32..400, "[a-zA-Z ]{0,20}"),
-        0..max,
+    proptest::collection::vec((kinds, 0i32..600, 0i32..400, "[a-zA-Z ]{0,20}"), 0..max).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (kind, x, y, s))| {
+                    let (w, h) = match kind {
+                        TokenKind::Text => ((s.len() as i32 * 7).max(7), 16),
+                        TokenKind::Radiobutton | TokenKind::Checkbox => (13, 13),
+                        _ => (120, 20),
+                    };
+                    let mut t = Token {
+                        id: metaform_core::TokenId(i as u32),
+                        kind,
+                        pos: BBox::at(x, y, w, h),
+                        sval: s,
+                        name: format!("f{i}"),
+                        options: vec![],
+                        checked: false,
+                    };
+                    if kind == TokenKind::SelectionList {
+                        t.options = vec!["alpha".into(), "beta".into()];
+                    }
+                    if kind == TokenKind::NumberList {
+                        t.options = (1..=6).map(|n| n.to_string()).collect();
+                    }
+                    t
+                })
+                .collect()
+        },
     )
-    .prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (kind, x, y, s))| {
-                let (w, h) = match kind {
-                    TokenKind::Text => ((s.len() as i32 * 7).max(7), 16),
-                    TokenKind::Radiobutton | TokenKind::Checkbox => (13, 13),
-                    _ => (120, 20),
-                };
-                let mut t = Token {
-                    id: metaform_core::TokenId(i as u32),
-                    kind,
-                    pos: BBox::at(x, y, w, h),
-                    sval: s,
-                    name: format!("f{i}"),
-                    options: vec![],
-                    checked: false,
-                };
-                if kind == TokenKind::SelectionList {
-                    t.options = vec!["alpha".into(), "beta".into()];
-                }
-                if kind == TokenKind::NumberList {
-                    t.options = (1..=6).map(|n| n.to_string()).collect();
-                }
-                t
-            })
-            .collect()
-    })
 }
 
 fn check_invariants(g: &Grammar, tokens: &[Token]) -> Result<(), TestCaseError> {

@@ -35,9 +35,7 @@ pub fn merge_runs(mut runs: Vec<RawRun>, obstacles: &[BBox]) -> Vec<RawRun> {
         if let Some(prev) = out.last_mut() {
             if prev.line == run.line {
                 let gap = run.bbox.left - prev.bbox.right;
-                if (0..=MERGE_GAP).contains(&gap)
-                    && !blocked(&prev.bbox, &run.bbox, obstacles)
-                {
+                if (0..=MERGE_GAP).contains(&gap) && !blocked(&prev.bbox, &run.bbox, obstacles) {
                     if gap > 0 {
                         prev.text.push(' ');
                     }

@@ -230,14 +230,13 @@ fn input_token(doc: &Document, layout: &Layout, node: NodeId) -> Option<Token> {
         "checkbox" => Token::widget(0, TokenKind::Checkbox, name, bbox)
             .with_sval(value)
             .with_checked(checked),
-        "submit" => Token::widget(0, TokenKind::SubmitButton, name, bbox).with_sval(if value
-            .trim()
-            .is_empty()
-        {
-            "Submit".to_string()
-        } else {
-            value
-        }),
+        "submit" => Token::widget(0, TokenKind::SubmitButton, name, bbox).with_sval(
+            if value.trim().is_empty() {
+                "Submit".to_string()
+            } else {
+                value
+            },
+        ),
         "reset" => Token::widget(0, TokenKind::ResetButton, name, bbox).with_sval(value),
         "button" => Token::widget(0, TokenKind::SubmitButton, name, bbox).with_sval(value),
         "image" => Token::widget(0, TokenKind::ImageInput, name, bbox),
@@ -283,7 +282,10 @@ mod tests {
                 .count(),
             3
         );
-        assert_eq!(kinds.iter().filter(|k| **k == TokenKind::Textbox).count(), 1);
+        assert_eq!(
+            kinds.iter().filter(|k| **k == TokenKind::Textbox).count(),
+            1
+        );
         // Reading order: "Author" first.
         assert_eq!(t.tokens[0].sval, "Author");
         // Radio captions preserved whole.
@@ -354,7 +356,9 @@ mod tests {
 
     #[test]
     fn submit_buttons_and_captions() {
-        let t = toks(r#"<form><input type=submit value="Find Flights"><input type=reset value=Clear></form>"#);
+        let t = toks(
+            r#"<form><input type=submit value="Find Flights"><input type=reset value=Clear></form>"#,
+        );
         let submit = t.of_kind(TokenKind::SubmitButton).next().unwrap();
         assert_eq!(submit.sval, "Find Flights");
         assert_eq!(t.of_kind(TokenKind::ResetButton).count(), 1);

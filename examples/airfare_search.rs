@@ -7,15 +7,16 @@
 //! cargo run --example airfare_search
 //! ```
 
-use metaform::{global_grammar, FormExtractor};
+use metaform::FormExtractor;
 use metaform_datasets::fixtures::{qaa, qaa_column_variant};
-use metaform_parser::{merge, parse};
+use metaform_parser::merge;
 
 fn main() {
     // Part 1: the well-formed interface parses into one model.
     let source = qaa();
     println!("== {} ==", source.name);
-    let extraction = FormExtractor::new().extract(&source.html);
+    let extractor = FormExtractor::new();
+    let extraction = extractor.extract(&source.html);
     for condition in &extraction.report.conditions {
         println!("  {condition}");
     }
@@ -23,14 +24,15 @@ fn main() {
     // Part 2: the Figure 14 variation. Its lower part is arranged
     // column by column, which the grammar's row-major form pattern does
     // not capture, so parsing stops at multiple maximal partial trees.
+    // The session reuses the extractor's already-compiled grammar.
     println!("\n== column-by-column variation (paper Figure 14) ==");
     let html = qaa_column_variant();
-    let grammar = global_grammar();
+    let grammar = extractor.grammar();
 
     let doc = metaform_html::parse(&html);
     let layout = metaform_layout::layout(&doc);
     let tokens = metaform_tokenizer::tokenize(&doc, &layout).tokens;
-    let result = parse(&grammar, &tokens);
+    let result = extractor.session().parse(&tokens);
 
     println!(
         "{} tokens, {} maximal partial parse trees:",

@@ -27,7 +27,13 @@ fn main() {
     let hqi = b.nt("HQI");
     let qi = b.nt("QI");
 
-    b.production("Attr", attr, vec![text], C::Is(0, Pred::AttrLike), K::MakeAttr(0));
+    b.production(
+        "Attr",
+        attr,
+        vec![text],
+        C::Is(0, Pred::AttrLike),
+        K::MakeAttr(0),
+    );
     b.production("Val", val, vec![textbox], C::True, K::Inherit(0));
     // The new pattern: Label [tb] % — a percentage condition.
     b.production(
@@ -91,7 +97,10 @@ fn main() {
         Seller <input type="text" name="s" size="20"><br>
       </form>"#;
 
-    let extraction = FormExtractor::with_grammar(grammar).extract(html);
+    // Compilation (validation + scheduling) is the fallible step; a
+    // grammar whose preference graph cycles would be reported here.
+    let extractor = FormExtractor::try_with_grammar(grammar).expect("custom grammar compiles");
+    let extraction = extractor.extract(html);
     println!("\nextracted conditions:");
     for condition in &extraction.report.conditions {
         println!("  {condition}");

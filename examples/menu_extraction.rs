@@ -13,10 +13,9 @@
 //! ```
 
 use metaform::TokenKind;
-use metaform_grammar::{
-    build_schedule, Constraint as C, Constructor as K, GrammarBuilder, Pred,
-};
-use metaform_parser::parse;
+use metaform_grammar::{Constraint as C, Constructor as K, GrammarBuilder, Pred};
+use metaform_parser::ParseSession;
+use std::sync::Arc;
 
 fn main() {
     // A menu grammar: items are short texts; a menu is a left-aligned
@@ -50,12 +49,20 @@ fn main() {
         metaform_grammar::ConflictCond::LoserSubsumed,
         metaform_grammar::WinCriteria::WinnerLarger,
     );
-    let grammar = b.build().expect("menu grammar is valid");
+    // Compile once: validation and scheduling are the grammar's only
+    // fallible step, paid here and never again.
+    let compiled = Arc::new(
+        b.build()
+            .expect("menu grammar is valid")
+            .compile()
+            .expect("menu grammar is schedulable"),
+    );
+    let grammar = compiled.grammar();
     println!("menu grammar: {}", grammar.stats());
-    let schedule = build_schedule(&grammar).expect("schedulable");
     println!(
         "instantiation order: {:?}\n",
-        schedule
+        compiled
+            .schedule()
             .order
             .iter()
             .map(|&s| grammar.symbols.name(s))
@@ -78,9 +85,13 @@ fn main() {
     let doc = metaform_html::parse(html);
     let layout = metaform_layout::layout(&doc);
     let tokens = metaform_tokenizer::tokenize(&doc, &layout).tokens;
-    let result = parse(&grammar, &tokens);
+    let result = ParseSession::new(compiled.clone()).parse(&tokens);
 
-    println!("{} tokens, {} maximal trees", tokens.len(), result.trees.len());
+    println!(
+        "{} tokens, {} maximal trees",
+        tokens.len(),
+        result.trees.len()
+    );
     let mut services = Vec::new();
     for &tree in &result.trees {
         let inst = result.chart.get(tree);
@@ -100,7 +111,14 @@ fn main() {
     }
     assert_eq!(
         services,
-        vec!["Books", "Music", "Movies", "Toys", "Electronics", "Gift Cards"]
+        vec![
+            "Books",
+            "Music",
+            "Movies",
+            "Toys",
+            "Electronics",
+            "Gift Cards"
+        ]
     );
     println!("\nSame parser, different grammar — the framework generalizes (§7).");
 }

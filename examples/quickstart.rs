@@ -10,7 +10,10 @@ use metaform_datasets::fixtures::qam;
 
 fn main() {
     let source = qam();
-    println!("Input interface: {} ({} domain)\n", source.name, source.domain);
+    println!(
+        "Input interface: {} ({} domain)\n",
+        source.name, source.domain
+    );
 
     let extractor = FormExtractor::new();
     let extraction = extractor.extract(&source.html);

@@ -12,8 +12,8 @@
 //! metaform --schedule-dot      print the 2P schedule graph as DOT
 //! ```
 
-use metaform::{global_grammar, FormExtractor};
-use metaform_grammar::{build_schedule, schedule_to_dot};
+use metaform::{global_compiled, global_grammar, FormExtractor};
+use metaform_grammar::schedule_to_dot;
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -60,9 +60,12 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--schedule-dot" => {
-                let g = global_grammar();
-                let s = build_schedule(&g).expect("global grammar schedulable");
-                print!("{}", schedule_to_dot(&g, &s));
+                // The compiled artifact already carries the schedule.
+                let compiled = global_compiled();
+                print!(
+                    "{}",
+                    schedule_to_dot(compiled.grammar(), compiled.schedule())
+                );
                 return ExitCode::SUCCESS;
             }
             "--tokens" => opts.show_tokens = true,
@@ -109,10 +112,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match metaform_grammar::from_dsl(&src) {
-                Ok(g) => FormExtractor::with_grammar(g),
+            let grammar = match metaform_grammar::from_dsl(&src) {
+                Ok(g) => g,
                 Err(e) => {
                     eprintln!("error: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Compilation is the fallible step: a grammar whose
+            // schedule graph cycles is reported as a diagnostic, not
+            // a panic.
+            match FormExtractor::try_with_grammar(grammar) {
+                Ok(extractor) => extractor,
+                Err(e) => {
+                    eprintln!("error: {path}: grammar does not compile: {e}");
                     return ExitCode::FAILURE;
                 }
             }
@@ -141,17 +154,15 @@ fn main() -> ExitCode {
     }
     if opts.show_trees {
         println!("parse: {}", extraction.stats.summary());
-        let grammar = match &opts.grammar_file {
-            Some(path) => metaform_grammar::from_dsl(
-                &std::fs::read_to_string(path).expect("read above"),
-            )
-            .expect("parsed above"),
-            None => global_grammar(),
-        };
-        let result = metaform::parse(&grammar, &extraction.tokens);
+        // Re-parse through the extractor's own compiled grammar — no
+        // rebuild, no re-validation.
+        let result = extractor.session().parse(&extraction.tokens);
         for (i, &tree) in result.trees.iter().enumerate() {
             println!("\nmaximal tree {}:", i + 1);
-            print!("{}", metaform_parser::render_tree(&result.chart, &grammar, tree));
+            print!(
+                "{}",
+                metaform_parser::render_tree(&result.chart, extractor.grammar(), tree)
+            );
         }
         println!();
     }

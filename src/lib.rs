@@ -32,6 +32,17 @@
 //! assert_eq!(extraction.report.conditions.len(), 2);
 //! ```
 //!
+//! ## Compile once, parse many
+//!
+//! Grammar validation and scheduling happen once, in
+//! [`Grammar::compile`] (the global grammar is compiled once per
+//! process, shared via [`global_compiled`]); parsing then runs through
+//! reusable [`ParseSession`]s that recycle their chart and scratch
+//! buffers. [`FormExtractor`] rides on this split: it is `Send + Sync`,
+//! clones share the compiled grammar, and
+//! [`FormExtractor::extract_batch`] extracts a whole corpus across
+//! worker threads with deterministic, input-ordered results.
+//!
 //! ## Crate map
 //!
 //! | module | contents |
@@ -60,6 +71,9 @@ pub use metaform_parser as parser;
 pub use metaform_tokenizer as tokenizer;
 
 pub use metaform_core::{Condition, DomainKind, DomainSpec, ExtractionReport, Token, TokenKind};
-pub use metaform_extractor::{Extraction, FormExtractor};
-pub use metaform_grammar::{global_grammar, paper_example_grammar, Grammar, GrammarBuilder};
-pub use metaform_parser::{parse, parse_with, ParserOptions};
+pub use metaform_extractor::{BatchStats, Extraction, FormExtractor};
+pub use metaform_grammar::{
+    global_compiled, global_grammar, paper_example_grammar, CompiledGrammar, Grammar,
+    GrammarBuilder, GrammarError,
+};
+pub use metaform_parser::{parse, parse_with, ParseSession, ParserOptions};

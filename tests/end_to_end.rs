@@ -31,7 +31,15 @@ fn every_pattern_family_in_one_form() {
     </form>"#;
     let e = extract(html);
     let got = attrs(&e);
-    for want in ["Title", "Genre", "Price", "Released", "Copies", "Format", "In stock only"] {
+    for want in [
+        "Title",
+        "Genre",
+        "Price",
+        "Released",
+        "Copies",
+        "Format",
+        "In stock only",
+    ] {
         assert!(got.contains(&want.to_string()), "{want} missing: {got:?}");
     }
     let by = |a: &str| {
@@ -139,8 +147,18 @@ fn brute_force_and_pruned_agree_on_clean_forms() {
     let brute = FormExtractor::new()
         .parser_options(metaform::ParserOptions::brute_force())
         .extract(html);
-    let pa: Vec<_> = pruned.report.conditions.iter().map(|c| c.attribute.clone()).collect();
-    let ba: Vec<_> = brute.report.conditions.iter().map(|c| c.attribute.clone()).collect();
+    let pa: Vec<_> = pruned
+        .report
+        .conditions
+        .iter()
+        .map(|c| c.attribute.clone())
+        .collect();
+    let ba: Vec<_> = brute
+        .report
+        .conditions
+        .iter()
+        .map(|c| c.attribute.clone())
+        .collect();
     for a in &pa {
         assert!(ba.contains(a), "brute force lost {a}");
     }

@@ -13,13 +13,28 @@ fn qam_full_semantic_model() {
 
     assert_eq!(conditions.len(), 5, "{conditions:#?}");
     let attrs: Vec<&str> = conditions.iter().map(|c| c.attribute.as_str()).collect();
-    assert_eq!(attrs, vec!["Author", "Title", "Subject", "ISBN", "Publisher"]);
+    assert_eq!(
+        attrs,
+        vec!["Author", "Title", "Subject", "ISBN", "Publisher"]
+    );
 
     // The three operator rows carry their radio captions as operators.
     for (i, ops) in [
-        &["first name/initials and last name", "start of last name", "exact name"][..],
-        &["title word(s)", "start(s) of title word(s)", "exact start of title"][..],
-        &["subject word(s)", "start(s) of subject word(s)", "exact subject"][..],
+        &[
+            "first name/initials and last name",
+            "start of last name",
+            "exact name",
+        ][..],
+        &[
+            "title word(s)",
+            "start(s) of title word(s)",
+            "exact start of title",
+        ][..],
+        &[
+            "subject word(s)",
+            "start(s) of subject word(s)",
+            "exact subject",
+        ][..],
     ]
     .iter()
     .enumerate()

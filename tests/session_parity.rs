@@ -1,0 +1,65 @@
+//! Parity between the compiled fast path and the legacy one-shot
+//! wrappers: parsing Qam and Qaa through a `ParseSession` over a
+//! `CompiledGrammar` must yield exactly the trees and stats of
+//! `parse`/`parse_with` (timing and the schedules-built marker aside —
+//! those are the only things the split is allowed to change).
+
+use metaform::{global_compiled, global_grammar, paper_example_grammar};
+use metaform_datasets::fixtures::{figure5_fragment, qaa, qam};
+use metaform_parser::{parse_with, ParseResult, ParseSession, ParserOptions};
+use std::sync::Arc;
+
+fn tokens_of(html: &str) -> Vec<metaform::Token> {
+    let doc = metaform_html::parse(html);
+    let lay = metaform_layout::layout(&doc);
+    metaform_tokenizer::tokenize(&doc, &lay).tokens
+}
+
+fn assert_same_parse(a: &ParseResult, b: &ParseResult, label: &str) {
+    assert_eq!(a.trees, b.trees, "{label}: maximal trees diverged");
+    assert_eq!(a.chart.len(), b.chart.len(), "{label}: chart size diverged");
+    let (sa, sb) = (&a.stats, &b.stats);
+    assert_eq!(sa.tokens, sb.tokens, "{label}: tokens");
+    assert_eq!(sa.created, sb.created, "{label}: created");
+    assert_eq!(sa.invalidated, sb.invalidated, "{label}: invalidated");
+    assert_eq!(sa.rolled_back, sb.rolled_back, "{label}: rolled_back");
+    assert_eq!(sa.trees, sb.trees, "{label}: tree count");
+    assert_eq!(
+        sa.complete_parses, sb.complete_parses,
+        "{label}: complete_parses"
+    );
+    assert_eq!(sa.temporary, sb.temporary, "{label}: temporary");
+    assert_eq!(sa.complete, sb.complete, "{label}: complete");
+    assert_eq!(sa.truncated, sb.truncated, "{label}: truncated");
+}
+
+#[test]
+fn session_matches_wrapper_on_qam_and_qaa() {
+    let grammar = global_grammar();
+    let compiled = global_compiled();
+    let mut session = ParseSession::new(compiled);
+    for fixture in [qam(), qaa()] {
+        let tokens = tokens_of(&fixture.html);
+        let wrapper = parse_with(&grammar, &tokens, &ParserOptions::default());
+        let fast = session.parse(&tokens);
+        assert_same_parse(&fast, &wrapper, &fixture.name);
+        // The split's two permitted differences:
+        assert_eq!(wrapper.stats.schedules_built, 1);
+        assert_eq!(fast.stats.schedules_built, 0);
+        session.recycle(fast);
+    }
+}
+
+#[test]
+fn session_matches_wrapper_under_brute_force() {
+    // Brute force blows up combinatorially, so parity is checked on
+    // the paper's 16-token Figure 5 fragment (the §4.2.1 fixture).
+    let grammar = paper_example_grammar();
+    let compiled = Arc::new(grammar.clone().compile().expect("paper grammar compiles"));
+    let opts = ParserOptions::brute_force();
+    let mut session = ParseSession::with_options(compiled, opts);
+    let tokens = tokens_of(&figure5_fragment());
+    let wrapper = parse_with(&grammar, &tokens, &opts);
+    let fast = session.parse(&tokens);
+    assert_same_parse(&fast, &wrapper, "figure5/brute");
+}
