@@ -83,6 +83,13 @@ fn bench_batch(c: &mut Criterion) {
         "batch path must reuse the compiled grammar"
     );
     assert_eq!(
+        stats.failed(),
+        0,
+        "no curated page may fail or degrade: {}",
+        stats.summary()
+    );
+    assert_eq!(stats.degraded, 0, "every page served by the grammar path");
+    assert_eq!(
         compile_count(),
         1,
         "the global grammar compiles exactly once per process"

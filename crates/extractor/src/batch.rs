@@ -1,5 +1,5 @@
 //! Parallel batch extraction — the parse-many workload the
-//! compile-once split exists for.
+//! compile-once split exists for, with per-page fault isolation.
 //!
 //! [`FormExtractor::extract_batch`] fans a slice of HTML pages out
 //! over scoped worker threads. Each worker owns one
@@ -9,8 +9,16 @@
 //! cursor, so workers self-balance; results are written back by input
 //! index, so the output order is the input order and is identical to a
 //! sequential run — parallelism changes wall-clock time, nothing else.
+//!
+//! **Fault isolation.** Each page runs behind its own panic boundary
+//! and budget checks ([`crate::ExtractError`]): a poison page — one
+//! that panics the pipeline, exhausts its instance cap, or blows its
+//! wall-clock deadline — yields an error slot (or a degraded
+//! baseline report, on the infallible APIs) while the other N−1 pages
+//! complete normally. No page can abort the batch.
 
-use crate::pipeline::{Extraction, FormExtractor};
+use crate::error::ExtractError;
+use crate::pipeline::{Extraction, FormExtractor, Provenance};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -19,7 +27,8 @@ use std::time::{Duration, Instant};
 pub struct BatchStats {
     /// Pages extracted.
     pub pages: usize,
-    /// Worker threads used.
+    /// Worker threads used (0 for an empty batch — no worker is
+    /// spawned when there is nothing to claim).
     pub workers: usize,
     /// Total tokens across all pages.
     pub tokens: usize,
@@ -33,15 +42,31 @@ pub struct BatchStats {
     /// contract, since every session parses under the already-compiled
     /// grammar.
     pub schedules_built: usize,
+    /// Pages whose pipeline panicked (caught at the page boundary).
+    pub panicked: usize,
+    /// Pages whose parse hit the instance cap.
+    pub truncated: usize,
+    /// Pages whose parse blew the wall-clock deadline.
+    pub timed_out: usize,
+    /// Pages that tokenized to nothing (no form content).
+    pub empty: usize,
+    /// Pages served by the proximity-baseline fallback instead of the
+    /// grammar pipeline (every failed page, on the infallible APIs).
+    pub degraded: usize,
     /// Wall-clock time for the whole batch.
     pub elapsed: Duration,
 }
 
 impl BatchStats {
+    /// Pages that failed the grammar path, by any cause.
+    pub fn failed(&self) -> usize {
+        self.panicked + self.truncated + self.timed_out + self.empty
+    }
+
     /// One-line summary for experiment tables.
     pub fn summary(&self) -> String {
         format!(
-            "pages={} workers={} tokens={} instances={} invalidated={} trees={} schedules_built={} time={:?}",
+            "pages={} workers={} tokens={} instances={} invalidated={} trees={} schedules_built={} panicked={} truncated={} timed_out={} empty={} degraded={} time={:?}",
             self.pages,
             self.workers,
             self.tokens,
@@ -49,6 +74,11 @@ impl BatchStats {
             self.invalidated,
             self.trees,
             self.schedules_built,
+            self.panicked,
+            self.truncated,
+            self.timed_out,
+            self.empty,
+            self.degraded,
             self.elapsed
         )
     }
@@ -56,28 +86,30 @@ impl BatchStats {
 
 impl FormExtractor {
     /// Extracts every page, in parallel, returning results in input
-    /// order. See the module docs for the execution model; see
-    /// [`FormExtractor::extract_batch_stats`] for the rollup-reporting
-    /// form and [`FormExtractor::worker_threads`] to fix the worker
-    /// count.
+    /// order. Infallible by graceful degradation: a page that panics,
+    /// blows a budget, or has no form comes back as a
+    /// proximity-baseline report marked
+    /// [`Provenance::BaselineFallback`] — one poison page never kills
+    /// the batch. See the module docs for the execution model; see
+    /// [`FormExtractor::extract_batch_results`] for the fallible
+    /// per-page form and [`FormExtractor::extract_batch_stats`] for
+    /// the rollup-reporting form.
     pub fn extract_batch(&self, pages: &[&str]) -> Vec<Extraction> {
         self.extract_batch_stats(pages).0
     }
 
-    /// [`FormExtractor::extract_batch`] plus a [`BatchStats`] rollup.
-    pub fn extract_batch_stats(&self, pages: &[&str]) -> (Vec<Extraction>, BatchStats) {
-        let started = Instant::now();
-        let workers = self
-            .workers()
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
-            .clamp(1, pages.len().max(1));
-
+    /// Extracts every page, in parallel, returning one
+    /// `Result<Extraction, ExtractError>` per page in input order —
+    /// the fault-isolated API for callers that want to see failures
+    /// instead of degraded reports (e.g. to retry with a larger
+    /// budget).
+    pub fn extract_batch_results(&self, pages: &[&str]) -> Vec<Result<Extraction, ExtractError>> {
+        if pages.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.batch_workers(pages.len());
         let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<Extraction>> = Vec::new();
+        let mut slots: Vec<Option<Result<Extraction, ExtractError>>> = Vec::new();
         slots.resize_with(pages.len(), || None);
 
         std::thread::scope(|scope| {
@@ -91,37 +123,97 @@ impl FormExtractor {
                             if i >= pages.len() {
                                 break;
                             }
-                            out.push((i, self.extract_in(&mut session, pages[i])));
+                            out.push((i, self.try_extract_in(&mut session, i, pages[i])));
                         }
                         out
                     })
                 })
                 .collect();
             for handle in handles {
-                for (i, extraction) in handle.join().expect("batch worker panicked") {
-                    slots[i] = Some(extraction);
+                // Per-page panics are caught inside try_extract_in, so
+                // a worker-level panic should be impossible; if one
+                // happens anyway, its claimed-but-unfilled slots are
+                // reported as Panicked below rather than killing the
+                // batch here.
+                if let Ok(filled) = handle.join() {
+                    for (i, result) in filled {
+                        slots[i] = Some(result);
+                    }
                 }
             }
         });
 
-        let results: Vec<Extraction> = slots
+        slots
             .into_iter()
-            .map(|s| s.expect("every page extracted"))
-            .collect();
+            .enumerate()
+            .map(|(page_index, slot)| {
+                slot.unwrap_or_else(|| {
+                    Err(ExtractError::Panicked {
+                        page_index,
+                        message: "batch worker died outside the page boundary".to_string(),
+                    })
+                })
+            })
+            .collect()
+    }
+
+    /// [`FormExtractor::extract_batch`] plus a [`BatchStats`] rollup
+    /// with per-cause failure accounting.
+    pub fn extract_batch_stats(&self, pages: &[&str]) -> (Vec<Extraction>, BatchStats) {
+        let started = Instant::now();
+        if pages.is_empty() {
+            // No pages, no workers: the empty batch short-circuits
+            // instead of spinning up a thread with nothing to claim.
+            return (Vec::new(), BatchStats::default());
+        }
+        let workers = self.batch_workers(pages.len());
+        let results = self.extract_batch_results(pages);
+
         let mut stats = BatchStats {
             pages: pages.len(),
             workers,
-            elapsed: started.elapsed(),
             ..Default::default()
         };
-        for ex in &results {
+        let extractions: Vec<Extraction> = results
+            .into_iter()
+            .zip(pages)
+            .map(|(result, page)| match result {
+                Ok(extraction) => extraction,
+                Err(err) => {
+                    match err {
+                        ExtractError::Panicked { .. } => stats.panicked += 1,
+                        ExtractError::Truncated { .. } => stats.truncated += 1,
+                        ExtractError::Timeout { .. } => stats.timed_out += 1,
+                        ExtractError::EmptyForm { .. } => stats.empty += 1,
+                    }
+                    self.degrade(page)
+                }
+            })
+            .collect();
+        for ex in &extractions {
+            if ex.via == Provenance::BaselineFallback {
+                stats.degraded += 1;
+            }
             stats.tokens += ex.stats.tokens;
             stats.created += ex.stats.created;
             stats.invalidated += ex.stats.invalidated;
             stats.trees += ex.stats.trees;
             stats.schedules_built += ex.stats.schedules_built;
         }
-        (results, stats)
+        stats.elapsed = started.elapsed();
+        (extractions, stats)
+    }
+
+    /// Worker count for a batch of `pages` pages: the configured
+    /// override or the machine's parallelism, capped by the page count.
+    fn batch_workers(&self, pages: usize) -> usize {
+        self.workers()
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .clamp(1, pages)
     }
 }
 
@@ -153,10 +245,13 @@ mod tests {
         assert_eq!(stats.pages, refs.len());
         assert_eq!(stats.workers, 4);
         assert_eq!(stats.schedules_built, 0, "compile-once violated");
+        assert_eq!(stats.failed(), 0);
+        assert_eq!(stats.degraded, 0);
         for (b, s) in batch.iter().zip(&sequential) {
             assert_eq!(format!("{:?}", b.report), format!("{:?}", s.report));
             assert_eq!(b.tokens, s.tokens);
             assert_eq!(b.stats.created, s.stats.created);
+            assert_eq!(b.via, Provenance::Grammar);
         }
     }
 
@@ -166,6 +261,8 @@ mod tests {
         let (none, stats) = extractor.extract_batch_stats(&[]);
         assert!(none.is_empty());
         assert_eq!(stats.pages, 0);
+        assert_eq!(stats.workers, 0, "empty batch spawns no worker");
+        assert!(extractor.extract_batch_results(&[]).is_empty());
         let one = extractor.extract_batch(&["<form>A <input type=text name=a></form>"]);
         assert_eq!(one.len(), 1);
         assert_eq!(one[0].report.conditions[0].attribute, "A");
@@ -177,5 +274,35 @@ mod tests {
         let (_, stats) =
             extractor.extract_batch_stats(&["<form>A <input type=text name=a></form>"]);
         assert_eq!(stats.workers, 1);
+    }
+
+    #[test]
+    fn poison_page_is_isolated_and_counted() {
+        let mut pages = pages();
+        pages.insert(
+            5,
+            "<form>POISON <input type=text name=p></form>".to_string(),
+        );
+        let refs: Vec<&str> = pages.iter().map(String::as_str).collect();
+        let extractor = FormExtractor::new()
+            .worker_threads(4)
+            .inject_panic_marker("POISON");
+        let results = extractor.extract_batch_results(&refs);
+        assert!(matches!(
+            &results[5],
+            Err(ExtractError::Panicked { page_index: 5, .. })
+        ));
+        assert_eq!(results.iter().filter(|r| r.is_err()).count(), 1);
+
+        let (batch, stats) = extractor.extract_batch_stats(&refs);
+        assert_eq!(batch.len(), refs.len());
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.degraded, 1);
+        assert_eq!(stats.truncated + stats.timed_out + stats.empty, 0);
+        assert_eq!(batch[5].via, Provenance::BaselineFallback);
+        assert!(
+            !batch[5].report.conditions.is_empty(),
+            "the baseline still reads the poison page's form"
+        );
     }
 }

@@ -1,0 +1,145 @@
+//! The extraction error taxonomy — what can go wrong with *one page*
+//! of a batch, kept page-local so a poison page never takes down its
+//! neighbours.
+//!
+//! The paper's thesis is best-effort understanding: an incomplete
+//! grammar still yields a maximal interpretation. This module extends
+//! that stance to the serving path. Every failure mode of the pipeline
+//! is named, carries the index of the page it happened on, and maps to
+//! a defined degradation (see `FormExtractor::extract_batch`): the
+//! caller always learns *which* page failed, *how*, and still receives
+//! a capability description for every other page.
+
+use std::fmt;
+
+/// Why one page failed (or was budget-limited) during extraction.
+///
+/// Returned per page by `FormExtractor::try_extract` and
+/// `FormExtractor::extract_batch_results`. The infallible APIs degrade
+/// each of these to the proximity-baseline extractor instead and count
+/// them in `BatchStats`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExtractError {
+    /// The pipeline panicked on this page. The panic was caught at the
+    /// page boundary; the rest of the batch is unaffected.
+    Panicked {
+        /// Index of the page within the batch (0 for single-page APIs).
+        page_index: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The parse hit the configured instance cap
+    /// (`ParserOptions::max_instances`) and was cut short.
+    Truncated {
+        /// Index of the page within the batch (0 for single-page APIs).
+        page_index: usize,
+    },
+    /// The parse blew its per-page wall-clock deadline
+    /// (`ParserOptions::deadline`).
+    Timeout {
+        /// Index of the page within the batch (0 for single-page APIs).
+        page_index: usize,
+    },
+    /// The page tokenized to nothing — no form content to interpret.
+    EmptyForm {
+        /// Index of the page within the batch (0 for single-page APIs).
+        page_index: usize,
+    },
+}
+
+impl ExtractError {
+    /// Index of the page this error is about.
+    pub fn page_index(&self) -> usize {
+        match self {
+            ExtractError::Panicked { page_index, .. }
+            | ExtractError::Truncated { page_index }
+            | ExtractError::Timeout { page_index }
+            | ExtractError::EmptyForm { page_index } => *page_index,
+        }
+    }
+
+    /// The same error re-attributed to `page_index` — for callers that
+    /// run single-page extractions (which report page 0) inside their
+    /// own batch loop.
+    pub fn with_page_index(self, page_index: usize) -> Self {
+        match self {
+            ExtractError::Panicked { message, .. } => ExtractError::Panicked {
+                page_index,
+                message,
+            },
+            ExtractError::Truncated { .. } => ExtractError::Truncated { page_index },
+            ExtractError::Timeout { .. } => ExtractError::Timeout { page_index },
+            ExtractError::EmptyForm { .. } => ExtractError::EmptyForm { page_index },
+        }
+    }
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::Panicked {
+                page_index,
+                message,
+            } => {
+                write!(f, "page {page_index}: pipeline panicked: {message}")
+            }
+            ExtractError::Truncated { page_index } => {
+                write!(f, "page {page_index}: instance budget exhausted")
+            }
+            ExtractError::Timeout { page_index } => {
+                write!(f, "page {page_index}: wall-clock deadline exceeded")
+            }
+            ExtractError::EmptyForm { page_index } => {
+                write!(f, "page {page_index}: no form content")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Renders a caught panic payload as text (panics carry `&str` or
+/// `String` in practice; anything else is reported opaquely).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_carry_page_index_and_render() {
+        let e = ExtractError::Panicked {
+            page_index: 7,
+            message: "boom".into(),
+        };
+        assert_eq!(e.page_index(), 7);
+        assert_eq!(e.to_string(), "page 7: pipeline panicked: boom");
+        assert_eq!(ExtractError::Truncated { page_index: 1 }.page_index(), 1);
+        assert!(ExtractError::Timeout { page_index: 2 }
+            .to_string()
+            .contains("deadline"));
+        assert!(ExtractError::EmptyForm { page_index: 3 }
+            .to_string()
+            .contains("no form"));
+        assert_eq!(e.with_page_index(9).page_index(), 9);
+        assert_eq!(
+            ExtractError::Timeout { page_index: 0 }.with_page_index(4),
+            ExtractError::Timeout { page_index: 4 }
+        );
+    }
+
+    #[test]
+    fn panic_payloads_become_text() {
+        assert_eq!(panic_message(Box::new("static")), "static");
+        assert_eq!(panic_message(Box::new(String::from("owned"))), "owned");
+        assert_eq!(panic_message(Box::new(42u32)), "non-string panic payload");
+    }
+}

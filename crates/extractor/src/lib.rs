@@ -27,16 +27,30 @@
 //! whole corpora go through [`FormExtractor::extract_batch`], which
 //! fans pages out over worker threads — one parse session per worker,
 //! deterministic input-order results (see [`batch`]).
+//!
+//! ## Fault isolation and graceful degradation
+//!
+//! Extraction is best-effort end to end: every page runs behind its
+//! own panic boundary and per-page budgets (instance cap and
+//! wall-clock deadline). The fallible APIs
+//! ([`FormExtractor::try_extract`],
+//! [`FormExtractor::extract_batch_results`]) surface failures as a
+//! typed [`ExtractError`]; the infallible APIs degrade failed pages to
+//! the proximity [`baseline`] extractor and mark the provenance
+//! ([`Provenance::BaselineFallback`]), so one poison page never kills
+//! a batch and callers always get *some* capability description.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod batch;
+pub mod error;
 pub mod pipeline;
 pub mod resolve;
 
 pub use baseline::extract_baseline;
 pub use batch::BatchStats;
-pub use pipeline::{Extraction, FormExtractor};
+pub use error::ExtractError;
+pub use pipeline::{Extraction, FormExtractor, Provenance};
 pub use resolve::{attach_missing, resolve_conflicts, DomainKnowledge};

@@ -5,13 +5,32 @@
 //!   [best-effort parser ⟲ 2P grammar] → [merger] → query capabilities
 //! ```
 
+use crate::error::{panic_message, ExtractError};
 use metaform_core::{ExtractionReport, Token};
 use metaform_grammar::{global_compiled, CompiledGrammar, Grammar, GrammarError};
 use metaform_html::parse as parse_html;
 use metaform_layout::{layout_with, LayoutOptions};
-use metaform_parser::{merge, ParseSession, ParseStats, ParserOptions};
+use metaform_parser::{merge, BudgetOutcome, ParseSession, ParseStats, ParserOptions};
 use metaform_tokenizer::tokenize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Which extractor produced a report — the provenance mark of the
+/// graceful-degradation contract: when the grammar path fails or blows
+/// a budget, the infallible APIs fall back to the pairwise-proximity
+/// baseline ([`crate::extract_baseline`]) so the caller always gets
+/// *some* capability description.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Provenance {
+    /// The full hidden-syntax pipeline (layout → tokenize → 2P parse →
+    /// merge).
+    #[default]
+    Grammar,
+    /// The proximity-baseline heuristic, used because the grammar path
+    /// failed (see [`ExtractError`] for why).
+    BaselineFallback,
+}
 
 /// Result of extracting one query interface.
 #[derive(Clone, Debug)]
@@ -22,6 +41,8 @@ pub struct Extraction {
     pub stats: ParseStats,
     /// The visual tokens the interface was reduced to.
     pub tokens: Vec<Token>,
+    /// Which extractor produced [`Extraction::report`].
+    pub via: Provenance,
 }
 
 /// End-to-end form extractor with a configurable grammar, layout, and
@@ -37,6 +58,7 @@ pub struct FormExtractor {
     layout: LayoutOptions,
     parser: ParserOptions,
     workers: Option<usize>,
+    fault_marker: Option<String>,
 }
 
 impl FormExtractor {
@@ -73,6 +95,7 @@ impl FormExtractor {
             layout: LayoutOptions::default(),
             parser: ParserOptions::default(),
             workers: None,
+            fault_marker: None,
         }
     }
 
@@ -93,6 +116,35 @@ impl FormExtractor {
     /// parallelism, capped by the number of pages.
     pub fn worker_threads(mut self, workers: usize) -> Self {
         self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Sets the per-page wall-clock parse budget (builder style).
+    /// A page whose parse exceeds it fails with
+    /// [`ExtractError::Timeout`] on the fallible APIs and degrades to
+    /// the proximity baseline on the infallible ones.
+    pub fn page_deadline(mut self, deadline: Duration) -> Self {
+        self.parser.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps the instances one page's parse may create (builder style) —
+    /// the safety valve against adversarial, ambiguity-bomb forms.
+    /// Exceeding it fails with [`ExtractError::Truncated`] on the
+    /// fallible APIs and degrades to the baseline on the infallible
+    /// ones.
+    pub fn max_instances(mut self, cap: usize) -> Self {
+        self.parser.max_instances = cap.max(1);
+        self
+    }
+
+    /// Fault injection for exercising the isolation path (builder
+    /// style): any page whose HTML contains `marker` panics inside the
+    /// pipeline, exactly where a real defect would. Used by the
+    /// panic-isolation tests and available for chaos-style batch
+    /// testing; production extractors simply never set it.
+    pub fn inject_panic_marker(mut self, marker: impl Into<String>) -> Self {
+        self.fault_marker = Some(marker.into());
         self
     }
 
@@ -118,8 +170,21 @@ impl FormExtractor {
     }
 
     /// Runs the full pipeline on an HTML page containing a query form.
+    ///
+    /// Infallible by graceful degradation: a panic, budget blow-out, or
+    /// empty form yields a proximity-baseline report marked
+    /// [`Provenance::BaselineFallback`] instead of an error — callers
+    /// always get some capability description. Use
+    /// [`FormExtractor::try_extract`] to observe the failure instead.
     pub fn extract(&self, html: &str) -> Extraction {
-        self.extract_in(&mut self.session(), html)
+        self.extract_in(&mut self.session(), 0, html)
+    }
+
+    /// Fallible form of [`FormExtractor::extract`]: surfaces the
+    /// page's failure as a typed [`ExtractError`] (with `page_index`
+    /// 0) instead of degrading to the baseline.
+    pub fn try_extract(&self, html: &str) -> Result<Extraction, ExtractError> {
+        self.try_extract_in(&mut self.session(), 0, html)
     }
 
     /// Extracts every `<form>` on the page separately, in document
@@ -142,12 +207,87 @@ impl FormExtractor {
     }
 
     /// [`FormExtractor::extract`] through a caller-owned session —
-    /// the parse-many path batch workers run on.
-    pub(crate) fn extract_in(&self, session: &mut ParseSession, html: &str) -> Extraction {
-        let doc = parse_html(html);
-        let lay = layout_with(&doc, &self.layout);
-        let tokenized = tokenize(&doc, &lay);
-        self.extract_tokens_in(session, &tokenized.tokens)
+    /// the parse-many path batch workers run on. Degrades failures to
+    /// the baseline like [`FormExtractor::extract`].
+    pub(crate) fn extract_in(
+        &self,
+        session: &mut ParseSession,
+        page_index: usize,
+        html: &str,
+    ) -> Extraction {
+        match self.try_extract_in(session, page_index, html) {
+            Ok(extraction) => extraction,
+            Err(_) => self.degrade(html),
+        }
+    }
+
+    /// The fallible core: tokenizes and parses one page with every
+    /// pipeline stage behind a panic boundary, and maps budget
+    /// blow-outs to typed errors. A panic mid-parse may leave the
+    /// session's recycled chart un-recycled — that only costs the next
+    /// parse a fresh allocation, never correctness, because
+    /// `ParseSession::parse` resets the chart for each input.
+    pub(crate) fn try_extract_in(
+        &self,
+        session: &mut ParseSession,
+        page_index: usize,
+        html: &str,
+    ) -> Result<Extraction, ExtractError> {
+        let tokens = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(marker) = &self.fault_marker {
+                assert!(
+                    !html.contains(marker.as_str()),
+                    "injected fault: page contains {marker:?}"
+                );
+            }
+            let doc = parse_html(html);
+            let lay = layout_with(&doc, &self.layout);
+            tokenize(&doc, &lay).tokens
+        }))
+        .map_err(|payload| ExtractError::Panicked {
+            page_index,
+            message: panic_message(payload),
+        })?;
+        if tokens.is_empty() {
+            return Err(ExtractError::EmptyForm { page_index });
+        }
+        let extraction = catch_unwind(AssertUnwindSafe(|| {
+            self.extract_tokens_in(session, &tokens)
+        }))
+        .map_err(|payload| ExtractError::Panicked {
+            page_index,
+            message: panic_message(payload),
+        })?;
+        match extraction.stats.budget {
+            BudgetOutcome::Completed => Ok(extraction),
+            BudgetOutcome::TruncatedInstances => Err(ExtractError::Truncated { page_index }),
+            BudgetOutcome::DeadlineExceeded => Err(ExtractError::Timeout { page_index }),
+        }
+    }
+
+    /// The degradation path: re-tokenizes the page (behind its own
+    /// panic boundary) and runs the proximity baseline over whatever
+    /// tokens that yields, marking the provenance. The parse counters
+    /// are zeroed — the page-level reason lives in the
+    /// [`ExtractError`] the fallible APIs return and in the
+    /// [`crate::BatchStats`] failure counters.
+    pub(crate) fn degrade(&self, html: &str) -> Extraction {
+        let tokens = catch_unwind(AssertUnwindSafe(|| {
+            let doc = parse_html(html);
+            let lay = layout_with(&doc, &self.layout);
+            tokenize(&doc, &lay).tokens
+        }))
+        .unwrap_or_default();
+        let report = crate::baseline::extract_baseline(&tokens);
+        Extraction {
+            report,
+            stats: ParseStats {
+                tokens: tokens.len(),
+                ..Default::default()
+            },
+            tokens,
+            via: Provenance::BaselineFallback,
+        }
     }
 
     fn extract_tokens_in(&self, session: &mut ParseSession, tokens: &[Token]) -> Extraction {
@@ -159,6 +299,7 @@ impl FormExtractor {
             report,
             stats,
             tokens: tokens.to_vec(),
+            via: Provenance::Grammar,
         }
     }
 }
@@ -307,5 +448,56 @@ pub(crate) mod tests {
         let ex = FormExtractor::new().extract(QAM);
         assert!(ex.stats.created > ex.tokens.len());
         assert!(ex.stats.invalidated > 0, "preferences fired");
+        assert_eq!(ex.via, Provenance::Grammar);
+    }
+
+    #[test]
+    fn try_extract_names_the_failure() {
+        let ex = FormExtractor::new();
+        assert!(matches!(
+            ex.try_extract("<form></form>"),
+            Err(ExtractError::EmptyForm { page_index: 0 })
+        ));
+        let poisoned = FormExtractor::new().inject_panic_marker("POISON");
+        match poisoned.try_extract("<form>POISON <input type=text name=q></form>") {
+            Err(ExtractError::Panicked {
+                page_index,
+                message,
+            }) => {
+                assert_eq!(page_index, 0);
+                assert!(message.contains("injected fault"), "{message}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        let rushed = FormExtractor::new().page_deadline(Duration::ZERO);
+        assert!(matches!(
+            rushed.try_extract(QAM),
+            Err(ExtractError::Timeout { page_index: 0 })
+        ));
+        let capped = FormExtractor::new().max_instances(3);
+        assert!(matches!(
+            capped.try_extract(QAM),
+            Err(ExtractError::Truncated { page_index: 0 })
+        ));
+        assert!(FormExtractor::new().try_extract(QAM).is_ok());
+    }
+
+    #[test]
+    fn failed_pages_degrade_to_nonempty_baseline_reports() {
+        // Deadline blown: the infallible API still produces a usable
+        // capability description, via the proximity baseline.
+        let rushed = FormExtractor::new().page_deadline(Duration::ZERO);
+        let degraded = rushed.extract(QAM);
+        assert_eq!(degraded.via, Provenance::BaselineFallback);
+        assert!(
+            !degraded.report.conditions.is_empty(),
+            "degraded but nonempty: the baseline still reads the form"
+        );
+        assert!(!degraded.tokens.is_empty());
+        // Same for a panicking page.
+        let poisoned = FormExtractor::new().inject_panic_marker("Subject");
+        let degraded = poisoned.extract(QAM);
+        assert_eq!(degraded.via, Provenance::BaselineFallback);
+        assert!(!degraded.report.conditions.is_empty());
     }
 }

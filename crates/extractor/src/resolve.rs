@@ -61,7 +61,9 @@ impl DomainKnowledge {
     }
 
     /// The known attribute most similar to `text`, with its similarity
-    /// in `[0, 1]`, if any scores at least `min`.
+    /// in `[0, 1]`, if any scores at least `min`. Equally similar
+    /// candidates tie-break to the lexicographically smallest key, so
+    /// resolution is deterministic across runs and platforms.
     pub fn best_match(&self, text: &str, min: f64) -> Option<(&str, f64)> {
         let norm = normalize_label(text);
         if norm.is_empty() {
@@ -71,7 +73,7 @@ impl DomainKnowledge {
             .keys()
             .map(|k| (k.as_str(), similarity(&norm, k)))
             .filter(|(_, s)| *s >= min)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("similarity is finite"))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(a.0)))
     }
 }
 
@@ -246,6 +248,21 @@ mod tests {
         assert_eq!(m, "adults");
         assert!(s > 0.8);
         assert!(k.best_match("zzz", 0.7).is_none());
+    }
+
+    #[test]
+    fn best_match_breaks_similarity_ties_lexicographically() {
+        // "dates" and "rates" are both one substitution from "gates":
+        // equal similarity. The winner must be the lexicographically
+        // smaller key, every run, regardless of map iteration order.
+        let k = learned(&[("rates", 1), ("dates", 1)]);
+        assert_eq!(similarity("gates", "rates"), similarity("gates", "dates"));
+        let (m, s) = k.best_match("gates", 0.5).expect("both candidates pass");
+        assert_eq!(m, "dates", "ties must resolve to the smaller key");
+        assert!(s > 0.5);
+        // Insertion order must not matter either.
+        let k2 = learned(&[("dates", 1), ("rates", 1)]);
+        assert_eq!(k2.best_match("gates", 0.5).expect("match").0, "dates");
     }
 
     #[test]

@@ -13,13 +13,13 @@
 
 use crate::instance::{Chart, InstId};
 use crate::maximize::maximize;
-use crate::stats::ParseStats;
+use crate::stats::{BudgetOutcome, ParseStats};
 use metaform_core::Token;
 use metaform_grammar::{
     build_schedule, preference_index, ConflictCond, Grammar, PrefId, ProdId, Schedule, SymbolId,
     SymbolKind, WinCriteria,
 };
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Order in which preferences are applied at each enforcement point —
 /// §5.2's consistency probe: "different orders of applying the
@@ -46,8 +46,15 @@ pub struct ParserOptions {
     pub rollback: bool,
     /// Hard cap on created instances — a safety valve for the
     /// exponential brute-force mode (visual-language membership is
-    /// NP-complete, §5.1).
+    /// NP-complete, §5.1). Hitting it ends the parse with
+    /// [`BudgetOutcome::TruncatedInstances`].
     pub max_instances: usize,
+    /// Wall-clock budget for one parse. `None` (the default) means
+    /// unbounded; `Some(d)` aborts instantiation once `d` has elapsed,
+    /// ending the parse with [`BudgetOutcome::DeadlineExceeded`].
+    /// Whatever the chart holds at that point is still maximized into
+    /// partial trees — the parse stays best-effort, just bounded.
+    pub deadline: Option<Duration>,
     /// Preference application order (see [`PreferenceOrder`]).
     pub preference_order: PreferenceOrder,
 }
@@ -58,6 +65,7 @@ impl Default for ParserOptions {
             enforce_preferences: true,
             rollback: true,
             max_instances: 2_000_000,
+            deadline: None,
             preference_order: PreferenceOrder::Scheduled,
         }
     }
@@ -169,10 +177,18 @@ pub(crate) fn run_parse(
             tokens: token_count,
             ..Default::default()
         },
+        deadline: opts.deadline.map(|d| started + d),
+        deadline_tick: 0,
         scratch,
     };
     p.seed_terminals();
     for i in 0..schedule.order.len() {
+        // The deadline is re-checked per symbol (and, cheaply, inside
+        // the enumeration fix-point); once blown, instantiation stops
+        // and whatever the chart holds is maximized below.
+        if p.deadline_blown() {
+            break;
+        }
         let symbol = schedule.order[i];
         p.instantiate(symbol);
         if p.opts.enforce_preferences {
@@ -180,8 +196,9 @@ pub(crate) fn run_parse(
         }
     }
     // Final sweep: catches losers of rollback-mode preferences created
-    // after the preference's last scheduled enforcement.
-    if p.opts.enforce_preferences {
+    // after the preference's last scheduled enforcement. Skipped past
+    // the deadline — enforcement over a large chart is itself costly.
+    if p.opts.enforce_preferences && p.stats.budget != BudgetOutcome::DeadlineExceeded {
         p.enforce_all();
     }
     let trees = maximize(&p.chart, grammar);
@@ -246,8 +263,19 @@ struct Parser<'a> {
     chart: Chart,
     opts: ParserOptions,
     stats: ParseStats,
+    /// Absolute wall-clock deadline derived from
+    /// [`ParserOptions::deadline`], if any.
+    deadline: Option<Instant>,
+    /// Enumeration steps since the last clock read — the deadline is
+    /// polled every [`DEADLINE_POLL_MASK`]+1 steps to keep `Instant::now`
+    /// off the inner-loop hot path.
+    deadline_tick: u32,
     scratch: &'a mut Scratch,
 }
+
+/// Enumeration steps between deadline polls, minus one (used as a
+/// bitmask).
+const DEADLINE_POLL_MASK: u32 = 0x3F;
 
 impl Parser<'_> {
     /// Creates terminal instances for every token.
@@ -311,7 +339,10 @@ impl Parser<'_> {
                     added = true;
                 }
                 if self.chart.len() >= self.opts.max_instances {
-                    self.stats.truncated = true;
+                    self.stats.budget = BudgetOutcome::TruncatedInstances;
+                    return;
+                }
+                if self.deadline_blown() {
                     return;
                 }
             }
@@ -319,6 +350,39 @@ impl Parser<'_> {
                 break;
             }
         }
+    }
+
+    /// Polls the wall-clock deadline (sets and latches
+    /// [`BudgetOutcome::DeadlineExceeded`]). Truncation does not latch
+    /// here: hitting the instance cap only stops *instantiation*, while
+    /// enforcement still runs, matching the cap's original semantics.
+    fn deadline_blown(&mut self) -> bool {
+        if self.stats.budget == BudgetOutcome::DeadlineExceeded {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.stats.budget = BudgetOutcome::DeadlineExceeded;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// [`Parser::deadline_blown`], but only actually reading the clock
+    /// every few calls — cheap enough for the enumeration inner loop.
+    fn deadline_blown_sampled(&mut self) -> bool {
+        if self.deadline.is_none() {
+            return false;
+        }
+        if self.stats.budget == BudgetOutcome::DeadlineExceeded {
+            return true;
+        }
+        self.deadline_tick = self.deadline_tick.wrapping_add(1);
+        if self.deadline_tick & DEADLINE_POLL_MASK != 0 {
+            return false;
+        }
+        self.deadline_blown()
     }
 
     /// Applies one production over all current valid combinations;
@@ -356,7 +420,7 @@ impl Parser<'_> {
         combo: &mut Vec<InstId>,
         added: &mut bool,
     ) {
-        if self.chart.len() >= self.opts.max_instances {
+        if self.chart.len() >= self.opts.max_instances || self.deadline_blown_sampled() {
             return;
         }
         if depth == candidates.len() {
@@ -636,8 +700,38 @@ mod tests {
                 ..ParserOptions::brute_force()
             },
         );
-        assert!(res.stats.truncated);
+        assert!(res.stats.truncated());
+        assert_eq!(res.stats.budget, crate::BudgetOutcome::TruncatedInstances);
         assert!(res.stats.created <= 13);
+    }
+
+    #[test]
+    fn zero_deadline_ends_parse_with_typed_outcome() {
+        let g = paper_example_grammar();
+        let tokens = renumber(author_row(0, 0));
+        let res = parse_with(
+            &g,
+            &tokens,
+            &ParserOptions {
+                deadline: Some(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        assert!(res.stats.deadline_exceeded());
+        assert_eq!(res.stats.budget, crate::BudgetOutcome::DeadlineExceeded);
+        // Terminals are still seeded and maximization still runs: the
+        // result is degraded, not poisoned.
+        assert_eq!(res.stats.tokens, 8);
+        let generous = parse_with(
+            &g,
+            &tokens,
+            &ParserOptions {
+                deadline: Some(std::time::Duration::from_secs(600)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(generous.stats.budget, crate::BudgetOutcome::Completed);
+        assert_eq!(generous.trees.len(), 1, "generous deadline changes nothing");
     }
 
     #[test]

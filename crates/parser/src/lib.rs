@@ -44,5 +44,5 @@ pub use instance::{Chart, InstId, Instance};
 pub use maximize::maximize;
 pub use merger::merge;
 pub use session::ParseSession;
-pub use stats::ParseStats;
+pub use stats::{BudgetOutcome, ParseStats};
 pub use tokenset::TokenSet;

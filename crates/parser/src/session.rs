@@ -77,7 +77,10 @@ impl ParseSession {
     /// Parses one token sequence. Borrows the tokens; the result owns
     /// its chart (hand it back with [`ParseSession::recycle`] to reuse
     /// the allocation). Infallible: the grammar was validated when it
-    /// was compiled.
+    /// was compiled. Budgets ([`ParserOptions::max_instances`],
+    /// [`ParserOptions::deadline`]) apply per parse and report their
+    /// outcome in `ParseStats::budget` — a budget-limited parse still
+    /// returns maximal partial trees over whatever was built.
     pub fn parse(&mut self, tokens: &[Token]) -> ParseResult {
         let mut chart = self
             .spare
@@ -146,6 +149,30 @@ mod tests {
         let third = session.parse(&tokens);
         assert_eq!(third.trees, first_trees);
         assert_eq!(third.stats.created, first_created);
+    }
+
+    #[test]
+    fn session_budgets_apply_per_parse() {
+        use crate::stats::BudgetOutcome;
+        let compiled = Arc::new(paper_example_grammar().compile().unwrap());
+        let tokens = author_row();
+        let mut rushed = ParseSession::with_options(
+            compiled.clone(),
+            ParserOptions {
+                deadline: Some(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        // Every parse of the session is bounded, and the outcome is
+        // reported per parse — the session itself stays reusable.
+        for _ in 0..3 {
+            let result = rushed.parse(&tokens);
+            assert_eq!(result.stats.budget, BudgetOutcome::DeadlineExceeded);
+            rushed.recycle(result);
+        }
+        let mut unbounded = ParseSession::new(compiled);
+        let result = unbounded.parse(&tokens);
+        assert_eq!(result.stats.budget, BudgetOutcome::Completed);
     }
 
     #[test]

@@ -10,6 +10,12 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo test -q --test fault_isolation (poison-page isolation)"
+cargo test -q --test fault_isolation
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 

@@ -1,33 +1,44 @@
 //! `metaform` — command-line form extractor.
 //!
 //! ```text
-//! metaform <page.html>          extract and print the semantic model
+//! metaform <page.html>...       extract and print the semantic model(s)
 //! metaform - < page.html       read the page from stdin
 //! metaform --tokens <page>     also print the visual tokens
 //! metaform --ascii <page>      draw the rendered layout as ASCII art
 //! metaform --trees <page>      also print the maximal parse trees
+//! metaform --page-deadline-ms <n>  wall-clock parse budget per page
+//! metaform --max-instances <n>     parser instance cap per page
 //! metaform --grammar           print the derived global grammar
 //! metaform --export-grammar    print the grammar in its textual (.2pg) form
 //! metaform --grammar-file <f>  parse with a grammar loaded from a .2pg file
 //! metaform --schedule-dot      print the 2P schedule graph as DOT
 //! ```
+//!
+//! Extraction is best-effort end to end: a page that panics the
+//! pipeline or blows a budget prints a per-page failure line on
+//! stderr and a degraded (proximity-baseline) report on stdout — it
+//! never aborts the run or the remaining pages.
 
-use metaform::{global_compiled, global_grammar, FormExtractor};
+use metaform::{global_compiled, global_grammar, FormExtractor, Provenance};
 use metaform_grammar::schedule_to_dot;
 use std::io::Read;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Options {
     show_tokens: bool,
     show_trees: bool,
     show_ascii: bool,
     grammar_file: Option<String>,
-    input: Option<String>,
+    page_deadline: Option<Duration>,
+    max_instances: Option<usize>,
+    inputs: Vec<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: metaform [--tokens] [--trees] [--ascii] [--grammar-file <f.2pg>] <page.html | ->\n\
+        "usage: metaform [--tokens] [--trees] [--ascii] [--grammar-file <f.2pg>]\n\
+         \x20               [--page-deadline-ms <n>] [--max-instances <n>] <page.html...| ->\n\
          \x20      metaform --grammar | --export-grammar | --schedule-dot"
     );
     ExitCode::from(2)
@@ -39,7 +50,9 @@ fn main() -> ExitCode {
         show_trees: false,
         show_ascii: false,
         grammar_file: None,
-        input: None,
+        page_deadline: None,
+        max_instances: None,
+        inputs: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,6 +84,20 @@ fn main() -> ExitCode {
             "--tokens" => opts.show_tokens = true,
             "--ascii" => opts.show_ascii = true,
             "--trees" => opts.show_trees = true,
+            "--page-deadline-ms" => {
+                let Some(ms) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--page-deadline-ms needs a number of milliseconds");
+                    return usage();
+                };
+                opts.page_deadline = Some(Duration::from_millis(ms));
+            }
+            "--max-instances" => {
+                let Some(cap) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--max-instances needs a number");
+                    return usage();
+                };
+                opts.max_instances = Some(cap);
+            }
             "--help" | "-h" => {
                 let _ = usage();
                 return ExitCode::SUCCESS;
@@ -79,31 +106,14 @@ fn main() -> ExitCode {
                 eprintln!("unknown option: {other}");
                 return usage();
             }
-            path => opts.input = Some(path.to_string()),
+            path => opts.inputs.push(path.to_string()),
         }
     }
-    let Some(path) = opts.input else {
+    if opts.inputs.is_empty() {
         return usage();
-    };
+    }
 
-    let html = if path == "-" {
-        let mut buf = String::new();
-        if std::io::stdin().read_to_string(&mut buf).is_err() {
-            eprintln!("error: stdin is not valid UTF-8");
-            return ExitCode::FAILURE;
-        }
-        buf
-    } else {
-        match std::fs::read_to_string(&path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    };
-
-    let extractor = match &opts.grammar_file {
+    let mut extractor = match &opts.grammar_file {
         Some(path) => {
             let src = match std::fs::read_to_string(path) {
                 Ok(s) => s,
@@ -132,40 +142,86 @@ fn main() -> ExitCode {
         }
         None => FormExtractor::new(),
     };
-    if opts.show_ascii {
-        let doc = metaform_html::parse(&html);
-        let lay = metaform_layout::layout(&doc);
-        println!("{}", metaform_layout::ascii_render(&doc, &lay));
+    if let Some(deadline) = opts.page_deadline {
+        extractor = extractor.page_deadline(deadline);
     }
-    let extraction = extractor.extract(&html);
-    if opts.show_tokens {
-        println!("tokens ({}):", extraction.tokens.len());
-        for t in &extraction.tokens {
-            let extra = if t.kind == metaform::TokenKind::Text {
-                format!(" {:?}", t.sval)
-            } else if !t.name.is_empty() {
-                format!(" name={}", t.name)
-            } else {
-                String::new()
-            };
-            println!("  {:?} {} {:?}{extra}", t.id, t.kind, t.pos);
+    if let Some(cap) = opts.max_instances {
+        extractor = extractor.max_instances(cap);
+    }
+
+    let many = opts.inputs.len() > 1;
+    for (page_index, path) in opts.inputs.iter().enumerate() {
+        let html = if path == "-" {
+            let mut buf = String::new();
+            if std::io::stdin().read_to_string(&mut buf).is_err() {
+                eprintln!("error: stdin is not valid UTF-8");
+                return ExitCode::FAILURE;
+            }
+            buf
+        } else {
+            match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        if many {
+            println!("== {path} ==");
         }
-        println!();
-    }
-    if opts.show_trees {
-        println!("parse: {}", extraction.stats.summary());
-        // Re-parse through the extractor's own compiled grammar — no
-        // rebuild, no re-validation.
-        let result = extractor.session().parse(&extraction.tokens);
-        for (i, &tree) in result.trees.iter().enumerate() {
-            println!("\nmaximal tree {}:", i + 1);
-            print!(
-                "{}",
-                metaform_parser::render_tree(&result.chart, extractor.grammar(), tree)
-            );
+        if opts.show_ascii {
+            let doc = metaform_html::parse(&html);
+            let lay = metaform_layout::layout(&doc);
+            println!("{}", metaform_layout::ascii_render(&doc, &lay));
         }
-        println!();
+        // Best-effort serving: a failed page prints a diagnostic line
+        // and a degraded baseline report, never aborts the run.
+        let extraction = match extractor.try_extract(&html) {
+            Ok(extraction) => extraction,
+            Err(err) => {
+                // try_extract reports page 0; re-attribute to this
+                // run's page index so the warning matches the header.
+                let err = err.with_page_index(page_index);
+                eprintln!("warning: {path}: {err}; degrading to the proximity baseline");
+                extractor.extract(&html)
+            }
+        };
+        if opts.show_tokens {
+            println!("tokens ({}):", extraction.tokens.len());
+            for t in &extraction.tokens {
+                let extra = if t.kind == metaform::TokenKind::Text {
+                    format!(" {:?}", t.sval)
+                } else if !t.name.is_empty() {
+                    format!(" name={}", t.name)
+                } else {
+                    String::new()
+                };
+                println!("  {:?} {} {:?}{extra}", t.id, t.kind, t.pos);
+            }
+            println!();
+        }
+        if opts.show_trees && extraction.via == Provenance::Grammar {
+            println!("parse: {}", extraction.stats.summary());
+            // Re-parse through the extractor's own compiled grammar —
+            // no rebuild, no re-validation.
+            let result = extractor.session().parse(&extraction.tokens);
+            for (i, &tree) in result.trees.iter().enumerate() {
+                println!("\nmaximal tree {}:", i + 1);
+                print!(
+                    "{}",
+                    metaform_parser::render_tree(&result.chart, extractor.grammar(), tree)
+                );
+            }
+            println!();
+        }
+        if extraction.via == Provenance::BaselineFallback {
+            println!("(via proximity-baseline fallback, page {page_index})");
+        }
+        print!("{}", extraction.report);
+        if many && page_index + 1 < opts.inputs.len() {
+            println!();
+        }
     }
-    print!("{}", extraction.report);
     ExitCode::SUCCESS
 }

@@ -43,6 +43,16 @@
 //! [`FormExtractor::extract_batch`] extracts a whole corpus across
 //! worker threads with deterministic, input-ordered results.
 //!
+//! ## Fault isolation
+//!
+//! Every page runs behind its own panic boundary and per-page budgets
+//! (instance cap, wall-clock deadline). Failures surface as a typed
+//! [`ExtractError`] on the fallible APIs
+//! ([`FormExtractor::try_extract`],
+//! `FormExtractor::extract_batch_results`) or degrade to the proximity
+//! baseline (marked [`Provenance::BaselineFallback`]) on the
+//! infallible ones — one poison page never kills a batch.
+//!
 //! ## Crate map
 //!
 //! | module | contents |
@@ -71,9 +81,9 @@ pub use metaform_parser as parser;
 pub use metaform_tokenizer as tokenizer;
 
 pub use metaform_core::{Condition, DomainKind, DomainSpec, ExtractionReport, Token, TokenKind};
-pub use metaform_extractor::{BatchStats, Extraction, FormExtractor};
+pub use metaform_extractor::{BatchStats, ExtractError, Extraction, FormExtractor, Provenance};
 pub use metaform_grammar::{
     global_compiled, global_grammar, paper_example_grammar, CompiledGrammar, Grammar,
     GrammarBuilder, GrammarError,
 };
-pub use metaform_parser::{parse, parse_with, ParseSession, ParserOptions};
+pub use metaform_parser::{parse, parse_with, BudgetOutcome, ParseSession, ParserOptions};

@@ -21,6 +21,13 @@ fn parallel_batch_is_byte_identical_to_sequential_over_basic() {
     );
     assert_eq!(stats.pages, pages.len());
     assert_eq!(stats.schedules_built, 0, "compile-once violated");
+    assert_eq!(
+        stats.failed(),
+        0,
+        "no curated page fails: {}",
+        stats.summary()
+    );
+    assert_eq!(stats.degraded, 0, "no curated page degrades");
     assert_eq!(parallel.len(), sequential.len());
     for (i, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
         assert_eq!(

@@ -30,7 +30,7 @@ fn assert_same_parse(a: &ParseResult, b: &ParseResult, label: &str) {
     );
     assert_eq!(sa.temporary, sb.temporary, "{label}: temporary");
     assert_eq!(sa.complete, sb.complete, "{label}: complete");
-    assert_eq!(sa.truncated, sb.truncated, "{label}: truncated");
+    assert_eq!(sa.budget, sb.budget, "{label}: budget outcome");
 }
 
 #[test]
