@@ -20,7 +20,7 @@ use metaform_core::Token;
 use metaform_datasets::basic;
 use metaform_extractor::FormExtractor;
 use metaform_grammar::{compile_count, global_compiled, schedule_build_count};
-use metaform_parser::{parse, ParseSession};
+use metaform_parser::{parse, FixpointMode, ParseSession, ParserOptions};
 
 fn bench_batch(c: &mut Criterion) {
     let ds = basic();
@@ -71,6 +71,27 @@ fn bench_batch(c: &mut Criterion) {
         schedules_before,
         "warm variant must not rebuild any schedule"
     );
+
+    // Warm, naive fix-point: same session, but every round re-walks
+    // the full cartesian product and every enforcement sweep re-tests
+    // every pair. The gap to `warm_shared_compiled` is the redundancy
+    // the semi-naive schedule eliminates.
+    group.bench_function("warm_naive_fixpoint", |b| {
+        let opts = ParserOptions {
+            fixpoint: FixpointMode::Naive,
+            ..Default::default()
+        };
+        let mut session = ParseSession::with_options(compiled.clone(), opts);
+        b.iter(|| {
+            let mut trees = 0usize;
+            for tokens in &batch {
+                let result = session.parse(tokens);
+                trees += result.trees.len();
+                session.recycle(result);
+            }
+            trees
+        })
+    });
 
     // Parallel: extract_batch over the raw pages, end to end.
     group.bench_function("parallel_extract_batch", |b| {

@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use metaform_bench::{mixed_form, synthetic_form, tokens_of};
 use metaform_grammar::global_compiled;
-use metaform_parser::ParseSession;
+use metaform_parser::{FixpointMode, ParseSession, ParserOptions};
 
 fn bench_parse_scaling(c: &mut Criterion) {
     let compiled = global_compiled();
@@ -50,6 +50,33 @@ fn bench_parse_scaling(c: &mut Criterion) {
                 })
             },
         );
+    }
+    group.finish();
+
+    // Fix-point schedule ablation: the same inputs under the naive
+    // re-enumerating schedule vs the default semi-naive one. Both
+    // produce identical charts (the seminaive_parity suite proves it);
+    // the gap here is pure redundant-enumeration cost.
+    let mut group = c.benchmark_group("parse_scaling/fixpoint_schedule");
+    group.sample_size(20);
+    for (mode, name) in [
+        (FixpointMode::SemiNaive, "seminaive"),
+        (FixpointMode::Naive, "naive"),
+    ] {
+        let tokens = tokens_of(&synthetic_form(25));
+        let opts = ParserOptions {
+            fixpoint: mode,
+            ..Default::default()
+        };
+        let mut session = ParseSession::with_options(compiled.clone(), opts);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &tokens, |b, tokens| {
+            b.iter(|| {
+                let result = session.parse(tokens);
+                let trees = result.trees.len();
+                session.recycle(result);
+                trees
+            })
+        });
     }
     group.finish();
 }

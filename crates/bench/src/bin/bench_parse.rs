@@ -1,0 +1,165 @@
+//! Headline parse benchmark with machine-readable output: the
+//! batch-120 workload (paper §5.1) under the semi-naive and naive
+//! fix-point schedules. Run as:
+//!
+//! ```text
+//! cargo run --release -p metaform-bench --bin bench_parse [-- <out.json>]
+//! ```
+//!
+//! Writes `BENCH_parse.json` (or `<out.json>`) with, per schedule, the
+//! median wall-clock time for parsing the whole batch, the total
+//! component combinations enumerated, and the total instances created.
+//! Instances must match between schedules (the parity invariant); the
+//! combos ratio is the redundancy the delta schedule removes.
+
+use metaform_bench::tokens_of;
+use metaform_core::Token;
+use metaform_datasets::basic;
+use metaform_grammar::global_compiled;
+use metaform_parser::{FixpointMode, ParseSession, ParserOptions};
+use std::time::{Duration, Instant};
+
+/// Timing iterations per schedule (median taken; one extra warm-up).
+const ITERATIONS: usize = 7;
+
+struct ModeResult {
+    name: &'static str,
+    median: Duration,
+    combos_enumerated: u64,
+    combos_skipped: u64,
+    pairs_skipped: u64,
+    instances_created: u64,
+    trees: u64,
+}
+
+fn run_mode(mode: FixpointMode, name: &'static str, batch: &[Vec<Token>]) -> ModeResult {
+    let opts = ParserOptions {
+        fixpoint: mode,
+        ..Default::default()
+    };
+    let mut session = ParseSession::with_options(global_compiled(), opts);
+    let mut run_batch = |collect: bool| -> (Duration, ModeResult) {
+        let mut r = ModeResult {
+            name,
+            median: Duration::ZERO,
+            combos_enumerated: 0,
+            combos_skipped: 0,
+            pairs_skipped: 0,
+            instances_created: 0,
+            trees: 0,
+        };
+        let started = Instant::now();
+        for tokens in batch {
+            let result = session.parse(tokens);
+            if collect {
+                r.combos_enumerated += result.stats.combos_enumerated;
+                r.combos_skipped += result.stats.combos_skipped_delta;
+                r.pairs_skipped += result.stats.pairs_skipped_delta;
+                r.instances_created += result.stats.created as u64;
+                r.trees += result.stats.trees as u64;
+            }
+            session.recycle(result);
+        }
+        (started.elapsed(), r)
+    };
+
+    run_batch(false); // warm-up: fault in buffers and caches
+    let (_, mut collected) = run_batch(true);
+    let mut times: Vec<Duration> = (0..ITERATIONS).map(|_| run_batch(false).0).collect();
+    times.sort();
+    collected.median = times[times.len() / 2];
+    collected
+}
+
+fn json_entry(r: &ModeResult) -> String {
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"median_batch_ms\": {:.3},\n",
+            "      \"combos_enumerated\": {},\n",
+            "      \"combos_skipped_delta\": {},\n",
+            "      \"pairs_skipped_delta\": {},\n",
+            "      \"instances_created\": {},\n",
+            "      \"trees\": {}\n",
+            "    }}"
+        ),
+        r.name,
+        r.median.as_secs_f64() * 1e3,
+        r.combos_enumerated,
+        r.combos_skipped,
+        r.pairs_skipped,
+        r.instances_created,
+        r.trees,
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parse.json".into());
+
+    let ds = basic();
+    let batch: Vec<Vec<Token>> = ds
+        .sources
+        .iter()
+        .take(120)
+        .map(|s| tokens_of(&s.html))
+        .collect();
+    let total_tokens: usize = batch.iter().map(Vec::len).sum();
+    eprintln!(
+        "bench_parse: {} interfaces, {} tokens, {} timing iterations per schedule",
+        batch.len(),
+        total_tokens,
+        ITERATIONS
+    );
+
+    let semi = run_mode(FixpointMode::SemiNaive, "seminaive", &batch);
+    let naive = run_mode(FixpointMode::Naive, "naive", &batch);
+
+    assert_eq!(
+        semi.instances_created, naive.instances_created,
+        "parity violated: schedules created different instance counts"
+    );
+    assert_eq!(semi.trees, naive.trees, "parity violated: tree counts");
+
+    let combo_ratio = naive.combos_enumerated as f64 / semi.combos_enumerated.max(1) as f64;
+    let speedup = naive.median.as_secs_f64() / semi.median.as_secs_f64();
+    for r in [&semi, &naive] {
+        eprintln!(
+            "  {:<9} median {:>8.3} ms  combos {:>9}  skipped {:>9}  instances {}",
+            r.name,
+            r.median.as_secs_f64() * 1e3,
+            r.combos_enumerated,
+            r.combos_skipped,
+            r.instances_created
+        );
+    }
+    eprintln!("  combos reduction {combo_ratio:.2}x, wall-clock speedup {speedup:.2}x");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": \"batch_120\",\n",
+            "  \"interfaces\": {},\n",
+            "  \"total_tokens\": {},\n",
+            "  \"iterations\": {},\n",
+            "  \"modes\": {{\n{},\n{}\n  }},\n",
+            "  \"combos_reduction\": {:.3},\n",
+            "  \"wall_clock_speedup\": {:.3}\n",
+            "}}\n"
+        ),
+        batch.len(),
+        total_tokens,
+        ITERATIONS,
+        json_entry(&semi),
+        json_entry(&naive),
+        combo_ratio,
+        speedup,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

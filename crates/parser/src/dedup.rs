@@ -1,0 +1,203 @@
+//! Allocation-free dedup set for `(production, children)` combos.
+//!
+//! The fix-point's termination argument rests on never re-creating an
+//! instance for a combination already tried. The original
+//! `HashSet<(ProdId, Vec<InstId>)>` paid one heap allocation per
+//! *probe* (`children.to_vec()`) and another per insert; under the
+//! semi-naive schedule the set is only a correctness backstop, but the
+//! naive reference mode still leans on it as the workhorse, so it must
+//! stay exact. [`ComboSet`] is an open-addressing table over a flat
+//! `u32` arena: probes hash the borrowed slice directly and compare
+//! against arena ranges, so neither lookups nor inserts allocate per
+//! combo (the arena grows amortized like a `Vec`).
+
+use crate::instance::InstId;
+use metaform_grammar::ProdId;
+
+/// FNV-1a over the production id and child ids. Collisions only cost a
+/// slice comparison — membership is decided by exact compare, never by
+/// hash equality.
+fn combo_hash(prod: ProdId, children: &[InstId]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    h = (h ^ prod.0 as u64).wrapping_mul(PRIME);
+    for &c in children {
+        h = (h ^ c.0 as u64).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// An exact set of `(ProdId, [InstId])` keys (see module docs).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ComboSet {
+    /// Flat arena: entry `e` is `ids[offsets[e]..offsets[e+1]]`, laid
+    /// out as `[prod, child0, child1, ...]`.
+    ids: Vec<u32>,
+    /// Entry boundaries into `ids`; `offsets.len()` = entries + 1.
+    /// Starts at the sentinel `[0]` (restored lazily after `default`).
+    offsets: Vec<u32>,
+    /// Cached hash per entry, so growth never re-reads the arena key.
+    hashes: Vec<u64>,
+    /// Open-addressing buckets: 0 = empty, else entry index + 1.
+    /// Length is always a power of two (or zero before first insert).
+    table: Vec<u32>,
+}
+
+impl ComboSet {
+    /// Number of combos stored.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Removes every combo, keeping all capacity for reuse (the
+    /// session-recycling path).
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.offsets.clear();
+        self.hashes.clear();
+        self.table.fill(0);
+    }
+
+    /// Does the set contain `(prod, children)`?
+    pub fn contains(&self, prod: ProdId, children: &[InstId]) -> bool {
+        if self.table.is_empty() {
+            return false;
+        }
+        let hash = combo_hash(prod, children);
+        let mask = self.table.len() - 1;
+        let mut bucket = hash as usize & mask;
+        loop {
+            match self.table[bucket] {
+                0 => return false,
+                slot => {
+                    let e = slot as usize - 1;
+                    if self.hashes[e] == hash && self.entry_eq(e, prod, children) {
+                        return true;
+                    }
+                }
+            }
+            bucket = (bucket + 1) & mask;
+        }
+    }
+
+    /// Inserts `(prod, children)`. The caller must have checked
+    /// [`ComboSet::contains`] first; double inserts would waste arena
+    /// space (and are a bug in the fix-point).
+    pub fn insert(&mut self, prod: ProdId, children: &[InstId]) {
+        debug_assert!(
+            !self.contains(prod, children),
+            "combo inserted twice: {prod:?} {children:?}"
+        );
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        if (self.len() + 1) * 8 > self.table.len() * 7 {
+            self.grow();
+        }
+        let entry = self.len();
+        self.ids.push(prod.0);
+        self.ids.extend(children.iter().map(|c| c.0));
+        self.offsets.push(self.ids.len() as u32);
+        let hash = combo_hash(prod, children);
+        self.hashes.push(hash);
+        let mask = self.table.len() - 1;
+        let mut bucket = hash as usize & mask;
+        while self.table[bucket] != 0 {
+            bucket = (bucket + 1) & mask;
+        }
+        self.table[bucket] = entry as u32 + 1;
+    }
+
+    /// Exact key comparison against arena entry `e`.
+    fn entry_eq(&self, e: usize, prod: ProdId, children: &[InstId]) -> bool {
+        let range = self.offsets[e] as usize..self.offsets[e + 1] as usize;
+        let key = &self.ids[range];
+        key.len() == children.len() + 1
+            && key[0] == prod.0
+            && key[1..].iter().zip(children).all(|(&k, c)| k == c.0)
+    }
+
+    /// Doubles the bucket table and re-seats every entry from its
+    /// cached hash.
+    fn grow(&mut self) {
+        let new_len = (self.table.len() * 2).max(16);
+        self.table.clear();
+        self.table.resize(new_len, 0);
+        let mask = new_len - 1;
+        for (e, &hash) in self.hashes.iter().enumerate() {
+            let mut bucket = hash as usize & mask;
+            while self.table[bucket] != 0 {
+                bucket = (bucket + 1) & mask;
+            }
+            self.table[bucket] = e as u32 + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<InstId> {
+        v.iter().map(|&i| InstId(i)).collect()
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let mut s = ComboSet::default();
+        assert!(!s.contains(ProdId(0), &ids(&[1, 2])));
+        s.insert(ProdId(0), &ids(&[1, 2]));
+        assert!(s.contains(ProdId(0), &ids(&[1, 2])));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn keys_are_order_and_production_sensitive() {
+        let mut s = ComboSet::default();
+        s.insert(ProdId(0), &ids(&[1, 2]));
+        assert!(!s.contains(ProdId(0), &ids(&[2, 1])), "order matters");
+        assert!(!s.contains(ProdId(1), &ids(&[1, 2])), "production matters");
+        assert!(!s.contains(ProdId(0), &ids(&[1])), "arity matters");
+        assert!(
+            !s.contains(ProdId(0), &ids(&[1, 2, 3])),
+            "prefix is not a hit"
+        );
+    }
+
+    #[test]
+    fn survives_growth() {
+        let mut s = ComboSet::default();
+        for i in 0..1000u32 {
+            s.insert(ProdId(i % 7), &ids(&[i, i + 1, i + 2]));
+        }
+        assert_eq!(s.len(), 1000);
+        for i in 0..1000u32 {
+            assert!(s.contains(ProdId(i % 7), &ids(&[i, i + 1, i + 2])), "{i}");
+        }
+        assert!(!s.contains(ProdId(3), &ids(&[1000, 1001, 1002])));
+    }
+
+    #[test]
+    fn clear_retains_nothing() {
+        let mut s = ComboSet::default();
+        s.insert(ProdId(0), &ids(&[5]));
+        s.insert(ProdId(1), &ids(&[5, 6]));
+        s.clear();
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(ProdId(0), &ids(&[5])));
+        // Reusable after clear.
+        s.insert(ProdId(0), &ids(&[5]));
+        assert!(s.contains(ProdId(0), &ids(&[5])));
+    }
+
+    #[test]
+    fn empty_children_supported() {
+        // Grammar validation rejects nullary productions, but the set
+        // itself must not care.
+        let mut s = ComboSet::default();
+        s.insert(ProdId(9), &[]);
+        assert!(s.contains(ProdId(9), &[]));
+        assert!(!s.contains(ProdId(8), &[]));
+    }
+}

@@ -16,8 +16,8 @@ use crate::maximize::maximize;
 use crate::stats::{BudgetOutcome, ParseStats};
 use metaform_core::Token;
 use metaform_grammar::{
-    build_schedule, preference_index, ConflictCond, Grammar, PrefId, ProdId, Schedule, SymbolId,
-    SymbolKind, WinCriteria,
+    build_schedule, preference_index, ConflictCond, Grammar, Payload, PrefId, ProdId, Production,
+    Schedule, SymbolId, SymbolKind, View, WinCriteria,
 };
 use std::time::{Duration, Instant};
 
@@ -32,6 +32,28 @@ pub enum PreferenceOrder {
     Scheduled,
     /// Reverse declaration order (for consistency checking).
     Reversed,
+}
+
+/// Fix-point scheduling strategy. Both schedules produce **identical
+/// charts** — same instances in the same creation order, same
+/// invalidations, same trees (the `seminaive_parity` suite asserts
+/// this across the corpus); they differ only in how much redundant
+/// work each round performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FixpointMode {
+    /// Delta-driven (the default): each round of `apply_production`
+    /// only enumerates component combinations containing at least one
+    /// instance created since the production's previous application,
+    /// and each preference sweep only tests winner/loser pairs where
+    /// at least one side is new — the semi-naive evaluation of Datalog
+    /// engines, applied to Figure 11's fix-point.
+    #[default]
+    SemiNaive,
+    /// Re-enumerate the full cartesian product every round, relying on
+    /// the dedup set to discard repeats, and re-sweep every
+    /// enforcement pair — the reference schedule the parity suite and
+    /// benches compare against.
+    Naive,
 }
 
 /// Parser configuration. The defaults give the full best-effort
@@ -57,6 +79,8 @@ pub struct ParserOptions {
     pub deadline: Option<Duration>,
     /// Preference application order (see [`PreferenceOrder`]).
     pub preference_order: PreferenceOrder,
+    /// Fix-point scheduling strategy (see [`FixpointMode`]).
+    pub fixpoint: FixpointMode,
 }
 
 impl Default for ParserOptions {
@@ -67,6 +91,7 @@ impl Default for ParserOptions {
             max_instances: 2_000_000,
             deadline: None,
             preference_order: PreferenceOrder::Scheduled,
+            fixpoint: FixpointMode::SemiNaive,
         }
     }
 }
@@ -167,6 +192,7 @@ pub(crate) fn run_parse(
 ) -> ParseResult {
     let started = Instant::now();
     let token_count = chart.tokens().len();
+    scratch.reset_for(grammar);
     let mut p = Parser {
         grammar,
         schedule,
@@ -239,10 +265,11 @@ fn count_temporary(chart: &Chart, trees: &[InstId]) -> usize {
     used.iter().filter(|&&u| !u).count()
 }
 
-/// Recycled working memory for the parse core: candidate lists for
-/// production enumeration and winner/loser lists for enforcement.
-/// A [`crate::ParseSession`] keeps one `Scratch` alive across parses
-/// so the steady state allocates nothing here.
+/// Recycled working memory for the parse core: candidate lists and
+/// delta bookkeeping for production enumeration, watermarks for
+/// incremental enforcement, and the deferred-creation buffers of one
+/// enumeration pass. A [`crate::ParseSession`] keeps one `Scratch`
+/// alive across parses so the steady state allocates nothing here.
 #[derive(Default)]
 pub(crate) struct Scratch {
     /// Per-component candidate lists of the production being applied.
@@ -251,9 +278,40 @@ pub(crate) struct Scratch {
     spare_bufs: Vec<Vec<InstId>>,
     /// The combination being enumerated.
     combo: Vec<InstId>,
-    /// Winner / loser lists for the preference being enforced.
-    winners: Vec<InstId>,
-    losers: Vec<InstId>,
+    /// Deferred creations of one enumeration pass: children flat,
+    /// `arity` ids per accepted combo, parallel to `pending_payloads`.
+    pending_children: Vec<InstId>,
+    pending_payloads: Vec<Payload>,
+    /// Per-production per-slot high-water marks: how many valid
+    /// candidates the production saw at its previous application.
+    /// Pinned at zero under [`FixpointMode::Naive`].
+    prod_marks: Vec<Vec<u32>>,
+    /// Per-preference `(winner, loser)` index high-water marks over the
+    /// chart's per-symbol lists. Pinned at zero under
+    /// [`FixpointMode::Naive`].
+    pref_marks: Vec<(u32, u32)>,
+    /// `suffix_new[d]`: any slot in `d..` of the production being
+    /// applied has candidates beyond its watermark.
+    suffix_new: Vec<bool>,
+    /// Saturating product of candidate-list lengths for slots `d..`.
+    suffix_prod: Vec<u64>,
+}
+
+impl Scratch {
+    /// Re-targets the recycled buffers at `grammar` and zeroes all
+    /// watermarks — called once per parse.
+    fn reset_for(&mut self, grammar: &Grammar) {
+        self.prod_marks.truncate(grammar.productions.len());
+        for marks in &mut self.prod_marks {
+            marks.clear();
+        }
+        self.prod_marks
+            .resize_with(grammar.productions.len(), Vec::new);
+        self.pref_marks.clear();
+        self.pref_marks.resize(grammar.preferences.len(), (0, 0));
+        self.pending_children.clear();
+        self.pending_payloads.clear();
+    }
 }
 
 struct Parser<'a> {
@@ -333,6 +391,7 @@ impl Parser<'_> {
             SymbolKind::NonTerminal
         ));
         loop {
+            self.stats.fixpoint_rounds += 1;
             let mut added = false;
             for &pid in self.grammar.productions_of(symbol) {
                 if self.apply_production(pid) {
@@ -369,140 +428,170 @@ impl Parser<'_> {
         false
     }
 
-    /// [`Parser::deadline_blown`], but only actually reading the clock
-    /// every few calls — cheap enough for the enumeration inner loop.
-    fn deadline_blown_sampled(&mut self) -> bool {
-        if self.deadline.is_none() {
-            return false;
-        }
-        if self.stats.budget == BudgetOutcome::DeadlineExceeded {
-            return true;
-        }
-        self.deadline_tick = self.deadline_tick.wrapping_add(1);
-        if self.deadline_tick & DEADLINE_POLL_MASK != 0 {
-            return false;
-        }
-        self.deadline_blown()
-    }
-
     /// Applies one production over all current valid combinations;
     /// returns whether anything new was created.
+    ///
+    /// Under [`FixpointMode::SemiNaive`] only combinations containing
+    /// at least one candidate created since this production's previous
+    /// application are enumerated (delta-driven); under
+    /// [`FixpointMode::Naive`] the watermarks stay pinned at zero and
+    /// the full product is re-walked. Either way, instance creation is
+    /// *deferred*: the pass enumerates against an immutable chart
+    /// (candidate lists are snapshots, so nothing created this pass
+    /// can join a combination until the next round anyway) and flushes
+    /// accepted combos afterwards in enumeration order — which lets
+    /// one component-views buffer be reused across every combination
+    /// of the pass.
     fn apply_production(&mut self, pid: ProdId) -> bool {
-        let prod = self.grammar.production(pid);
+        let grammar = self.grammar;
+        let prod = grammar.production(pid);
         let arity = prod.arity();
+        let delta = self.opts.fixpoint == FixpointMode::SemiNaive;
+        let scratch = &mut *self.scratch;
+
         // Snapshot candidate lists into recycled buffers (instances
         // added this round are picked up by the enclosing fix-point
         // loop).
-        let mut candidates = std::mem::take(&mut self.scratch.candidates);
         for &s in &prod.components {
-            let mut buf = self.scratch.spare_bufs.pop().unwrap_or_default();
+            let mut buf = scratch.spare_bufs.pop().unwrap_or_default();
             self.chart.valid_of_symbol_into(s, &mut buf);
-            candidates.push(buf);
+            scratch.candidates.push(buf);
         }
-        let mut added = false;
-        if !candidates.iter().any(|c| c.is_empty()) {
-            let mut combo = std::mem::take(&mut self.scratch.combo);
-            combo.clear();
-            combo.resize(arity, InstId(0));
-            self.enumerate(pid, &candidates, 0, &mut combo, &mut added);
-            self.scratch.combo = combo;
+        let candidates = &scratch.candidates[..];
+
+        // Delta bookkeeping. `marks[d]` is the candidate count slot `d`
+        // saw at the previous application (grammar validation
+        // guarantees arity ≥ 1, so a production with no new candidates
+        // has nothing left to contribute: every all-old combination was
+        // already enumerated — created, deduped, or constraint-failed,
+        // all of which are permanent verdicts over immutable spans).
+        let marks = &mut scratch.prod_marks[pid.index()];
+        marks.resize(arity, 0);
+        scratch.suffix_new.clear();
+        scratch.suffix_new.resize(arity + 1, false);
+        scratch.suffix_prod.clear();
+        scratch.suffix_prod.resize(arity + 1, 1);
+        for d in (0..arity).rev() {
+            scratch.suffix_new[d] =
+                scratch.suffix_new[d + 1] || candidates[d].len() > marks[d] as usize;
+            scratch.suffix_prod[d] =
+                scratch.suffix_prod[d + 1].saturating_mul(candidates[d].len() as u64);
         }
-        self.scratch.spare_bufs.append(&mut candidates);
-        self.scratch.candidates = candidates;
+
+        let runnable = !candidates.iter().any(|c| c.is_empty());
+        if runnable && (!delta || scratch.suffix_new[0]) {
+            scratch.combo.clear();
+            scratch.combo.resize(arity, InstId(0));
+            let mut pass = EnumPass {
+                chart: &self.chart,
+                grammar,
+                prod,
+                pid,
+                candidates,
+                marks: &marks[..],
+                suffix_new: &scratch.suffix_new,
+                suffix_prod: &scratch.suffix_prod,
+                combo: &mut scratch.combo,
+                views: Vec::with_capacity(arity),
+                pending_children: &mut scratch.pending_children,
+                pending_payloads: &mut scratch.pending_payloads,
+                stats: &mut self.stats,
+                max_instances: self.opts.max_instances,
+                deadline: self.deadline,
+                deadline_tick: &mut self.deadline_tick,
+            };
+            pass.enumerate(0, false);
+        } else if runnable {
+            // Semi-naive early out: nothing new in any slot.
+            self.stats.combos_skipped_delta += scratch.suffix_prod[0];
+        }
+
+        // Flush the deferred creations in enumeration order. The
+        // children `Vec` is materialized only here — i.e. only for
+        // combinations that passed dedup and constraints.
+        let added = !scratch.pending_payloads.is_empty();
+        for (children, payload) in scratch
+            .pending_children
+            .chunks_exact(arity)
+            .zip(scratch.pending_payloads.drain(..))
+        {
+            self.chart
+                .add_nonterminal(prod.head, pid, children.to_vec(), payload);
+        }
+        scratch.pending_children.clear();
+
+        // Advance the watermarks to the candidate counts this pass
+        // saw. Skipped once a budget cut the pass short: nothing will
+        // ever be created again (every later enumeration bails at
+        // entry), and freezing the marks keeps them truthful about
+        // what was actually enumerated.
+        if delta
+            && self.stats.budget == BudgetOutcome::Completed
+            && self.chart.len() < self.opts.max_instances
+        {
+            for (m, c) in marks.iter_mut().zip(&scratch.candidates) {
+                *m = c.len() as u32;
+            }
+        }
+
+        scratch.spare_bufs.append(&mut scratch.candidates);
         added
-    }
-
-    fn enumerate(
-        &mut self,
-        pid: ProdId,
-        candidates: &[Vec<InstId>],
-        depth: usize,
-        combo: &mut Vec<InstId>,
-        added: &mut bool,
-    ) {
-        if self.chart.len() >= self.opts.max_instances || self.deadline_blown_sampled() {
-            return;
-        }
-        if depth == candidates.len() {
-            self.try_combo(pid, combo, added);
-            return;
-        }
-        // Iterate a snapshot (candidate lists are precomputed).
-        for i in 0..candidates[depth].len() {
-            let cand = candidates[depth][i];
-            // Distinctness and token-disjointness against earlier picks.
-            let mut ok = self.chart.get(cand).valid;
-            if ok {
-                for &prev in combo[..depth].iter() {
-                    if prev == cand
-                        || self
-                            .chart
-                            .get(prev)
-                            .span
-                            .intersects(&self.chart.get(cand).span)
-                    {
-                        ok = false;
-                        break;
-                    }
-                }
-            }
-            if !ok {
-                continue;
-            }
-            combo[depth] = cand;
-            self.enumerate(pid, candidates, depth + 1, combo, added);
-        }
-    }
-
-    fn try_combo(&mut self, pid: ProdId, combo: &[InstId], added: &mut bool) {
-        if self.chart.seen(pid, combo) {
-            return;
-        }
-        let prod = self.grammar.production(pid);
-        let views: Vec<_> = combo.iter().map(|&c| self.chart.view(c)).collect();
-        if !prod.constraint.eval(&views, &self.grammar.proximity) {
-            return;
-        }
-        let payload = prod.constructor.eval(&views);
-        drop(views);
-        self.chart
-            .add_nonterminal(prod.head, pid, combo.to_vec(), payload);
-        *added = true;
     }
 
     /// `enforce(R)`: find conflicting (winner, loser) pairs and
     /// invalidate the losers, rolling back their false ancestors when
     /// this preference's r-edge had to be dropped from the schedule.
+    ///
+    /// Incremental: the chart's per-symbol id lists are append-only, so
+    /// a pair where both sides sit below this preference's previous
+    /// watermark re-derives a permanent verdict — spans and spreads are
+    /// immutable, and validity only ever goes true→false, so a pair
+    /// that invalidated then leaves its loser already invalid now, and
+    /// a pair that didn't fire then cannot fire now. Old rows therefore
+    /// skip old columns (`l_start`); new rows sweep every column. The
+    /// row-major order over the tested pairs is exactly the naive
+    /// order's subsequence, preserving the invalidation order (which
+    /// matters when the winner and loser symbols coincide). Under
+    /// [`FixpointMode::Naive`] the watermarks stay pinned at zero and
+    /// every pair is re-tested.
     fn enforce(&mut self, pref_id: PrefId) {
         let pref = self.grammar.preference(pref_id);
-        let mut winners = std::mem::take(&mut self.scratch.winners);
-        self.chart.valid_of_symbol_into(pref.winner, &mut winners);
-        let mut losers = std::mem::take(&mut self.scratch.losers);
-        self.chart.valid_of_symbol_into(pref.loser, &mut losers);
+        let (w_sym, l_sym) = (pref.winner, pref.loser);
+        let w_len = self.chart.of_symbol(w_sym).len();
+        let l_len = self.chart.of_symbol(l_sym).len();
+        let (w_mark, l_mark) = self.scratch.pref_marks[pref_id.index()];
+        let (w_mark, l_mark) = (w_mark as usize, l_mark as usize);
+        self.stats.pairs_skipped_delta += w_mark as u64 * l_mark as u64;
         let needs_rollback = self.opts.rollback && self.schedule.needs_rollback[pref_id.index()];
-        for &w in &winners {
-            if !self.chart.get(w).valid {
-                continue; // may have lost to a peer earlier in this pass
-            }
-            for &l in &losers {
-                if w == l || !self.chart.get(l).valid || !self.chart.get(w).valid {
-                    continue;
+        if w_len > w_mark || l_len > l_mark {
+            for wi in 0..w_len {
+                let w = self.chart.of_symbol(w_sym)[wi];
+                if !self.chart.get(w).valid {
+                    continue; // may have lost to a peer earlier in this pass
                 }
-                if !self.conflicts(w, l, pref.condition) {
-                    continue;
-                }
-                if !self.wins(w, l, pref.criteria) {
-                    continue;
-                }
-                self.chart.invalidate(l);
-                self.stats.invalidated += 1;
-                if needs_rollback {
-                    self.rollback(l);
+                let l_start = if wi < w_mark { l_mark } else { 0 };
+                for li in l_start..l_len {
+                    let l = self.chart.of_symbol(l_sym)[li];
+                    if w == l || !self.chart.get(l).valid || !self.chart.get(w).valid {
+                        continue;
+                    }
+                    if !self.conflicts(w, l, pref.condition) {
+                        continue;
+                    }
+                    if !self.wins(w, l, pref.criteria) {
+                        continue;
+                    }
+                    self.chart.invalidate(l);
+                    self.stats.invalidated += 1;
+                    if needs_rollback {
+                        self.rollback(l);
+                    }
                 }
             }
         }
-        self.scratch.winners = winners;
-        self.scratch.losers = losers;
+        if self.opts.fixpoint == FixpointMode::SemiNaive {
+            self.scratch.pref_marks[pref_id.index()] = (w_len as u32, l_len as u32);
+        }
     }
 
     fn conflicts(&self, w: InstId, l: InstId, cond: ConflictCond) -> bool {
@@ -535,6 +624,159 @@ impl Parser<'_> {
                 stack.extend(self.chart.parents_of(p).iter().copied());
             }
         }
+    }
+}
+
+/// One deferred enumeration pass of a production over an immutable
+/// chart — the inner loop of [`Parser::apply_production`].
+///
+/// Holding the chart by shared reference is what lets the component
+/// [`View`]s buffer live across combinations (the old per-combo
+/// `Vec<View>` allocation): nothing is created until the pass ends, so
+/// the borrows never conflict. Accepted combinations are buffered flat
+/// in `pending_children`/`pending_payloads` and flushed by the caller
+/// in enumeration order, which reproduces the eager creation order
+/// exactly.
+struct EnumPass<'a> {
+    chart: &'a Chart,
+    grammar: &'a Grammar,
+    prod: &'a Production,
+    pid: ProdId,
+    /// Valid candidates per component slot, snapshotted at pass start.
+    candidates: &'a [Vec<InstId>],
+    /// Per-slot watermarks: candidates below `marks[d]` predate the
+    /// production's previous application. All zero under
+    /// [`FixpointMode::Naive`].
+    marks: &'a [u32],
+    /// `suffix_new[d]`: some slot in `d..` has candidates at or beyond
+    /// its watermark.
+    suffix_new: &'a [bool],
+    /// Saturating product of candidate counts for slots `d..`.
+    suffix_prod: &'a [u64],
+    /// The combination under construction (`arity` slots).
+    combo: &'a mut Vec<InstId>,
+    /// Component views of the combo being tried — reused across every
+    /// combination of the pass.
+    views: Vec<View<'a>>,
+    /// Deferred creations, flat (`arity` ids per accepted combo).
+    pending_children: &'a mut Vec<InstId>,
+    pending_payloads: &'a mut Vec<Payload>,
+    stats: &'a mut ParseStats,
+    max_instances: usize,
+    deadline: Option<Instant>,
+    deadline_tick: &'a mut u32,
+}
+
+impl<'a> EnumPass<'a> {
+    /// Would creating one more instance break the cap? Deferred
+    /// creations count: `chart.len() + pending` is exactly the chart
+    /// size the eager schedule would have at this point.
+    fn over_budget(&self) -> bool {
+        self.chart.len() + self.pending_payloads.len() >= self.max_instances
+    }
+
+    /// [`Parser::deadline_blown`], but only actually reading the clock
+    /// every few calls — cheap enough for the enumeration inner loop.
+    fn deadline_blown_sampled(&mut self) -> bool {
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if self.stats.budget == BudgetOutcome::DeadlineExceeded {
+            return true;
+        }
+        *self.deadline_tick = self.deadline_tick.wrapping_add(1);
+        if *self.deadline_tick & DEADLINE_POLL_MASK != 0 {
+            return false;
+        }
+        if Instant::now() >= deadline {
+            self.stats.budget = BudgetOutcome::DeadlineExceeded;
+            return true;
+        }
+        false
+    }
+
+    /// Walks the cartesian product of the candidate lists in
+    /// lexicographic order, pruning non-disjoint prefixes.
+    ///
+    /// `has_new` records whether an earlier slot already picked a
+    /// candidate beyond its watermark. While it is false and no later
+    /// slot can supply one (`suffix_new[depth + 1]`), the current slot
+    /// skips straight past its watermark: the skipped combinations are
+    /// exactly the all-old ones, whose verdicts — dedup hit, constraint
+    /// failure, or prior creation — are permanent. The visited
+    /// combinations remain in lexicographic order, so creations happen
+    /// in the same order the full walk would produce.
+    fn enumerate(&mut self, depth: usize, has_new: bool) {
+        if self.over_budget() || self.deadline_blown_sampled() {
+            return;
+        }
+        if depth == self.candidates.len() {
+            self.try_combo();
+            return;
+        }
+        let mark = self.marks[depth] as usize;
+        let start = if has_new || self.suffix_new[depth + 1] {
+            0
+        } else {
+            mark
+        };
+        if start > 0 {
+            self.stats.combos_skipped_delta += start as u64 * self.suffix_prod[depth + 1];
+        }
+        for i in start..self.candidates[depth].len() {
+            let cand = self.candidates[depth][i];
+            // Candidate lists were filtered to valid instances at pass
+            // start, and nothing is invalidated during instantiation
+            // (enforcement only runs between fix-points), so validity
+            // needs no recheck here.
+            debug_assert!(
+                self.chart.get(cand).valid,
+                "candidate invalidated mid-pass: enforcement ran during instantiate?"
+            );
+            // Distinctness and token-disjointness against earlier picks.
+            let mut ok = true;
+            for &prev in self.combo[..depth].iter() {
+                if prev == cand
+                    || self
+                        .chart
+                        .get(prev)
+                        .span
+                        .intersects(&self.chart.get(cand).span)
+                {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            self.combo[depth] = cand;
+            self.enumerate(depth + 1, has_new || i >= mark);
+        }
+    }
+
+    /// Dedup-probes the completed combination and, if fresh, runs the
+    /// constraint and constructor. Children are only materialized into
+    /// an owned `Vec` at flush time, i.e. for accepted combos.
+    fn try_combo(&mut self) {
+        self.stats.combos_enumerated += 1;
+        if self.chart.seen(self.pid, self.combo) {
+            return;
+        }
+        self.views.clear();
+        for &c in self.combo.iter() {
+            self.views.push(self.chart.view(c));
+        }
+        if !self
+            .prod
+            .constraint
+            .eval(&self.views, &self.grammar.proximity)
+        {
+            return;
+        }
+        self.pending_payloads
+            .push(self.prod.constructor.eval(&self.views));
+        self.pending_children.extend_from_slice(self.combo);
     }
 }
 

@@ -5,10 +5,10 @@
 //! instances live in, with per-symbol indexes, parent links (for
 //! rollback), and a dedup set so the fix-point terminates.
 
+use crate::dedup::ComboSet;
 use crate::tokenset::TokenSet;
 use metaform_core::{BBox, Token, TokenId};
 use metaform_grammar::{Payload, ProdId, SymbolId, View};
-use std::collections::HashSet;
 use std::fmt;
 
 /// Identifier of an instance within one chart.
@@ -56,7 +56,7 @@ pub struct Chart {
     instances: Vec<Instance>,
     by_symbol: Vec<Vec<InstId>>,
     parents: Vec<Vec<InstId>>,
-    dedup: HashSet<(ProdId, Vec<InstId>)>,
+    dedup: ComboSet,
 }
 
 impl Chart {
@@ -68,7 +68,7 @@ impl Chart {
             instances: Vec::new(),
             by_symbol: vec![Vec::new(); symbol_count],
             parents: Vec::new(),
-            dedup: HashSet::new(),
+            dedup: ComboSet::default(),
         }
     }
 
@@ -185,8 +185,9 @@ impl Chart {
     }
 
     /// True when an instance for `(prod, children)` already exists.
+    /// Allocation-free: the probe hashes the borrowed slice directly.
     pub fn seen(&self, prod: ProdId, children: &[InstId]) -> bool {
-        self.dedup.contains(&(prod, children.to_vec()))
+        self.dedup.contains(prod, children)
     }
 
     /// Adds a nonterminal instance produced by `prod` over `children`.
@@ -211,7 +212,7 @@ impl Chart {
             c.tokens = span.iter().collect();
         }
         let id = InstId(self.instances.len() as u32);
-        self.dedup.insert((prod, children.clone()));
+        self.dedup.insert(prod, &children);
         for &c in &children {
             self.parents[c.index()].push(id);
         }

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod consistency;
+mod dedup;
 pub mod display;
 pub mod engine;
 pub mod instance;
@@ -39,9 +40,9 @@ pub mod tokenset;
 
 pub use consistency::{check_preferences, check_preferences_compiled, Consistency};
 pub use display::render_tree;
-pub use engine::{parse, parse_with, ParseResult, ParserOptions, PreferenceOrder};
+pub use engine::{parse, parse_with, FixpointMode, ParseResult, ParserOptions, PreferenceOrder};
 pub use instance::{Chart, InstId, Instance};
-pub use maximize::maximize;
+pub use maximize::{maximize, maximize_naive};
 pub use merger::merge;
 pub use session::ParseSession;
 pub use stats::{BudgetOutcome, ParseStats};

@@ -17,7 +17,69 @@ use metaform_grammar::Grammar;
 ///
 /// Returned largest-span first (ties: lower instance id first) so the
 /// merger visits broader context earlier.
+///
+/// Implementation: a subsumption-pruned sweep instead of the all-pairs
+/// scan of [`maximize_naive`]. Candidates are visited largest span
+/// first; each is tested only against the *already accepted* maximal
+/// instances with strictly more tokens. That suffices by transitivity:
+/// if some valid instance strictly subsumes `i`, then a *maximal* one
+/// does too (follow strict supersets upward — token counts strictly
+/// increase, so the chain ends at an accepted instance). A bounding-box
+/// containment check prefilters the bitset subset test: an instance's
+/// bbox is the union of its span's token boxes, so span containment
+/// implies bbox containment.
 pub fn maximize(chart: &Chart, grammar: &Grammar) -> Vec<InstId> {
+    let mut order: Vec<InstId> = chart
+        .ids()
+        .filter(|&i| {
+            let inst = chart.get(i);
+            inst.valid && inst.prod.is_some() && !inst.span.is_empty()
+        })
+        .collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(chart.get(i).span.count()), i));
+
+    // Sweep: accepted entries are maximal-so-far; only entries with
+    // strictly more tokens can strictly subsume the current candidate,
+    // and ties on count cannot subsume at all.
+    let mut maximal: Vec<InstId> = Vec::new();
+    for &i in &order {
+        let inst = chart.get(i);
+        let count = inst.span.count();
+        let subsumed = maximal.iter().any(|&j| {
+            let cand = chart.get(j);
+            cand.span.count() > count
+                && cand.bbox.contains(&inst.bbox)
+                && inst.span.is_strict_subset(&cand.span)
+        });
+        if !subsumed {
+            maximal.push(i);
+        }
+    }
+
+    // Equal-span chains: drop instances that are descendants of another
+    // selected instance with the same span. Equal spans need equal
+    // counts, and the sweep order groups equal counts contiguously, but
+    // the snapshot semantics stay those of the naive pass: `j` ranges
+    // over the pre-retain selection.
+    let snapshot = maximal.clone();
+    maximal.retain(|&i| {
+        !snapshot.iter().any(|&j| {
+            j != i
+                && chart.get(i).span.count() == chart.get(j).span.count()
+                && chart.get(i).span == chart.get(j).span
+                && chart.is_ancestor(j, i)
+        })
+    });
+
+    let _ = grammar; // reserved for future symbol-rank tie-breaking
+    maximal
+}
+
+/// The reference all-pairs maximizer [`maximize`] is checked against:
+/// every candidate is tested for strict subsumption against every
+/// valid instance (O(n²) bitset tests). Kept for the parity suite and
+/// benches; produces identical output.
+pub fn maximize_naive(chart: &Chart, grammar: &Grammar) -> Vec<InstId> {
     let valid: Vec<InstId> = chart
         .ids()
         .filter(|&i| {
@@ -116,6 +178,26 @@ mod tests {
         assert_eq!(res.trees.len(), 1);
         let uncovered = res.chart.uncovered_tokens(&res.trees);
         assert_eq!(uncovered, vec![metaform_core::TokenId(0)]);
+    }
+
+    #[test]
+    fn sweep_matches_naive_maximizer() {
+        use super::{maximize, maximize_naive};
+        use crate::engine::{parse_with, ParserOptions};
+        let g = paper_example_grammar();
+        // A brute-force chart (no pruning) is the densest: plenty of
+        // overlapping and equal-span instances to disagree on.
+        let mut tokens = label_box_pair(0, "Author", 10, 10);
+        tokens.extend(label_box_pair(2, "Title", 10, 40));
+        tokens.extend(label_box_pair(4, "Price", 600, 700));
+        for opts in [ParserOptions::default(), ParserOptions::brute_force()] {
+            let res = parse_with(&g, &tokens, &opts);
+            assert_eq!(
+                maximize(&res.chart, &g),
+                maximize_naive(&res.chart, &g),
+                "sweep and all-pairs maximizers diverged ({opts:?})"
+            );
+        }
     }
 
     #[test]

@@ -58,13 +58,20 @@ impl TokenSet {
         self.len == 0
     }
 
-    /// In-place union.
+    /// In-place union. The cardinality is maintained incrementally:
+    /// only words that actually gain bits are popcounted, instead of
+    /// re-counting the whole set (unions run once per created instance,
+    /// over mostly-disjoint spans, so most words change or are zero —
+    /// but the recount was O(words) even for tiny deltas).
     pub fn union_with(&mut self, other: &TokenSet) {
         debug_assert_eq!(self.words.len(), other.words.len());
         for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
+            let gained = b & !*a;
+            if gained != 0 {
+                *a |= gained;
+                self.len += gained.count_ones();
+            }
         }
-        self.len = self.words.iter().map(|w| w.count_ones()).sum();
     }
 
     /// Do the sets share any id?
@@ -157,6 +164,32 @@ mod tests {
         }
         let ids: Vec<u32> = s.iter().map(|t| t.0).collect();
         assert_eq!(ids, vec![3, 64, 65, 150]);
+    }
+
+    #[test]
+    fn union_len_tracked_incrementally() {
+        // Overlapping, disjoint, and empty unions across word
+        // boundaries must all keep `len` equal to a full recount.
+        let mut a = TokenSet::new(300);
+        let mut b = TokenSet::new(300);
+        for i in [0u32, 63, 64, 130, 299] {
+            a.insert(TokenId(i));
+        }
+        for i in [0u32, 64, 65, 131, 200] {
+            b.insert(TokenId(i));
+        }
+        a.union_with(&b);
+        assert_eq!(a.count(), a.iter().count(), "len matches recount");
+        assert_eq!(a.count(), 8);
+        // Idempotent: unioning again gains nothing.
+        let before = a.count();
+        let b2 = b.clone();
+        a.union_with(&b2);
+        assert_eq!(a.count(), before);
+        // Union with an empty set is a no-op.
+        a.union_with(&TokenSet::new(300));
+        assert_eq!(a.count(), before);
+        assert_eq!(a.count(), a.iter().count());
     }
 
     #[test]

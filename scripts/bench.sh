@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Machine-readable parse benchmark: runs the batch-120 workload under
+# both fix-point schedules and writes BENCH_parse.json at the repo
+# root (median batch time, combos enumerated, instances created).
+# Usage: scripts/bench.sh [out.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_parse.json}"
+cargo run --release -q -p metaform-bench --bin bench_parse -- "$OUT"

@@ -13,6 +13,9 @@ cargo test -q --workspace
 echo "==> cargo test -q --test fault_isolation (poison-page isolation)"
 cargo test -q --test fault_isolation
 
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --no-run --workspace --quiet
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
