@@ -8,7 +8,11 @@
 //!   recycled `ParseSession` for the whole batch;
 //! * `parallel_extract_batch` — `FormExtractor::extract_batch` over the
 //!   raw HTML pages, scoped worker threads sharing the compiled
-//!   grammar.
+//!   grammar;
+//! * `parallel_extract_batch_adaptive` — the same batch through
+//!   `extract_batch_adaptive`: on a clean corpus the escalation loop
+//!   runs zero retries, so any gap to `parallel_extract_batch` is pure
+//!   driver bookkeeping.
 //!
 //! The warm and parallel variants run under the compile-once contract,
 //! asserted here via the process-wide `schedule_build_count` /
@@ -18,7 +22,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use metaform_bench::tokens_of;
 use metaform_core::Token;
 use metaform_datasets::basic;
-use metaform_extractor::FormExtractor;
+use metaform_extractor::{AdaptiveOptions, FormExtractor};
 use metaform_grammar::{compile_count, global_compiled, schedule_build_count};
 use metaform_parser::{parse, FixpointMode, ParseSession, ParserOptions};
 
@@ -97,6 +101,21 @@ fn bench_batch(c: &mut Criterion) {
     group.bench_function("parallel_extract_batch", |b| {
         let extractor = FormExtractor::new();
         b.iter(|| extractor.extract_batch(&pages).len())
+    });
+
+    // Adaptive driver on the same clean batch: the escalation loop and
+    // telemetry bookkeeping must cost ~nothing when no page fails —
+    // the only difference from `parallel_extract_batch` should be the
+    // retry-eligibility scan over the first-pass results.
+    group.bench_function("parallel_extract_batch_adaptive", |b| {
+        let extractor = FormExtractor::new();
+        let opts = AdaptiveOptions::default();
+        b.iter(|| {
+            let batch = extractor.extract_batch_adaptive(&pages, &opts);
+            assert_eq!(batch.stats.retried, 0, "clean batch must not retry");
+            assert!(batch.failures.is_empty());
+            batch.extractions.len()
+        })
     });
     let (_, stats) = FormExtractor::new().extract_batch_stats(&pages);
     assert_eq!(

@@ -1,8 +1,11 @@
 //! Domain schemas for the survey's three core domains (Books,
 //! Automobiles, Airfares), the NewDomain set, and the generic pools
-//! behind the Random dataset.
+//! behind the Random dataset — plus the per-domain [`BudgetPreset`]
+//! table that seeds the adaptive batch driver's first-pass budgets.
 
 use crate::schema::{Field, FieldKind, Schema};
+use metaform_extractor::{BatchStats, FormExtractor};
+use std::time::Duration;
 
 fn f(label: &str, control: &str, kind: FieldKind) -> Field {
     Field::new(label, control, kind)
@@ -291,6 +294,88 @@ pub fn random_pools() -> Vec<Schema> {
         .collect()
 }
 
+/// Starting per-page parse budgets for batch runs over one domain's
+/// sources — the first pass the adaptive escalation loop
+/// (`FormExtractor::extract_batch_adaptive`) grows from. The table
+/// encodes how ambiguous each survey domain's forms tend to be:
+/// operator-heavy domains (Books, Airfares) start with more headroom
+/// so their pages rarely need a retry, while the lean Random pools
+/// start tight and lean on escalation for the occasional outlier.
+/// Budgets here are *starting points*, not ceilings — the escalation
+/// loop multiplies them for pages that need more.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetPreset {
+    /// First-pass `max_instances` cap per page.
+    pub max_instances: usize,
+    /// First-pass wall-clock deadline per page (`None` = unbounded).
+    pub deadline: Option<Duration>,
+}
+
+impl BudgetPreset {
+    /// Fallback preset for domains the table does not know.
+    pub const GENERIC: BudgetPreset = BudgetPreset {
+        max_instances: 20_000,
+        deadline: Some(Duration::from_millis(500)),
+    };
+
+    /// The table: starting budgets for a named survey domain
+    /// ([`books`], [`automobiles`], [`airfares`], the [`new_domains`],
+    /// or a [`random_pools`] topic). Unknown names get
+    /// [`BudgetPreset::GENERIC`].
+    pub fn for_domain(name: &str) -> BudgetPreset {
+        let (max_instances, deadline_ms) = match name {
+            // Core survey domains: many fields, operator rows, radio
+            // batteries — the most ambiguous forms in the corpus.
+            "Books" | "Airfares" => (50_000, 1_000),
+            "Automobiles" => (40_000, 1_000),
+            // NewDomain schemas: mid-size forms.
+            "Jobs" | "Movies" | "Music" | "Hotels" | "CarRentals" | "RealEstates" => (25_000, 500),
+            // Random pools share one generic nine-field shape.
+            _ if random_pools().iter().any(|s| s.name == name) => (10_000, 250),
+            _ => return BudgetPreset::GENERIC,
+        };
+        BudgetPreset {
+            max_instances,
+            deadline: Some(Duration::from_millis(deadline_ms)),
+        }
+    }
+
+    /// Derives a preset from a prior run's rollup: the observed mean
+    /// instances per page with 4× headroom, and the observed mean
+    /// per-page compute time (batch wall-clock × workers ÷ pages) with
+    /// 8× headroom — enough that a rerun of the same corpus completes
+    /// its first pass clean, while a grown corpus still escalates only
+    /// for true outliers. Floors keep a degenerate rollup (tiny pages,
+    /// cold caches) from producing a budget that truncates everything.
+    pub fn from_stats(stats: &BatchStats) -> BudgetPreset {
+        if stats.pages == 0 {
+            return BudgetPreset::GENERIC;
+        }
+        let per_page = stats.created / stats.pages;
+        let max_instances = per_page.saturating_mul(4).max(1_000);
+        let per_page_us = u64::try_from(stats.elapsed.as_micros())
+            .unwrap_or(u64::MAX)
+            .saturating_mul(stats.workers.max(1) as u64)
+            / stats.pages as u64;
+        let deadline =
+            Duration::from_micros(per_page_us.saturating_mul(8)).max(Duration::from_millis(50));
+        BudgetPreset {
+            max_instances,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Applies this preset to an extractor (builder style): the
+    /// returned extractor runs its first pass under these budgets.
+    pub fn apply(self, extractor: FormExtractor) -> FormExtractor {
+        let extractor = extractor.max_instances(self.max_instances);
+        match self.deadline {
+            Some(d) => extractor.page_deadline(d),
+            None => extractor,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +404,71 @@ mod tests {
         let names: std::collections::BTreeSet<&str> =
             pools.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names.len(), 16, "unique names");
+    }
+
+    #[test]
+    fn budget_table_covers_every_survey_domain() {
+        // Every schema the generators produce has a deliberate entry —
+        // none falls through to the generic preset.
+        for schema in [books(), automobiles(), airfares()]
+            .into_iter()
+            .chain(new_domains())
+            .chain(random_pools())
+        {
+            let preset = BudgetPreset::for_domain(&schema.name);
+            assert_ne!(preset, BudgetPreset::GENERIC, "{}", schema.name);
+            assert!(preset.max_instances >= 10_000, "{}", schema.name);
+            assert!(preset.deadline.is_some(), "{}", schema.name);
+        }
+        assert_eq!(
+            BudgetPreset::for_domain("NoSuchDomain"),
+            BudgetPreset::GENERIC
+        );
+        // Denser domains start with more headroom.
+        assert!(
+            BudgetPreset::for_domain("Books").max_instances
+                > BudgetPreset::for_domain("Weather").max_instances
+        );
+    }
+
+    #[test]
+    fn presets_from_stats_scale_with_the_observed_run() {
+        let stats = BatchStats {
+            pages: 10,
+            workers: 2,
+            created: 50_000,                     // 5_000 per page
+            elapsed: Duration::from_millis(100), // 20ms compute per page
+            ..Default::default()
+        };
+        let preset = BudgetPreset::from_stats(&stats);
+        assert_eq!(preset.max_instances, 20_000, "4x the observed mean");
+        assert_eq!(preset.deadline, Some(Duration::from_millis(160)), "8x");
+        // Floors hold for degenerate rollups.
+        let tiny = BudgetPreset::from_stats(&BatchStats {
+            pages: 100,
+            workers: 1,
+            created: 100,
+            elapsed: Duration::from_micros(10),
+            ..Default::default()
+        });
+        assert_eq!(tiny.max_instances, 1_000);
+        assert_eq!(tiny.deadline, Some(Duration::from_millis(50)));
+        assert_eq!(
+            BudgetPreset::from_stats(&BatchStats::default()),
+            BudgetPreset::GENERIC
+        );
+    }
+
+    #[test]
+    fn presets_apply_to_extractors() {
+        let preset = BudgetPreset::for_domain("Books");
+        let extractor = preset.apply(FormExtractor::new());
+        assert_eq!(extractor.budgets(), (preset.max_instances, preset.deadline));
+        let unbounded = BudgetPreset {
+            max_instances: 7,
+            deadline: None,
+        };
+        assert_eq!(unbounded.apply(FormExtractor::new()).budgets(), (7, None));
     }
 
     #[test]

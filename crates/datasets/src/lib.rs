@@ -11,7 +11,10 @@
 //! - page [`render`] templates (flow, table, staggered columns);
 //! - the four evaluation [`dataset`]s: Basic (150), NewSource (30),
 //!   NewDomain (42), Random (30);
-//! - hand-written [`fixtures`] of the paper's Qam/Qaa figures.
+//! - hand-written [`fixtures`] of the paper's Qam/Qaa figures;
+//! - the per-domain [`BudgetPreset`] table seeding the adaptive batch
+//!   driver's first-pass parse budgets, with
+//!   [`BudgetPreset::from_stats`] to recalibrate from a prior run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,5 +30,6 @@ pub mod zipf;
 pub use dataset::{
     all_datasets, basic, new_domain, new_source, random, Dataset, GenParams, Source,
 };
+pub use domains::BudgetPreset;
 pub use patterns::PatternId;
 pub use schema::{Field, FieldKind, Schema};

@@ -1,5 +1,6 @@
 //! Parallel batch extraction — the parse-many workload the
-//! compile-once split exists for, with per-page fault isolation.
+//! compile-once split exists for, with per-page fault isolation and an
+//! adaptive retry driver.
 //!
 //! [`FormExtractor::extract_batch`] fans a slice of HTML pages out
 //! over scoped worker threads. Each worker owns one
@@ -16,13 +17,44 @@
 //! wall-clock deadline — yields an error slot (or a degraded
 //! baseline report, on the infallible APIs) while the other N−1 pages
 //! complete normally. No page can abort the batch.
+//!
+//! **Adaptive escalation.** A budget failure is a verdict on the
+//! *budget*, not the page: the same page parses fine under a larger
+//! instance cap or deadline. [`FormExtractor::extract_batch_adaptive`]
+//! therefore runs a bounded escalation loop — first pass under the
+//! configured budgets, then up to [`AdaptiveOptions::max_retries`]
+//! retry rounds re-running *only* the budget-limited pages
+//! (`Truncated`/`Timeout`) with both budgets multiplied by
+//! [`AdaptiveOptions::budget_growth`] each round. `Panicked` and
+//! `EmptyForm` pages are never retried (a bigger budget reproduces the
+//! same verdict) and neither are `Cancelled` ones (retrying would
+//! fight the caller). Pages still failing after the last round degrade
+//! to the proximity baseline exactly like [`FormExtractor::extract_batch`].
+//! Because the parser is deterministic, a retried page's output is
+//! byte-identical to a one-shot run at the retry's budget.
+//!
+//! **Cancellation.** An extractor built with
+//! [`FormExtractor::cancel_token`] threads the token into every parse;
+//! firing it aborts in-flight parses at the next sampled budget poll
+//! and makes the batch drivers skip pages not yet started. Completed
+//! pages keep their results; the rest come back as
+//! [`crate::ExtractError::Cancelled`] (degraded to baseline on the
+//! infallible APIs).
 
 use crate::error::ExtractError;
 use crate::pipeline::{Extraction, FormExtractor, Provenance};
+use crate::telemetry::{duration_to_ms, AttemptRecord, ErrorKind, FailureOutcome, FailureRecord};
+use metaform_parser::{CancelToken, ParseStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-/// Rollup of one [`FormExtractor::extract_batch_stats`] run.
+/// What one page attempt produces: the page's verdict plus the parse
+/// stats of the attempt (absent when the pipeline never reached the
+/// parser, e.g. on a panic or a pre-parse cancellation).
+type AttemptResult = (Result<Extraction, ExtractError>, Option<ParseStats>);
+
+/// Rollup of one [`FormExtractor::extract_batch_stats`] or
+/// [`FormExtractor::extract_batch_adaptive`] run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BatchStats {
     /// Pages extracted.
@@ -44,29 +76,41 @@ pub struct BatchStats {
     pub schedules_built: usize,
     /// Pages whose pipeline panicked (caught at the page boundary).
     pub panicked: usize,
-    /// Pages whose parse hit the instance cap.
+    /// Pages whose *final* attempt hit the instance cap.
     pub truncated: usize,
-    /// Pages whose parse blew the wall-clock deadline.
+    /// Pages whose *final* attempt blew the wall-clock deadline.
     pub timed_out: usize,
     /// Pages that tokenized to nothing (no form content).
     pub empty: usize,
+    /// Pages abandoned because the batch-level cancel token fired.
+    pub cancelled: usize,
     /// Pages served by the proximity-baseline fallback instead of the
-    /// grammar pipeline (every failed page, on the infallible APIs).
+    /// grammar pipeline (every page that still failed after retries,
+    /// on the infallible APIs).
     pub degraded: usize,
-    /// Wall-clock time for the whole batch.
+    /// Retry attempts run by the adaptive driver (page-attempts, not
+    /// pages: one page retried twice counts 2). Always 0 on the
+    /// non-adaptive APIs.
+    pub retried: usize,
+    /// Pages that failed their first attempt but completed on the
+    /// grammar path under an escalated budget. Always 0 on the
+    /// non-adaptive APIs.
+    pub recovered: usize,
+    /// Wall-clock time for the whole batch, retries included.
     pub elapsed: Duration,
 }
 
 impl BatchStats {
-    /// Pages that failed the grammar path, by any cause.
+    /// Pages that failed the grammar path, by any cause (after
+    /// retries, on the adaptive API).
     pub fn failed(&self) -> usize {
-        self.panicked + self.truncated + self.timed_out + self.empty
+        self.panicked + self.truncated + self.timed_out + self.empty + self.cancelled
     }
 
     /// One-line summary for experiment tables.
     pub fn summary(&self) -> String {
         format!(
-            "pages={} workers={} tokens={} instances={} invalidated={} trees={} schedules_built={} panicked={} truncated={} timed_out={} empty={} degraded={} time={:?}",
+            "pages={} workers={} tokens={} instances={} invalidated={} trees={} schedules_built={} panicked={} truncated={} timed_out={} empty={} cancelled={} degraded={} retried={} recovered={} time={:?}",
             self.pages,
             self.workers,
             self.tokens,
@@ -78,10 +122,75 @@ impl BatchStats {
             self.truncated,
             self.timed_out,
             self.empty,
+            self.cancelled,
             self.degraded,
+            self.retried,
+            self.recovered,
             self.elapsed
         )
     }
+}
+
+/// Knobs of the bounded escalation loop in
+/// [`FormExtractor::extract_batch_adaptive`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveOptions {
+    /// Retry rounds after the first pass (0 = first pass only; the
+    /// adaptive API then equals [`FormExtractor::extract_batch_stats`]
+    /// plus telemetry).
+    pub max_retries: usize,
+    /// Multiplier applied to both per-page budgets (`max_instances`
+    /// and `deadline`) each retry round, saturating. 0 is treated
+    /// as 1 — budgets never shrink.
+    pub budget_growth: u32,
+}
+
+impl Default for AdaptiveOptions {
+    /// Two retries at doubling budgets: a page must be 4× over its
+    /// first-pass budget to still fail the last round.
+    fn default() -> Self {
+        AdaptiveOptions {
+            max_retries: 2,
+            budget_growth: 2,
+        }
+    }
+}
+
+/// Result of one [`FormExtractor::extract_batch_adaptive`] run: the
+/// per-page extractions (input order, infallible by degradation), the
+/// batch rollup, and the machine-readable story of every page that
+/// failed at least once.
+#[derive(Clone, Debug, Default)]
+pub struct AdaptiveBatch {
+    /// One extraction per input page, in input order. Pages that
+    /// exhausted their retries (or were cancelled) carry
+    /// [`Provenance::BaselineFallback`].
+    pub extractions: Vec<Extraction>,
+    /// The rollup, including retry/recovery/cancellation counters.
+    pub stats: BatchStats,
+    /// One record per page that failed at least once, ordered by page
+    /// index. Empty for a clean batch.
+    pub failures: Vec<FailureRecord>,
+}
+
+/// One page's in-progress story while the adaptive driver runs:
+/// the final result slot plus the attempt trail behind it.
+struct PageState {
+    result: Result<Extraction, ExtractError>,
+    stats: Option<ParseStats>,
+    story: PageStory,
+}
+
+/// The telemetry half of a [`PageState`] — split out so the final
+/// result can be moved out while the story is still sealed into a
+/// [`FailureRecord`].
+struct PageStory {
+    attempts: Vec<AttemptRecord>,
+    /// Kind of the most recent *failed* attempt — kept separately
+    /// because a recovered page's final result is `Ok`.
+    last_error: Option<ErrorKind>,
+    message: Option<String>,
+    final_budgets: (usize, Option<Duration>),
 }
 
 impl FormExtractor {
@@ -92,8 +201,10 @@ impl FormExtractor {
     /// [`Provenance::BaselineFallback`] — one poison page never kills
     /// the batch. See the module docs for the execution model; see
     /// [`FormExtractor::extract_batch_results`] for the fallible
-    /// per-page form and [`FormExtractor::extract_batch_stats`] for
-    /// the rollup-reporting form.
+    /// per-page form, [`FormExtractor::extract_batch_stats`] for the
+    /// rollup-reporting form, and
+    /// [`FormExtractor::extract_batch_adaptive`] for the
+    /// retry-escalating form.
     pub fn extract_batch(&self, pages: &[&str]) -> Vec<Extraction> {
         self.extract_batch_stats(pages).0
     }
@@ -104,13 +215,28 @@ impl FormExtractor {
     /// instead of degraded reports (e.g. to retry with a larger
     /// budget).
     pub fn extract_batch_results(&self, pages: &[&str]) -> Vec<Result<Extraction, ExtractError>> {
-        if pages.is_empty() {
+        let jobs: Vec<(usize, &str)> = pages.iter().copied().enumerate().collect();
+        self.run_jobs(&jobs)
+            .into_iter()
+            .map(|(result, _)| result)
+            .collect()
+    }
+
+    /// The batch core every driver runs on: extracts each `(page_index,
+    /// html)` job in parallel, returning `(result, parse_stats)` pairs
+    /// aligned with `jobs`. The page index travels *inside* the job,
+    /// not as the slot position — retry rounds pass sparse subsets of
+    /// the original batch, and every error and stat they produce must
+    /// name the page's index in the original input, never its position
+    /// in the subset.
+    pub(crate) fn run_jobs(&self, jobs: &[(usize, &str)]) -> Vec<AttemptResult> {
+        if jobs.is_empty() {
             return Vec::new();
         }
-        let workers = self.batch_workers(pages.len());
+        let workers = self.batch_workers(jobs.len());
         let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<Result<Extraction, ExtractError>>> = Vec::new();
-        slots.resize_with(pages.len(), || None);
+        let mut slots: Vec<Option<AttemptResult>> = Vec::new();
+        slots.resize_with(jobs.len(), || None);
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -119,25 +245,26 @@ impl FormExtractor {
                         let mut session = self.session();
                         let mut out = Vec::new();
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= pages.len() {
+                            let slot = next.fetch_add(1, Ordering::Relaxed);
+                            if slot >= jobs.len() {
                                 break;
                             }
-                            out.push((i, self.try_extract_in(&mut session, i, pages[i])));
+                            let (page_index, html) = jobs[slot];
+                            out.push((slot, self.attempt_in(&mut session, page_index, html)));
                         }
                         out
                     })
                 })
                 .collect();
             for handle in handles {
-                // Per-page panics are caught inside try_extract_in, so
-                // a worker-level panic should be impossible; if one
+                // Per-page panics are caught inside attempt_in, so a
+                // worker-level panic should be impossible; if one
                 // happens anyway, its claimed-but-unfilled slots are
                 // reported as Panicked below rather than killing the
                 // batch here.
                 if let Ok(filled) = handle.join() {
-                    for (i, result) in filled {
-                        slots[i] = Some(result);
+                    for (slot, result) in filled {
+                        slots[slot] = Some(result);
                     }
                 }
             }
@@ -145,13 +272,16 @@ impl FormExtractor {
 
         slots
             .into_iter()
-            .enumerate()
-            .map(|(page_index, slot)| {
+            .zip(jobs)
+            .map(|(slot, &(page_index, _))| {
                 slot.unwrap_or_else(|| {
-                    Err(ExtractError::Panicked {
-                        page_index,
-                        message: "batch worker died outside the page boundary".to_string(),
-                    })
+                    (
+                        Err(ExtractError::Panicked {
+                            page_index,
+                            message: "batch worker died outside the page boundary".to_string(),
+                        }),
+                        None,
+                    )
                 })
             })
             .collect()
@@ -179,18 +309,149 @@ impl FormExtractor {
             .zip(pages)
             .map(|(result, page)| match result {
                 Ok(extraction) => extraction,
-                Err(err) => {
-                    match err {
-                        ExtractError::Panicked { .. } => stats.panicked += 1,
-                        ExtractError::Truncated { .. } => stats.truncated += 1,
-                        ExtractError::Timeout { .. } => stats.timed_out += 1,
-                        ExtractError::EmptyForm { .. } => stats.empty += 1,
-                    }
-                    self.degrade(page)
-                }
+                Err(err) => self.degrade_and_count(page, &err, &mut stats),
             })
             .collect();
-        for ex in &extractions {
+        Self::roll_up(&extractions, &mut stats);
+        stats.elapsed = started.elapsed();
+        (extractions, stats)
+    }
+
+    /// Extracts every page under the bounded escalation loop described
+    /// in the module docs: first pass at the configured budgets, then
+    /// up to [`AdaptiveOptions::max_retries`] rounds re-running only
+    /// the budget-limited pages (`Truncated`/`Timeout`) with budgets
+    /// multiplied by [`AdaptiveOptions::budget_growth`] each round.
+    /// Pages still failing after the last round degrade to the
+    /// proximity baseline. Every page that failed at least once gets a
+    /// [`FailureRecord`] in [`AdaptiveBatch::failures`], and every
+    /// error and record names the page's index in the *input* slice,
+    /// however many retry subsets it passed through.
+    pub fn extract_batch_adaptive(&self, pages: &[&str], opts: &AdaptiveOptions) -> AdaptiveBatch {
+        let started = Instant::now();
+        if pages.is_empty() {
+            return AdaptiveBatch::default();
+        }
+        let workers = self.batch_workers(pages.len());
+        let mut stats = BatchStats {
+            pages: pages.len(),
+            workers,
+            ..Default::default()
+        };
+
+        // First pass: the whole batch at the configured budgets.
+        let jobs: Vec<(usize, &str)> = pages.iter().copied().enumerate().collect();
+        let first = self.run_jobs(&jobs);
+        let mut states: Vec<PageState> = first
+            .into_iter()
+            .map(|(result, pstats)| {
+                let mut state = PageState {
+                    result,
+                    stats: pstats,
+                    story: PageStory {
+                        attempts: Vec::new(),
+                        last_error: None,
+                        message: None,
+                        final_budgets: self.budgets(),
+                    },
+                };
+                state.log_attempt(0, self.budgets());
+                state
+            })
+            .collect();
+
+        // Escalation rounds: only budget failures are worth a bigger
+        // budget. Cancellation ends the loop — pages not retried keep
+        // their first verdict.
+        let mut round_extractor = self.clone();
+        for round in 1..=opts.max_retries {
+            if self.cancel().is_some_and(CancelToken::is_cancelled) {
+                break;
+            }
+            let pending: Vec<usize> = states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| {
+                    s.result
+                        .as_ref()
+                        .is_err_and(ExtractError::is_budget_limited)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            round_extractor = round_extractor.escalated(opts.budget_growth);
+            let retry_jobs: Vec<(usize, &str)> = pending.iter().map(|&i| (i, pages[i])).collect();
+            let retried = round_extractor.run_jobs(&retry_jobs);
+            stats.retried += retry_jobs.len();
+            for (&i, (result, pstats)) in pending.iter().zip(retried) {
+                let state = &mut states[i];
+                state.result = result;
+                state.stats = pstats;
+                state.story.final_budgets = round_extractor.budgets();
+                state.log_attempt(round, round_extractor.budgets());
+            }
+        }
+
+        // Settle every page: degrade the still-failing ones, collect
+        // the failure stories, count recoveries.
+        let mut extractions = Vec::with_capacity(pages.len());
+        let mut failures = Vec::new();
+        for (i, state) in states.into_iter().enumerate() {
+            let (result, story) = state.seal();
+            match result {
+                Ok(extraction) => {
+                    if story.attempts.len() > 1 {
+                        stats.recovered += 1;
+                        failures.push(story.record(i, FailureOutcome::Recovered));
+                    }
+                    extractions.push(extraction);
+                }
+                Err(err) => {
+                    let outcome = if matches!(err, ExtractError::Cancelled { .. }) {
+                        FailureOutcome::Cancelled
+                    } else {
+                        FailureOutcome::Degraded
+                    };
+                    extractions.push(self.degrade_and_count(pages[i], &err, &mut stats));
+                    failures.push(story.record(i, outcome));
+                }
+            }
+        }
+        Self::roll_up(&extractions, &mut stats);
+        stats.elapsed = started.elapsed();
+        AdaptiveBatch {
+            extractions,
+            stats,
+            failures,
+        }
+    }
+
+    /// The single degradation site of the batch drivers: counts the
+    /// failure cause in `stats` and serves the page via the proximity
+    /// baseline ([`FormExtractor::degrade`], the one place
+    /// [`Provenance::BaselineFallback`] is constructed).
+    fn degrade_and_count(
+        &self,
+        page: &str,
+        err: &ExtractError,
+        stats: &mut BatchStats,
+    ) -> Extraction {
+        match err {
+            ExtractError::Panicked { .. } => stats.panicked += 1,
+            ExtractError::Truncated { .. } => stats.truncated += 1,
+            ExtractError::Timeout { .. } => stats.timed_out += 1,
+            ExtractError::EmptyForm { .. } => stats.empty += 1,
+            ExtractError::Cancelled { .. } => stats.cancelled += 1,
+        }
+        self.degrade(page)
+    }
+
+    /// Sums per-page counters into the batch rollup (shared by the
+    /// stats and adaptive drivers).
+    fn roll_up(extractions: &[Extraction], stats: &mut BatchStats) {
+        for ex in extractions {
             if ex.via == Provenance::BaselineFallback {
                 stats.degraded += 1;
             }
@@ -200,8 +461,6 @@ impl FormExtractor {
             stats.trees += ex.stats.trees;
             stats.schedules_built += ex.stats.schedules_built;
         }
-        stats.elapsed = started.elapsed();
-        (extractions, stats)
     }
 
     /// Worker count for a batch of `pages` pages: the configured
@@ -214,6 +473,65 @@ impl FormExtractor {
                     .unwrap_or(1)
             })
             .clamp(1, pages)
+    }
+}
+
+impl PageState {
+    /// Appends this round's attempt to the trail — but only once the
+    /// page has failed at least once: clean pages (the common case)
+    /// carry no telemetry at all, and a recovered page's final, clean
+    /// attempt is logged because a failed one precedes it.
+    fn log_attempt(&mut self, round: usize, budgets: (usize, Option<Duration>)) {
+        let error = self.result.as_ref().err().map(ErrorKind::of);
+        if error.is_none() && self.story.attempts.is_empty() {
+            return;
+        }
+        if let Some(kind) = error {
+            self.story.last_error = Some(kind);
+        }
+        if let Err(ExtractError::Panicked { message, .. }) = &self.result {
+            self.story.message = Some(message.clone());
+        }
+        let (tokens, created, elapsed_us) = match &self.stats {
+            Some(s) => (
+                s.tokens,
+                s.created,
+                u64::try_from(s.elapsed.as_micros()).unwrap_or(u64::MAX),
+            ),
+            None => (0, 0, 0),
+        };
+        self.story.attempts.push(AttemptRecord {
+            attempt: round,
+            max_instances: budgets.0,
+            deadline_ms: duration_to_ms(budgets.1),
+            error,
+            tokens,
+            created,
+            elapsed_us,
+        });
+    }
+
+    /// Splits the final verdict from the telemetry trail.
+    fn seal(self) -> (Result<Extraction, ExtractError>, PageStory) {
+        (self.result, self.story)
+    }
+}
+
+impl PageStory {
+    /// Seals the story into the record handed to telemetry consumers.
+    fn record(self, page_index: usize, outcome: FailureOutcome) -> FailureRecord {
+        FailureRecord {
+            page_index,
+            error: self
+                .last_error
+                .expect("a failure record exists only for a page that failed"),
+            message: self.message,
+            attempts: self.attempts.len(),
+            outcome,
+            final_max_instances: self.final_budgets.0,
+            final_deadline_ms: duration_to_ms(self.final_budgets.1),
+            attempt_log: self.attempts,
+        }
     }
 }
 
@@ -263,6 +581,9 @@ mod tests {
         assert_eq!(stats.pages, 0);
         assert_eq!(stats.workers, 0, "empty batch spawns no worker");
         assert!(extractor.extract_batch_results(&[]).is_empty());
+        let adaptive = extractor.extract_batch_adaptive(&[], &AdaptiveOptions::default());
+        assert!(adaptive.extractions.is_empty());
+        assert!(adaptive.failures.is_empty());
         let one = extractor.extract_batch(&["<form>A <input type=text name=a></form>"]);
         assert_eq!(one.len(), 1);
         assert_eq!(one[0].report.conditions[0].attribute, "A");
@@ -298,11 +619,53 @@ mod tests {
         assert_eq!(batch.len(), refs.len());
         assert_eq!(stats.panicked, 1);
         assert_eq!(stats.degraded, 1);
-        assert_eq!(stats.truncated + stats.timed_out + stats.empty, 0);
+        assert_eq!(
+            stats.truncated + stats.timed_out + stats.empty + stats.cancelled,
+            0
+        );
         assert_eq!(batch[5].via, Provenance::BaselineFallback);
         assert!(
             !batch[5].report.conditions.is_empty(),
             "the baseline still reads the poison page's form"
         );
+    }
+
+    #[test]
+    fn adaptive_on_a_clean_batch_is_the_plain_batch() {
+        let pages = pages();
+        let refs: Vec<&str> = pages.iter().map(String::as_str).collect();
+        let extractor = FormExtractor::new().worker_threads(2);
+        let (plain, _) = extractor.extract_batch_stats(&refs);
+        let adaptive = extractor.extract_batch_adaptive(&refs, &AdaptiveOptions::default());
+        assert_eq!(adaptive.stats.retried, 0, "no failure, no retry");
+        assert_eq!(adaptive.stats.recovered, 0);
+        assert_eq!(adaptive.stats.failed(), 0);
+        assert!(adaptive.failures.is_empty());
+        assert_eq!(adaptive.extractions.len(), plain.len());
+        for (a, p) in adaptive.extractions.iter().zip(&plain) {
+            assert_eq!(format!("{:?}", a.report), format!("{:?}", p.report));
+            assert_eq!(a.via, Provenance::Grammar);
+        }
+    }
+
+    #[test]
+    fn zero_retries_still_reports_failures() {
+        let extractor = FormExtractor::new().worker_threads(1).max_instances(3);
+        let adaptive = extractor.extract_batch_adaptive(
+            &[QAM],
+            &AdaptiveOptions {
+                max_retries: 0,
+                budget_growth: 2,
+            },
+        );
+        assert_eq!(adaptive.stats.retried, 0);
+        assert_eq!(adaptive.stats.truncated, 1);
+        assert_eq!(adaptive.extractions[0].via, Provenance::BaselineFallback);
+        assert_eq!(adaptive.failures.len(), 1);
+        let record = &adaptive.failures[0];
+        assert_eq!(record.attempts, 1);
+        assert_eq!(record.error, ErrorKind::Truncated);
+        assert_eq!(record.outcome, FailureOutcome::Degraded);
+        assert_eq!(record.final_max_instances, 3);
     }
 }

@@ -45,6 +45,14 @@ pub enum ExtractError {
         /// Index of the page within the batch (0 for single-page APIs).
         page_index: usize,
     },
+    /// The batch-level cancel token fired before or while this page
+    /// parsed. Unlike the budget failures this says nothing about the
+    /// page itself — the caller aborted the batch — so it is never
+    /// retried by the adaptive driver.
+    Cancelled {
+        /// Index of the page within the batch (0 for single-page APIs).
+        page_index: usize,
+    },
 }
 
 impl ExtractError {
@@ -54,8 +62,21 @@ impl ExtractError {
             ExtractError::Panicked { page_index, .. }
             | ExtractError::Truncated { page_index }
             | ExtractError::Timeout { page_index }
-            | ExtractError::EmptyForm { page_index } => *page_index,
+            | ExtractError::EmptyForm { page_index }
+            | ExtractError::Cancelled { page_index } => *page_index,
         }
+    }
+
+    /// True for the budget failures (`Truncated`/`Timeout`) a larger
+    /// budget might fix — the only errors the adaptive escalation loop
+    /// ever retries. `Panicked`, `EmptyForm`, and `Cancelled` are not
+    /// budget failures: re-running them with a bigger budget reproduces
+    /// the same verdict (or, for `Cancelled`, fights the caller).
+    pub fn is_budget_limited(&self) -> bool {
+        matches!(
+            self,
+            ExtractError::Truncated { .. } | ExtractError::Timeout { .. }
+        )
     }
 
     /// The same error re-attributed to `page_index` — for callers that
@@ -70,6 +91,7 @@ impl ExtractError {
             ExtractError::Truncated { .. } => ExtractError::Truncated { page_index },
             ExtractError::Timeout { .. } => ExtractError::Timeout { page_index },
             ExtractError::EmptyForm { .. } => ExtractError::EmptyForm { page_index },
+            ExtractError::Cancelled { .. } => ExtractError::Cancelled { page_index },
         }
     }
 }
@@ -91,6 +113,9 @@ impl fmt::Display for ExtractError {
             }
             ExtractError::EmptyForm { page_index } => {
                 write!(f, "page {page_index}: no form content")
+            }
+            ExtractError::Cancelled { page_index } => {
+                write!(f, "page {page_index}: batch cancelled")
             }
         }
     }
@@ -134,6 +159,26 @@ mod tests {
             ExtractError::Timeout { page_index: 0 }.with_page_index(4),
             ExtractError::Timeout { page_index: 4 }
         );
+        let c = ExtractError::Cancelled { page_index: 5 };
+        assert_eq!(c.page_index(), 5);
+        assert!(c.to_string().contains("cancelled"));
+        assert_eq!(
+            c.with_page_index(8),
+            ExtractError::Cancelled { page_index: 8 }
+        );
+    }
+
+    #[test]
+    fn only_budget_failures_are_retryable() {
+        assert!(ExtractError::Truncated { page_index: 0 }.is_budget_limited());
+        assert!(ExtractError::Timeout { page_index: 0 }.is_budget_limited());
+        assert!(!ExtractError::Panicked {
+            page_index: 0,
+            message: String::new()
+        }
+        .is_budget_limited());
+        assert!(!ExtractError::EmptyForm { page_index: 0 }.is_budget_limited());
+        assert!(!ExtractError::Cancelled { page_index: 0 }.is_budget_limited());
     }
 
     #[test]

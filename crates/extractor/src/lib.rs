@@ -39,6 +39,19 @@
 //! the proximity [`baseline`] extractor and mark the provenance
 //! ([`Provenance::BaselineFallback`]), so one poison page never kills
 //! a batch and callers always get *some* capability description.
+//!
+//! ## Adaptive retries, cancellation, telemetry
+//!
+//! Budget failures are verdicts on the budget, not the page:
+//! [`FormExtractor::extract_batch_adaptive`] re-runs only the
+//! `Truncated`/`Timeout` pages under escalating budgets
+//! ([`AdaptiveOptions`]) before degrading the survivors. A
+//! [`metaform_parser::CancelToken`] attached via
+//! [`FormExtractor::cancel_token`] aborts a whole batch mid-flight
+//! while keeping completed pages. Every page that failed at least once
+//! is narrated as a [`FailureRecord`] — JSON/CSV-serializable via
+//! [`telemetry`] — so corpus runs leave a machine-readable failure
+//! trail instead of log lines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,9 +61,14 @@ pub mod batch;
 pub mod error;
 pub mod pipeline;
 pub mod resolve;
+pub mod telemetry;
 
 pub use baseline::extract_baseline;
-pub use batch::BatchStats;
+pub use batch::{AdaptiveBatch, AdaptiveOptions, BatchStats};
 pub use error::ExtractError;
 pub use pipeline::{Extraction, FormExtractor, Provenance};
 pub use resolve::{attach_missing, resolve_conflicts, DomainKnowledge};
+pub use telemetry::{
+    failures_from_json, failures_to_csv, failures_to_json, AttemptRecord, ErrorKind,
+    FailureOutcome, FailureRecord,
+};

@@ -10,7 +10,7 @@ use metaform_core::{ExtractionReport, Token};
 use metaform_grammar::{global_compiled, CompiledGrammar, Grammar, GrammarError};
 use metaform_html::parse as parse_html;
 use metaform_layout::{layout_with, LayoutOptions};
-use metaform_parser::{merge, BudgetOutcome, ParseSession, ParseStats, ParserOptions};
+use metaform_parser::{merge, BudgetOutcome, CancelToken, ParseSession, ParseStats, ParserOptions};
 use metaform_tokenizer::tokenize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -59,6 +59,7 @@ pub struct FormExtractor {
     parser: ParserOptions,
     workers: Option<usize>,
     fault_marker: Option<String>,
+    cancel_marker: Option<String>,
 }
 
 impl FormExtractor {
@@ -96,6 +97,7 @@ impl FormExtractor {
             parser: ParserOptions::default(),
             workers: None,
             fault_marker: None,
+            cancel_marker: None,
         }
     }
 
@@ -148,6 +150,28 @@ impl FormExtractor {
         self
     }
 
+    /// Attaches a batch-level cancel token (builder style). Every
+    /// parse run by this extractor polls the token at the parser's
+    /// sampled budget check; calling [`CancelToken::cancel`] on any
+    /// clone aborts in-flight parses with [`ExtractError::Cancelled`]
+    /// and makes batch drivers skip pages not yet started — pages
+    /// already completed keep their results.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.parser.cancel = Some(token);
+        self
+    }
+
+    /// Fault injection for exercising the cancellation path (builder
+    /// style): any page whose HTML contains `marker` fires this
+    /// extractor's cancel token just before its parse starts, giving
+    /// tests a deterministic mid-batch cancellation point. No-op
+    /// unless a [`FormExtractor::cancel_token`] is attached;
+    /// production extractors simply never set it.
+    pub fn inject_cancel_marker(mut self, marker: impl Into<String>) -> Self {
+        self.cancel_marker = Some(marker.into());
+        self
+    }
+
     /// The grammar in use.
     pub fn grammar(&self) -> &Grammar {
         self.grammar.grammar()
@@ -158,6 +182,29 @@ impl FormExtractor {
         self.workers
     }
 
+    /// The attached cancel token, if any.
+    pub(crate) fn cancel(&self) -> Option<&CancelToken> {
+        self.parser.cancel.as_ref()
+    }
+
+    /// The per-page budgets extractions currently run under:
+    /// `(max_instances, deadline)`. Telemetry records these per
+    /// attempt so a failure log names the budget that failed.
+    pub fn budgets(&self) -> (usize, Option<Duration>) {
+        (self.parser.max_instances, self.parser.deadline)
+    }
+
+    /// This extractor with both per-page budgets multiplied by
+    /// `growth` (saturating) — one escalation step of the adaptive
+    /// retry loop. A `growth` of 0 is treated as 1 (no shrink).
+    pub(crate) fn escalated(&self, growth: u32) -> Self {
+        let growth = growth.max(1);
+        let mut next = self.clone();
+        next.parser.max_instances = next.parser.max_instances.saturating_mul(growth as usize);
+        next.parser.deadline = next.parser.deadline.map(|d| d.saturating_mul(growth));
+        next
+    }
+
     /// The compiled artifact extractions parse under.
     pub fn compiled(&self) -> &Arc<CompiledGrammar> {
         &self.grammar
@@ -166,7 +213,7 @@ impl FormExtractor {
     /// A parse session over this extractor's grammar and parser
     /// options — for callers that drive parsing themselves.
     pub fn session(&self) -> ParseSession {
-        ParseSession::with_options(self.grammar.clone(), self.parser)
+        ParseSession::with_options(self.grammar.clone(), self.parser.clone())
     }
 
     /// Runs the full pipeline on an HTML page containing a query form.
@@ -221,18 +268,39 @@ impl FormExtractor {
         }
     }
 
-    /// The fallible core: tokenizes and parses one page with every
-    /// pipeline stage behind a panic boundary, and maps budget
-    /// blow-outs to typed errors. A panic mid-parse may leave the
-    /// session's recycled chart un-recycled — that only costs the next
-    /// parse a fresh allocation, never correctness, because
-    /// `ParseSession::parse` resets the chart for each input.
+    /// The fallible core: [`FormExtractor::attempt_in`] without the
+    /// per-attempt stats side channel.
     pub(crate) fn try_extract_in(
         &self,
         session: &mut ParseSession,
         page_index: usize,
         html: &str,
     ) -> Result<Extraction, ExtractError> {
+        self.attempt_in(session, page_index, html).0
+    }
+
+    /// One extraction attempt: tokenizes and parses one page with
+    /// every pipeline stage behind a panic boundary, and maps budget
+    /// blow-outs and cancellation to typed errors. The second return
+    /// slot carries the parse stats even when the attempt *failed* a
+    /// budget (the parse ran, just not to completion) — the adaptive
+    /// telemetry records them per attempt; it is `None` when no parse
+    /// ran (panic, empty form, pre-parse cancellation). A panic
+    /// mid-parse may leave the session's recycled chart un-recycled —
+    /// that only costs the next parse a fresh allocation, never
+    /// correctness, because `ParseSession::parse` resets the chart for
+    /// each input.
+    pub(crate) fn attempt_in(
+        &self,
+        session: &mut ParseSession,
+        page_index: usize,
+        html: &str,
+    ) -> (Result<Extraction, ExtractError>, Option<ParseStats>) {
+        // A batch already cancelled skips the whole pipeline — pages
+        // not yet started cost nothing.
+        if self.cancel().is_some_and(CancelToken::is_cancelled) {
+            return (Err(ExtractError::Cancelled { page_index }), None);
+        }
         let tokens = catch_unwind(AssertUnwindSafe(|| {
             if let Some(marker) = &self.fault_marker {
                 assert!(
@@ -243,26 +311,53 @@ impl FormExtractor {
             let doc = parse_html(html);
             let lay = layout_with(&doc, &self.layout);
             tokenize(&doc, &lay).tokens
-        }))
-        .map_err(|payload| ExtractError::Panicked {
-            page_index,
-            message: panic_message(payload),
-        })?;
+        }));
+        let tokens = match tokens {
+            Ok(tokens) => tokens,
+            Err(payload) => {
+                return (
+                    Err(ExtractError::Panicked {
+                        page_index,
+                        message: panic_message(payload),
+                    }),
+                    None,
+                )
+            }
+        };
         if tokens.is_empty() {
-            return Err(ExtractError::EmptyForm { page_index });
+            return (Err(ExtractError::EmptyForm { page_index }), None);
+        }
+        // Deterministic cancellation point for tests: the marker page
+        // fires the token right before its own parse, which then
+        // observes the cancellation at its first poll.
+        if let (Some(marker), Some(token)) = (&self.cancel_marker, self.cancel()) {
+            if html.contains(marker.as_str()) {
+                token.cancel();
+            }
         }
         let extraction = catch_unwind(AssertUnwindSafe(|| {
             self.extract_tokens_in(session, &tokens)
-        }))
-        .map_err(|payload| ExtractError::Panicked {
-            page_index,
-            message: panic_message(payload),
-        })?;
-        match extraction.stats.budget {
+        }));
+        let extraction = match extraction {
+            Ok(extraction) => extraction,
+            Err(payload) => {
+                return (
+                    Err(ExtractError::Panicked {
+                        page_index,
+                        message: panic_message(payload),
+                    }),
+                    None,
+                )
+            }
+        };
+        let stats = extraction.stats.clone();
+        let result = match extraction.stats.budget {
             BudgetOutcome::Completed => Ok(extraction),
             BudgetOutcome::TruncatedInstances => Err(ExtractError::Truncated { page_index }),
             BudgetOutcome::DeadlineExceeded => Err(ExtractError::Timeout { page_index }),
-        }
+            BudgetOutcome::Cancelled => Err(ExtractError::Cancelled { page_index }),
+        };
+        (result, Some(stats))
     }
 
     /// The degradation path: re-tokenizes the page (behind its own

@@ -1,0 +1,690 @@
+//! Machine-readable failure telemetry for corpus-scale batch runs.
+//!
+//! [`FailureRecord`] is the whole story of one page that failed at
+//! least once under `FormExtractor::extract_batch_adaptive`: which
+//! page, what went wrong, how many attempts ran, under what final
+//! budgets, and the parse counters of every attempt. The records
+//! serialize to JSON ([`failures_to_json`]) and CSV
+//! ([`failures_to_csv`]) next to the experiment `--csv` output, and
+//! parse back with [`failures_from_json`] so triage tooling (and the
+//! round-trip test in `scripts/check.sh`) can consume them without a
+//! JSON dependency — the workspace is offline, so both directions are
+//! implemented here.
+//!
+//! JSON schema (one array of records):
+//!
+//! ```json
+//! [{
+//!   "page_index": 7,
+//!   "error": "truncated",
+//!   "message": null,
+//!   "attempts": 2,
+//!   "outcome": "recovered",
+//!   "final_max_instances": 4000,
+//!   "final_deadline_ms": null,
+//!   "attempt_log": [{
+//!     "attempt": 0, "max_instances": 2000, "deadline_ms": null,
+//!     "error": "truncated", "tokens": 22, "created": 2000,
+//!     "elapsed_us": 713
+//!   }]
+//! }]
+//! ```
+
+use crate::error::ExtractError;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// The failure taxonomy as a flat kind — [`ExtractError`] without the
+/// page attribution, for records that carry the index separately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The pipeline panicked (caught at the page boundary).
+    Panicked,
+    /// The parse hit the instance cap.
+    Truncated,
+    /// The parse blew its wall-clock deadline.
+    Timeout,
+    /// The page tokenized to nothing.
+    EmptyForm,
+    /// The batch-level cancel token fired.
+    Cancelled,
+}
+
+impl ErrorKind {
+    /// The kind of a typed extraction error.
+    pub fn of(err: &ExtractError) -> Self {
+        match err {
+            ExtractError::Panicked { .. } => ErrorKind::Panicked,
+            ExtractError::Truncated { .. } => ErrorKind::Truncated,
+            ExtractError::Timeout { .. } => ErrorKind::Timeout,
+            ExtractError::EmptyForm { .. } => ErrorKind::EmptyForm,
+            ExtractError::Cancelled { .. } => ErrorKind::Cancelled,
+        }
+    }
+
+    /// Stable serialization name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Panicked => "panicked",
+            ErrorKind::Truncated => "truncated",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::EmptyForm => "empty_form",
+            ErrorKind::Cancelled => "cancelled",
+        }
+    }
+
+    /// Inverse of [`ErrorKind::as_str`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "panicked" => ErrorKind::Panicked,
+            "truncated" => ErrorKind::Truncated,
+            "timeout" => ErrorKind::Timeout,
+            "empty_form" => ErrorKind::EmptyForm,
+            "cancelled" => ErrorKind::Cancelled,
+            other => return Err(format!("unknown error kind {other:?}")),
+        })
+    }
+}
+
+/// How a failed page's story ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureOutcome {
+    /// A retry under a larger budget succeeded; the final extraction
+    /// is a full grammar-path result.
+    Recovered,
+    /// Every attempt failed; the page was served by the proximity
+    /// baseline (`Provenance::BaselineFallback`).
+    Degraded,
+    /// The batch was cancelled before the page could finish; it was
+    /// served by the baseline and never retried.
+    Cancelled,
+}
+
+impl FailureOutcome {
+    /// Stable serialization name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureOutcome::Recovered => "recovered",
+            FailureOutcome::Degraded => "degraded",
+            FailureOutcome::Cancelled => "cancelled",
+        }
+    }
+
+    /// Inverse of [`FailureOutcome::as_str`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "recovered" => FailureOutcome::Recovered,
+            "degraded" => FailureOutcome::Degraded,
+            "cancelled" => FailureOutcome::Cancelled,
+            other => return Err(format!("unknown outcome {other:?}")),
+        })
+    }
+}
+
+/// Parse counters of one attempt on one page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// Attempt number, 0 = the batch's first pass.
+    pub attempt: usize,
+    /// Instance cap the attempt ran under.
+    pub max_instances: usize,
+    /// Wall-clock deadline the attempt ran under, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// What went wrong, or `None` for the succeeding attempt.
+    pub error: Option<ErrorKind>,
+    /// Tokens the page produced (0 when no parse ran).
+    pub tokens: usize,
+    /// Instances the parse created before it ended.
+    pub created: usize,
+    /// Parse wall-clock time in microseconds (0 when no parse ran).
+    /// The one nondeterministic field — comparisons across runs should
+    /// mask it (see `FailureRecord::normalized`).
+    pub elapsed_us: u64,
+}
+
+/// The whole story of one page that failed at least once during an
+/// adaptive batch run (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailureRecord {
+    /// The page's index in the *original* batch — stable across
+    /// retries, which run on subsets.
+    pub page_index: usize,
+    /// Kind of the last error the page produced.
+    pub error: ErrorKind,
+    /// Panic payload, when the error was a panic.
+    pub message: Option<String>,
+    /// Total attempts run (1 = never retried).
+    pub attempts: usize,
+    /// How the story ended.
+    pub outcome: FailureOutcome,
+    /// Instance cap of the last attempt.
+    pub final_max_instances: usize,
+    /// Deadline of the last attempt, in milliseconds.
+    pub final_deadline_ms: Option<u64>,
+    /// Per-attempt parse counters, in attempt order.
+    pub attempt_log: Vec<AttemptRecord>,
+}
+
+impl FailureRecord {
+    /// This record with every wall-clock field zeroed — the shape two
+    /// runs of the same batch agree on regardless of machine load or
+    /// worker count.
+    pub fn normalized(&self) -> Self {
+        let mut r = self.clone();
+        for a in &mut r.attempt_log {
+            a.elapsed_us = 0;
+        }
+        r
+    }
+}
+
+/// `Duration` → whole milliseconds for serialization (saturating).
+pub(crate) fn duration_to_ms(d: Option<Duration>) -> Option<u64> {
+    d.map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}
+
+// ---------------------------------------------------------------- JSON
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+/// Serializes failure records as a JSON array (pretty-printed, stable
+/// field order). [`failures_from_json`] is the exact inverse.
+pub fn failures_to_json(records: &[FailureRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        let _ = write!(out, "\"page_index\": {}, ", r.page_index);
+        out.push_str("\"error\": ");
+        push_json_str(&mut out, r.error.as_str());
+        out.push_str(", \"message\": ");
+        match &r.message {
+            Some(m) => push_json_str(&mut out, m),
+            None => out.push_str("null"),
+        }
+        let _ = write!(out, ", \"attempts\": {}, ", r.attempts);
+        out.push_str("\"outcome\": ");
+        push_json_str(&mut out, r.outcome.as_str());
+        let _ = write!(
+            out,
+            ", \"final_max_instances\": {}, ",
+            r.final_max_instances
+        );
+        out.push_str("\"final_deadline_ms\": ");
+        push_opt_u64(&mut out, r.final_deadline_ms);
+        out.push_str(", \"attempt_log\": [");
+        for (j, a) in r.attempt_log.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(
+                out,
+                "\"attempt\": {}, \"max_instances\": {}, ",
+                a.attempt, a.max_instances
+            );
+            out.push_str("\"deadline_ms\": ");
+            push_opt_u64(&mut out, a.deadline_ms);
+            out.push_str(", \"error\": ");
+            match a.error {
+                Some(kind) => push_json_str(&mut out, kind.as_str()),
+                None => out.push_str("null"),
+            }
+            let _ = write!(
+                out,
+                ", \"tokens\": {}, \"created\": {}, \"elapsed_us\": {}}}",
+                a.tokens, a.created, a.elapsed_us
+            );
+        }
+        if !r.attempt_log.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]}");
+    }
+    if !records.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Serializes failure records as CSV, one row per page, with the
+/// attempt log flattened to its length (the per-attempt detail lives
+/// in the JSON form).
+pub fn failures_to_csv(records: &[FailureRecord]) -> String {
+    let mut out = String::from(
+        "page_index,error,outcome,attempts,final_max_instances,final_deadline_ms,message\n",
+    );
+    for r in records {
+        let msg = r.message.as_deref().unwrap_or("");
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},\"{}\"",
+            r.page_index,
+            r.error.as_str(),
+            r.outcome.as_str(),
+            r.attempts,
+            r.final_max_instances,
+            r.final_deadline_ms
+                .map(|v| v.to_string())
+                .unwrap_or_default(),
+            msg.replace('"', "\"\"").replace(['\n', '\r'], " "),
+        );
+    }
+    out
+}
+
+/// A minimal JSON value, just enough for the failure-record schema.
+enum Json {
+    Null,
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.at) {
+            if b == b' ' || b == b'\n' || b == b'\r' || b == b'\t' {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.at) {
+            Some(b'n') => {
+                if self.bytes[self.at..].starts_with(b"null") {
+                    self.at += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err(format!("bad literal at byte {}", self.at))
+                }
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.at += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.at) == Some(&b']') {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.at) {
+                        Some(b',') => self.at += 1,
+                        Some(b']') => {
+                            self.at += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("bad array at byte {}", self.at)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.at += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.at) == Some(&b'}') {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.bytes.get(self.at) {
+                        Some(b',') => self.at += 1,
+                        Some(b'}') => {
+                            self.at += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("bad object at byte {}", self.at)),
+                    }
+                }
+            }
+            Some(b) if b.is_ascii_digit() => {
+                let start = self.at;
+                while self.bytes.get(self.at).is_some_and(u8::is_ascii_digit) {
+                    self.at += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.at])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(Json::Num)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            _ => Err(format!("unexpected byte at {}", self.at)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.at) {
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.bytes.get(self.at) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.at))?;
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| format!("bad codepoint at byte {}", self.at))?,
+                            );
+                            self.at += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.at)),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through verbatim.
+                    let start = self.at;
+                    while self
+                        .bytes
+                        .get(self.at)
+                        .is_some_and(|&b| b != b'"' && b != b'\\')
+                    {
+                        self.at += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.at])
+                            .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
+                    );
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+}
+
+impl Json {
+    fn field<'j>(&'j self, name: &str) -> Result<&'j Json, String> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {name:?}")),
+            _ => Err(format!("not an object (looking for {name:?})")),
+        }
+    }
+
+    fn num(&self) -> Result<u64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            _ => Err("expected a number".to_string()),
+        }
+    }
+
+    fn str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err("expected a string".to_string()),
+        }
+    }
+
+    fn opt_num(&self) -> Result<Option<u64>, String> {
+        match self {
+            Json::Null => Ok(None),
+            Json::Num(n) => Ok(Some(*n)),
+            _ => Err("expected a number or null".to_string()),
+        }
+    }
+}
+
+/// Parses the output of [`failures_to_json`] back into records — the
+/// round trip the check-script gate exercises.
+pub fn failures_from_json(src: &str) -> Result<Vec<FailureRecord>, String> {
+    let mut p = JsonParser {
+        bytes: src.as_bytes(),
+        at: 0,
+    };
+    let root = p.value()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.at));
+    }
+    let Json::Arr(items) = root else {
+        return Err("top level must be an array".to_string());
+    };
+    items
+        .iter()
+        .map(|item| {
+            let attempt_log = match item.field("attempt_log")? {
+                Json::Arr(entries) => entries
+                    .iter()
+                    .map(|a| {
+                        Ok(AttemptRecord {
+                            attempt: a.field("attempt")?.num()? as usize,
+                            max_instances: a.field("max_instances")?.num()? as usize,
+                            deadline_ms: a.field("deadline_ms")?.opt_num()?,
+                            error: match a.field("error")? {
+                                Json::Null => None,
+                                v => Some(ErrorKind::parse(v.str()?)?),
+                            },
+                            tokens: a.field("tokens")?.num()? as usize,
+                            created: a.field("created")?.num()? as usize,
+                            elapsed_us: a.field("elapsed_us")?.num()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                _ => return Err("attempt_log must be an array".to_string()),
+            };
+            Ok(FailureRecord {
+                page_index: item.field("page_index")?.num()? as usize,
+                error: ErrorKind::parse(item.field("error")?.str()?)?,
+                message: match item.field("message")? {
+                    Json::Null => None,
+                    v => Some(v.str()?.to_string()),
+                },
+                attempts: item.field("attempts")?.num()? as usize,
+                outcome: FailureOutcome::parse(item.field("outcome")?.str()?)?,
+                final_max_instances: item.field("final_max_instances")?.num()? as usize,
+                final_deadline_ms: item.field("final_deadline_ms")?.opt_num()?,
+                attempt_log,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<FailureRecord> {
+        vec![
+            FailureRecord {
+                page_index: 7,
+                error: ErrorKind::Truncated,
+                message: None,
+                attempts: 2,
+                outcome: FailureOutcome::Recovered,
+                final_max_instances: 4000,
+                final_deadline_ms: None,
+                attempt_log: vec![
+                    AttemptRecord {
+                        attempt: 0,
+                        max_instances: 2000,
+                        deadline_ms: None,
+                        error: Some(ErrorKind::Truncated),
+                        tokens: 22,
+                        created: 2000,
+                        elapsed_us: 713,
+                    },
+                    AttemptRecord {
+                        attempt: 1,
+                        max_instances: 4000,
+                        deadline_ms: None,
+                        error: None,
+                        tokens: 22,
+                        created: 3107,
+                        elapsed_us: 1911,
+                    },
+                ],
+            },
+            FailureRecord {
+                page_index: 11,
+                error: ErrorKind::Panicked,
+                message: Some("boom \"quoted\"\nline2\ttabbed \\ slashed".to_string()),
+                attempts: 1,
+                outcome: FailureOutcome::Degraded,
+                final_max_instances: 2000,
+                final_deadline_ms: Some(250),
+                attempt_log: vec![AttemptRecord {
+                    attempt: 0,
+                    max_instances: 2000,
+                    deadline_ms: Some(250),
+                    error: Some(ErrorKind::Panicked),
+                    tokens: 0,
+                    created: 0,
+                    elapsed_us: 0,
+                }],
+            },
+            FailureRecord {
+                page_index: 12,
+                error: ErrorKind::Cancelled,
+                message: None,
+                attempts: 1,
+                outcome: FailureOutcome::Cancelled,
+                final_max_instances: 2000,
+                final_deadline_ms: Some(250),
+                attempt_log: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_byte_exact_records() {
+        let records = sample();
+        let json = failures_to_json(&records);
+        let parsed = failures_from_json(&json).expect("parses");
+        assert_eq!(parsed, records, "round trip must be lossless");
+        // And the round trip is a fixpoint: serialize(parse(s)) == s.
+        assert_eq!(failures_to_json(&parsed), json);
+    }
+
+    #[test]
+    fn empty_record_set_round_trips() {
+        let json = failures_to_json(&[]);
+        assert_eq!(failures_from_json(&json).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(failures_from_json("").is_err());
+        assert!(failures_from_json("{}").is_err(), "must be an array");
+        assert!(failures_from_json("[{\"page_index\": 1}]").is_err());
+        assert!(failures_from_json("[] trailing").is_err());
+        assert!(failures_from_json("[{\"page_index\": \"x\"}]").is_err());
+    }
+
+    #[test]
+    fn csv_has_one_row_per_record_and_escapes() {
+        let csv = failures_to_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 3 records");
+        assert!(lines[0].starts_with("page_index,error,outcome"));
+        assert!(lines[1].starts_with("7,truncated,recovered,2,4000,,"));
+        assert!(lines[2].contains("\"\""), "quotes doubled: {}", lines[2]);
+        assert!(!lines[2].contains('\n'));
+        assert!(lines[3].starts_with("12,cancelled,cancelled,1,2000,250,"));
+    }
+
+    #[test]
+    fn kinds_and_outcomes_round_trip_by_name() {
+        for kind in [
+            ErrorKind::Panicked,
+            ErrorKind::Truncated,
+            ErrorKind::Timeout,
+            ErrorKind::EmptyForm,
+            ErrorKind::Cancelled,
+        ] {
+            assert_eq!(ErrorKind::parse(kind.as_str()).unwrap(), kind);
+        }
+        assert!(ErrorKind::parse("nope").is_err());
+        for outcome in [
+            FailureOutcome::Recovered,
+            FailureOutcome::Degraded,
+            FailureOutcome::Cancelled,
+        ] {
+            assert_eq!(FailureOutcome::parse(outcome.as_str()).unwrap(), outcome);
+        }
+        assert!(FailureOutcome::parse("nope").is_err());
+    }
+
+    #[test]
+    fn normalized_masks_only_wall_clock() {
+        let r = &sample()[0];
+        let n = r.normalized();
+        assert_eq!(n.attempt_log[0].elapsed_us, 0);
+        assert_eq!(n.attempt_log[0].created, r.attempt_log[0].created);
+        assert_eq!(n.page_index, r.page_index);
+    }
+}

@@ -1,0 +1,65 @@
+//! Batch-level cancellation — one shared flag, observed at the
+//! parser's existing sampled budget poll.
+//!
+//! A [`CancelToken`] is a cloneable handle to one `AtomicBool`. Every
+//! clone observes the same flag, so a driver can hand the same token
+//! to every page of a batch (via `ParserOptions::cancel`) and abort
+//! the whole batch with one [`CancelToken::cancel`] call: each
+//! in-flight parse stops at its next poll (at most 64 enumeration
+//! steps away) with `BudgetOutcome::Cancelled`, and pages not yet
+//! started are skipped outright by the batch driver. Cancellation is
+//! sticky — a token never un-cancels — so late-joining workers see it
+//! too.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Cloneable cancellation flag shared by every parse of a batch (see
+/// module docs). The default token is live (not cancelled).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, live token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the flag. Idempotent; never blocks. Every parse holding a
+    /// clone of this token stops at its next budget poll.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        assert!(!b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled(), "cancel on a clone is visible everywhere");
+        a.cancel(); // idempotent
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled(), "separate tokens do not interfere");
+    }
+}

@@ -11,6 +11,7 @@
 //!   res = PRHandler()                      // partial tree maximization
 //! ```
 
+use crate::cancel::CancelToken;
 use crate::instance::{Chart, InstId};
 use crate::maximize::maximize;
 use crate::stats::{BudgetOutcome, ParseStats};
@@ -58,7 +59,7 @@ pub enum FixpointMode {
 
 /// Parser configuration. The defaults give the full best-effort
 /// behaviour; the switches exist for the paper's ablations.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ParserOptions {
     /// Enforce preferences (just-in-time pruning). Off = the basic
     /// "brute-force" fix-point of §4.2.1 that exhausts all
@@ -81,6 +82,14 @@ pub struct ParserOptions {
     pub preference_order: PreferenceOrder,
     /// Fix-point scheduling strategy (see [`FixpointMode`]).
     pub fixpoint: FixpointMode,
+    /// Batch-level cancel token, observed at the same sampled poll as
+    /// the deadline. `None` (the default) means not cancellable. When
+    /// the token fires, the parse stops at its next poll — at most one
+    /// 64-step enumeration interval away — with
+    /// [`BudgetOutcome::Cancelled`], still maximizing whatever the
+    /// chart holds. Cancellation wins over the deadline when both
+    /// trigger at one poll.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ParserOptions {
@@ -92,6 +101,7 @@ impl Default for ParserOptions {
             deadline: None,
             preference_order: PreferenceOrder::Scheduled,
             fixpoint: FixpointMode::SemiNaive,
+            cancel: None,
         }
     }
 }
@@ -198,7 +208,7 @@ pub(crate) fn run_parse(
         schedule,
         prefs_by_symbol,
         chart,
-        opts: *opts,
+        opts,
         stats: ParseStats {
             tokens: token_count,
             ..Default::default()
@@ -209,10 +219,11 @@ pub(crate) fn run_parse(
     };
     p.seed_terminals();
     for i in 0..schedule.order.len() {
-        // The deadline is re-checked per symbol (and, cheaply, inside
-        // the enumeration fix-point); once blown, instantiation stops
-        // and whatever the chart holds is maximized below.
-        if p.deadline_blown() {
+        // The cancel token and deadline are re-checked per symbol
+        // (and, cheaply, inside the enumeration fix-point); once
+        // either fires, instantiation stops and whatever the chart
+        // holds is maximized below.
+        if p.interrupted() {
             break;
         }
         let symbol = schedule.order[i];
@@ -223,8 +234,14 @@ pub(crate) fn run_parse(
     }
     // Final sweep: catches losers of rollback-mode preferences created
     // after the preference's last scheduled enforcement. Skipped past
-    // the deadline — enforcement over a large chart is itself costly.
-    if p.opts.enforce_preferences && p.stats.budget != BudgetOutcome::DeadlineExceeded {
+    // the deadline or a cancellation — enforcement over a large chart
+    // is itself costly, and a cancelled batch wants its threads back.
+    if p.opts.enforce_preferences
+        && !matches!(
+            p.stats.budget,
+            BudgetOutcome::DeadlineExceeded | BudgetOutcome::Cancelled
+        )
+    {
         p.enforce_all();
     }
     let trees = maximize(&p.chart, grammar);
@@ -319,7 +336,7 @@ struct Parser<'a> {
     schedule: &'a Schedule,
     prefs_by_symbol: &'a [Vec<PrefId>],
     chart: Chart,
-    opts: ParserOptions,
+    opts: &'a ParserOptions,
     stats: ParseStats,
     /// Absolute wall-clock deadline derived from
     /// [`ParserOptions::deadline`], if any.
@@ -401,7 +418,7 @@ impl Parser<'_> {
                     self.stats.budget = BudgetOutcome::TruncatedInstances;
                     return;
                 }
-                if self.deadline_blown() {
+                if self.interrupted() {
                     return;
                 }
             }
@@ -411,13 +428,24 @@ impl Parser<'_> {
         }
     }
 
-    /// Polls the wall-clock deadline (sets and latches
-    /// [`BudgetOutcome::DeadlineExceeded`]). Truncation does not latch
-    /// here: hitting the instance cap only stops *instantiation*, while
-    /// enforcement still runs, matching the cap's original semantics.
-    fn deadline_blown(&mut self) -> bool {
-        if self.stats.budget == BudgetOutcome::DeadlineExceeded {
+    /// Polls the batch-level cancel token and the wall-clock deadline
+    /// (sets and latches [`BudgetOutcome::Cancelled`] /
+    /// [`BudgetOutcome::DeadlineExceeded`]; cancellation wins when both
+    /// fire). Truncation does not latch here: hitting the instance cap
+    /// only stops *instantiation*, while enforcement still runs,
+    /// matching the cap's original semantics.
+    fn interrupted(&mut self) -> bool {
+        if matches!(
+            self.stats.budget,
+            BudgetOutcome::DeadlineExceeded | BudgetOutcome::Cancelled
+        ) {
             return true;
+        }
+        if let Some(cancel) = &self.opts.cancel {
+            if cancel.is_cancelled() {
+                self.stats.budget = BudgetOutcome::Cancelled;
+                return true;
+            }
         }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
@@ -498,6 +526,7 @@ impl Parser<'_> {
                 stats: &mut self.stats,
                 max_instances: self.opts.max_instances,
                 deadline: self.deadline,
+                cancel: self.opts.cancel.as_ref(),
                 deadline_tick: &mut self.deadline_tick,
             };
             pass.enumerate(0, false);
@@ -664,6 +693,9 @@ struct EnumPass<'a> {
     stats: &'a mut ParseStats,
     max_instances: usize,
     deadline: Option<Instant>,
+    /// The batch-level cancel token, polled on the same sampled tick
+    /// as the deadline.
+    cancel: Option<&'a CancelToken>,
     deadline_tick: &'a mut u32,
 }
 
@@ -675,22 +707,35 @@ impl<'a> EnumPass<'a> {
         self.chart.len() + self.pending_payloads.len() >= self.max_instances
     }
 
-    /// [`Parser::deadline_blown`], but only actually reading the clock
-    /// every few calls — cheap enough for the enumeration inner loop.
-    fn deadline_blown_sampled(&mut self) -> bool {
-        let Some(deadline) = self.deadline else {
+    /// [`Parser::interrupted`], but only actually reading the clock
+    /// and the cancel flag every few calls — cheap enough for the
+    /// enumeration inner loop. A cancelled batch is therefore observed
+    /// within one [`DEADLINE_POLL_MASK`]+1-step interval per worker.
+    fn interrupted_sampled(&mut self) -> bool {
+        if self.deadline.is_none() && self.cancel.is_none() {
             return false;
-        };
-        if self.stats.budget == BudgetOutcome::DeadlineExceeded {
+        }
+        if matches!(
+            self.stats.budget,
+            BudgetOutcome::DeadlineExceeded | BudgetOutcome::Cancelled
+        ) {
             return true;
         }
         *self.deadline_tick = self.deadline_tick.wrapping_add(1);
         if *self.deadline_tick & DEADLINE_POLL_MASK != 0 {
             return false;
         }
-        if Instant::now() >= deadline {
-            self.stats.budget = BudgetOutcome::DeadlineExceeded;
-            return true;
+        if let Some(cancel) = self.cancel {
+            if cancel.is_cancelled() {
+                self.stats.budget = BudgetOutcome::Cancelled;
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.stats.budget = BudgetOutcome::DeadlineExceeded;
+                return true;
+            }
         }
         false
     }
@@ -707,7 +752,7 @@ impl<'a> EnumPass<'a> {
     /// combinations remain in lexicographic order, so creations happen
     /// in the same order the full walk would produce.
     fn enumerate(&mut self, depth: usize, has_new: bool) {
-        if self.over_budget() || self.deadline_blown_sampled() {
+        if self.over_budget() || self.interrupted_sampled() {
             return;
         }
         if depth == self.candidates.len() {
@@ -974,6 +1019,64 @@ mod tests {
         );
         assert_eq!(generous.stats.budget, crate::BudgetOutcome::Completed);
         assert_eq!(generous.trees.len(), 1, "generous deadline changes nothing");
+    }
+
+    #[test]
+    fn cancel_token_ends_parse_with_typed_outcome() {
+        use crate::cancel::CancelToken;
+        let g = paper_example_grammar();
+        let tokens = renumber(author_row(0, 0));
+
+        // A pre-cancelled token stops the parse at the first poll.
+        let token = CancelToken::new();
+        token.cancel();
+        let res = parse_with(
+            &g,
+            &tokens,
+            &ParserOptions {
+                cancel: Some(token),
+                ..Default::default()
+            },
+        );
+        assert!(res.stats.cancelled());
+        assert_eq!(res.stats.budget, crate::BudgetOutcome::Cancelled);
+        // Terminals are still seeded and maximization still runs: the
+        // result is degraded, not poisoned.
+        assert_eq!(res.stats.tokens, 8);
+
+        // A live token changes nothing versus no token at all.
+        let live = parse_with(
+            &g,
+            &tokens,
+            &ParserOptions {
+                cancel: Some(CancelToken::new()),
+                ..Default::default()
+            },
+        );
+        let plain = parse(&g, &tokens);
+        assert_eq!(live.stats.budget, crate::BudgetOutcome::Completed);
+        assert_eq!(live.trees, plain.trees);
+        assert_eq!(live.stats.created, plain.stats.created);
+        assert_eq!(live.stats.invalidated, plain.stats.invalidated);
+    }
+
+    #[test]
+    fn cancellation_wins_over_deadline() {
+        use crate::cancel::CancelToken;
+        let g = paper_example_grammar();
+        let tokens = renumber(author_row(0, 0));
+        let token = CancelToken::new();
+        token.cancel();
+        let res = parse_with(
+            &g,
+            &tokens,
+            &ParserOptions {
+                cancel: Some(token),
+                deadline: Some(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        assert_eq!(res.stats.budget, crate::BudgetOutcome::Cancelled);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod consistency;
 mod dedup;
 pub mod display;
@@ -38,6 +39,7 @@ pub mod session;
 pub mod stats;
 pub mod tokenset;
 
+pub use cancel::CancelToken;
 pub use consistency::{check_preferences, check_preferences_compiled, Consistency};
 pub use display::render_tree;
 pub use engine::{parse, parse_with, FixpointMode, ParseResult, ParserOptions, PreferenceOrder};

@@ -13,6 +13,25 @@ cargo test -q --workspace
 echo "==> cargo test -q --test fault_isolation (poison-page isolation)"
 cargo test -q --test fault_isolation
 
+echo "==> cargo test -q --test adaptive_batch (retry escalation, cancellation, telemetry)"
+cargo test -q --test adaptive_batch
+
+echo "==> metaform --adaptive --failures-json (CLI telemetry sanity)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+printf '<form>Author <input type=text name=q><input type=submit value=Go></form>' > "$tmp/ok.html"
+printf '<form></form>' > "$tmp/empty.html"
+./target/release/metaform --adaptive --max-retries 1 \
+    --failures-json "$tmp/failures.json" --failures-csv "$tmp/failures.csv" \
+    "$tmp/ok.html" "$tmp/empty.html" > /dev/null 2>/dev/null
+# The empty form must be narrated in both formats; the JSON shape is
+# the documented schema (the lossless round trip itself is asserted by
+# tests/adaptive_batch.rs).
+grep -q '"page_index": 1' "$tmp/failures.json"
+grep -q '"error": "empty_form"' "$tmp/failures.json"
+grep -q '"outcome": "degraded"' "$tmp/failures.json"
+grep -q '^1,empty_form,degraded,' "$tmp/failures.csv"
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --no-run --workspace --quiet
 

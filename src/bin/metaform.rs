@@ -8,6 +8,11 @@
 //! metaform --trees <page>      also print the maximal parse trees
 //! metaform --page-deadline-ms <n>  wall-clock parse budget per page
 //! metaform --max-instances <n>     parser instance cap per page
+//! metaform --adaptive          batch mode with bounded retry escalation
+//! metaform --max-retries <n>   retry rounds after the first pass (default 2)
+//! metaform --cancel-after-ms <n>  fire the batch cancel token after n ms
+//! metaform --failures-json <f> write per-page failure telemetry as JSON
+//! metaform --failures-csv <f>  write per-page failure telemetry as CSV
 //! metaform --grammar           print the derived global grammar
 //! metaform --export-grammar    print the grammar in its textual (.2pg) form
 //! metaform --grammar-file <f>  parse with a grammar loaded from a .2pg file
@@ -17,9 +22,16 @@
 //! Extraction is best-effort end to end: a page that panics the
 //! pipeline or blows a budget prints a per-page failure line on
 //! stderr and a degraded (proximity-baseline) report on stdout — it
-//! never aborts the run or the remaining pages.
+//! never aborts the run or the remaining pages. `--adaptive` (implied
+//! by `--max-retries` and `--failures-json`/`--failures-csv`) extracts
+//! all inputs as one batch, re-runs budget-limited pages under doubled
+//! budgets before degrading them, and can leave a machine-readable
+//! failure trail (see README.md for the JSON schema).
 
-use metaform::{global_compiled, global_grammar, FormExtractor, Provenance};
+use metaform::{
+    global_compiled, global_grammar, AdaptiveOptions, CancelToken, FormExtractor, Provenance,
+};
+use metaform_extractor::{failures_to_csv, failures_to_json};
 use metaform_grammar::schedule_to_dot;
 use std::io::Read;
 use std::process::ExitCode;
@@ -32,13 +44,20 @@ struct Options {
     grammar_file: Option<String>,
     page_deadline: Option<Duration>,
     max_instances: Option<usize>,
+    adaptive: bool,
+    max_retries: Option<usize>,
+    cancel_after: Option<Duration>,
+    failures_json: Option<String>,
+    failures_csv: Option<String>,
     inputs: Vec<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: metaform [--tokens] [--trees] [--ascii] [--grammar-file <f.2pg>]\n\
-         \x20               [--page-deadline-ms <n>] [--max-instances <n>] <page.html...| ->\n\
+         \x20               [--page-deadline-ms <n>] [--max-instances <n>]\n\
+         \x20               [--adaptive] [--max-retries <n>] [--cancel-after-ms <n>]\n\
+         \x20               [--failures-json <f>] [--failures-csv <f>] <page.html...| ->\n\
          \x20      metaform --grammar | --export-grammar | --schedule-dot"
     );
     ExitCode::from(2)
@@ -52,6 +71,11 @@ fn main() -> ExitCode {
         grammar_file: None,
         page_deadline: None,
         max_instances: None,
+        adaptive: false,
+        max_retries: None,
+        cancel_after: None,
+        failures_json: None,
+        failures_csv: None,
         inputs: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -97,6 +121,38 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 opts.max_instances = Some(cap);
+            }
+            "--adaptive" => opts.adaptive = true,
+            "--max-retries" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--max-retries needs a number");
+                    return usage();
+                };
+                opts.max_retries = Some(n);
+                opts.adaptive = true;
+            }
+            "--cancel-after-ms" => {
+                let Some(ms) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--cancel-after-ms needs a number of milliseconds");
+                    return usage();
+                };
+                opts.cancel_after = Some(Duration::from_millis(ms));
+            }
+            "--failures-json" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--failures-json needs a path");
+                    return usage();
+                };
+                opts.failures_json = Some(path);
+                opts.adaptive = true;
+            }
+            "--failures-csv" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--failures-csv needs a path");
+                    return usage();
+                };
+                opts.failures_csv = Some(path);
+                opts.adaptive = true;
             }
             "--help" | "-h" => {
                 let _ = usage();
@@ -148,23 +204,29 @@ fn main() -> ExitCode {
     if let Some(cap) = opts.max_instances {
         extractor = extractor.max_instances(cap);
     }
+    if let Some(after) = opts.cancel_after {
+        // Batch-level kill switch: a detached timer fires the shared
+        // token; parses in flight stop at their next sampled poll,
+        // pages already finished keep their results.
+        let token = CancelToken::new();
+        extractor = extractor.cancel_token(token.clone());
+        std::thread::spawn(move || {
+            std::thread::sleep(after);
+            token.cancel();
+        });
+    }
+
+    if opts.adaptive {
+        return run_adaptive(&extractor, &opts);
+    }
 
     let many = opts.inputs.len() > 1;
     for (page_index, path) in opts.inputs.iter().enumerate() {
-        let html = if path == "-" {
-            let mut buf = String::new();
-            if std::io::stdin().read_to_string(&mut buf).is_err() {
-                eprintln!("error: stdin is not valid UTF-8");
+        let html = match read_page(path) {
+            Ok(html) => html,
+            Err(message) => {
+                eprintln!("error: {message}");
                 return ExitCode::FAILURE;
-            }
-            buf
-        } else {
-            match std::fs::read_to_string(path) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
             }
         };
         if many {
@@ -223,5 +285,81 @@ fn main() -> ExitCode {
             println!();
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// One input page: a file path, or `-` for stdin.
+fn read_page(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|_| "stdin is not valid UTF-8".to_string())?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    }
+}
+
+/// The `--adaptive` batch mode: all inputs as one
+/// `extract_batch_adaptive` run — bounded retry escalation for
+/// budget-limited pages, per-page reports on stdout in input order,
+/// failure warnings and the batch rollup on stderr, and optional
+/// machine-readable failure telemetry on disk.
+fn run_adaptive(extractor: &FormExtractor, opts: &Options) -> ExitCode {
+    let mut pages = Vec::with_capacity(opts.inputs.len());
+    for path in &opts.inputs {
+        match read_page(path) {
+            Ok(html) => pages.push(html),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let refs: Vec<&str> = pages.iter().map(String::as_str).collect();
+    let adaptive_opts = AdaptiveOptions {
+        max_retries: opts
+            .max_retries
+            .unwrap_or(AdaptiveOptions::default().max_retries),
+        ..AdaptiveOptions::default()
+    };
+    let batch = extractor.extract_batch_adaptive(&refs, &adaptive_opts);
+
+    let many = opts.inputs.len() > 1;
+    for (page_index, (path, extraction)) in opts.inputs.iter().zip(&batch.extractions).enumerate() {
+        if many {
+            println!("== {path} ==");
+        }
+        if extraction.via == Provenance::BaselineFallback {
+            println!("(via proximity-baseline fallback, page {page_index})");
+        }
+        print!("{}", extraction.report);
+        if many && page_index + 1 < opts.inputs.len() {
+            println!();
+        }
+    }
+    for record in &batch.failures {
+        eprintln!(
+            "warning: {}: {} after {} attempt(s) -> {}",
+            opts.inputs[record.page_index],
+            record.error.as_str(),
+            record.attempts,
+            record.outcome.as_str()
+        );
+    }
+    if let Some(path) = &opts.failures_json {
+        if let Err(e) = std::fs::write(path, failures_to_json(&batch.failures)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.failures_csv {
+        if let Err(e) = std::fs::write(path, failures_to_csv(&batch.failures)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("batch: {}", batch.stats.summary());
     ExitCode::SUCCESS
 }

@@ -53,6 +53,14 @@
 //! baseline (marked [`Provenance::BaselineFallback`]) on the
 //! infallible ones — one poison page never kills a batch.
 //!
+//! Corpus runs go further: `FormExtractor::extract_batch_adaptive`
+//! retries budget-limited pages under escalating budgets
+//! ([`AdaptiveOptions`]), a [`CancelToken`] aborts a whole batch
+//! mid-flight while keeping completed pages, and every page that
+//! failed at least once is narrated as a JSON/CSV-serializable
+//! [`FailureRecord`]. [`BudgetPreset`] seeds the first-pass budgets
+//! per survey domain.
+//!
 //! ## Crate map
 //!
 //! | module | contents |
@@ -81,9 +89,15 @@ pub use metaform_parser as parser;
 pub use metaform_tokenizer as tokenizer;
 
 pub use metaform_core::{Condition, DomainKind, DomainSpec, ExtractionReport, Token, TokenKind};
-pub use metaform_extractor::{BatchStats, ExtractError, Extraction, FormExtractor, Provenance};
+pub use metaform_datasets::BudgetPreset;
+pub use metaform_extractor::{
+    AdaptiveBatch, AdaptiveOptions, BatchStats, ExtractError, Extraction, FailureRecord,
+    FormExtractor, Provenance,
+};
 pub use metaform_grammar::{
     global_compiled, global_grammar, paper_example_grammar, CompiledGrammar, Grammar,
     GrammarBuilder, GrammarError,
 };
-pub use metaform_parser::{parse, parse_with, BudgetOutcome, ParseSession, ParserOptions};
+pub use metaform_parser::{
+    parse, parse_with, BudgetOutcome, CancelToken, ParseSession, ParserOptions,
+};

@@ -86,7 +86,7 @@ fn check_page(html: &str, opts: &ParserOptions, label: &str) -> (u64, u64) {
         &tokens,
         &ParserOptions {
             fixpoint: FixpointMode::SemiNaive,
-            ..*opts
+            ..opts.clone()
         },
     );
     let naive = parse_with(
@@ -94,7 +94,7 @@ fn check_page(html: &str, opts: &ParserOptions, label: &str) -> (u64, u64) {
         &tokens,
         &ParserOptions {
             fixpoint: FixpointMode::Naive,
-            ..*opts
+            ..opts.clone()
         },
     );
     assert_identical(&semi, &naive, label);
@@ -176,7 +176,7 @@ fn charts_identical_when_truncated() {
                 &tokens_of(&source.html),
                 &ParserOptions {
                     fixpoint: FixpointMode::SemiNaive,
-                    ..opts
+                    ..opts.clone()
                 },
             ),
             parse_with(
@@ -184,7 +184,7 @@ fn charts_identical_when_truncated() {
                 &tokens_of(&source.html),
                 &ParserOptions {
                     fixpoint: FixpointMode::Naive,
-                    ..opts
+                    ..opts.clone()
                 },
             ),
         );

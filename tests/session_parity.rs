@@ -57,7 +57,7 @@ fn session_matches_wrapper_under_brute_force() {
     let grammar = paper_example_grammar();
     let compiled = Arc::new(grammar.clone().compile().expect("paper grammar compiles"));
     let opts = ParserOptions::brute_force();
-    let mut session = ParseSession::with_options(compiled, opts);
+    let mut session = ParseSession::with_options(compiled, opts.clone());
     let tokens = tokens_of(&figure5_fragment());
     let wrapper = parse_with(&grammar, &tokens, &opts);
     let fast = session.parse(&tokens);
