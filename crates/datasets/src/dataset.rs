@@ -270,6 +270,24 @@ pub fn all_datasets() -> Vec<Dataset> {
     vec![basic(), new_source(), new_domain(), random()]
 }
 
+/// The named `(name, html)` corpus the end-to-end serving tests run:
+/// the two hand-written paper fixtures, the Figure 14 column variant,
+/// and the whole NewSource dataset. Seed-deterministic, so golden
+/// reports and HTTP-vs-in-process differential comparisons over it are
+/// byte-stable across runs and machines.
+pub fn survey_corpus() -> Vec<(String, String)> {
+    let mut corpus = vec![
+        ("qam".to_string(), crate::fixtures::qam().html),
+        ("qaa".to_string(), crate::fixtures::qaa().html),
+        (
+            "qaa-column".to_string(),
+            crate::fixtures::qaa_column_variant(),
+        ),
+    ];
+    corpus.extend(new_source().sources.into_iter().map(|s| (s.name, s.html)));
+    corpus
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +369,20 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert!(names.len() >= 10, "{names:?}");
+    }
+
+    #[test]
+    fn survey_corpus_is_deterministic_and_named() {
+        let a = survey_corpus();
+        let b = survey_corpus();
+        assert_eq!(a.len(), 33, "3 fixtures + 30 NewSource pages");
+        assert_eq!(a[0].0, "qam");
+        let names: std::collections::BTreeSet<&str> = a.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names.len(), a.len(), "names are unique");
+        for ((an, ah), (bn, bh)) in a.iter().zip(&b) {
+            assert_eq!(an, bn);
+            assert_eq!(ah, bh);
+        }
     }
 
     #[test]

@@ -341,17 +341,30 @@ impl BudgetPreset {
     }
 
     /// Derives a preset from a prior run's rollup: the observed mean
-    /// instances per page with 4× headroom, and the observed mean
-    /// per-page compute time (batch wall-clock × workers ÷ pages) with
-    /// 8× headroom — enough that a rerun of the same corpus completes
-    /// its first pass clean, while a grown corpus still escalates only
-    /// for true outliers. Floors keep a degenerate rollup (tiny pages,
-    /// cold caches) from producing a budget that truncates everything.
+    /// instances per *grammar-path* page with 4× headroom, and the
+    /// observed mean per-page compute time (batch wall-clock × workers
+    /// ÷ pages) with 8× headroom — enough that a rerun of the same
+    /// corpus completes its first pass clean, while a grown corpus
+    /// still escalates only for true outliers. Floors keep a
+    /// degenerate rollup (tiny pages, cold caches) from producing a
+    /// budget that truncates everything.
+    ///
+    /// A rollup with **no grammar-path observation** — every page
+    /// degraded to the baseline (whose parse counters are zeroed), so
+    /// `created` says nothing about what the pages actually need —
+    /// falls back to the [`BudgetPreset::GENERIC`] floor instead of
+    /// recalibrating. Deriving from such a run used to produce the
+    /// minimum budget (the opposite of what a fully-truncating domain
+    /// needs): a rerun under it would degrade everything again, only
+    /// harder.
     pub fn from_stats(stats: &BatchStats) -> BudgetPreset {
-        if stats.pages == 0 {
+        // Degraded pages report zeroed parse counters, so only the
+        // grammar-path pages carry calibration signal.
+        let grammar_pages = stats.pages.saturating_sub(stats.degraded);
+        if stats.pages == 0 || grammar_pages == 0 || stats.created == 0 {
             return BudgetPreset::GENERIC;
         }
-        let per_page = stats.created / stats.pages;
+        let per_page = stats.created / grammar_pages;
         let max_instances = per_page.saturating_mul(4).max(1_000);
         let per_page_us = u64::try_from(stats.elapsed.as_micros())
             .unwrap_or(u64::MAX)
@@ -456,6 +469,46 @@ mod tests {
         assert_eq!(
             BudgetPreset::from_stats(&BatchStats::default()),
             BudgetPreset::GENERIC
+        );
+    }
+
+    #[test]
+    fn fully_degraded_rollup_falls_back_to_the_generic_floor() {
+        // Every page was served by the baseline: the parse counters are
+        // zeroed, so the rollup carries no calibration signal. The
+        // derived preset must be the GENERIC floor, not the minimum
+        // budget (which would truncate the whole domain again on a
+        // rerun).
+        let all_degraded = BatchStats {
+            pages: 40,
+            workers: 4,
+            tokens: 2_000,
+            created: 0,
+            truncated: 40,
+            degraded: 40,
+            elapsed: Duration::from_millis(200),
+            ..Default::default()
+        };
+        assert_eq!(
+            BudgetPreset::from_stats(&all_degraded),
+            BudgetPreset::GENERIC
+        );
+
+        // Partially degraded runs calibrate from the grammar-path pages
+        // only — the zeroed baseline pages must not drag the mean down.
+        let half_degraded = BatchStats {
+            pages: 10,
+            workers: 1,
+            created: 25_000, // 5_000 per *grammar* page (5 of them)
+            degraded: 5,
+            truncated: 5,
+            elapsed: Duration::from_millis(100),
+            ..Default::default()
+        };
+        assert_eq!(
+            BudgetPreset::from_stats(&half_degraded).max_instances,
+            20_000,
+            "4x the observed mean over grammar pages, not all pages"
         );
     }
 

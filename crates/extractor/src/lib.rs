@@ -69,6 +69,6 @@ pub use error::ExtractError;
 pub use pipeline::{Extraction, FormExtractor, Provenance};
 pub use resolve::{attach_missing, resolve_conflicts, DomainKnowledge};
 pub use telemetry::{
-    failures_from_json, failures_to_csv, failures_to_json, AttemptRecord, ErrorKind,
-    FailureOutcome, FailureRecord,
+    failures_from_json, failures_to_csv, failures_to_json, stats_from_json, stats_to_json,
+    AttemptRecord, ErrorKind, FailureOutcome, FailureRecord,
 };

@@ -30,6 +30,7 @@
 //! }]
 //! ```
 
+use crate::batch::BatchStats;
 use crate::error::ExtractError;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -299,6 +300,76 @@ pub fn failures_to_csv(records: &[FailureRecord]) -> String {
         );
     }
     out
+}
+
+/// Serializes one batch rollup as a single JSON object (stable field
+/// order, one line) — the job-level status snapshot a work-queue
+/// service reports while and after a batch runs. Wall-clock time is
+/// carried as whole microseconds (`elapsed_us`); [`stats_from_json`]
+/// is the inverse up to that sub-microsecond truncation.
+pub fn stats_to_json(stats: &BatchStats) -> String {
+    let mut out = String::from("{");
+    let fields: [(&str, u64); 15] = [
+        ("pages", stats.pages as u64),
+        ("workers", stats.workers as u64),
+        ("tokens", stats.tokens as u64),
+        ("created", stats.created as u64),
+        ("invalidated", stats.invalidated as u64),
+        ("trees", stats.trees as u64),
+        ("schedules_built", stats.schedules_built as u64),
+        ("panicked", stats.panicked as u64),
+        ("truncated", stats.truncated as u64),
+        ("timed_out", stats.timed_out as u64),
+        ("empty", stats.empty as u64),
+        ("cancelled", stats.cancelled as u64),
+        ("degraded", stats.degraded as u64),
+        ("retried", stats.retried as u64),
+        ("recovered", stats.recovered as u64),
+    ];
+    for (name, value) in fields {
+        let _ = write!(out, "\"{name}\": {value}, ");
+    }
+    let _ = write!(
+        out,
+        "\"elapsed_us\": {}}}",
+        u64::try_from(stats.elapsed.as_micros()).unwrap_or(u64::MAX)
+    );
+    out
+}
+
+/// Parses the output of [`stats_to_json`] back into a rollup. Lossless
+/// for every counter; `elapsed` comes back at whole-microsecond
+/// precision.
+pub fn stats_from_json(src: &str) -> Result<BatchStats, String> {
+    let mut p = JsonParser {
+        bytes: src.as_bytes(),
+        at: 0,
+    };
+    let root = p.value()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.at));
+    }
+    let usize_field =
+        |name: &str| -> Result<usize, String> { Ok(root.field(name)?.num()? as usize) };
+    Ok(BatchStats {
+        pages: usize_field("pages")?,
+        workers: usize_field("workers")?,
+        tokens: usize_field("tokens")?,
+        created: usize_field("created")?,
+        invalidated: usize_field("invalidated")?,
+        trees: usize_field("trees")?,
+        schedules_built: usize_field("schedules_built")?,
+        panicked: usize_field("panicked")?,
+        truncated: usize_field("truncated")?,
+        timed_out: usize_field("timed_out")?,
+        empty: usize_field("empty")?,
+        cancelled: usize_field("cancelled")?,
+        degraded: usize_field("degraded")?,
+        retried: usize_field("retried")?,
+        recovered: usize_field("recovered")?,
+        elapsed: Duration::from_micros(root.field("elapsed_us")?.num()?),
+    })
 }
 
 /// A minimal JSON value, just enough for the failure-record schema.
@@ -677,6 +748,41 @@ mod tests {
             assert_eq!(FailureOutcome::parse(outcome.as_str()).unwrap(), outcome);
         }
         assert!(FailureOutcome::parse("nope").is_err());
+    }
+
+    #[test]
+    fn batch_stats_round_trip_through_json() {
+        let stats = BatchStats {
+            pages: 33,
+            workers: 4,
+            tokens: 1_234,
+            created: 56_789,
+            invalidated: 321,
+            trees: 99,
+            schedules_built: 0,
+            panicked: 1,
+            truncated: 2,
+            timed_out: 3,
+            empty: 4,
+            cancelled: 5,
+            degraded: 15,
+            retried: 6,
+            recovered: 7,
+            elapsed: Duration::from_micros(8_675_309),
+        };
+        let json = stats_to_json(&stats);
+        let parsed = stats_from_json(&json).expect("parses");
+        assert_eq!(parsed, stats, "whole-microsecond stats are lossless");
+        assert_eq!(stats_to_json(&parsed), json, "serialization is a fixpoint");
+        assert!(json.starts_with("{\"pages\": 33, "), "{json}");
+        assert!(json.ends_with("\"elapsed_us\": 8675309}"), "{json}");
+        // Defaults round-trip too, and garbage is rejected.
+        let empty = BatchStats::default();
+        assert_eq!(stats_from_json(&stats_to_json(&empty)).unwrap(), empty);
+        assert!(stats_from_json("").is_err());
+        assert!(stats_from_json("[]").is_err(), "must be an object");
+        assert!(stats_from_json("{\"pages\": 1}").is_err(), "missing fields");
+        assert!(stats_from_json(&format!("{json} trailing")).is_err());
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! The typed `ExtractError → HTTP status` mapping.
+//!
+//! The batch engine never fails a whole batch — a poison page degrades
+//! to the proximity baseline and the other N−1 pages complete — so the
+//! service mirrors that stance on the wire: per-*page* statuses inside
+//! a 200 results document, never a 5xx for the batch because one page
+//! misbehaved. The mapping is total over [`ErrorKind`] so a new error
+//! variant is a compile error here, not a silent 500.
+
+use metaform_extractor::telemetry::ErrorKind;
+
+/// HTTP status for one page's final extraction error.
+///
+/// - `Panicked` → **500**: the pipeline broke; our fault.
+/// - `Truncated` → **413**: the page outgrew every escalated instance
+///   budget; the page is "too large" for the configured service.
+/// - `Timeout` → **408**: the page blew every escalated deadline.
+/// - `EmptyForm` → **422**: syntactically fine, semantically empty —
+///   nothing to extract.
+/// - `Cancelled` → **499**: the client aborted the job (nginx's
+///   "client closed request", the de-facto code for exactly this).
+pub fn status_for(error: ErrorKind) -> u16 {
+    match error {
+        ErrorKind::Panicked => 500,
+        ErrorKind::Truncated => 413,
+        ErrorKind::Timeout => 408,
+        ErrorKind::EmptyForm => 422,
+        ErrorKind::Cancelled => 499,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::reason;
+
+    #[test]
+    fn every_error_kind_maps_to_a_named_status() {
+        let table = [
+            (ErrorKind::Panicked, 500),
+            (ErrorKind::Truncated, 413),
+            (ErrorKind::Timeout, 408),
+            (ErrorKind::EmptyForm, 422),
+            (ErrorKind::Cancelled, 499),
+        ];
+        for (kind, status) in table {
+            assert_eq!(status_for(kind), status);
+            // Every mapped status has a real reason phrase on the wire.
+            assert_ne!(reason(status), "Unknown", "{kind:?}");
+        }
+    }
+}

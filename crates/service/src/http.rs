@@ -1,0 +1,356 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing over
+//! plain `Read`/`Write` streams — the workspace is offline, so the
+//! wire layer is implemented here, the same way `extractor::telemetry`
+//! hand-rolls its JSON.
+//!
+//! Scope, by design:
+//! - one request per connection (`Connection: close` on every
+//!   response) — the work-queue protocol is submit/poll/fetch, not a
+//!   browsing session, so keep-alive buys nothing;
+//! - `Content-Length` bodies only (chunked transfer is rejected with
+//!   501);
+//! - hard limits on head and body size, mapped to 431/413 — a
+//!   malformed or hostile peer gets a 4xx and a closed socket, never a
+//!   panic or an unbounded buffer (the property tests in
+//!   `tests/prop_wire.rs` fuzz exactly this contract).
+
+use std::io::{Read, Write};
+
+/// Cap on the request head (request line + headers). Past it the
+/// request is rejected with 431 instead of buffering further.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Method verb, as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target, query string included.
+    pub target: String,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body, when a `Content-Length` announced one.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The target without its query string.
+    pub fn path(&self) -> &str {
+        match self.target.split_once('?') {
+            Some((path, _)) => path,
+            None => &self.target,
+        }
+    }
+
+    /// First header with this name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Every variant except [`Closed`]
+/// maps to an error response via [`RequestError::status`].
+///
+/// [`Closed`]: RequestError::Closed
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// The peer closed the connection before sending anything — a
+    /// normal end of conversation, not an error.
+    Closed,
+    /// Syntactically invalid request (bad request line, bad header,
+    /// truncated head or body, bad `Content-Length`).
+    Malformed(String),
+    /// The head outgrew [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// The announced body outgrew the configured cap.
+    BodyTooLarge,
+    /// `Transfer-Encoding` was requested; only `Content-Length`
+    /// framing is implemented.
+    UnsupportedTransfer,
+}
+
+impl RequestError {
+    /// The HTTP status this error answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            RequestError::Closed => 0,
+            RequestError::Malformed(_) => 400,
+            RequestError::HeadTooLarge => 431,
+            RequestError::BodyTooLarge => 413,
+            RequestError::UnsupportedTransfer => 501,
+        }
+    }
+
+    /// Human-readable detail for the response body.
+    pub fn detail(&self) -> String {
+        match self {
+            RequestError::Closed => String::new(),
+            RequestError::Malformed(why) => why.clone(),
+            RequestError::HeadTooLarge => format!("request head over {MAX_HEAD_BYTES} bytes"),
+            RequestError::BodyTooLarge => "request body over the configured cap".to_string(),
+            RequestError::UnsupportedTransfer => {
+                "only Content-Length framing is supported".to_string()
+            }
+        }
+    }
+}
+
+/// Reads and parses one request from `stream`, enforcing
+/// [`MAX_HEAD_BYTES`] and `max_body` (the body cap in bytes).
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, RequestError> {
+    // Accumulate until the blank line ends the head. Reading past the
+    // head into the body is fine — the leftover is the body prefix.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(at) = find_head_end(&buf) {
+            break at;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::HeadTooLarge);
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| RequestError::Malformed(format!("read failed: {e}")))?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(RequestError::Closed);
+            }
+            return Err(RequestError::Malformed("truncated request head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(RequestError::HeadTooLarge);
+    }
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RequestError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(RequestError::Malformed(format!("bad method {method:?}")));
+    }
+    if !target.starts_with('/') {
+        return Err(RequestError::Malformed(format!("bad target {target:?}")));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(RequestError::Malformed(format!("bad version {version:?}")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed(format!("bad header {line:?}")));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(RequestError::Malformed(format!("bad header name {name:?}")));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Err(RequestError::UnsupportedTransfer);
+    }
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| RequestError::Malformed(format!("bad Content-Length {v:?}")))?,
+    };
+    if content_length > max_body {
+        return Err(RequestError::BodyTooLarge);
+    }
+
+    // Body = what was over-read past the head, plus the rest.
+    let mut body = buf[head_end + 4..].to_vec();
+    body.truncate(content_length); // over-read past the body is pipelining we ignore
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream
+            .read(&mut chunk[..want])
+            .map_err(|e| RequestError::Malformed(format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(RequestError::Malformed("truncated request body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    Ok(Request { body, ..request })
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// One response, written with `Content-Length` and `Connection: close`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// The response serialized to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Writes the response to `stream`; errors are swallowed — the
+    /// peer hanging up mid-response is its own problem.
+    pub fn write_to(&self, stream: &mut impl Write) {
+        let _ = stream.write_all(&self.to_bytes());
+        let _ = stream.flush();
+    }
+}
+
+/// Reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        499 => "Client Closed Request",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, RequestError> {
+        read_request(&mut &bytes[..], 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /v1/batches HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+            .expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/v1/batches");
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn strips_query_strings_and_reads_get_without_body() {
+        let req = parse(b"GET /v1/batches/j-1?verbose=1 HTTP/1.1\r\n\r\n").expect("parses");
+        assert_eq!(req.path(), "/v1/batches/j-1");
+        assert_eq!(req.target, "/v1/batches/j-1?verbose=1");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_400() {
+        for bad in [
+            &b"nonsense\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: soup\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            b"GET /x HTTP/1.1\r\ntrunca",
+        ] {
+            let err = parse(bad).expect_err("must be rejected");
+            assert_eq!(err.status(), 400, "{err:?} for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn enforces_size_limits_and_framing() {
+        let huge_header = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES + 1)
+        );
+        assert_eq!(
+            parse(huge_header.as_bytes()),
+            Err(RequestError::HeadTooLarge)
+        );
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 2000\r\n\r\n"),
+            Err(RequestError::BodyTooLarge),
+            "cap is 1024 in this test"
+        );
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(RequestError::UnsupportedTransfer)
+        );
+        assert_eq!(parse(b""), Err(RequestError::Closed));
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let bytes = Response::json(202, "{}").to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        assert_eq!(reason(499), "Client Closed Request");
+        assert_eq!(reason(299), "Unknown");
+    }
+}

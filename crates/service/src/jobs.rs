@@ -1,0 +1,306 @@
+//! The job layer: a per-job state machine behind a `Mutex<HashMap>`
+//! and the bounded MPMC queue feeding the worker pool.
+//!
+//! Lifecycle (see DESIGN.md for the full diagram):
+//!
+//! ```text
+//! POST /v1/batches ──▶ Queued ──▶ Running ──▶ Done
+//!                        │           │
+//!                        └── DELETE ─┴──────▶ Cancelled
+//! ```
+//!
+//! A `DELETE` never yanks a job out of the pipeline — it fires the
+//! job's [`CancelToken`] and lets the run settle. A queued job still
+//! gets claimed by a worker and runs against its already-fired token,
+//! which is the engine's all-cancelled fast path: every page comes back
+//! `Cancelled`/degraded, byte-identical to an in-process run with a
+//! pre-fired token. That keeps exactly one code path producing results
+//! and keeps cancelled jobs queryable like any finished job.
+
+use metaform_extractor::AdaptiveBatch;
+use metaform_parser::CancelToken;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is extracting it.
+    Running,
+    /// Finished; results available; no cancellation observed.
+    Done,
+    /// Finished with its cancel token fired; results (degraded for the
+    /// abandoned pages) still available.
+    Cancelled,
+}
+
+impl JobPhase {
+    /// Stable serialization name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Cancelled => "cancelled",
+        }
+    }
+
+    /// True once results are available.
+    pub fn is_finished(self) -> bool {
+        matches!(self, JobPhase::Done | JobPhase::Cancelled)
+    }
+}
+
+/// One submitted batch job.
+#[derive(Debug)]
+pub struct Job {
+    /// The submitted pages, shared with the worker that runs them.
+    pub pages: Arc<Vec<String>>,
+    /// Per-job override of the adaptive retry cap, when the submission
+    /// carried one.
+    pub max_retries: Option<usize>,
+    /// This job's cancel token; `DELETE` fires it.
+    pub token: CancelToken,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// The finished run, present once `phase.is_finished()`.
+    pub result: Option<AdaptiveBatch>,
+}
+
+/// All jobs the service knows, keyed by id. Ids are dense and
+/// monotone; jobs are kept after completion so results stay queryable
+/// for the life of the process (the work-queue protocol has no expiry).
+#[derive(Debug, Default)]
+pub struct JobStore {
+    jobs: Mutex<HashMap<u64, Job>>,
+    next_id: Mutex<u64>,
+}
+
+impl JobStore {
+    /// Registers a new queued job, returning its id.
+    pub fn create(&self, pages: Vec<String>, max_retries: Option<usize>) -> u64 {
+        let id = {
+            let mut next = self.next_id.lock().expect("job id lock");
+            *next += 1;
+            *next
+        };
+        let job = Job {
+            pages: Arc::new(pages),
+            max_retries,
+            token: CancelToken::new(),
+            phase: JobPhase::Queued,
+            result: None,
+        };
+        self.jobs.lock().expect("job map lock").insert(id, job);
+        id
+    }
+
+    /// Runs `f` on the job, if it exists.
+    pub fn with_job<T>(&self, id: u64, f: impl FnOnce(&Job) -> T) -> Option<T> {
+        self.jobs.lock().expect("job map lock").get(&id).map(f)
+    }
+
+    /// Claims the job for a worker: marks it `Running` and hands back
+    /// what the run needs. Returns `None` for an unknown id.
+    pub fn claim(&self, id: u64) -> Option<(Arc<Vec<String>>, Option<usize>, CancelToken)> {
+        let mut jobs = self.jobs.lock().expect("job map lock");
+        let job = jobs.get_mut(&id)?;
+        job.phase = JobPhase::Running;
+        Some((Arc::clone(&job.pages), job.max_retries, job.token.clone()))
+    }
+
+    /// Records a finished run. The final phase reads the token, not the
+    /// batch: a token fired mid-run settles as `Cancelled` even if
+    /// every page had already completed.
+    pub fn finish(&self, id: u64, result: AdaptiveBatch) {
+        let mut jobs = self.jobs.lock().expect("job map lock");
+        if let Some(job) = jobs.get_mut(&id) {
+            job.phase = if job.token.is_cancelled() {
+                JobPhase::Cancelled
+            } else {
+                JobPhase::Done
+            };
+            job.result = Some(result);
+        }
+    }
+
+    /// Forgets a job that was never accepted into the queue (the
+    /// submit path backs out a registration when the queue is full).
+    pub fn remove(&self, id: u64) {
+        self.jobs.lock().expect("job map lock").remove(&id);
+    }
+
+    /// Fires the job's cancel token. Returns the phase the job was in,
+    /// or `None` for an unknown id.
+    pub fn cancel(&self, id: u64) -> Option<JobPhase> {
+        let jobs = self.jobs.lock().expect("job map lock");
+        jobs.get(&id).map(|job| {
+            job.token.cancel();
+            job.phase
+        })
+    }
+}
+
+/// The bounded MPMC queue between the HTTP handlers (producers) and
+/// the worker pool (consumers). `Mutex<VecDeque>` + `Condvar` — the
+/// std-only shape of a bounded channel.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct QueueInner {
+    ids: VecDeque<u64>,
+    shutdown: bool,
+}
+
+impl JobQueue {
+    /// An empty queue holding at most `capacity` queued jobs
+    /// (`capacity` 0 is promoted to 1 — a queue that can never accept
+    /// would deadlock the service).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(QueueInner::default()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a job id. `Err` when the queue is at capacity or
+    /// shutting down — the caller answers 503 and the job is never
+    /// queued.
+    pub fn push(&self, id: u64) -> Result<(), u64> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.shutdown || inner.ids.len() >= self.capacity {
+            return Err(id);
+        }
+        inner.ids.push_back(id);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available or the queue shuts down.
+    /// Returns `None` only when shut down **and** drained, so every
+    /// accepted job is still run during a graceful shutdown.
+    pub fn pop(&self) -> Option<u64> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(id) = inner.ids.pop_front() {
+                return Some(id);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Stops accepting jobs and wakes every blocked worker. Queued jobs
+    /// still drain.
+    pub fn shutdown(&self) {
+        self.inner.lock().expect("queue lock").shutdown = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently queued.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn store_walks_the_lifecycle() {
+        let store = JobStore::default();
+        let id = store.create(vec!["<form>A</form>".to_string()], Some(1));
+        assert_eq!(store.with_job(id, |j| j.phase), Some(JobPhase::Queued));
+        assert_eq!(store.with_job(id, |j| j.pages.len()), Some(1));
+
+        let (pages, retries, token) = store.claim(id).expect("claims");
+        assert_eq!(pages.len(), 1);
+        assert_eq!(retries, Some(1));
+        assert!(!token.is_cancelled());
+        assert_eq!(store.with_job(id, |j| j.phase), Some(JobPhase::Running));
+
+        store.finish(id, AdaptiveBatch::default());
+        assert_eq!(store.with_job(id, |j| j.phase), Some(JobPhase::Done));
+        assert!(store
+            .with_job(id, |j| j.result.is_some())
+            .expect("job exists"));
+
+        // Unknown ids are None everywhere.
+        assert!(store.with_job(999, |_| ()).is_none());
+        assert!(store.claim(999).is_none());
+        assert!(store.cancel(999).is_none());
+    }
+
+    #[test]
+    fn cancel_fires_the_token_and_the_finish_phase_reads_it() {
+        let store = JobStore::default();
+        let id = store.create(vec![], None);
+        let was = store.cancel(id).expect("job exists");
+        assert_eq!(was, JobPhase::Queued);
+        let (_, _, token) = store.claim(id).expect("claims");
+        assert!(token.is_cancelled(), "cancel fired the shared token");
+        store.finish(id, AdaptiveBatch::default());
+        assert_eq!(store.with_job(id, |j| j.phase), Some(JobPhase::Cancelled));
+        assert!(JobPhase::Cancelled.is_finished());
+        assert_eq!(JobPhase::Cancelled.as_str(), "cancelled");
+    }
+
+    #[test]
+    fn ids_are_dense_and_monotone() {
+        let store = JobStore::default();
+        let a = store.create(vec![], None);
+        let b = store.create(vec![], None);
+        let c = store.create(vec![], None);
+        assert!(a < b && b < c);
+        assert_eq!(c - a, 2);
+    }
+
+    #[test]
+    fn queue_bounds_accepts_and_drains_on_shutdown() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.push(1), Ok(()));
+        assert_eq!(q.push(2), Ok(()));
+        assert_eq!(q.push(3), Err(3), "over capacity");
+        assert_eq!(q.depth(), 2);
+
+        q.shutdown();
+        assert_eq!(q.push(4), Err(4), "closed");
+        // Shutdown drains what was accepted, then signals exhaustion.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn pop_blocks_until_a_push_arrives() {
+        let q = Arc::new(JobQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the consumer a moment to block, then feed it.
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(7).expect("accepts");
+        assert_eq!(consumer.join().expect("joins"), Some(7));
+    }
+
+    #[test]
+    fn zero_capacity_is_promoted_to_one() {
+        let q = JobQueue::new(0);
+        assert_eq!(q.push(1), Ok(()));
+        assert_eq!(q.push(2), Err(2));
+    }
+}

@@ -1,0 +1,48 @@
+//! # metaform-service
+//!
+//! `metaformd`: a work-queue extraction service over the
+//! compile-once batch engine, speaking HTTP/1.1 over `std::net` with
+//! zero dependencies beyond the workspace.
+//!
+//! Clients `POST` a batch of HTML query-interface pages, poll the
+//! job, and fetch per-page capability reports plus the engine's
+//! failure telemetry — the serving-path counterpart of
+//! [`metaform_extractor::FormExtractor::extract_batch_adaptive`]. The
+//! HTTP layer adds transport and scheduling, never semantics: the
+//! reports a client fetches over the wire are byte-identical to an
+//! in-process run on the same pages (the differential test in
+//! `tests/service_http.rs` holds the service to exactly that).
+//!
+//! | Endpoint | What it does |
+//! |---|---|
+//! | `POST /v1/batches` | Submit pages; answers `202` with a job id |
+//! | `GET /v1/batches/{id}` | Phase + [`metaform_extractor::BatchStats`] |
+//! | `GET /v1/batches/{id}/results` | Per-page reports + failure records |
+//! | `DELETE /v1/batches/{id}` | Fire the job's cancel token |
+//! | `GET /healthz` | Liveness |
+//! | `GET /metrics` | Text counters |
+//! | `POST /v1/shutdown` | Graceful drain-and-exit |
+//!
+//! Module map: [`http`] (hand-rolled wire parsing with hard limits),
+//! [`json`] (request-body parsing and escaping), [`jobs`] (the
+//! `Queued → Running → Done | Cancelled` state machine and the bounded
+//! queue), [`server`] (routing, worker pool, accept loop), [`error`]
+//! (the per-page `ExtractError → HTTP status` mapping), [`metrics`]
+//! (the counter block).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod http;
+pub mod jobs;
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use error::status_for;
+pub use http::{read_request, Request, RequestError, Response, MAX_HEAD_BYTES};
+pub use jobs::{Job, JobPhase, JobQueue, JobStore};
+pub use json::{parse_batch_request, push_json_str, BatchRequest, JsonValue};
+pub use metrics::Metrics;
+pub use server::{handle_connection, route, Server, ServerHandle, ServiceConfig, ServiceState};

@@ -1,0 +1,164 @@
+//! Service counters, exposed as `GET /metrics` in the text exposition
+//! format (one `name value` line per counter, `# TYPE` annotated).
+//!
+//! Everything is a monotone `AtomicU64` except `queue_depth`, which is
+//! a gauge maintained by the submit/claim paths. Relaxed ordering is
+//! deliberate: the counters feed dashboards, not control flow.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The service's counter block. One instance lives in the shared
+/// service state; every handler and worker increments it lock-free.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// HTTP requests answered, all endpoints and statuses.
+    pub requests: AtomicU64,
+    /// Requests answered with a 4xx (client error).
+    pub client_errors: AtomicU64,
+    /// Requests answered with a 5xx (server fault, panics included).
+    pub server_errors: AtomicU64,
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs rejected because the queue was full (503).
+    pub jobs_rejected: AtomicU64,
+    /// Jobs that ran to completion (cancelled runs included).
+    pub jobs_completed: AtomicU64,
+    /// Jobs whose cancel endpoint was invoked.
+    pub jobs_cancelled: AtomicU64,
+    /// Pages submitted across all accepted jobs.
+    pub pages_submitted: AtomicU64,
+    /// Pages that degraded to the proximity baseline.
+    pub pages_degraded: AtomicU64,
+    /// Pages recovered by the adaptive retry loop.
+    pub pages_recovered: AtomicU64,
+    /// Pages abandoned by a cancellation.
+    pub pages_cancelled: AtomicU64,
+    /// Jobs currently waiting in the queue (gauge).
+    pub queue_depth: AtomicU64,
+}
+
+impl Metrics {
+    /// Adds one to a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts one from a gauge, saturating at zero.
+    pub fn drop_one(gauge: &AtomicU64) {
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
+    }
+
+    /// Records the status of one answered request.
+    pub fn observe_status(&self, status: u16) {
+        Self::bump(&self.requests);
+        if (400..500).contains(&status) {
+            Self::bump(&self.client_errors);
+        } else if status >= 500 {
+            Self::bump(&self.server_errors);
+        }
+    }
+
+    /// Renders the text exposition document.
+    pub fn render(&self) -> String {
+        let rows: [(&str, &str, &AtomicU64); 12] = [
+            ("metaformd_requests_total", "counter", &self.requests),
+            (
+                "metaformd_client_errors_total",
+                "counter",
+                &self.client_errors,
+            ),
+            (
+                "metaformd_server_errors_total",
+                "counter",
+                &self.server_errors,
+            ),
+            (
+                "metaformd_jobs_submitted_total",
+                "counter",
+                &self.jobs_submitted,
+            ),
+            (
+                "metaformd_jobs_rejected_total",
+                "counter",
+                &self.jobs_rejected,
+            ),
+            (
+                "metaformd_jobs_completed_total",
+                "counter",
+                &self.jobs_completed,
+            ),
+            (
+                "metaformd_jobs_cancelled_total",
+                "counter",
+                &self.jobs_cancelled,
+            ),
+            (
+                "metaformd_pages_submitted_total",
+                "counter",
+                &self.pages_submitted,
+            ),
+            (
+                "metaformd_pages_degraded_total",
+                "counter",
+                &self.pages_degraded,
+            ),
+            (
+                "metaformd_pages_recovered_total",
+                "counter",
+                &self.pages_recovered,
+            ),
+            (
+                "metaformd_pages_cancelled_total",
+                "counter",
+                &self.pages_cancelled,
+            ),
+            ("metaformd_queue_depth", "gauge", &self.queue_depth),
+        ];
+        let mut out = String::new();
+        for (name, kind, counter) in rows {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(kind);
+            out.push('\n');
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&counter.load(Ordering::Relaxed).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = Metrics::default();
+        m.observe_status(202);
+        m.observe_status(404);
+        m.observe_status(500);
+        Metrics::bump(&m.jobs_submitted);
+        Metrics::add(&m.pages_submitted, 33);
+        Metrics::bump(&m.queue_depth);
+        Metrics::drop_one(&m.queue_depth);
+        Metrics::drop_one(&m.queue_depth); // saturates, no underflow
+
+        let text = m.render();
+        assert!(text.contains("metaformd_requests_total 3\n"), "{text}");
+        assert!(text.contains("metaformd_client_errors_total 1\n"));
+        assert!(text.contains("metaformd_server_errors_total 1\n"));
+        assert!(text.contains("metaformd_pages_submitted_total 33\n"));
+        assert!(text.contains("metaformd_queue_depth 0\n"));
+        assert!(text.contains("# TYPE metaformd_queue_depth gauge\n"));
+    }
+}

@@ -1,0 +1,660 @@
+//! The service core: shared state, request routing, the worker pool,
+//! and the accept loop — `metaformd` minus the binary's flag parsing.
+//!
+//! Wiring (see DESIGN.md):
+//!
+//! ```text
+//! accept loop ──▶ handle_connection ──▶ route
+//!                   POST /v1/batches ──▶ JobStore::create ─▶ JobQueue
+//!                                                              │
+//!                 pool worker (×N) ◀── JobQueue::pop ◀─────────┘
+//!                   └─▶ extractor.cancel_token(job).extract_batch_adaptive
+//!                         └─▶ JobStore::finish (Done | Cancelled)
+//! ```
+//!
+//! The HTTP side is intentionally serial (one connection at a time):
+//! every handler is a queue/map operation that completes in
+//! microseconds, because the actual work — batch extraction — runs on
+//! the pool workers. A slow batch never blocks `/healthz`.
+//!
+//! Routing runs behind `catch_unwind`: a handler bug answers 500 on
+//! that one connection and the service keeps serving, the same
+//! page-level fault isolation stance the batch engine takes.
+
+use crate::error::status_for;
+use crate::http::{read_request, Request, RequestError, Response};
+use crate::jobs::{JobQueue, JobStore};
+use crate::json::{parse_batch_request, push_json_str};
+use crate::metrics::Metrics;
+use metaform_extractor::telemetry::ErrorKind;
+use metaform_extractor::{
+    failures_to_json, stats_to_json, AdaptiveOptions, FormExtractor, Provenance,
+};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything `metaformd` can be configured with.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Listen address (`127.0.0.1:8077` by default; port 0 asks the
+    /// OS for an ephemeral port — the bound address is reported by
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Pool workers running batch jobs (each job additionally fans its
+    /// pages over the extractor's own batch workers).
+    pub pool_workers: usize,
+    /// Batch worker threads per job; `None` = the extractor's default
+    /// (machine parallelism).
+    pub batch_workers: Option<usize>,
+    /// Jobs the queue holds before submissions answer 503.
+    pub queue_capacity: usize,
+    /// Default adaptive retry rounds (a submission's `max_retries`
+    /// field overrides per job).
+    pub max_retries: usize,
+    /// Budget multiplier per retry round.
+    pub budget_growth: u32,
+    /// Per-page instance cap; `None` = the extractor's default.
+    pub max_instances: Option<usize>,
+    /// Per-page wall-clock deadline; `None` = none.
+    pub page_deadline: Option<Duration>,
+    /// Request body cap in bytes (oversized submissions answer 413).
+    pub max_body_bytes: usize,
+    /// Test-only fault injection: pages containing this marker panic
+    /// the pipeline (mirrors `FormExtractor::inject_panic_marker`).
+    pub panic_marker: Option<String>,
+    /// Test-only cancellation injection: a page containing this marker
+    /// fires the job's cancel token mid-parse (mirrors
+    /// `FormExtractor::inject_cancel_marker`).
+    pub cancel_marker: Option<String>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:8077".to_string(),
+            pool_workers: 2,
+            batch_workers: None,
+            queue_capacity: 64,
+            max_retries: 2,
+            budget_growth: 2,
+            max_instances: None,
+            page_deadline: None,
+            max_body_bytes: 16 * 1024 * 1024,
+            panic_marker: None,
+            cancel_marker: None,
+        }
+    }
+}
+
+/// Shared state behind every connection handler and pool worker.
+#[derive(Debug)]
+pub struct ServiceState {
+    /// The compile-once engine; cloned per job to attach that job's
+    /// cancel token (clones share the one compiled grammar).
+    pub extractor: FormExtractor,
+    /// All jobs, by id.
+    pub store: JobStore,
+    /// The bounded queue between handlers and pool workers.
+    pub queue: JobQueue,
+    /// The `/metrics` counter block.
+    pub metrics: Metrics,
+    /// Configuration the state was built from.
+    pub config: ServiceConfig,
+    stopping: AtomicBool,
+}
+
+impl ServiceState {
+    /// Builds the shared state: one extractor configured per `config`
+    /// (grammar compiled once, here), an empty store, an empty queue.
+    pub fn new(config: ServiceConfig) -> Self {
+        let mut extractor = FormExtractor::new();
+        if let Some(workers) = config.batch_workers {
+            extractor = extractor.worker_threads(workers);
+        }
+        if let Some(cap) = config.max_instances {
+            extractor = extractor.max_instances(cap);
+        }
+        if let Some(deadline) = config.page_deadline {
+            extractor = extractor.page_deadline(deadline);
+        }
+        if let Some(marker) = &config.panic_marker {
+            extractor = extractor.inject_panic_marker(marker.clone());
+        }
+        if let Some(marker) = &config.cancel_marker {
+            extractor = extractor.inject_cancel_marker(marker.clone());
+        }
+        ServiceState {
+            extractor,
+            store: JobStore::default(),
+            queue: JobQueue::new(config.queue_capacity),
+            metrics: Metrics::default(),
+            config,
+            stopping: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_stopping(&self) -> bool {
+        self.stopping.load(Ordering::Relaxed)
+    }
+
+    /// Starts a graceful shutdown: no new submissions, queued jobs
+    /// drain, workers exit once the queue is empty.
+    pub fn begin_shutdown(&self) {
+        self.stopping.store(true, Ordering::Relaxed);
+        self.queue.shutdown();
+    }
+
+    /// One pool worker: claim, extract, settle — until the queue shuts
+    /// down and drains.
+    pub fn work_loop(&self) {
+        while let Some(id) = self.queue.pop() {
+            Metrics::drop_one(&self.metrics.queue_depth);
+            self.run_job(id);
+        }
+    }
+
+    /// Runs one claimed job to completion and records the result.
+    pub fn run_job(&self, id: u64) {
+        let Some((pages, max_retries, token)) = self.store.claim(id) else {
+            return;
+        };
+        let extractor = self.extractor.clone().cancel_token(token);
+        let refs: Vec<&str> = pages.iter().map(String::as_str).collect();
+        let opts = AdaptiveOptions {
+            max_retries: max_retries.unwrap_or(self.config.max_retries),
+            budget_growth: self.config.budget_growth,
+        };
+        let batch = extractor.extract_batch_adaptive(&refs, &opts);
+        Metrics::add(&self.metrics.pages_degraded, batch.stats.degraded as u64);
+        Metrics::add(&self.metrics.pages_recovered, batch.stats.recovered as u64);
+        Metrics::add(&self.metrics.pages_cancelled, batch.stats.cancelled as u64);
+        Metrics::bump(&self.metrics.jobs_completed);
+        self.store.finish(id, batch);
+    }
+}
+
+/// Serves one connection: read a request, route it behind a panic
+/// boundary, write the response, close. Generic over the stream so the
+/// property tests can drive it with in-memory bytes — the fuzzing
+/// contract is on *this* function, not on a socket.
+pub fn handle_connection<S: Read + Write>(state: &ServiceState, stream: &mut S) {
+    let response = match read_request(stream, state.config.max_body_bytes) {
+        Err(RequestError::Closed) => return,
+        Err(err) => Response::json(err.status(), error_body(&err.detail())),
+        Ok(request) => std::panic::catch_unwind(AssertUnwindSafe(|| route(state, &request)))
+            .unwrap_or_else(|_| Response::json(500, error_body("handler panicked"))),
+    };
+    state.metrics.observe_status(response.status);
+    response.write_to(stream);
+}
+
+/// `{"error": "<detail>"}`.
+fn error_body(detail: &str) -> String {
+    let mut out = String::from("{\"error\": ");
+    push_json_str(&mut out, detail);
+    out.push('}');
+    out
+}
+
+/// Maps one parsed request to its response. Total: every path/method
+/// combination answers something typed.
+pub fn route(state: &ServiceState, request: &Request) -> Response {
+    let method = request.method.as_str();
+    match request.path() {
+        "/healthz" => match method {
+            "GET" => Response::text(200, "ok\n"),
+            _ => method_not_allowed("GET"),
+        },
+        "/metrics" => match method {
+            "GET" => Response::text(200, state.metrics.render()),
+            _ => method_not_allowed("GET"),
+        },
+        "/v1/batches" => match method {
+            "POST" => submit(state, request),
+            _ => method_not_allowed("POST"),
+        },
+        "/v1/shutdown" => match method {
+            "POST" => {
+                state.begin_shutdown();
+                Response::json(202, "{\"shutdown\": \"draining\"}")
+            }
+            _ => method_not_allowed("POST"),
+        },
+        path => match path.strip_prefix("/v1/batches/") {
+            Some(rest) => batch_endpoint(state, method, rest),
+            None => Response::json(404, error_body("no such endpoint")),
+        },
+    }
+}
+
+fn method_not_allowed(allowed: &str) -> Response {
+    Response::json(
+        405,
+        error_body(&format!("method not allowed (try {allowed})")),
+    )
+}
+
+/// `POST /v1/batches`: parse, register, enqueue — or 400/503.
+fn submit(state: &ServiceState, request: &Request) -> Response {
+    if state.is_stopping() {
+        return Response::json(503, error_body("shutting down"));
+    }
+    let batch = match parse_batch_request(&request.body) {
+        Ok(batch) => batch,
+        Err(why) => return Response::json(400, error_body(&why)),
+    };
+    let pages = batch.pages.len();
+    let id = state.store.create(batch.pages, batch.max_retries);
+    if state.queue.push(id).is_err() {
+        state.store.remove(id);
+        Metrics::bump(&state.metrics.jobs_rejected);
+        return Response::json(503, error_body("job queue is full"));
+    }
+    Metrics::bump(&state.metrics.jobs_submitted);
+    Metrics::add(&state.metrics.pages_submitted, pages as u64);
+    Metrics::bump(&state.metrics.queue_depth);
+    Response::json(
+        202,
+        format!("{{\"job\": {id}, \"state\": \"queued\", \"pages\": {pages}}}"),
+    )
+}
+
+/// `GET|DELETE /v1/batches/{id}[/results]`.
+fn batch_endpoint(state: &ServiceState, method: &str, rest: &str) -> Response {
+    let (id_str, sub) = match rest.split_once('/') {
+        Some((id, sub)) => (id, Some(sub)),
+        None => (rest, None),
+    };
+    let Ok(id) = id_str.parse::<u64>() else {
+        return Response::json(404, error_body("no such job"));
+    };
+    match (method, sub) {
+        ("GET", None) => job_status(state, id),
+        ("DELETE", None) => job_cancel(state, id),
+        ("GET", Some("results")) => job_results(state, id),
+        ("DELETE", Some("results")) => method_not_allowed("GET"),
+        (_, None) => method_not_allowed("GET, DELETE"),
+        _ => Response::json(404, error_body("no such endpoint")),
+    }
+}
+
+/// `GET /v1/batches/{id}`: phase + stats (stats null until finished).
+fn job_status(state: &ServiceState, id: u64) -> Response {
+    let body = state.store.with_job(id, |job| {
+        let mut out = format!(
+            "{{\"job\": {id}, \"state\": \"{}\", \"pages\": {}, \"stats\": ",
+            job.phase.as_str(),
+            job.pages.len()
+        );
+        match &job.result {
+            Some(batch) => out.push_str(&stats_to_json(&batch.stats)),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    });
+    match body {
+        Some(body) => Response::json(200, body),
+        None => Response::json(404, error_body("no such job")),
+    }
+}
+
+/// `DELETE /v1/batches/{id}`: fires the job's cancel token. The job is
+/// never yanked — it settles through the normal pipeline (running
+/// against a fired token is the engine's all-cancelled fast path) and
+/// its results stay queryable, marked `cancelled`.
+fn job_cancel(state: &ServiceState, id: u64) -> Response {
+    match state.store.cancel(id) {
+        Some(phase) => {
+            Metrics::bump(&state.metrics.jobs_cancelled);
+            Response::json(
+                202,
+                format!(
+                    "{{\"job\": {id}, \"state\": \"{}\", \"cancel\": \"requested\"}}",
+                    phase.as_str()
+                ),
+            )
+        }
+        None => Response::json(404, error_body("no such job")),
+    }
+}
+
+/// `GET /v1/batches/{id}/results`: the full report document. 409 until
+/// the job finishes. The `failures` field is
+/// [`metaform_extractor::failures_to_json`] output verbatim, placed
+/// last so clients (and the differential test) can slice it out and
+/// feed it straight back to `failures_from_json`.
+fn job_results(state: &ServiceState, id: u64) -> Response {
+    let body = state.store.with_job(id, |job| {
+        let Some(batch) = &job.result else {
+            return Err(job.phase);
+        };
+        let status_by_page: HashMap<usize, ErrorKind> = batch
+            .failures
+            .iter()
+            .filter(|f| f.outcome != metaform_extractor::FailureOutcome::Recovered)
+            .map(|f| (f.page_index, f.error))
+            .collect();
+        let mut out = format!(
+            "{{\"job\": {id}, \"state\": \"{}\", \"stats\": {}, \"reports\": [",
+            job.phase.as_str(),
+            stats_to_json(&batch.stats)
+        );
+        for (index, extraction) in batch.extractions.iter().enumerate() {
+            if index > 0 {
+                out.push_str(", ");
+            }
+            let via = match extraction.via {
+                Provenance::Grammar => "grammar",
+                Provenance::BaselineFallback => "baseline",
+            };
+            let http_status = status_by_page.get(&index).map_or(200, |&kind| status_for(kind));
+            out.push_str(&format!(
+                "{{\"page_index\": {index}, \"via\": \"{via}\", \"http_status\": {http_status}, \"report\": "
+            ));
+            push_json_str(&mut out, &extraction.report.to_string());
+            out.push('}');
+        }
+        out.push_str("], \"failures\": ");
+        // Verbatim telemetry output, minus its trailing newline — the
+        // document's closing brace follows immediately.
+        out.push_str(failures_to_json(&batch.failures).trim_end());
+        out.push('}');
+        Ok(out)
+    });
+    match body {
+        None => Response::json(404, error_body("no such job")),
+        Some(Err(phase)) => Response::json(
+            409,
+            error_body(&format!("job is {}, results not ready", phase.as_str())),
+        ),
+        Some(Ok(body)) => Response::json(200, body),
+    }
+}
+
+/// A bound, not-yet-serving instance of `metaformd`.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+}
+
+impl Server {
+    /// Binds the configured address and builds the shared state (this
+    /// is where the grammar compiles — before the first request).
+    pub fn bind(config: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(ServiceState::new(config));
+        Ok(Server { listener, state })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared state, for embedding and tests.
+    pub fn state(&self) -> Arc<ServiceState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until shut down: spawns the pool workers, then accepts
+    /// connections serially. Returns once a shutdown has been
+    /// requested (`POST /v1/shutdown` or [`ServerHandle::shutdown`])
+    /// and every queued job has drained.
+    pub fn run(self) {
+        let workers: Vec<JoinHandle<()>> = (0..self.state.config.pool_workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&self.state);
+                std::thread::spawn(move || state.work_loop())
+            })
+            .collect();
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    // A peer that connects and goes silent must not
+                    // wedge the accept loop.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                    handle_connection(&self.state, &mut stream);
+                }
+                Err(_) => {
+                    // Transient accept errors (EINTR, resource blips):
+                    // keep serving; the stop flag still exits below.
+                }
+            }
+            if self.state.is_stopping() {
+                break;
+            }
+        }
+        self.state.queue.shutdown();
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// [`Server::run`] on a background thread; the handle shuts it
+    /// down. For tests and embedding.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let state = Arc::clone(&self.state);
+        let thread = std::thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            state,
+            thread,
+        })
+    }
+}
+
+/// Handle to a [`Server::spawn`]ed instance.
+#[derive(Debug)]
+pub struct ServerHandle {
+    /// The bound address.
+    pub addr: SocketAddr,
+    /// The server's shared state.
+    pub state: Arc<ServiceState>,
+    thread: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// Gracefully shuts the server down and waits for it: drains the
+    /// queue, then pokes the accept loop awake so it observes the stop
+    /// flag (accept blocks; a no-op connection is the std-only wakeup).
+    pub fn shutdown(self) {
+        self.state.begin_shutdown();
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.thread.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// An in-memory stream: reads from a fixed request, collects the
+    /// response.
+    struct MockStream {
+        input: Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Read for MockStream {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for MockStream {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Drives one request through `handle_connection`, returning
+    /// `(status, body)`.
+    fn send(state: &ServiceState, raw: &[u8]) -> (u16, String) {
+        let mut stream = MockStream {
+            input: Cursor::new(raw.to_vec()),
+            output: Vec::new(),
+        };
+        handle_connection(state, &mut stream);
+        let text = String::from_utf8(stream.output).expect("response is UTF-8");
+        let (head, body) = text.split_once("\r\n\r\n").expect("has a head");
+        let status = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("has a status");
+        (status, body.to_string())
+    }
+
+    fn post_batch(pages_json: &str) -> Vec<u8> {
+        let body = format!("{{\"pages\": {pages_json}}}");
+        format!(
+            "POST /v1/batches HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes()
+    }
+
+    fn test_state() -> ServiceState {
+        ServiceState::new(ServiceConfig {
+            batch_workers: Some(1),
+            queue_capacity: 2,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn routes_the_fixed_endpoints() {
+        let state = test_state();
+        let (status, body) = send(&state, b"GET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (status, body) = send(&state, b"GET /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("metaformd_requests_total"));
+        let (status, _) = send(&state, b"GET /nope HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 404);
+        let (status, _) = send(&state, b"DELETE /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 405);
+        let (status, _) = send(&state, b"GET /v1/batches HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 405);
+        let (status, _) = send(&state, b"GET /v1/batches/notanumber HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 404);
+        let (status, _) = send(&state, b"GET /v1/batches/1/sideways HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 404);
+        let (status, body) = send(
+            &state,
+            b"POST /v1/batches HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot json!",
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("error"));
+    }
+
+    #[test]
+    fn a_job_walks_submit_run_results() {
+        let state = test_state();
+        let (status, body) = send(
+            &state,
+            &post_batch(
+                r#"["<form>Author <input type=text name=q><input type=submit value=S></form>"]"#,
+            ),
+        );
+        assert_eq!(status, 202, "{body}");
+        assert!(body.contains("\"job\": 1"), "{body}");
+
+        // Not finished yet: status says queued, results say 409.
+        let (status, body) = send(&state, b"GET /v1/batches/1 HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"state\": \"queued\""), "{body}");
+        assert!(body.contains("\"stats\": null"), "{body}");
+        let (status, _) = send(&state, b"GET /v1/batches/1/results HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 409);
+
+        // Run the queued job the way a pool worker would.
+        let id = state.queue.pop().expect("queued");
+        state.run_job(id);
+
+        let (status, body) = send(&state, b"GET /v1/batches/1 HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"state\": \"done\""), "{body}");
+        assert!(body.contains("\"pages\": 1"), "{body}");
+        let (status, body) = send(&state, b"GET /v1/batches/1/results HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"via\": \"grammar\""), "{body}");
+        assert!(body.contains("\"http_status\": 200"), "{body}");
+        assert!(body.contains("Author"), "{body}");
+        assert!(body.ends_with("\"failures\": []}"), "{body}");
+
+        // Unknown job: 404 on all three verbs.
+        for raw in [
+            &b"GET /v1/batches/99 HTTP/1.1\r\n\r\n"[..],
+            b"GET /v1/batches/99/results HTTP/1.1\r\n\r\n",
+            b"DELETE /v1/batches/99 HTTP/1.1\r\n\r\n",
+        ] {
+            assert_eq!(send(&state, raw).0, 404);
+        }
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_settles_it_as_cancelled() {
+        let state = test_state();
+        let (status, _) = send(
+            &state,
+            &post_batch(r#"["<form>A <input type=text name=a></form>"]"#),
+        );
+        assert_eq!(status, 202);
+        let (status, body) = send(&state, b"DELETE /v1/batches/1 HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 202);
+        assert!(body.contains("\"cancel\": \"requested\""), "{body}");
+
+        // The worker still runs it — against the fired token.
+        let id = state.queue.pop().expect("still queued");
+        state.run_job(id);
+        let (_, body) = send(&state, b"GET /v1/batches/1 HTTP/1.1\r\n\r\n");
+        assert!(body.contains("\"state\": \"cancelled\""), "{body}");
+        let (status, body) = send(&state, b"GET /v1/batches/1/results HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200, "cancelled jobs keep queryable results");
+        assert!(body.contains("\"via\": \"baseline\""), "{body}");
+        assert!(body.contains("\"http_status\": 499"), "{body}");
+    }
+
+    #[test]
+    fn full_queue_answers_503_and_forgets_the_job() {
+        let state = test_state(); // capacity 2
+        for _ in 0..2 {
+            assert_eq!(send(&state, &post_batch("[]")).0, 202);
+        }
+        let (status, body) = send(&state, &post_batch("[]"));
+        assert_eq!(status, 503);
+        assert!(body.contains("queue is full"), "{body}");
+        // The rejected job is not queryable: it was never accepted.
+        let (status, _) = send(&state, b"GET /v1/batches/3 HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 404);
+        // And after shutdown begins, submissions are refused outright.
+        state.begin_shutdown();
+        assert_eq!(send(&state, &post_batch("[]")).0, 503);
+    }
+
+    #[test]
+    fn shutdown_endpoint_flips_the_flag() {
+        let state = test_state();
+        let (status, body) = send(&state, b"POST /v1/shutdown HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 202);
+        assert!(body.contains("draining"), "{body}");
+        assert!(state.is_stopping());
+        assert_eq!(state.queue.pop(), None, "queue is shut down and empty");
+    }
+}

@@ -32,6 +32,32 @@ grep -q '"error": "empty_form"' "$tmp/failures.json"
 grep -q '"outcome": "degraded"' "$tmp/failures.json"
 grep -q '^1,empty_form,degraded,' "$tmp/failures.csv"
 
+echo "==> cargo test -q --test service_http (HTTP vs in-process differential)"
+cargo test -q --test service_http
+
+echo "==> metaformd smoke (boot, /healthz, one batch end to end, shutdown)"
+./target/release/metaformd --addr 127.0.0.1:0 --pool-workers 1 > "$tmp/metaformd.log" &
+metaformd_pid=$!
+for _ in $(seq 1 100); do
+    grep -q 'listening on' "$tmp/metaformd.log" 2>/dev/null && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^metaformd listening on //p' "$tmp/metaformd.log")"
+test -n "$addr"
+curl -fsS "http://$addr/healthz" | grep -q ok
+job_json="$(curl -fsS -X POST "http://$addr/v1/batches" \
+    --data-binary '{"pages": ["<form>Author <input type=text name=q><input type=submit value=Go></form>"]}')"
+echo "$job_json" | grep -q '"state": "queued"'
+job="$(echo "$job_json" | sed -n 's/.*"job": \([0-9]*\).*/\1/p')"
+for _ in $(seq 1 100); do
+    curl -fsS "http://$addr/v1/batches/$job" | grep -q '"state": "done"' && break
+    sleep 0.1
+done
+curl -fsS "http://$addr/v1/batches/$job/results" | grep -q 'Author'
+curl -fsS "http://$addr/metrics" | grep -q 'metaformd_jobs_completed_total 1'
+curl -fsS -X POST "http://$addr/v1/shutdown" | grep -q draining
+wait "$metaformd_pid"
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --no-run --workspace --quiet
 

@@ -1,0 +1,73 @@
+//! Golden-corpus regression test: the survey corpus's extraction
+//! reports, pinned byte-for-byte.
+//!
+//! The parser is deterministic, so any diff against the golden file is
+//! a behavior change — intended ones are re-blessed, unintended ones
+//! are regressions caught here. To regenerate after an intentional
+//! change:
+//!
+//! ```text
+//! METAFORM_BLESS=1 cargo test --test golden_corpus
+//! ```
+//!
+//! then review the diff of `tests/golden/survey_reports.txt` like any
+//! other code change.
+
+use metaform_datasets::survey_corpus;
+use metaform_extractor::{FormExtractor, Provenance};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/survey_reports.txt")
+}
+
+/// Renders the whole corpus the way the golden file stores it: one
+/// `== name ==` header per page, the report's `Display` output, the
+/// provenance when degraded, and a blank separator line.
+fn render_corpus() -> String {
+    let corpus = survey_corpus();
+    let pages: Vec<&str> = corpus.iter().map(|(_, html)| html.as_str()).collect();
+    let extractions = FormExtractor::new().extract_batch(&pages);
+    let mut out = String::new();
+    for ((name, _), extraction) in corpus.iter().zip(&extractions) {
+        out.push_str("== ");
+        out.push_str(name);
+        out.push_str(" ==\n");
+        if extraction.via == Provenance::BaselineFallback {
+            out.push_str("(via proximity-baseline fallback)\n");
+        }
+        out.push_str(&extraction.report.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn survey_corpus_reports_match_the_golden_file() {
+    let rendered = render_corpus();
+    let path = golden_path();
+    if std::env::var_os("METAFORM_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("has a parent")).expect("mkdir");
+        std::fs::write(&path, &rendered).expect("write golden file");
+        println!("blessed {} ({} bytes)", path.display(), rendered.len());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\n\
+             (first run? bless it: METAFORM_BLESS=1 cargo test --test golden_corpus)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "survey corpus reports drifted from the golden file; if the \
+         change is intended, re-bless with METAFORM_BLESS=1 and review \
+         the diff"
+    );
+}
+
+#[test]
+fn golden_rendering_is_deterministic() {
+    assert_eq!(render_corpus(), render_corpus());
+}
