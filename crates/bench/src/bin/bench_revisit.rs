@@ -1,0 +1,232 @@
+//! Revisit-path benchmark: cold parses vs the parse cache's two
+//! tiers — exact-hit replay and delta re-parse — over the survey
+//! corpus and its deterministic revisit scenarios. Run as:
+//!
+//! ```text
+//! cargo run --release -p metaform-bench --bin bench_revisit [-- <out.json>]
+//! ```
+//!
+//! Writes `BENCH_revisit.json` (or `<out.json>`) with the median
+//! wall-clock time of four legs over pre-tokenized pages:
+//!
+//! - `cold`: every corpus page, no cache;
+//! - `exact_hit`: every corpus page re-extracted against a primed
+//!   cache (all replays);
+//! - `cold_mutated`: every revisit scenario's mutated page, no cache;
+//! - `delta`: the same mutated pages against a cache primed with the
+//!   originals (mostly delta re-parses).
+//!
+//! Every cached-path report is asserted byte-identical to its cold
+//! counterpart — the bench refuses to publish numbers for a cache
+//! that changes answers. Timing claims live in the JSON, not in
+//! asserts: the two headline ratios are `exact_hit_speedup`
+//! (cold / exact_hit) and `delta_speedup` (cold_mutated / delta).
+
+use metaform_bench::tokens_of;
+use metaform_core::Token;
+use metaform_datasets::{revisit_scenarios, survey_corpus};
+use metaform_extractor::{Extraction, FormExtractor, LruParseCache, Provenance};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Timing iterations per leg (median taken; one extra warm-up).
+const ITERATIONS: usize = 7;
+
+/// Cache big enough that no leg evicts (33 originals + 99 mutations).
+const CACHE_CAPACITY: usize = 256;
+
+fn median(mut times: Vec<Duration>) -> Duration {
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Times one pass of `extractor` over `batch`.
+fn pass(extractor: &FormExtractor, batch: &[Vec<Token>]) -> Duration {
+    let started = Instant::now();
+    for tokens in batch {
+        let _ = extractor.extract_tokens(tokens);
+    }
+    started.elapsed()
+}
+
+/// A cache-backed extractor primed with every page in `originals`.
+fn primed(originals: &[Vec<Token>]) -> FormExtractor {
+    let extractor = FormExtractor::new().parse_cache(Arc::new(LruParseCache::new(CACHE_CAPACITY)));
+    for tokens in originals {
+        let _ = extractor.extract_tokens(tokens);
+    }
+    extractor
+}
+
+fn assert_parity(cold: &Extraction, warm: &Extraction, label: &str) {
+    assert_eq!(
+        cold.report.to_string(),
+        warm.report.to_string(),
+        "{label}: cached report diverged from cold (via {:?})",
+        warm.via
+    );
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_revisit.json".into());
+
+    let corpus: Vec<(String, Vec<Token>)> = survey_corpus()
+        .iter()
+        .map(|(name, html)| (name.clone(), tokens_of(html)))
+        .collect();
+    let corpus_tokens: Vec<Vec<Token>> = corpus.iter().map(|(_, t)| t.clone()).collect();
+    let scenarios = revisit_scenarios();
+    let mutated: Vec<(String, Vec<Token>)> = scenarios
+        .iter()
+        .map(|s| (s.name.clone(), tokens_of(&s.mutated)))
+        .collect();
+    let mutated_tokens: Vec<Vec<Token>> = mutated.iter().map(|(_, t)| t.clone()).collect();
+    eprintln!(
+        "bench_revisit: {} corpus pages, {} revisit scenarios, {} timing iterations per leg",
+        corpus.len(),
+        scenarios.len(),
+        ITERATIONS
+    );
+
+    let cold = FormExtractor::new();
+    let cold_reports: Vec<Extraction> = corpus_tokens
+        .iter()
+        .map(|t| cold.extract_tokens(t))
+        .collect();
+    let cold_mutated_reports: Vec<Extraction> = mutated_tokens
+        .iter()
+        .map(|t| cold.extract_tokens(t))
+        .collect();
+
+    // Exact-hit leg: prime once, verify every revisit replays and
+    // matches cold, then time the replay passes.
+    let warm = primed(&corpus_tokens);
+    for (i, tokens) in corpus_tokens.iter().enumerate() {
+        let hit = warm.extract_tokens(tokens);
+        assert_eq!(
+            hit.via,
+            Provenance::CacheHit,
+            "{}: unchanged revisit must replay from the cache",
+            corpus[i].0
+        );
+        assert_parity(&cold_reports[i], &hit, &corpus[i].0);
+    }
+
+    // Delta leg: a fresh primed cache per pass (the pass itself stores
+    // the mutated visits, which would turn a second pass into replays).
+    // Count the tier each scenario landed on once, up front.
+    let mut tier_counts = [0usize; 3]; // [hit, delta, miss]
+    {
+        let warm = primed(&corpus_tokens);
+        for (i, tokens) in mutated_tokens.iter().enumerate() {
+            let e = warm.extract_tokens(tokens);
+            match e.via {
+                Provenance::CacheHit => tier_counts[0] += 1,
+                Provenance::DeltaReparse => tier_counts[1] += 1,
+                Provenance::Grammar => tier_counts[2] += 1,
+                Provenance::BaselineFallback => {
+                    panic!("{}: revisit degraded to the baseline", mutated[i].0)
+                }
+            }
+            assert_parity(&cold_mutated_reports[i], &e, &mutated[i].0);
+        }
+    }
+    assert!(
+        tier_counts[1] * 2 >= scenarios.len(),
+        "expected most single-edit revisits on the delta tier, got {tier_counts:?}"
+    );
+
+    pass(&cold, &corpus_tokens); // warm-up: fault in buffers
+    let cold_median = median(
+        (0..ITERATIONS)
+            .map(|_| pass(&cold, &corpus_tokens))
+            .collect(),
+    );
+    let hit_median = median(
+        (0..ITERATIONS)
+            .map(|_| pass(&warm, &corpus_tokens))
+            .collect(),
+    );
+    let cold_mutated_median = median(
+        (0..ITERATIONS)
+            .map(|_| pass(&cold, &mutated_tokens))
+            .collect(),
+    );
+    let delta_median = median(
+        (0..ITERATIONS)
+            .map(|_| pass(&primed(&corpus_tokens), &mutated_tokens))
+            .collect(),
+    );
+
+    let exact_hit_speedup = cold_median.as_secs_f64() / hit_median.as_secs_f64().max(1e-9);
+    let delta_speedup = cold_mutated_median.as_secs_f64() / delta_median.as_secs_f64().max(1e-9);
+    eprintln!(
+        "  cold         median {:>9.3} ms  ({} pages)",
+        ms(cold_median),
+        corpus.len()
+    );
+    eprintln!(
+        "  exact_hit    median {:>9.3} ms  speedup {exact_hit_speedup:.1}x",
+        ms(hit_median)
+    );
+    eprintln!(
+        "  cold_mutated median {:>9.3} ms  ({} pages)",
+        ms(cold_mutated_median),
+        scenarios.len()
+    );
+    eprintln!(
+        "  delta        median {:>9.3} ms  speedup {delta_speedup:.2}x  tiers hit/delta/miss {}/{}/{}",
+        ms(delta_median),
+        tier_counts[0],
+        tier_counts[1],
+        tier_counts[2]
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": \"survey_revisit\",\n",
+            "  \"interfaces\": {},\n",
+            "  \"scenarios\": {},\n",
+            "  \"iterations\": {},\n",
+            "  \"legs\": {{\n",
+            "    \"cold\": {{ \"pages\": {}, \"median_ms\": {:.3} }},\n",
+            "    \"exact_hit\": {{ \"pages\": {}, \"median_ms\": {:.3} }},\n",
+            "    \"cold_mutated\": {{ \"pages\": {}, \"median_ms\": {:.3} }},\n",
+            "    \"delta\": {{ \"pages\": {}, \"median_ms\": {:.3}, ",
+            "\"tier_hit\": {}, \"tier_delta\": {}, \"tier_miss\": {} }}\n",
+            "  }},\n",
+            "  \"exact_hit_speedup\": {:.3},\n",
+            "  \"delta_speedup\": {:.3}\n",
+            "}}\n"
+        ),
+        corpus.len(),
+        scenarios.len(),
+        ITERATIONS,
+        corpus.len(),
+        ms(cold_median),
+        corpus.len(),
+        ms(hit_median),
+        scenarios.len(),
+        ms(cold_mutated_median),
+        scenarios.len(),
+        ms(delta_median),
+        tier_counts[0],
+        tier_counts[1],
+        tier_counts[2],
+        exact_hit_speedup,
+        delta_speedup,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

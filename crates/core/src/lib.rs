@@ -14,18 +14,22 @@
 //! - [`condition::Condition`] — the semantic model `[attribute;
 //!   operators; domain]`;
 //! - [`report::ExtractionReport`] — extractor output with conflict and
-//!   missing-element errors.
+//!   missing-element errors;
+//! - [`fingerprint::TokenFingerprint`] — content-addressed identity of
+//!   a token stream, keying the revisit parse cache.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod condition;
+pub mod fingerprint;
 pub mod geom;
 pub mod relations;
 pub mod report;
 pub mod token;
 
 pub use condition::{Condition, DomainKind, DomainSpec};
+pub use fingerprint::TokenFingerprint;
 pub use geom::BBox;
 pub use relations::Proximity;
 pub use report::{Conflict, ExtractionReport};

@@ -12,6 +12,9 @@
 //! - the four evaluation [`dataset`]s: Basic (150), NewSource (30),
 //!   NewDomain (42), Random (30);
 //! - hand-written [`fixtures`] of the paper's Qam/Qaa figures;
+//! - [`revisit`] scenarios: deterministic label-edit / row-insert /
+//!   bbox-jitter mutations of the survey corpus, the workload for the
+//!   parse-cache parity suite and `bench_revisit`;
 //! - the per-domain [`BudgetPreset`] table seeding the adaptive batch
 //!   driver's first-pass parse budgets, with
 //!   [`BudgetPreset::from_stats`] to recalibrate from a prior run.
@@ -24,6 +27,7 @@ pub mod domains;
 pub mod fixtures;
 pub mod patterns;
 pub mod render;
+pub mod revisit;
 pub mod schema;
 pub mod zipf;
 
@@ -32,4 +36,5 @@ pub use dataset::{
 };
 pub use domains::BudgetPreset;
 pub use patterns::PatternId;
+pub use revisit::{revisit_scenarios, MutationKind, RevisitScenario};
 pub use schema::{Field, FieldKind, Schema};

@@ -43,7 +43,9 @@
 
 use crate::error::ExtractError;
 use crate::pipeline::{Extraction, FormExtractor, Provenance};
-use crate::telemetry::{duration_to_ms, AttemptRecord, ErrorKind, FailureOutcome, FailureRecord};
+use crate::telemetry::{
+    duration_to_ms, AttemptRecord, CacheOutcome, ErrorKind, FailureOutcome, FailureRecord,
+};
 use metaform_parser::{CancelToken, ParseStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -96,6 +98,16 @@ pub struct BatchStats {
     /// grammar path under an escalated budget. Always 0 on the
     /// non-adaptive APIs.
     pub recovered: usize,
+    /// Pages whose report was replayed from the parse cache without
+    /// parsing ([`Provenance::CacheHit`]). Always 0 without an
+    /// attached [`crate::ParseCache`].
+    pub cache_hits: usize,
+    /// Pages parsed seeded from a similar cached visit
+    /// ([`Provenance::DeltaReparse`]). Always 0 without a cache.
+    pub cache_delta: usize,
+    /// Pages that consulted the cache but parsed cold (grammar path
+    /// with a cache attached). Always 0 without a cache.
+    pub cache_misses: usize,
     /// Wall-clock time for the whole batch, retries included.
     pub elapsed: Duration,
 }
@@ -110,7 +122,7 @@ impl BatchStats {
     /// One-line summary for experiment tables.
     pub fn summary(&self) -> String {
         format!(
-            "pages={} workers={} tokens={} instances={} invalidated={} trees={} schedules_built={} panicked={} truncated={} timed_out={} empty={} cancelled={} degraded={} retried={} recovered={} time={:?}",
+            "pages={} workers={} tokens={} instances={} invalidated={} trees={} schedules_built={} panicked={} truncated={} timed_out={} empty={} cancelled={} degraded={} retried={} recovered={} cache_hits={} cache_delta={} cache_misses={} time={:?}",
             self.pages,
             self.workers,
             self.tokens,
@@ -126,6 +138,9 @@ impl BatchStats {
             self.degraded,
             self.retried,
             self.recovered,
+            self.cache_hits,
+            self.cache_delta,
+            self.cache_misses,
             self.elapsed
         )
     }
@@ -312,7 +327,7 @@ impl FormExtractor {
                 Err(err) => self.degrade_and_count(page, &err, &mut stats),
             })
             .collect();
-        Self::roll_up(&extractions, &mut stats);
+        self.roll_up(&extractions, &mut stats);
         stats.elapsed = started.elapsed();
         (extractions, stats)
     }
@@ -355,7 +370,8 @@ impl FormExtractor {
                         final_budgets: self.budgets(),
                     },
                 };
-                state.log_attempt(0, self.budgets());
+                let cache = self.attempt_cache_outcome(&state.result);
+                state.log_attempt(0, self.budgets(), cache);
                 state
             })
             .collect();
@@ -390,7 +406,8 @@ impl FormExtractor {
                 state.result = result;
                 state.stats = pstats;
                 state.story.final_budgets = round_extractor.budgets();
-                state.log_attempt(round, round_extractor.budgets());
+                let cache = round_extractor.attempt_cache_outcome(&state.result);
+                state.log_attempt(round, round_extractor.budgets(), cache);
             }
         }
 
@@ -419,7 +436,7 @@ impl FormExtractor {
                 }
             }
         }
-        Self::roll_up(&extractions, &mut stats);
+        self.roll_up(&extractions, &mut stats);
         stats.elapsed = started.elapsed();
         AdaptiveBatch {
             extractions,
@@ -449,17 +466,43 @@ impl FormExtractor {
     }
 
     /// Sums per-page counters into the batch rollup (shared by the
-    /// stats and adaptive drivers).
-    fn roll_up(extractions: &[Extraction], stats: &mut BatchStats) {
+    /// stats and adaptive drivers). Cache misses are counted only when
+    /// a cache is actually attached — a plain grammar extraction is
+    /// not a "miss" on an extractor that never consulted anything.
+    fn roll_up(&self, extractions: &[Extraction], stats: &mut BatchStats) {
+        let cached = self.cache().is_some();
         for ex in extractions {
-            if ex.via == Provenance::BaselineFallback {
-                stats.degraded += 1;
+            match ex.via {
+                Provenance::BaselineFallback => stats.degraded += 1,
+                Provenance::CacheHit => stats.cache_hits += 1,
+                Provenance::DeltaReparse => stats.cache_delta += 1,
+                Provenance::Grammar if cached => stats.cache_misses += 1,
+                Provenance::Grammar => {}
             }
             stats.tokens += ex.stats.tokens;
             stats.created += ex.stats.created;
             stats.invalidated += ex.stats.invalidated;
             stats.trees += ex.stats.trees;
             stats.schedules_built += ex.stats.schedules_built;
+        }
+    }
+
+    /// The cache interaction of one settled attempt, for the per-page
+    /// telemetry trail: `None` without a cache, on failures, and on
+    /// degraded pages.
+    fn attempt_cache_outcome(
+        &self,
+        result: &Result<Extraction, ExtractError>,
+    ) -> Option<CacheOutcome> {
+        self.cache()?;
+        match result {
+            Ok(ex) => match ex.via {
+                Provenance::CacheHit => Some(CacheOutcome::Hit),
+                Provenance::DeltaReparse => Some(CacheOutcome::Delta),
+                Provenance::Grammar => Some(CacheOutcome::Miss),
+                Provenance::BaselineFallback => None,
+            },
+            Err(_) => None,
         }
     }
 
@@ -481,7 +524,12 @@ impl PageState {
     /// page has failed at least once: clean pages (the common case)
     /// carry no telemetry at all, and a recovered page's final, clean
     /// attempt is logged because a failed one precedes it.
-    fn log_attempt(&mut self, round: usize, budgets: (usize, Option<Duration>)) {
+    fn log_attempt(
+        &mut self,
+        round: usize,
+        budgets: (usize, Option<Duration>),
+        cache: Option<CacheOutcome>,
+    ) {
         let error = self.result.as_ref().err().map(ErrorKind::of);
         if error.is_none() && self.story.attempts.is_empty() {
             return;
@@ -505,6 +553,7 @@ impl PageState {
             max_instances: budgets.0,
             deadline_ms: duration_to_ms(budgets.1),
             error,
+            cache,
             tokens,
             created,
             elapsed_us,
@@ -646,6 +695,55 @@ mod tests {
             assert_eq!(format!("{:?}", a.report), format!("{:?}", p.report));
             assert_eq!(a.via, Provenance::Grammar);
         }
+    }
+
+    #[test]
+    fn batch_counts_cache_outcomes() {
+        use crate::cache::LruParseCache;
+        let pages = pages();
+        let refs: Vec<&str> = pages.iter().map(String::as_str).collect();
+        // Without a cache, the counters stay zero.
+        let plain = FormExtractor::new().worker_threads(2);
+        let (_, stats) = plain.extract_batch_stats(&refs);
+        assert_eq!(
+            (stats.cache_hits, stats.cache_delta, stats.cache_misses),
+            (0, 0, 0)
+        );
+        // With one: the first pass misses everywhere, the revisit pass
+        // hits everywhere, and the reports agree byte for byte.
+        let extractor = FormExtractor::new()
+            .worker_threads(2)
+            .parse_cache(LruParseCache::shared());
+        let (first, s1) = extractor.extract_batch_stats(&refs);
+        assert_eq!(s1.cache_misses, refs.len());
+        assert_eq!((s1.cache_hits, s1.cache_delta), (0, 0));
+        let (second, s2) = extractor.extract_batch_stats(&refs);
+        assert_eq!(s2.cache_hits, refs.len());
+        assert_eq!((s2.cache_delta, s2.cache_misses), (0, 0));
+        assert!(s2.summary().contains("cache_hits="));
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.report.to_string(), b.report.to_string());
+        }
+    }
+
+    #[test]
+    fn adaptive_attempt_log_carries_cache_outcomes() {
+        use crate::cache::LruParseCache;
+        // QAM creates ~82 instances: a cap of 50 truncates the first
+        // pass and the doubled retry budget recovers it.
+        let extractor = FormExtractor::new()
+            .worker_threads(1)
+            .max_instances(50)
+            .parse_cache(LruParseCache::shared());
+        let adaptive = extractor.extract_batch_adaptive(&[QAM], &AdaptiveOptions::default());
+        assert_eq!(adaptive.stats.recovered, 1, "escalation recovers QAM");
+        let log = &adaptive.failures[0].attempt_log;
+        assert_eq!(log.first().unwrap().cache, None, "failed attempt");
+        assert_eq!(
+            log.last().unwrap().cache,
+            Some(CacheOutcome::Miss),
+            "the recovering attempt parsed cold under a cache"
+        );
     }
 
     #[test]

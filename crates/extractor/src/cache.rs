@@ -1,0 +1,306 @@
+//! Content-addressed parse cache for crawler-scale revisit traffic.
+//!
+//! A crawler revisiting a query interface usually finds it unchanged
+//! (tier A) or nearly so (tier B). The cache serves both tiers:
+//!
+//! * **Exact hit** — [`ParseCache::lookup`] keys on the page's
+//!   [`TokenFingerprint`]; an unchanged page returns its cached
+//!   [`ExtractionReport`] in O(hash), marked
+//!   [`crate::Provenance::CacheHit`].
+//! * **Delta re-parse** — on an exact miss, [`ParseCache::nearest`]
+//!   finds the prior visit sharing the longest content-equal
+//!   prefix+suffix with the new token stream; its retained
+//!   [`ChartSnapshot`] seeds
+//!   [`metaform_parser::ParseSession::parse_seeded`], which re-derives
+//!   only what the edit could have changed and is marked
+//!   [`crate::Provenance::DeltaReparse`]. The cache-parity suite
+//!   enforces that both tiers are byte-identical to a cold parse.
+//!
+//! The cache sits behind a trait ([`ParseCache`]) with `&self`
+//! methods, so one instance — typically the bounded-LRU
+//! [`LruParseCache`] — can be shared across extractors, batch workers,
+//! and service jobs via `Arc<dyn ParseCache>`. Entries remember the
+//! compiled grammar they were parsed under; an extractor ignores
+//! entries from a different grammar, so sharing a cache across
+//! differently-configured extractors degrades to misses instead of
+//! wrong answers.
+
+use metaform_core::{ExtractionReport, Token, TokenFingerprint};
+use metaform_grammar::CompiledGrammar;
+use metaform_parser::ChartSnapshot;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One finished grammar-path visit retained for future revisits: the
+/// exact tokens, the merged report to replay on an exact hit, and the
+/// chart snapshot to seed a delta re-parse from.
+#[derive(Clone, Debug)]
+pub struct CachedVisit {
+    /// The visit's token stream, ids included (exact hits must match
+    /// it in full; the fingerprint alone could collide).
+    pub tokens: Vec<Token>,
+    /// The merged report the visit produced.
+    pub report: ExtractionReport,
+    /// The finished chart, for seeding a delta re-parse.
+    pub snapshot: ChartSnapshot,
+    /// The compiled grammar the visit parsed under. Consumers must
+    /// ignore visits from a different artifact (`Arc::ptr_eq`).
+    pub grammar: Arc<CompiledGrammar>,
+}
+
+/// A shareable store of finished visits, keyed by token fingerprint.
+///
+/// All methods take `&self` (implementations synchronize internally)
+/// so one cache can back concurrent batch workers and service jobs.
+pub trait ParseCache: Send + Sync + std::fmt::Debug {
+    /// The visit stored under `key`, if any. Implementations should
+    /// treat a lookup as a use for eviction purposes.
+    fn lookup(&self, key: &TokenFingerprint) -> Option<Arc<CachedVisit>>;
+
+    /// The stored visit sharing the longest content-equal
+    /// prefix+suffix with `tokens` (ties: most recently used),
+    /// together with that shared length — or `None` when nothing
+    /// overlaps at all. The candidate pool for a delta re-parse;
+    /// callers apply their own similarity threshold to the returned
+    /// length.
+    fn nearest(&self, tokens: &[Token]) -> Option<(Arc<CachedVisit>, usize)>;
+
+    /// Stores a finished visit under its fingerprint, evicting as
+    /// needed.
+    fn store(&self, key: TokenFingerprint, visit: Arc<CachedVisit>);
+
+    /// Number of visits currently held.
+    fn len(&self) -> usize;
+
+    /// Whether the cache holds nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Content equality of two tokens, ids aside — the comparison the
+/// revisit tiers are defined over (same fields the
+/// [`TokenFingerprint`] hashes).
+pub fn token_content_eq(a: &Token, b: &Token) -> bool {
+    a.kind == b.kind
+        && a.pos == b.pos
+        && a.checked == b.checked
+        && a.sval == b.sval
+        && a.name == b.name
+        && a.options == b.options
+}
+
+/// Length of the longest content-equal prefix plus suffix between two
+/// token streams (ids ignored; the two never overlap) — the shared
+/// region a delta re-parse would carry.
+pub fn shared_affix(old: &[Token], new: &[Token]) -> usize {
+    let limit = old.len().min(new.len());
+    let mut prefix = 0;
+    while prefix < limit && token_content_eq(&old[prefix], &new[prefix]) {
+        prefix += 1;
+    }
+    let mut suffix = 0;
+    while suffix < limit - prefix
+        && token_content_eq(&old[old.len() - 1 - suffix], &new[new.len() - 1 - suffix])
+    {
+        suffix += 1;
+    }
+    prefix + suffix
+}
+
+/// Bounded LRU [`ParseCache`]: a fingerprint-keyed map with a
+/// monotone use tick; inserting past capacity evicts the
+/// least-recently-used entry. Lock poisoning is shrugged off (the
+/// cache holds immutable `Arc`s, so a panicked holder cannot leave a
+/// half-written entry behind).
+#[derive(Debug)]
+pub struct LruParseCache {
+    capacity: usize,
+    inner: Mutex<LruInner>,
+}
+
+#[derive(Debug, Default)]
+struct LruInner {
+    map: HashMap<TokenFingerprint, (u64, Arc<CachedVisit>)>,
+    tick: u64,
+}
+
+impl LruParseCache {
+    /// Default [`LruParseCache::new`] capacity.
+    pub const DEFAULT_CAPACITY: usize = 128;
+
+    /// A cache holding at most `capacity` visits (0 is treated as 1).
+    pub fn new(capacity: usize) -> Self {
+        LruParseCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(LruInner::default()),
+        }
+    }
+
+    /// A default-capacity cache behind the `Arc<dyn ParseCache>`
+    /// handle extractors and services share.
+    pub fn shared() -> Arc<dyn ParseCache> {
+        Arc::new(Self::new(Self::DEFAULT_CAPACITY))
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, LruInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Default for LruParseCache {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl ParseCache for LruParseCache {
+    fn lookup(&self, key: &TokenFingerprint) -> Option<Arc<CachedVisit>> {
+        let mut inner = self.locked();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(key).map(|entry| {
+            entry.0 = tick;
+            entry.1.clone()
+        })
+    }
+
+    fn nearest(&self, tokens: &[Token]) -> Option<(Arc<CachedVisit>, usize)> {
+        let mut inner = self.locked();
+        inner.tick += 1;
+        let tick = inner.tick;
+        // Deterministic despite HashMap iteration: the max is taken
+        // over (shared, tick), and ticks are unique. An entry whose
+        // shorter stream cannot beat the best shared length so far is
+        // skipped without comparing a single token.
+        let mut best: Option<(usize, u64, TokenFingerprint)> = None;
+        for (k, (tick, visit)) in inner.map.iter() {
+            let ceiling = visit.tokens.len().min(tokens.len());
+            if ceiling < best.map_or(1, |(shared, _, _)| shared) {
+                continue;
+            }
+            let candidate = (shared_affix(&visit.tokens, tokens), *tick, *k);
+            if candidate.0 > 0 && best.is_none_or(|b| candidate > b) {
+                best = Some(candidate);
+            }
+        }
+        let (shared, _, key) = best?;
+        let entry = inner.map.get_mut(&key).expect("key just found");
+        entry.0 = tick;
+        Some((entry.1.clone(), shared))
+    }
+
+    fn store(&self, key: TokenFingerprint, visit: Arc<CachedVisit>) {
+        let mut inner = self.locked();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key, (tick, visit));
+        if inner.map.len() > self.capacity {
+            // Evict the least-recently-used entry (unique ticks make
+            // the min unambiguous).
+            let lru = inner
+                .map
+                .iter()
+                .map(|(k, (tick, _))| (*tick, *k))
+                .min()
+                .map(|(_, k)| k)
+                .expect("cache over capacity is nonempty");
+            inner.map.remove(&lru);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.locked().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaform_core::BBox;
+
+    fn tok(i: u32, s: &str) -> Token {
+        Token::text(i, s, BBox::new(0, i as i32 * 20, 40, i as i32 * 20 + 16))
+    }
+
+    fn visit(tokens: Vec<Token>) -> Arc<CachedVisit> {
+        let grammar = metaform_grammar::global_compiled();
+        let session = &mut metaform_parser::ParseSession::new(grammar.clone());
+        let result = session.parse(&tokens);
+        let snapshot = ChartSnapshot::of(&result).expect("unbudgeted parse completes");
+        Arc::new(CachedVisit {
+            tokens,
+            report: metaform_parser::merge(&result.chart, &result.trees),
+            snapshot,
+            grammar,
+        })
+    }
+
+    #[test]
+    fn lookup_round_trips_and_misses() {
+        let cache = LruParseCache::new(4);
+        let v = visit(vec![tok(0, "Author")]);
+        let key = TokenFingerprint::of(&v.tokens);
+        assert!(cache.lookup(&key).is_none());
+        assert!(cache.is_empty());
+        cache.store(key, v.clone());
+        assert_eq!(cache.len(), 1);
+        let back = cache.lookup(&key).expect("stored");
+        assert_eq!(back.tokens, v.tokens);
+        let other = TokenFingerprint::of(&[tok(0, "Title")]);
+        assert!(cache.lookup(&other).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = LruParseCache::new(2);
+        let visits: Vec<_> = ["a", "b", "c"]
+            .iter()
+            .map(|s| visit(vec![tok(0, s)]))
+            .collect();
+        let keys: Vec<_> = visits
+            .iter()
+            .map(|v| TokenFingerprint::of(&v.tokens))
+            .collect();
+        cache.store(keys[0], visits[0].clone());
+        cache.store(keys[1], visits[1].clone());
+        // Touch "a" so "b" is the LRU when "c" arrives.
+        assert!(cache.lookup(&keys[0]).is_some());
+        cache.store(keys[2], visits[2].clone());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&keys[0]).is_some(), "recently used survives");
+        assert!(cache.lookup(&keys[1]).is_none(), "LRU evicted");
+        assert!(cache.lookup(&keys[2]).is_some());
+    }
+
+    #[test]
+    fn nearest_prefers_the_longest_shared_affix() {
+        let cache = LruParseCache::new(4);
+        let far = visit(vec![tok(0, "x"), tok(1, "y")]);
+        let near = visit(vec![tok(0, "a"), tok(1, "b"), tok(2, "c")]);
+        cache.store(TokenFingerprint::of(&far.tokens), far);
+        cache.store(TokenFingerprint::of(&near.tokens), near.clone());
+        // Edit the middle of the near stream: prefix 1 + suffix 1.
+        let probe = vec![tok(0, "a"), tok(1, "B"), tok(2, "c")];
+        let (found, shared) = cache.nearest(&probe).expect("overlap exists");
+        assert_eq!(found.tokens, near.tokens);
+        assert_eq!(shared, 2, "prefix 1 + suffix 1");
+        // A stream sharing nothing finds nothing.
+        let alien = vec![tok(5, "zzz")];
+        assert!(cache.nearest(&alien).is_none());
+    }
+
+    #[test]
+    fn shared_affix_ignores_ids_and_never_overlaps() {
+        let old = vec![tok(0, "a"), tok(1, "b")];
+        let mut renumbered = old.clone();
+        renumbered[0].id = metaform_core::TokenId(7);
+        renumbered[1].id = metaform_core::TokenId(8);
+        assert_eq!(shared_affix(&old, &renumbered), 2, "ids excluded");
+        // Repeated identical tokens: prefix + suffix stays bounded by
+        // the shorter stream.
+        let rep = vec![tok(0, "a"), tok(0, "a")];
+        let longer = vec![tok(0, "a"), tok(0, "a"), tok(0, "a")];
+        assert!(shared_affix(&rep, &longer) <= 2);
+    }
+}

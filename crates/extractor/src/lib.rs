@@ -52,12 +52,26 @@
 //! is narrated as a [`FailureRecord`] — JSON/CSV-serializable via
 //! [`telemetry`] — so corpus runs leave a machine-readable failure
 //! trail instead of log lines.
+//!
+//! ## Revisit path: parse cache + incremental re-parse
+//!
+//! Crawler-scale deployments re-extract pages that are identical or
+//! nearly identical to a prior visit. An extractor built with
+//! [`FormExtractor::parse_cache`] serves those revisits in two tiers:
+//! an unchanged page replays its cached report in O(hash)
+//! ([`Provenance::CacheHit`]); a near-identical page seeds its parse
+//! from the cached chart snapshot and re-derives only the changed
+//! region ([`Provenance::DeltaReparse`]). Both tiers are
+//! byte-identical to a cold parse — the cache-parity invariant the
+//! `cache_parity` suite enforces — and [`BatchStats`] counts
+//! hits/deltas/misses per batch (see [`cache`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod batch;
+pub mod cache;
 pub mod error;
 pub mod pipeline;
 pub mod resolve;
@@ -65,10 +79,11 @@ pub mod telemetry;
 
 pub use baseline::extract_baseline;
 pub use batch::{AdaptiveBatch, AdaptiveOptions, BatchStats};
+pub use cache::{CachedVisit, LruParseCache, ParseCache};
 pub use error::ExtractError;
 pub use pipeline::{Extraction, FormExtractor, Provenance};
 pub use resolve::{attach_missing, resolve_conflicts, DomainKnowledge};
 pub use telemetry::{
     failures_from_json, failures_to_csv, failures_to_json, stats_from_json, stats_to_json,
-    AttemptRecord, ErrorKind, FailureOutcome, FailureRecord,
+    AttemptRecord, CacheOutcome, ErrorKind, FailureOutcome, FailureRecord,
 };

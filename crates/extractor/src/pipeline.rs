@@ -5,12 +5,15 @@
 //!   [best-effort parser ⟲ 2P grammar] → [merger] → query capabilities
 //! ```
 
+use crate::cache::{CachedVisit, ParseCache};
 use crate::error::{panic_message, ExtractError};
-use metaform_core::{ExtractionReport, Token};
+use metaform_core::{ExtractionReport, Token, TokenFingerprint};
 use metaform_grammar::{global_compiled, CompiledGrammar, Grammar, GrammarError};
 use metaform_html::parse as parse_html;
 use metaform_layout::{layout_with, LayoutOptions};
-use metaform_parser::{merge, BudgetOutcome, CancelToken, ParseSession, ParseStats, ParserOptions};
+use metaform_parser::{
+    merge, BudgetOutcome, CancelToken, ChartSnapshot, ParseSession, ParseStats, ParserOptions,
+};
 use metaform_tokenizer::tokenize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -30,6 +33,15 @@ pub enum Provenance {
     /// The proximity-baseline heuristic, used because the grammar path
     /// failed (see [`ExtractError`] for why).
     BaselineFallback,
+    /// The report was replayed from an attached [`ParseCache`] — the
+    /// page's tokens matched a prior visit exactly, so no parse ran.
+    CacheHit,
+    /// The full pipeline ran, but the parse was seeded from a similar
+    /// cached visit's chart snapshot
+    /// ([`metaform_parser::ParseSession::parse_seeded`]) instead of
+    /// starting cold. Byte-identical to [`Provenance::Grammar`] output
+    /// by the cache-parity invariant.
+    DeltaReparse,
 }
 
 /// Result of extracting one query interface.
@@ -60,6 +72,7 @@ pub struct FormExtractor {
     workers: Option<usize>,
     fault_marker: Option<String>,
     cancel_marker: Option<String>,
+    cache: Option<Arc<dyn ParseCache>>,
 }
 
 impl FormExtractor {
@@ -98,6 +111,7 @@ impl FormExtractor {
             workers: None,
             fault_marker: None,
             cancel_marker: None,
+            cache: None,
         }
     }
 
@@ -170,6 +184,28 @@ impl FormExtractor {
     pub fn inject_cancel_marker(mut self, marker: impl Into<String>) -> Self {
         self.cancel_marker = Some(marker.into());
         self
+    }
+
+    /// Attaches a parse cache (builder style) — the two-tier revisit
+    /// path for crawler-scale traffic. A page whose tokens match a
+    /// cached visit exactly replays the cached report in O(hash)
+    /// ([`Provenance::CacheHit`]); a near-match seeds the parse from
+    /// the cached chart snapshot ([`Provenance::DeltaReparse`]);
+    /// anything else parses cold and, when it completes on the grammar
+    /// path, is stored for the next visit. Both cached tiers are
+    /// byte-identical to a cold parse (the cache-parity invariant).
+    /// The cache is shared: clones of this extractor, batch workers,
+    /// and other extractors holding the same `Arc` all feed and serve
+    /// from it. Entries from a different compiled grammar are ignored,
+    /// so cross-grammar sharing is safe, just useless.
+    pub fn parse_cache(mut self, cache: Arc<dyn ParseCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached parse cache, if any.
+    pub fn cache(&self) -> Option<&Arc<dyn ParseCache>> {
+        self.cache.as_ref()
     }
 
     /// The grammar in use.
@@ -386,16 +422,95 @@ impl FormExtractor {
     }
 
     fn extract_tokens_in(&self, session: &mut ParseSession, tokens: &[Token]) -> Extraction {
-        let result = session.parse(tokens);
+        // One fingerprint serves the exact-hit lookup and the store.
+        let fingerprint = self.cache.as_ref().map(|_| TokenFingerprint::of(tokens));
+        if let Some(hit) = self.replay_cached(tokens, fingerprint.as_ref()) {
+            return hit;
+        }
+        let seed = self.seed_visit(tokens);
+        let result = match &seed {
+            Some(visit) => session.parse_seeded(tokens, &visit.snapshot),
+            None => session.parse(tokens),
+        };
         let report = merge(&result.chart, &result.trees);
         let stats = result.stats.clone();
-        session.recycle(result);
+        if let Some(spare) = self.store_visit(tokens, fingerprint, &report, result) {
+            session.recycle(spare);
+        }
         Extraction {
             report,
             stats,
             tokens: tokens.to_vec(),
-            via: Provenance::Grammar,
+            via: if seed.is_some() {
+                Provenance::DeltaReparse
+            } else {
+                Provenance::Grammar
+            },
         }
+    }
+
+    /// Tier A: replays the cached report when the page's tokens match
+    /// a prior visit exactly. The fingerprint addresses the entry; the
+    /// full token comparison rules out collisions. The synthesized
+    /// stats carry only the token count — no parse ran.
+    fn replay_cached(
+        &self,
+        tokens: &[Token],
+        fingerprint: Option<&TokenFingerprint>,
+    ) -> Option<Extraction> {
+        let cache = self.cache.as_ref()?;
+        let visit = cache.lookup(fingerprint?)?;
+        (Arc::ptr_eq(&visit.grammar, &self.grammar) && visit.tokens == tokens).then(|| Extraction {
+            report: visit.report.clone(),
+            stats: ParseStats {
+                tokens: tokens.len(),
+                ..Default::default()
+            },
+            tokens: tokens.to_vec(),
+            via: Provenance::CacheHit,
+        })
+    }
+
+    /// Tier B candidate: the cached visit to seed a delta re-parse
+    /// from, if one parsed under this grammar and shares at least half
+    /// of `tokens` as a content-equal prefix+suffix. Below that the
+    /// carried region is too small for seeding to beat a cold parse.
+    fn seed_visit(&self, tokens: &[Token]) -> Option<Arc<CachedVisit>> {
+        let (visit, shared) = self.cache.as_ref()?.nearest(tokens)?;
+        (Arc::ptr_eq(&visit.grammar, &self.grammar) && shared * 2 >= tokens.len()).then_some(visit)
+    }
+
+    /// Retains a finished grammar-path parse for future revisits,
+    /// moving the result's chart into the cached snapshot (no deep
+    /// copy). Only completed parses are stored —
+    /// [`ChartSnapshot::take`] refuses truncated/timed-out/cancelled
+    /// charts, whose unexplored combinations would break the
+    /// seeded-watermark soundness argument — and a refused (or
+    /// uncached) result is handed back for the session to recycle.
+    fn store_visit(
+        &self,
+        tokens: &[Token],
+        fingerprint: Option<TokenFingerprint>,
+        report: &ExtractionReport,
+        result: metaform_parser::ParseResult,
+    ) -> Option<metaform_parser::ParseResult> {
+        let Some(cache) = &self.cache else {
+            return Some(result);
+        };
+        let snapshot = match ChartSnapshot::take(result) {
+            Ok(snapshot) => snapshot,
+            Err(result) => return Some(result),
+        };
+        cache.store(
+            fingerprint.expect("fingerprint exists whenever a cache is attached"),
+            Arc::new(CachedVisit {
+                tokens: tokens.to_vec(),
+                report: report.clone(),
+                snapshot,
+                grammar: self.grammar.clone(),
+            }),
+        );
+        None
     }
 }
 
@@ -575,6 +690,45 @@ pub(crate) mod tests {
             Err(ExtractError::Truncated { page_index: 0 })
         ));
         assert!(FormExtractor::new().try_extract(QAM).is_ok());
+    }
+
+    #[test]
+    fn parse_cache_serves_exact_and_delta_revisits() {
+        use crate::cache::LruParseCache;
+        let cache = LruParseCache::shared();
+        let extractor = FormExtractor::new().parse_cache(cache.clone());
+        let cold = extractor.extract(QAM);
+        assert_eq!(cold.via, Provenance::Grammar);
+        assert_eq!(cache.len(), 1, "completed parse stored");
+        // Unchanged revisit: replayed, not re-parsed.
+        let hit = extractor.extract(QAM);
+        assert_eq!(hit.via, Provenance::CacheHit);
+        assert_eq!(hit.report.to_string(), cold.report.to_string());
+        assert_eq!(hit.tokens, cold.tokens);
+        assert_eq!(hit.stats.created, 0, "no parse ran");
+        // Edited revisit: seeded from the cached chart, byte-identical
+        // to a cold parse of the edited page.
+        let edited = QAM.replace("<b>Subject</b>", "<b>Keywords</b>");
+        let delta = extractor.extract(&edited);
+        assert_eq!(delta.via, Provenance::DeltaReparse);
+        let cold_edited = FormExtractor::new().extract(&edited);
+        assert_eq!(delta.report.to_string(), cold_edited.report.to_string());
+        // The edited visit was stored too: revisiting it hits.
+        assert_eq!(extractor.extract(&edited).via, Provenance::CacheHit);
+    }
+
+    #[test]
+    fn uncacheable_outcomes_are_not_stored() {
+        use crate::cache::LruParseCache;
+        let cache = LruParseCache::shared();
+        // A truncated parse must not seed future revisits: its chart
+        // is incomplete, and its baseline report is not a parse.
+        let capped = FormExtractor::new()
+            .max_instances(3)
+            .parse_cache(cache.clone());
+        let degraded = capped.extract(QAM);
+        assert_eq!(degraded.via, Provenance::BaselineFallback);
+        assert!(cache.is_empty(), "nothing cached from a failed parse");
     }
 
     #[test]

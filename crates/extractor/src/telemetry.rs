@@ -87,6 +87,43 @@ impl ErrorKind {
     }
 }
 
+/// How one attempt interacted with the extractor's attached
+/// [`crate::ParseCache`] — absent entirely when no cache is attached
+/// or the attempt never produced a grammar-path result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Exact fingerprint hit: the cached report was replayed, no parse
+    /// ran ([`crate::Provenance::CacheHit`]).
+    Hit,
+    /// A similar cached visit seeded a delta re-parse
+    /// ([`crate::Provenance::DeltaReparse`]).
+    Delta,
+    /// The cache was consulted but the page parsed cold
+    /// ([`crate::Provenance::Grammar`] with a cache attached).
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Stable serialization name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Delta => "delta",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+
+    /// Inverse of [`CacheOutcome::as_str`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "hit" => CacheOutcome::Hit,
+            "delta" => CacheOutcome::Delta,
+            "miss" => CacheOutcome::Miss,
+            other => return Err(format!("unknown cache outcome {other:?}")),
+        })
+    }
+}
+
 /// How a failed page's story ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FailureOutcome {
@@ -133,6 +170,9 @@ pub struct AttemptRecord {
     pub deadline_ms: Option<u64>,
     /// What went wrong, or `None` for the succeeding attempt.
     pub error: Option<ErrorKind>,
+    /// How the attempt interacted with the parse cache (`None` when no
+    /// cache was attached or the attempt failed).
+    pub cache: Option<CacheOutcome>,
     /// Tokens the page produced (0 when no parse ran).
     pub tokens: usize,
     /// Instances the parse created before it ended.
@@ -258,6 +298,11 @@ pub fn failures_to_json(records: &[FailureRecord]) -> String {
                 Some(kind) => push_json_str(&mut out, kind.as_str()),
                 None => out.push_str("null"),
             }
+            out.push_str(", \"cache\": ");
+            match a.cache {
+                Some(outcome) => push_json_str(&mut out, outcome.as_str()),
+                None => out.push_str("null"),
+            }
             let _ = write!(
                 out,
                 ", \"tokens\": {}, \"created\": {}, \"elapsed_us\": {}}}",
@@ -309,7 +354,7 @@ pub fn failures_to_csv(records: &[FailureRecord]) -> String {
 /// is the inverse up to that sub-microsecond truncation.
 pub fn stats_to_json(stats: &BatchStats) -> String {
     let mut out = String::from("{");
-    let fields: [(&str, u64); 15] = [
+    let fields: [(&str, u64); 18] = [
         ("pages", stats.pages as u64),
         ("workers", stats.workers as u64),
         ("tokens", stats.tokens as u64),
@@ -325,6 +370,9 @@ pub fn stats_to_json(stats: &BatchStats) -> String {
         ("degraded", stats.degraded as u64),
         ("retried", stats.retried as u64),
         ("recovered", stats.recovered as u64),
+        ("cache_hits", stats.cache_hits as u64),
+        ("cache_delta", stats.cache_delta as u64),
+        ("cache_misses", stats.cache_misses as u64),
     ];
     for (name, value) in fields {
         let _ = write!(out, "\"{name}\": {value}, ");
@@ -368,6 +416,9 @@ pub fn stats_from_json(src: &str) -> Result<BatchStats, String> {
         degraded: usize_field("degraded")?,
         retried: usize_field("retried")?,
         recovered: usize_field("recovered")?,
+        cache_hits: usize_field("cache_hits")?,
+        cache_delta: usize_field("cache_delta")?,
+        cache_misses: usize_field("cache_misses")?,
         elapsed: Duration::from_micros(root.field("elapsed_us")?.num()?),
     })
 }
@@ -600,6 +651,10 @@ pub fn failures_from_json(src: &str) -> Result<Vec<FailureRecord>, String> {
                                 Json::Null => None,
                                 v => Some(ErrorKind::parse(v.str()?)?),
                             },
+                            cache: match a.field("cache")? {
+                                Json::Null => None,
+                                v => Some(CacheOutcome::parse(v.str()?)?),
+                            },
                             tokens: a.field("tokens")?.num()? as usize,
                             created: a.field("created")?.num()? as usize,
                             elapsed_us: a.field("elapsed_us")?.num()?,
@@ -645,6 +700,7 @@ mod tests {
                         max_instances: 2000,
                         deadline_ms: None,
                         error: Some(ErrorKind::Truncated),
+                        cache: None,
                         tokens: 22,
                         created: 2000,
                         elapsed_us: 713,
@@ -654,6 +710,7 @@ mod tests {
                         max_instances: 4000,
                         deadline_ms: None,
                         error: None,
+                        cache: Some(CacheOutcome::Delta),
                         tokens: 22,
                         created: 3107,
                         elapsed_us: 1911,
@@ -673,6 +730,7 @@ mod tests {
                     max_instances: 2000,
                     deadline_ms: Some(250),
                     error: Some(ErrorKind::Panicked),
+                    cache: None,
                     tokens: 0,
                     created: 0,
                     elapsed_us: 0,
@@ -768,6 +826,9 @@ mod tests {
             degraded: 15,
             retried: 6,
             recovered: 7,
+            cache_hits: 8,
+            cache_delta: 9,
+            cache_misses: 10,
             elapsed: Duration::from_micros(8_675_309),
         };
         let json = stats_to_json(&stats);

@@ -6,6 +6,8 @@
 //! rollback), and a dedup set so the fix-point terminates.
 
 use crate::dedup::ComboSet;
+use crate::intern::{intern_locked, lock_pool};
+use crate::revisit::TokenDiff;
 use crate::tokenset::TokenSet;
 use metaform_core::{BBox, Token, TokenId};
 use metaform_grammar::{Payload, ProdId, SymbolId, View};
@@ -49,10 +51,33 @@ pub struct Instance {
     pub valid: bool,
 }
 
+/// Interned text fields of one token: ids into the process-global
+/// pool for `sval` and `name`, plus a slice of option ids in the
+/// chart's flat `opt_ids` arena. Two tokens (possibly from different
+/// charts) have equal texts iff their keys and option slices are
+/// equal — the id-based compare the revisit diff runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct TextKey {
+    sval: u32,
+    name: u32,
+    opts_start: u32,
+    opts_len: u32,
+}
+
+impl TextKey {
+    fn opts_range(self) -> std::ops::Range<usize> {
+        self.opts_start as usize..(self.opts_start + self.opts_len) as usize
+    }
+}
+
 /// The parse chart: instance arena plus indexes.
 #[derive(Clone, Debug)]
 pub struct Chart {
     tokens: Vec<Token>,
+    /// Interned text ids, parallel to `tokens`.
+    text_keys: Vec<TextKey>,
+    /// Flat arena of interned option-label ids (see [`TextKey`]).
+    opt_ids: Vec<u32>,
     instances: Vec<Instance>,
     by_symbol: Vec<Vec<InstId>>,
     parents: Vec<Vec<InstId>>,
@@ -63,13 +88,17 @@ impl Chart {
     /// Creates a chart over the given tokens with `symbol_count`
     /// symbols in the grammar.
     pub fn new(tokens: Vec<Token>, symbol_count: usize) -> Self {
-        Chart {
+        let mut chart = Chart {
             tokens,
+            text_keys: Vec::new(),
+            opt_ids: Vec::new(),
             instances: Vec::new(),
             by_symbol: vec![Vec::new(); symbol_count],
             parents: Vec::new(),
             dedup: ComboSet::default(),
-        }
+        };
+        chart.index_texts();
+        chart
     }
 
     /// Clears the chart and re-targets it at a new token slice,
@@ -77,8 +106,21 @@ impl Chart {
     /// parse-many path: a [`crate::ParseSession`] resets one chart per
     /// parse instead of allocating a fresh one.
     pub fn reset_for(&mut self, tokens: &[Token], symbol_count: usize) {
-        self.tokens.clear();
-        self.tokens.extend_from_slice(tokens);
+        // Field-wise copy into the recycled tokens so the retained
+        // `String`/`Vec` buffers are reused instead of reallocated.
+        let shared = self.tokens.len().min(tokens.len());
+        self.tokens.truncate(tokens.len());
+        for (dst, src) in self.tokens.iter_mut().zip(&tokens[..shared]) {
+            dst.id = src.id;
+            dst.kind = src.kind;
+            dst.pos = src.pos;
+            dst.sval.clone_from(&src.sval);
+            dst.name.clone_from(&src.name);
+            dst.options.clone_from(&src.options);
+            dst.checked = src.checked;
+        }
+        self.tokens.extend_from_slice(&tokens[shared..]);
+        self.index_texts();
         self.instances.clear();
         self.by_symbol.truncate(symbol_count);
         for bucket in &mut self.by_symbol {
@@ -87,6 +129,42 @@ impl Chart {
         self.by_symbol.resize_with(symbol_count, Vec::new);
         self.parents.clear();
         self.dedup.clear();
+    }
+
+    /// (Re)interns every token's texts into `text_keys`/`opt_ids`,
+    /// taking the global pool lock once for the whole chart.
+    fn index_texts(&mut self) {
+        self.text_keys.clear();
+        self.opt_ids.clear();
+        if self.tokens.is_empty() {
+            return;
+        }
+        let mut pool = lock_pool();
+        for t in &self.tokens {
+            let opts_start = self.opt_ids.len() as u32;
+            for opt in &t.options {
+                self.opt_ids.push(intern_locked(&mut pool, opt));
+            }
+            self.text_keys.push(TextKey {
+                sval: intern_locked(&mut pool, &t.sval),
+                name: intern_locked(&mut pool, &t.name),
+                opts_start,
+                opts_len: t.options.len() as u32,
+            });
+        }
+    }
+
+    /// Do token `i` of `self` and token `j` of `other` carry the same
+    /// content (everything but the id)? Texts compare by interned id.
+    pub(crate) fn token_matches(&self, i: usize, other: &Chart, j: usize) -> bool {
+        let (ta, tb) = (&self.tokens[i], &other.tokens[j]);
+        let (ka, kb) = (self.text_keys[i], other.text_keys[j]);
+        ta.kind == tb.kind
+            && ta.pos == tb.pos
+            && ta.checked == tb.checked
+            && ka.sval == kb.sval
+            && ka.name == kb.name
+            && self.opt_ids[ka.opts_range()] == other.opt_ids[kb.opts_range()]
     }
 
     /// The interface's tokens.
@@ -319,6 +397,122 @@ impl Chart {
         out
     }
 
+    /// Carries every instance of `old` whose span survives the token
+    /// diff into this (freshly reset) chart, returning the seed
+    /// bookkeeping the engine's watermarks start from.
+    ///
+    /// An old instance is *carriable* when every token of its span is
+    /// mapped by the diff (children's spans are subsets, so a
+    /// carriable instance's whole derivation is carriable). Carried
+    /// instances are renumbered densely in two groups:
+    ///
+    /// 1. ids `0..boundary`: instances valid at the end of the old
+    ///    parse, in old creation order. Validity is monotone, so these
+    ///    were valid *throughout* the old parse — every combination
+    ///    and preference pair among them was already enumerated there
+    ///    with a permanent verdict, which is what lets the seeded
+    ///    watermarks start above zero.
+    /// 2. ids `boundary..`: instances the old parse invalidated,
+    ///    *revived* (validity reset to true), in old creation order.
+    ///    Their invalidator may not have been carried, so their
+    ///    verdicts must be re-derived; sitting above the boundary
+    ///    makes the engine treat them as new on both the production
+    ///    and the preference side.
+    ///
+    /// Children, spans, dedup entries, parent links, and payload token
+    /// lists are all remapped to new token ids; bounding boxes carry
+    /// unchanged (the diff only maps tokens with identical geometry).
+    pub(crate) fn carry_from(&mut self, old: &Chart, diff: &TokenDiff) -> SeedInfo {
+        let old_n = old.tokens.len();
+        let new_n = self.tokens.len();
+        debug_assert!(self.instances.is_empty(), "carry into a reset chart");
+
+        // Old-token → new-token map: identity on the common prefix,
+        // tail-aligned on the common suffix.
+        let shift = new_n as i64 - old_n as i64;
+        let map_old = |i: usize| -> Option<TokenId> {
+            if i < diff.prefix {
+                Some(TokenId(i as u32))
+            } else if i >= old_n - diff.suffix {
+                Some(TokenId((i as i64 + shift) as u32))
+            } else {
+                None
+            }
+        };
+        let mut mapped_old = TokenSet::new(old_n);
+        for i in (0..diff.prefix).chain(old_n - diff.suffix..old_n) {
+            mapped_old.insert(TokenId(i as u32));
+        }
+        let mut mapped_new = vec![false; new_n];
+        for (j, m) in mapped_new.iter_mut().enumerate() {
+            *m = j < diff.prefix || j >= new_n - diff.suffix;
+        }
+
+        // Assign new ids: the valid group first, then the revived.
+        let mut new_ids: Vec<Option<InstId>> = vec![None; old.instances.len()];
+        let mut order: Vec<usize> = Vec::new();
+        let mut boundary = 0u32;
+        for pass_valid in [true, false] {
+            for (i, inst) in old.instances.iter().enumerate() {
+                if inst.valid == pass_valid && inst.span.is_subset(&mapped_old) {
+                    new_ids[i] = Some(InstId(order.len() as u32));
+                    order.push(i);
+                }
+            }
+            if pass_valid {
+                boundary = order.len() as u32;
+            }
+        }
+
+        let mut valid_counts = vec![0u32; self.by_symbol.len()];
+        for (k, &oi) in order.iter().enumerate() {
+            let src = &old.instances[oi];
+            let id = InstId(k as u32);
+            let children: Vec<InstId> = src
+                .children
+                .iter()
+                .map(|&c| new_ids[c.index()].expect("carriable child"))
+                .collect();
+            let mut span = TokenSet::new(new_n);
+            for t in src.span.iter() {
+                span.insert(map_old(t.index()).expect("carriable span token"));
+            }
+            let mut payload = src.payload.clone();
+            remap_payload_tokens(&mut payload, &map_old);
+            if let Some(prod) = src.prod {
+                self.dedup.insert(prod, &children);
+            }
+            if (k as u32) < boundary {
+                valid_counts[src.symbol.index()] += 1;
+            }
+            self.by_symbol[src.symbol.index()].push(id);
+            self.instances.push(Instance {
+                symbol: src.symbol,
+                prod: src.prod,
+                children,
+                token: src.token.map(|t| map_old(t.index()).expect("mapped token")),
+                span,
+                bbox: src.bbox,
+                payload,
+                valid: true,
+            });
+            self.parents.push(Vec::new());
+        }
+        // Parent links, rebuilt in new creation order.
+        for k in 0..self.instances.len() {
+            let id = InstId(k as u32);
+            for ci in 0..self.instances[k].children.len() {
+                let c = self.instances[k].children[ci];
+                self.parents[c.index()].push(id);
+            }
+        }
+        SeedInfo {
+            boundary,
+            valid_counts,
+            mapped: mapped_new,
+        }
+    }
+
     /// Tokens covered by no instance in `roots`.
     pub fn uncovered_tokens(&self, roots: &[InstId]) -> Vec<TokenId> {
         let mut covered = TokenSet::new(self.tokens.len());
@@ -330,6 +524,37 @@ impl Chart {
             .map(|t| t.id)
             .filter(|&t| !covered.contains(t))
             .collect()
+    }
+}
+
+/// Seed bookkeeping produced by [`Chart::carry_from`] and consumed by
+/// the engine: where the carried-valid region ends, how many carried
+/// old-valid instances each symbol has (the preference watermark
+/// floor), and which new tokens already carry their terminal.
+pub(crate) struct SeedInfo {
+    /// Number of carried old-valid instances (ids `0..boundary`).
+    pub boundary: u32,
+    /// Per-symbol count of carried old-valid instances, in the order
+    /// of the grammar's symbol table.
+    pub valid_counts: Vec<u32>,
+    /// Per new-token flag: true when the diff mapped the token, i.e.
+    /// its terminal instance was carried and seeding must skip it.
+    pub mapped: Vec<bool>,
+}
+
+/// Rewrites the token ids embedded in condition payloads to the new
+/// token numbering (carried spans stay within mapped tokens, so every
+/// referenced id has an image).
+fn remap_payload_tokens(payload: &mut Payload, map: &impl Fn(usize) -> Option<TokenId>) {
+    let remap = |c: &mut metaform_core::Condition| {
+        for t in &mut c.tokens {
+            *t = map(t.index()).expect("carriable condition token");
+        }
+    };
+    match payload {
+        Payload::Cond(c) => remap(c),
+        Payload::Conds(cs) => cs.iter_mut().for_each(remap),
+        _ => {}
     }
 }
 

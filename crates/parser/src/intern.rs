@@ -1,0 +1,61 @@
+//! Process-global text interner for chart token texts.
+//!
+//! The revisit diff ([`crate::revisit`]) compares token streams from
+//! *different* parses — the cached visit's chart against the fresh
+//! tokenization — so equality must be judgeable across sessions,
+//! worker threads, and time. Interned ids from one shared pool give an
+//! O(1) integer compare with exactly string-equality semantics: two
+//! texts receive the same id iff they are the same string.
+//!
+//! Ids are never recycled; the pool lives for the process. Form
+//! vocabulary is tiny and heavily repeated (captions, widget names,
+//! option labels), so the pool stays small while every chart sheds its
+//! per-compare string walks.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+static POOL: OnceLock<Mutex<HashMap<String, u32>>> = OnceLock::new();
+
+/// Locks the pool for a batch of interning calls — one lock per chart
+/// reset, not per string.
+pub(crate) fn lock_pool() -> MutexGuard<'static, HashMap<String, u32>> {
+    POOL.get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("text interner poisoned")
+}
+
+/// Interns `s` under an already-held pool lock.
+pub(crate) fn intern_locked(pool: &mut HashMap<String, u32>, s: &str) -> u32 {
+    if let Some(&id) = pool.get(s) {
+        return id;
+    }
+    let id = pool.len() as u32;
+    pool.insert(s.to_string(), id);
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_equality_preserving() {
+        let (a, b, a2) = {
+            let mut pool = lock_pool();
+            (
+                intern_locked(&mut pool, "Author"),
+                intern_locked(&mut pool, "Title"),
+                intern_locked(&mut pool, "Author"),
+            )
+        };
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        // A later lock still sees the same ids.
+        let again = {
+            let mut pool = lock_pool();
+            intern_locked(&mut pool, "Author")
+        };
+        assert_eq!(a, again);
+    }
+}

@@ -33,8 +33,10 @@ mod dedup;
 pub mod display;
 pub mod engine;
 pub mod instance;
+mod intern;
 pub mod maximize;
 pub mod merger;
+pub mod revisit;
 pub mod session;
 pub mod stats;
 pub mod tokenset;
@@ -46,6 +48,7 @@ pub use engine::{parse, parse_with, FixpointMode, ParseResult, ParserOptions, Pr
 pub use instance::{Chart, InstId, Instance};
 pub use maximize::{maximize, maximize_naive};
 pub use merger::merge;
+pub use revisit::ChartSnapshot;
 pub use session::ParseSession;
 pub use stats::{BudgetOutcome, ParseStats};
 pub use tokenset::TokenSet;

@@ -13,18 +13,38 @@ use std::collections::HashMap;
 
 /// Merges maximal partial trees into an [`ExtractionReport`].
 ///
-/// Trees are visited largest-span first (the order [`maximize()`](crate::maximize())
-/// returns); conditions are unioned with equivalence-level
-/// deduplication. When two *different* conditions claim the same token,
-/// both stay in the model (the parser cannot arbitrate — that is
-/// client-side work, §7), and a [`Conflict`] records the claim pair
-/// with the earlier (larger-context) condition as primary.
+/// Trees are visited largest-span first, ties broken by span content
+/// and then by the conditions themselves — never by instance id.
+/// [`maximize()`](crate::maximize()) orders equal-span ties by id, and
+/// ids depend on chart history: a seeded re-parse
+/// ([`crate::ParseSession::parse_seeded`]) numbers carried instances
+/// differently from a cold parse of the same tokens. Re-sorting here by
+/// content keeps the report byte-identical across the two, which the
+/// cache-parity suite enforces. Conditions are unioned with
+/// equivalence-level deduplication. When two *different* conditions
+/// claim the same token, both stay in the model (the parser cannot
+/// arbitrate — that is client-side work, §7), and a [`Conflict`]
+/// records the claim pair with the earlier (larger-context) condition
+/// as primary.
 pub fn merge(chart: &Chart, trees: &[InstId]) -> ExtractionReport {
+    let mut visit: Vec<InstId> = trees.to_vec();
+    visit.sort_by_cached_key(|&t| {
+        let inst = chart.get(t);
+        let span: Vec<u32> = inst.span.iter().map(|tok| tok.0).collect();
+        let conds: Vec<(Vec<TokenId>, String)> = inst
+            .payload
+            .conditions()
+            .iter()
+            .map(|c| (c.tokens.clone(), c.to_string()))
+            .collect();
+        (std::cmp::Reverse(span.len()), span, conds)
+    });
+
     let mut conditions: Vec<Condition> = Vec::new();
     let mut claimed: HashMap<TokenId, usize> = HashMap::new();
     let mut conflicts: Vec<Conflict> = Vec::new();
 
-    for &tree in trees {
+    for &tree in &visit {
         for cond in chart.get(tree).payload.conditions() {
             if let Some(existing) = conditions.iter().position(|c| c.equivalent(cond)) {
                 // Same condition extracted from an overlapping tree —

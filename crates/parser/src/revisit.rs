@@ -1,0 +1,179 @@
+//! Revisit support: chart snapshots and token diffs.
+//!
+//! A crawler revisiting an interface usually finds it unchanged or
+//! nearly so. [`ChartSnapshot`] retains a finished parse; a later
+//! [`crate::ParseSession::parse_seeded`] diffs the fresh token stream
+//! against it, carries every instance whose span survives the diff
+//! into the new chart, and lets the semi-naive watermarks start above
+//! zero — re-deriving only what the edit could have changed. The hard
+//! invariant (enforced by the cache-parity suite) is that a seeded
+//! parse's report is byte-identical to a cold parse of the same
+//! tokens.
+//!
+//! The diff is deliberately coarse: a longest common prefix and suffix
+//! of content-identical tokens (ids aside, compared by interned text
+//! id). Form edits are local — a label reworded, a row inserted, a
+//! widget appended — so prefix/suffix alignment captures them while
+//! staying O(n) and order-preserving, which is what the carry's
+//! id-renumbering argument needs.
+
+use crate::engine::ParseResult;
+use crate::instance::Chart;
+use crate::stats::BudgetOutcome;
+use metaform_core::Token;
+
+/// A finished parse retained for seeding a future re-parse of a
+/// similar token stream (see module docs).
+#[derive(Clone, Debug)]
+pub struct ChartSnapshot {
+    chart: Chart,
+}
+
+impl ChartSnapshot {
+    /// Captures a finished parse. Returns `None` unless the parse ran
+    /// to completion: a truncated, timed-out, or cancelled chart has
+    /// unexplored combinations and unenforced pairs, so the seeded
+    /// watermarks' "everything below the boundary already has a
+    /// permanent verdict" argument would not hold for it.
+    pub fn of(result: &ParseResult) -> Option<Self> {
+        (result.stats.budget == BudgetOutcome::Completed).then(|| ChartSnapshot {
+            chart: result.chart.clone(),
+        })
+    }
+
+    /// [`ChartSnapshot::of`], but consuming the result: the chart
+    /// moves into the snapshot instead of being deep-copied — the
+    /// cheap path for a caller that is done with the parse (the
+    /// extractor's cache store). Hands the result back untouched when
+    /// the parse did not complete, so the caller can still recycle it
+    /// (the large `Err` is the point: boxing would force the very
+    /// allocation the recycling path exists to avoid).
+    #[allow(clippy::result_large_err)]
+    pub fn take(result: ParseResult) -> Result<Self, ParseResult> {
+        if result.stats.budget == BudgetOutcome::Completed {
+            Ok(ChartSnapshot {
+                chart: result.chart,
+            })
+        } else {
+            Err(result)
+        }
+    }
+
+    /// The tokens the snapshot's parse ran over.
+    pub fn tokens(&self) -> &[Token] {
+        self.chart.tokens()
+    }
+
+    pub(crate) fn chart(&self) -> &Chart {
+        &self.chart
+    }
+}
+
+/// A prefix/suffix alignment between an old and a new token stream:
+/// the first `prefix` and last `suffix` tokens match content-wise
+/// (`prefix + suffix ≤ min(old, new)`), everything between is the
+/// changed region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct TokenDiff {
+    /// Length of the longest common prefix.
+    pub prefix: usize,
+    /// Length of the longest common suffix of the remainders.
+    pub suffix: usize,
+}
+
+/// Computes the prefix/suffix diff between two charts' token streams,
+/// comparing every content field (texts by interned id) but not ids.
+pub(crate) fn diff_tokens(old: &Chart, new: &Chart) -> TokenDiff {
+    let (old_n, new_n) = (old.tokens().len(), new.tokens().len());
+    let limit = old_n.min(new_n);
+    let mut prefix = 0;
+    while prefix < limit && old.token_matches(prefix, new, prefix) {
+        prefix += 1;
+    }
+    let mut suffix = 0;
+    while suffix < limit - prefix && old.token_matches(old_n - 1 - suffix, new, new_n - 1 - suffix)
+    {
+        suffix += 1;
+    }
+    TokenDiff { prefix, suffix }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaform_core::BBox;
+
+    fn chart(tokens: Vec<Token>) -> Chart {
+        Chart::new(tokens, 0)
+    }
+
+    fn tok(i: u32, s: &str) -> Token {
+        Token::text(i, s, BBox::new(0, i as i32 * 20, 40, i as i32 * 20 + 16))
+    }
+
+    #[test]
+    fn identical_streams_are_all_prefix() {
+        let a = chart(vec![tok(0, "a"), tok(1, "b")]);
+        let b = chart(vec![tok(0, "a"), tok(1, "b")]);
+        assert_eq!(
+            diff_tokens(&a, &b),
+            TokenDiff {
+                prefix: 2,
+                suffix: 0
+            }
+        );
+    }
+
+    #[test]
+    fn mid_stream_edit_splits_prefix_and_suffix() {
+        let a = chart(vec![tok(0, "a"), tok(1, "b"), tok(2, "c")]);
+        let b = chart(vec![tok(0, "a"), tok(1, "B"), tok(2, "c")]);
+        assert_eq!(
+            diff_tokens(&a, &b),
+            TokenDiff {
+                prefix: 1,
+                suffix: 1
+            }
+        );
+    }
+
+    #[test]
+    fn insertion_maps_prefix_and_tail() {
+        let a = chart(vec![tok(0, "a"), tok(1, "c")]);
+        // Same geometry for the shared tokens, an extra one between.
+        let b = chart(vec![tok(0, "a"), tok(1, "x"), {
+            let mut t = tok(2, "c");
+            t.pos = BBox::new(0, 20, 40, 36); // keep old "c" geometry
+            t
+        }]);
+        let d = diff_tokens(&a, &b);
+        assert_eq!(d.prefix, 1);
+        assert_eq!(d.suffix, 1);
+    }
+
+    #[test]
+    fn prefix_and_suffix_never_overlap() {
+        // Repeated identical tokens: prefix claims them all, suffix
+        // must stop at the boundary.
+        let a = chart(vec![tok(0, "a"), tok(0, "a")]);
+        let b = chart(vec![tok(0, "a"), tok(0, "a"), tok(0, "a")]);
+        let d = diff_tokens(&a, &b);
+        assert!(d.prefix + d.suffix <= 2);
+    }
+
+    #[test]
+    fn ids_are_ignored_geometry_is_not() {
+        let a = chart(vec![tok(0, "a")]);
+        let renumbered = {
+            let mut t = tok(0, "a");
+            t.id = metaform_core::TokenId(9); // same content, new id
+            t
+        };
+        let b = chart(vec![renumbered]);
+        assert_eq!(diff_tokens(&a, &b).prefix, 1, "ids excluded");
+        let mut moved = tok(0, "a");
+        moved.pos = BBox::new(5, 0, 45, 16);
+        let c = chart(vec![moved]);
+        assert_eq!(diff_tokens(&a, &c).prefix, 0, "geometry included");
+    }
+}

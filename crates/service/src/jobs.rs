@@ -126,6 +126,19 @@ impl JobStore {
         }
     }
 
+    /// Snapshot of every known job as `(id, phase, pages)`, sorted by
+    /// id, for the `/v1/jobs` listing. Ids are dense and monotone, so
+    /// the sort is submission order regardless of map iteration order.
+    pub fn list(&self) -> Vec<(u64, JobPhase, usize)> {
+        let jobs = self.jobs.lock().expect("job map lock");
+        let mut out: Vec<(u64, JobPhase, usize)> = jobs
+            .iter()
+            .map(|(&id, job)| (id, job.phase, job.pages.len()))
+            .collect();
+        out.sort_unstable_by_key(|&(id, _, _)| id);
+        out
+    }
+
     /// Forgets a job that was never accepted into the queue (the
     /// submit path backs out a registration when the queue is full).
     pub fn remove(&self, id: u64) {
@@ -255,6 +268,29 @@ mod tests {
         assert_eq!(store.with_job(id, |j| j.phase), Some(JobPhase::Cancelled));
         assert!(JobPhase::Cancelled.is_finished());
         assert_eq!(JobPhase::Cancelled.as_str(), "cancelled");
+    }
+
+    #[test]
+    fn list_is_sorted_by_id_with_phases() {
+        let store = JobStore::default();
+        let a = store.create(vec!["<form>a</form>".to_string()], None);
+        let b = store.create(vec![], None);
+        let c = store.create(
+            vec!["<form>c</form>".to_string(), "<form>d</form>".to_string()],
+            None,
+        );
+        store.claim(b);
+        store.claim(c);
+        store.finish(c, AdaptiveBatch::default());
+        let listed = store.list();
+        assert_eq!(
+            listed,
+            vec![
+                (a, JobPhase::Queued, 1),
+                (b, JobPhase::Running, 0),
+                (c, JobPhase::Done, 2),
+            ]
+        );
     }
 
     #[test]

@@ -264,11 +264,19 @@ pub struct BatchRequest {
     pub pages: Vec<String>,
     /// Optional per-job override of the retry-round cap.
     pub max_retries: Option<usize>,
+    /// Pages the client flagged as revisits of an earlier submission.
+    /// Advisory: the parse cache serves hits whether or not a page is
+    /// flagged; the count feeds the `revisit_hints` metric so operators
+    /// can compare claimed revisits against observed cache hits.
+    pub revisit_hints: u64,
 }
 
 /// Parses the submission body:
 /// `{"pages": ["<html>...", ...], "max_retries": 2}` (the second field
-/// optional). Unknown fields are rejected so client typos fail loudly.
+/// optional). A page entry may also be an object
+/// `{"html": "<html>...", "revisit": true}` to hint that the page was
+/// submitted before. Unknown fields are rejected so client typos fail
+/// loudly.
 pub fn parse_batch_request(body: &[u8]) -> Result<BatchRequest, String> {
     let root = JsonValue::parse(body)?;
     let JsonValue::Obj(fields) = &root else {
@@ -279,16 +287,13 @@ pub fn parse_batch_request(body: &[u8]) -> Result<BatchRequest, String> {
             return Err(format!("unknown field {name:?}"));
         }
     }
+    let mut revisit_hints = 0;
     let pages = root
         .field("pages")?
         .as_arr()
-        .map_err(|_| "\"pages\" must be an array of strings".to_string())?
+        .map_err(|_| "\"pages\" must be an array of strings or page objects".to_string())?
         .iter()
-        .map(|v| {
-            v.as_str()
-                .map(str::to_string)
-                .map_err(|_| "\"pages\" must be an array of strings".to_string())
-        })
+        .map(|v| parse_page_entry(v, &mut revisit_hints))
         .collect::<Result<Vec<_>, _>>()?;
     let max_retries = match root.field("max_retries") {
         Err(_) => None,
@@ -297,7 +302,38 @@ pub fn parse_batch_request(body: &[u8]) -> Result<BatchRequest, String> {
                 .map_err(|_| "\"max_retries\" out of range")?,
         ),
     };
-    Ok(BatchRequest { pages, max_retries })
+    Ok(BatchRequest {
+        pages,
+        max_retries,
+        revisit_hints,
+    })
+}
+
+/// One `pages[]` entry: a bare HTML string, or
+/// `{"html": "...", "revisit": true|false}` (the hint optional).
+fn parse_page_entry(v: &JsonValue, revisit_hints: &mut u64) -> Result<String, String> {
+    match v {
+        JsonValue::Str(s) => Ok(s.clone()),
+        JsonValue::Obj(fields) => {
+            for (name, _) in fields {
+                if name != "html" && name != "revisit" {
+                    return Err(format!("unknown page field {name:?}"));
+                }
+            }
+            if let Ok(flag) = v.field("revisit") {
+                match flag {
+                    JsonValue::Bool(true) => *revisit_hints += 1,
+                    JsonValue::Bool(false) => {}
+                    _ => return Err("\"revisit\" must be a boolean".to_string()),
+                }
+            }
+            v.field("html")?
+                .as_str()
+                .map(str::to_string)
+                .map_err(|_| "\"html\" must be a string".to_string())
+        }
+        _ => Err("\"pages\" must be an array of strings or page objects".to_string()),
+    }
 }
 
 #[cfg(test)]
@@ -311,9 +347,34 @@ mod tests {
         assert_eq!(req.pages.len(), 2);
         assert_eq!(req.pages[0], "<form>a</form>");
         assert_eq!(req.max_retries, Some(3));
+        assert_eq!(req.revisit_hints, 0);
         let bare = parse_batch_request(br#"{"pages": []}"#).expect("parses");
         assert!(bare.pages.is_empty());
         assert_eq!(bare.max_retries, None);
+    }
+
+    #[test]
+    fn page_objects_carry_the_revisit_hint() {
+        let req = parse_batch_request(
+            br#"{"pages": ["<form>a</form>",
+                          {"html": "<form>b</form>", "revisit": true},
+                          {"html": "<form>c</form>", "revisit": false},
+                          {"html": "<form>d</form>"}]}"#,
+        )
+        .expect("parses");
+        assert_eq!(req.pages.len(), 4);
+        assert_eq!(req.pages[1], "<form>b</form>");
+        assert_eq!(req.pages[3], "<form>d</form>");
+        assert_eq!(req.revisit_hints, 1, "only explicit true counts");
+
+        for bad in [
+            &br#"{"pages": [{"revisit": true}]}"#[..],
+            br#"{"pages": [{"html": "<form>a</form>", "revisit": 1}]}"#,
+            br#"{"pages": [{"html": 7}]}"#,
+            br#"{"pages": [{"html": "<form>a</form>", "surprise": true}]}"#,
+        ] {
+            assert!(parse_batch_request(bad).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -33,6 +33,17 @@ pub struct Metrics {
     pub pages_recovered: AtomicU64,
     /// Pages abandoned by a cancellation.
     pub pages_cancelled: AtomicU64,
+    /// Pages whose report was replayed from the parse cache (exact
+    /// fingerprint hit, no parse).
+    pub pages_cache_hit: AtomicU64,
+    /// Pages re-parsed incrementally, seeded from a similar cached
+    /// visit.
+    pub pages_cache_delta: AtomicU64,
+    /// Pages that consulted the parse cache but parsed cold.
+    pub pages_cache_miss: AtomicU64,
+    /// Pages the client flagged `"revisit": true` at submission
+    /// (advisory — compare against the cache hit/delta counters).
+    pub revisit_hints: AtomicU64,
     /// Jobs currently waiting in the queue (gauge).
     pub queue_depth: AtomicU64,
 }
@@ -67,7 +78,7 @@ impl Metrics {
 
     /// Renders the text exposition document.
     pub fn render(&self) -> String {
-        let rows: [(&str, &str, &AtomicU64); 12] = [
+        let rows: [(&str, &str, &AtomicU64); 16] = [
             ("metaformd_requests_total", "counter", &self.requests),
             (
                 "metaformd_client_errors_total",
@@ -119,6 +130,26 @@ impl Metrics {
                 "counter",
                 &self.pages_cancelled,
             ),
+            (
+                "metaformd_pages_cache_hit_total",
+                "counter",
+                &self.pages_cache_hit,
+            ),
+            (
+                "metaformd_pages_cache_delta_total",
+                "counter",
+                &self.pages_cache_delta,
+            ),
+            (
+                "metaformd_pages_cache_miss_total",
+                "counter",
+                &self.pages_cache_miss,
+            ),
+            (
+                "metaformd_revisit_hints_total",
+                "counter",
+                &self.revisit_hints,
+            ),
             ("metaformd_queue_depth", "gauge", &self.queue_depth),
         ];
         let mut out = String::new();
@@ -160,5 +191,21 @@ mod tests {
         assert!(text.contains("metaformd_pages_submitted_total 33\n"));
         assert!(text.contains("metaformd_queue_depth 0\n"));
         assert!(text.contains("# TYPE metaformd_queue_depth gauge\n"));
+    }
+
+    #[test]
+    fn render_order_is_deterministic_and_lists_cache_counters() {
+        let m = Metrics::default();
+        Metrics::add(&m.pages_cache_hit, 4);
+        Metrics::bump(&m.pages_cache_delta);
+        Metrics::add(&m.pages_cache_miss, 2);
+        Metrics::bump(&m.revisit_hints);
+        let text = m.render();
+        assert_eq!(text, m.render(), "row order is fixed, not map order");
+        let hit = text.find("metaformd_pages_cache_hit_total 4\n").unwrap();
+        let delta = text.find("metaformd_pages_cache_delta_total 1\n").unwrap();
+        let miss = text.find("metaformd_pages_cache_miss_total 2\n").unwrap();
+        let hints = text.find("metaformd_revisit_hints_total 1\n").unwrap();
+        assert!(hit < delta && delta < miss && miss < hints);
     }
 }

@@ -28,7 +28,7 @@ use crate::json::{parse_batch_request, push_json_str};
 use crate::metrics::Metrics;
 use metaform_extractor::telemetry::ErrorKind;
 use metaform_extractor::{
-    failures_to_json, stats_to_json, AdaptiveOptions, FormExtractor, Provenance,
+    failures_to_json, stats_to_json, AdaptiveOptions, FormExtractor, LruParseCache, Provenance,
 };
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -112,8 +112,11 @@ pub struct ServiceState {
 impl ServiceState {
     /// Builds the shared state: one extractor configured per `config`
     /// (grammar compiled once, here), an empty store, an empty queue.
+    /// The extractor carries a process-wide parse cache, so a page
+    /// resubmitted in a later job replays or delta-reparses against
+    /// the earlier visit (the per-job extractor clones share it).
     pub fn new(config: ServiceConfig) -> Self {
-        let mut extractor = FormExtractor::new();
+        let mut extractor = FormExtractor::new().parse_cache(LruParseCache::shared());
         if let Some(workers) = config.batch_workers {
             extractor = extractor.worker_threads(workers);
         }
@@ -175,6 +178,15 @@ impl ServiceState {
         Metrics::add(&self.metrics.pages_degraded, batch.stats.degraded as u64);
         Metrics::add(&self.metrics.pages_recovered, batch.stats.recovered as u64);
         Metrics::add(&self.metrics.pages_cancelled, batch.stats.cancelled as u64);
+        Metrics::add(&self.metrics.pages_cache_hit, batch.stats.cache_hits as u64);
+        Metrics::add(
+            &self.metrics.pages_cache_delta,
+            batch.stats.cache_delta as u64,
+        );
+        Metrics::add(
+            &self.metrics.pages_cache_miss,
+            batch.stats.cache_misses as u64,
+        );
         Metrics::bump(&self.metrics.jobs_completed);
         self.store.finish(id, batch);
     }
@@ -220,6 +232,10 @@ pub fn route(state: &ServiceState, request: &Request) -> Response {
             "POST" => submit(state, request),
             _ => method_not_allowed("POST"),
         },
+        "/v1/jobs" => match method {
+            "GET" => job_list(state),
+            _ => method_not_allowed("GET"),
+        },
         "/v1/shutdown" => match method {
             "POST" => {
                 state.begin_shutdown();
@@ -251,6 +267,7 @@ fn submit(state: &ServiceState, request: &Request) -> Response {
         Err(why) => return Response::json(400, error_body(&why)),
     };
     let pages = batch.pages.len();
+    let revisit_hints = batch.revisit_hints;
     let id = state.store.create(batch.pages, batch.max_retries);
     if state.queue.push(id).is_err() {
         state.store.remove(id);
@@ -259,11 +276,31 @@ fn submit(state: &ServiceState, request: &Request) -> Response {
     }
     Metrics::bump(&state.metrics.jobs_submitted);
     Metrics::add(&state.metrics.pages_submitted, pages as u64);
+    Metrics::add(&state.metrics.revisit_hints, revisit_hints);
     Metrics::bump(&state.metrics.queue_depth);
     Response::json(
         202,
         format!("{{\"job\": {id}, \"state\": \"queued\", \"pages\": {pages}}}"),
     )
+}
+
+/// `GET /v1/jobs`: every known job — id, phase, page count — sorted by
+/// id (submission order), finished jobs included. The deterministic
+/// order makes the listing diffable across polls.
+fn job_list(state: &ServiceState) -> Response {
+    let jobs = state.store.list();
+    let mut out = format!("{{\"count\": {}, \"jobs\": [", jobs.len());
+    for (index, (id, phase, pages)) in jobs.iter().enumerate() {
+        if index > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"job\": {id}, \"state\": \"{}\", \"pages\": {pages}}}",
+            phase.as_str()
+        ));
+    }
+    out.push_str("]}");
+    Response::json(200, out)
 }
 
 /// `GET|DELETE /v1/batches/{id}[/results]`.
@@ -354,6 +391,8 @@ fn job_results(state: &ServiceState, id: u64) -> Response {
             let via = match extraction.via {
                 Provenance::Grammar => "grammar",
                 Provenance::BaselineFallback => "baseline",
+                Provenance::CacheHit => "cache_hit",
+                Provenance::DeltaReparse => "delta_reparse",
             };
             let http_status = status_by_page.get(&index).map_or(200, |&kind| status_for(kind));
             out.push_str(&format!(
@@ -606,6 +645,81 @@ mod tests {
         ] {
             assert_eq!(send(&state, raw).0, 404);
         }
+    }
+
+    #[test]
+    fn jobs_listing_is_sorted_and_tracks_phases() {
+        let state = test_state();
+        let (status, body) = send(&state, b"GET /v1/jobs HTTP/1.1\r\n\r\n");
+        assert_eq!(
+            (status, body.as_str()),
+            (200, "{\"count\": 0, \"jobs\": []}")
+        );
+        assert_eq!(send(&state, b"POST /v1/jobs HTTP/1.1\r\n\r\n").0, 405);
+
+        let page = r#"["<form>A <input type=text name=a></form>"]"#;
+        assert_eq!(send(&state, &post_batch(page)).0, 202);
+        assert_eq!(send(&state, &post_batch("[]")).0, 202);
+        let id = state.queue.pop().expect("queued");
+        state.run_job(id);
+
+        let (status, body) = send(&state, b"GET /v1/jobs HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert_eq!(
+            body,
+            "{\"count\": 2, \"jobs\": [\
+             {\"job\": 1, \"state\": \"done\", \"pages\": 1}, \
+             {\"job\": 2, \"state\": \"queued\", \"pages\": 0}]}"
+        );
+    }
+
+    #[test]
+    fn resubmitted_pages_replay_from_the_parse_cache() {
+        let state = test_state();
+        let page = "<form>Author <input type=text name=q>\
+                    <input type=submit value=Search></form>";
+        let entry = format!("{{\"html\": \"{}\", \"revisit\": true}}", page);
+
+        // First visit: a miss that populates the cache.
+        assert_eq!(send(&state, &post_batch(&format!("[\"{page}\"]"))).0, 202);
+        let id = state.queue.pop().expect("queued");
+        state.run_job(id);
+        let (_, first) = send(&state, b"GET /v1/batches/1/results HTTP/1.1\r\n\r\n");
+        assert!(first.contains("\"via\": \"grammar\""), "{first}");
+
+        // Second visit, flagged revisit: served from the cache.
+        assert_eq!(send(&state, &post_batch(&format!("[{entry}]"))).0, 202);
+        let id = state.queue.pop().expect("queued");
+        state.run_job(id);
+        let (status, second) = send(&state, b"GET /v1/batches/2/results HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(second.contains("\"via\": \"cache_hit\""), "{second}");
+        assert!(second.contains("\"cache_hits\": 1"), "{second}");
+
+        // Both visits return the same report bytes.
+        let report = |body: &str| {
+            let at = body.find("\"report\": ").expect("has a report");
+            body[at..].to_string()
+        };
+        assert_eq!(report(&first), report(&second));
+
+        let (_, metrics) = send(&state, b"GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(
+            metrics.contains("metaformd_pages_cache_hit_total 1\n"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("metaformd_pages_cache_miss_total 1\n"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("metaformd_pages_cache_delta_total 0\n"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("metaformd_revisit_hints_total 1\n"),
+            "{metrics}"
+        );
     }
 
     #[test]

@@ -15,8 +15,8 @@
 //!    with an explicit `catch_unwind` boundary around every case.
 
 use metaform_extractor::telemetry::{
-    failures_from_json, failures_to_json, stats_from_json, stats_to_json, AttemptRecord, ErrorKind,
-    FailureOutcome, FailureRecord,
+    failures_from_json, failures_to_json, stats_from_json, stats_to_json, AttemptRecord,
+    CacheOutcome, ErrorKind, FailureOutcome, FailureRecord,
 };
 use metaform_extractor::BatchStats;
 use metaform_service::{handle_connection, ServiceConfig, ServiceState};
@@ -50,23 +50,34 @@ fn opt_u64() -> impl Strategy<Value = Option<u64>> {
     prop_oneof![Just(None), (0u64..600_000).prop_map(Some),]
 }
 
+fn cache_outcome() -> impl Strategy<Value = Option<CacheOutcome>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(CacheOutcome::Hit)),
+        Just(Some(CacheOutcome::Delta)),
+        Just(Some(CacheOutcome::Miss)),
+    ]
+}
+
 fn attempt() -> impl Strategy<Value = AttemptRecord> {
     (
         0usize..8,
         0usize..1_000_000,
         opt_u64(),
         prop_oneof![Just(None), error_kind().prop_map(Some)],
+        cache_outcome(),
         0usize..10_000,
         0usize..1_000_000,
         0u64..10_000_000,
     )
         .prop_map(
-            |(attempt, max_instances, deadline_ms, error, tokens, created, elapsed_us)| {
+            |(attempt, max_instances, deadline_ms, error, cache, tokens, created, elapsed_us)| {
                 AttemptRecord {
                     attempt,
                     max_instances,
                     deadline_ms,
                     error,
+                    cache,
                     tokens,
                     created,
                     elapsed_us,
@@ -123,7 +134,7 @@ proptest! {
     }
 
     #[test]
-    fn batch_stats_round_trip_through_json(fields in vec(0u64..5_000_000, 16)) {
+    fn batch_stats_round_trip_through_json(fields in vec(0u64..5_000_000, 19)) {
         let stats = BatchStats {
             pages: fields[0] as usize,
             workers: fields[1] as usize,
@@ -140,7 +151,10 @@ proptest! {
             degraded: fields[12] as usize,
             retried: fields[13] as usize,
             recovered: fields[14] as usize,
-            elapsed: Duration::from_micros(fields[15]),
+            cache_hits: fields[15] as usize,
+            cache_delta: fields[16] as usize,
+            cache_misses: fields[17] as usize,
+            elapsed: Duration::from_micros(fields[18]),
         };
         let json = stats_to_json(&stats);
         let back = stats_from_json(&json);

@@ -2,7 +2,7 @@
 
 use crate::classify::classify_select;
 use crate::textrun::{merge_runs, RawRun};
-use metaform_core::{BBox, Token, TokenId, TokenKind};
+use metaform_core::{BBox, Token, TokenFingerprint, TokenId, TokenKind};
 use metaform_html::{Document, NodeId};
 use metaform_layout::Layout;
 
@@ -28,6 +28,13 @@ impl Tokenized {
             .iter()
             .position(|&n| n == Some(node))
             .map(|i| &self.tokens[i])
+    }
+
+    /// Content-addressed identity of this token stream, the key a
+    /// revisit parse cache looks pages up by. Stable across sessions:
+    /// two tokenizations of the same rendered form always agree.
+    pub fn fingerprint(&self) -> TokenFingerprint {
+        TokenFingerprint::of(&self.tokens)
     }
 }
 
@@ -406,6 +413,16 @@ mod tests {
         assert_eq!(forms[1].tokens[0].id, TokenId(0));
         // tokenize() still picks the first form.
         assert_eq!(tokenize(&doc, &lay).tokens.len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_parse_order() {
+        let a = toks("<form>Author <input type=text name=q></form>");
+        let b = toks("<form>Author <input type=text name=q></form>");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint().tokens, 2);
+        let edited = toks("<form>Title <input type=text name=q></form>");
+        assert_ne!(a.fingerprint(), edited.fingerprint());
     }
 
     #[test]

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Machine-readable parse benchmark: runs the batch-120 workload under
-# both fix-point schedules and writes BENCH_parse.json at the repo
-# root (median batch time, combos enumerated, instances created).
-# Usage: scripts/bench.sh [out.json]
+# Machine-readable benchmarks, written at the repo root:
+#  - BENCH_parse.json: the batch-120 workload under both fix-point
+#    schedules (median batch time, combos enumerated, instances created);
+#  - BENCH_revisit.json: cold parses vs the parse cache's exact-hit and
+#    delta re-parse tiers over the survey revisit scenarios.
+# Usage: scripts/bench.sh [parse_out.json [revisit_out.json]]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_parse.json}"
+REVISIT_OUT="${2:-BENCH_revisit.json}"
 cargo run --release -q -p metaform-bench --bin bench_parse -- "$OUT"
+cargo run --release -q -p metaform-bench --bin bench_revisit -- "$REVISIT_OUT"

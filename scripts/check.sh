@@ -32,6 +32,14 @@ grep -q '"error": "empty_form"' "$tmp/failures.json"
 grep -q '"outcome": "degraded"' "$tmp/failures.json"
 grep -q '^1,empty_form,degraded,' "$tmp/failures.csv"
 
+echo "==> cargo test -q --test cache_parity (revisit tiers vs cold parse)"
+cargo test -q --test cache_parity
+
+echo "==> bench_revisit smoke (cache tiers engage; parity asserted inside)"
+cargo run --release -q -p metaform-bench --bin bench_revisit -- "$tmp/BENCH_revisit.json" > /dev/null
+grep -q '"exact_hit_speedup"' "$tmp/BENCH_revisit.json"
+grep -q '"tier_delta"' "$tmp/BENCH_revisit.json"
+
 echo "==> cargo test -q --test service_http (HTTP vs in-process differential)"
 cargo test -q --test service_http
 
@@ -54,7 +62,21 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 curl -fsS "http://$addr/v1/batches/$job/results" | grep -q 'Author'
+curl -fsS "http://$addr/v1/jobs" | grep -q '"state": "done"'
 curl -fsS "http://$addr/metrics" | grep -q 'metaformd_jobs_completed_total 1'
+# First visit of the page is a cache miss; a revisit-hinted resubmit
+# must replay from the process-wide parse cache.
+curl -fsS "http://$addr/metrics" | grep -q 'metaformd_pages_cache_miss_total 1'
+revisit_json="$(curl -fsS -X POST "http://$addr/v1/batches" \
+    --data-binary '{"pages": [{"html": "<form>Author <input type=text name=q><input type=submit value=Go></form>", "revisit": true}]}')"
+revisit_job="$(echo "$revisit_json" | sed -n 's/.*"job": \([0-9]*\).*/\1/p')"
+for _ in $(seq 1 100); do
+    curl -fsS "http://$addr/v1/batches/$revisit_job" | grep -q '"state": "done"' && break
+    sleep 0.1
+done
+curl -fsS "http://$addr/v1/batches/$revisit_job/results" | grep -q '"via": "cache_hit"'
+curl -fsS "http://$addr/metrics" | grep -q 'metaformd_pages_cache_hit_total 1'
+curl -fsS "http://$addr/metrics" | grep -q 'metaformd_revisit_hints_total 1'
 curl -fsS -X POST "http://$addr/v1/shutdown" | grep -q draining
 wait "$metaformd_pid"
 

@@ -59,12 +59,84 @@ fn survey_corpus_reports_match_the_golden_file() {
             path.display()
         )
     });
-    assert_eq!(
-        rendered, golden,
-        "survey corpus reports drifted from the golden file; if the \
-         change is intended, re-bless with METAFORM_BLESS=1 and review \
-         the diff"
+    if rendered != golden {
+        panic!("{}", divergence_report(&golden, &rendered));
+    }
+}
+
+/// A focused mismatch report: the one-line regen hint, then a unified
+/// diff hunk around the first diverging line (golden as `-`, rendered
+/// as `+`), so the failure is actionable without rerunning anything.
+fn divergence_report(golden: &str, rendered: &str) -> String {
+    const CONTEXT: usize = 3;
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    let rendered_lines: Vec<&str> = rendered.lines().collect();
+    let first = golden_lines
+        .iter()
+        .zip(&rendered_lines)
+        .position(|(g, r)| g != r)
+        .unwrap_or_else(|| golden_lines.len().min(rendered_lines.len()));
+    let start = first.saturating_sub(CONTEXT);
+    let g_end = golden_lines.len().min(first + 1 + CONTEXT);
+    let r_end = rendered_lines.len().min(first + 1 + CONTEXT);
+    let mut out = String::from(
+        "survey corpus reports drifted from the golden file\n\
+         to accept the change: METAFORM_BLESS=1 cargo test --test golden_corpus\n",
     );
+    out.push_str(&format!(
+        "--- golden   tests/golden/survey_reports.txt\n\
+         +++ rendered (current engine output)\n\
+         @@ -{},{} +{},{} @@ first divergence at line {}\n",
+        start + 1,
+        g_end - start,
+        start + 1,
+        r_end - start,
+        first + 1,
+    ));
+    for line in &golden_lines[start..first.min(g_end)] {
+        out.push(' ');
+        out.push_str(line);
+        out.push('\n');
+    }
+    for line in &golden_lines[first.min(g_end)..g_end] {
+        out.push('-');
+        out.push_str(line);
+        out.push('\n');
+    }
+    for line in &rendered_lines[first.min(r_end)..r_end] {
+        out.push('+');
+        out.push_str(line);
+        out.push('\n');
+    }
+    if golden_lines.len() != rendered_lines.len() {
+        out.push_str(&format!(
+            "(line counts differ: golden {}, rendered {})\n",
+            golden_lines.len(),
+            rendered_lines.len()
+        ));
+    }
+    out
+}
+
+#[test]
+fn divergence_report_pinpoints_the_first_differing_line() {
+    let golden = "a\nb\nc\nd\ne\n";
+    let rendered = "a\nb\nC\nd\ne\n";
+    let report = divergence_report(golden, rendered);
+    assert!(
+        report.contains("METAFORM_BLESS=1 cargo test --test golden_corpus"),
+        "{report}"
+    );
+    assert!(report.contains("first divergence at line 3"), "{report}");
+    assert!(report.contains("-c\n"), "{report}");
+    assert!(report.contains("+C\n"), "{report}");
+    // Context line before the divergence is carried unprefixed.
+    assert!(report.contains(" b\n"), "{report}");
+    // Pure append: divergence sits past the common prefix.
+    let longer = divergence_report("a\n", "a\nb\n");
+    assert!(longer.contains("first divergence at line 2"), "{longer}");
+    assert!(longer.contains("+b\n"), "{longer}");
+    assert!(longer.contains("line counts differ"), "{longer}");
 }
 
 #[test]

@@ -16,7 +16,7 @@
 use metaform_datasets::survey_corpus;
 use metaform_extractor::telemetry::failures_from_json;
 use metaform_extractor::{
-    stats_to_json, AdaptiveBatch, AdaptiveOptions, FormExtractor, Provenance,
+    stats_to_json, AdaptiveBatch, AdaptiveOptions, FormExtractor, LruParseCache, Provenance,
 };
 use metaform_parser::CancelToken;
 use metaform_service::{push_json_str, status_for, JsonValue, Server, ServerHandle, ServiceConfig};
@@ -117,6 +117,8 @@ fn assert_differential(results_body: &str, expected: &AdaptiveBatch) {
         let want_via = match extraction.via {
             Provenance::Grammar => "grammar",
             Provenance::BaselineFallback => "baseline",
+            Provenance::CacheHit => "cache_hit",
+            Provenance::DeltaReparse => "delta_reparse",
         };
         assert_eq!(
             report.field("via").and_then(|v| v.as_str()),
@@ -229,6 +231,7 @@ fn wire_results_are_byte_identical_to_in_process_extraction() {
     let refs: Vec<&str> = pages.iter().map(String::as_str).collect();
     let expected = FormExtractor::new()
         .worker_threads(2)
+        .parse_cache(LruParseCache::shared())
         .inject_panic_marker("POISON")
         .extract_batch_adaptive(&refs, &AdaptiveOptions::default());
     assert_eq!(expected.stats.panicked, 1, "the poison page panicked");
@@ -276,6 +279,7 @@ fn mid_batch_cancellation_matches_in_process_run() {
     let refs: Vec<&str> = pages.iter().map(String::as_str).collect();
     let expected = FormExtractor::new()
         .worker_threads(1)
+        .parse_cache(LruParseCache::shared())
         .cancel_token(CancelToken::new())
         .inject_cancel_marker("CANCEL_NOW")
         .extract_batch_adaptive(&refs, &AdaptiveOptions::default());
