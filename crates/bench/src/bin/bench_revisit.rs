@@ -122,6 +122,7 @@ fn main() {
     // the mutated visits, which would turn a second pass into replays).
     // Count the tier each scenario landed on once, up front.
     let mut tier_counts = [0usize; 3]; // [hit, delta, miss]
+    let mut tier_miss_scenarios: Vec<String> = Vec::new();
     {
         let warm = primed(&corpus_tokens);
         for (i, tokens) in mutated_tokens.iter().enumerate() {
@@ -129,7 +130,10 @@ fn main() {
             match e.via {
                 Provenance::CacheHit => tier_counts[0] += 1,
                 Provenance::DeltaReparse => tier_counts[1] += 1,
-                Provenance::Grammar => tier_counts[2] += 1,
+                Provenance::Grammar => {
+                    tier_counts[2] += 1;
+                    tier_miss_scenarios.push(mutated[i].0.clone());
+                }
                 Provenance::BaselineFallback => {
                     panic!("{}: revisit degraded to the baseline", mutated[i].0)
                 }
@@ -187,6 +191,12 @@ fn main() {
         tier_counts[1],
         tier_counts[2]
     );
+    if !tier_miss_scenarios.is_empty() {
+        eprintln!(
+            "  tier_miss (below the shared*2 >= len seeding threshold): {}",
+            tier_miss_scenarios.join(", ")
+        );
+    }
 
     let json = format!(
         concat!(
@@ -200,7 +210,8 @@ fn main() {
             "    \"exact_hit\": {{ \"pages\": {}, \"median_ms\": {:.3} }},\n",
             "    \"cold_mutated\": {{ \"pages\": {}, \"median_ms\": {:.3} }},\n",
             "    \"delta\": {{ \"pages\": {}, \"median_ms\": {:.3}, ",
-            "\"tier_hit\": {}, \"tier_delta\": {}, \"tier_miss\": {} }}\n",
+            "\"tier_hit\": {}, \"tier_delta\": {}, \"tier_miss\": {},\n",
+            "               \"tier_miss_scenarios\": [{}] }}\n",
             "  }},\n",
             "  \"exact_hit_speedup\": {:.3},\n",
             "  \"delta_speedup\": {:.3}\n",
@@ -220,6 +231,11 @@ fn main() {
         tier_counts[0],
         tier_counts[1],
         tier_counts[2],
+        tier_miss_scenarios
+            .iter()
+            .map(|name| format!("\"{name}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
         exact_hit_speedup,
         delta_speedup,
     );

@@ -4,21 +4,41 @@
 //! hand-rolls its JSON.
 //!
 //! Scope, by design:
-//! - one request per connection (`Connection: close` on every
-//!   response) — the work-queue protocol is submit/poll/fetch, not a
-//!   browsing session, so keep-alive buys nothing;
+//! - persistent connections: HTTP/1.1 requests on one connection are
+//!   served sequentially by [`RequestReader`], which carries bytes
+//!   read past one request's body into the next request's head
+//!   (`Connection: close`, an HTTP/1.0 peer without
+//!   `Connection: keep-alive`, or any request error ends the
+//!   conversation);
 //! - `Content-Length` bodies only (chunked transfer is rejected with
-//!   501);
-//! - hard limits on head and body size, mapped to 431/413 — a
-//!   malformed or hostile peer gets a 4xx and a closed socket, never a
-//!   panic or an unbounded buffer (the property tests in
-//!   `tests/prop_wire.rs` fuzz exactly this contract).
+//!   501), with request-smuggling hygiene: the value must be plain
+//!   ASCII digits (`+5` is rejected, where `parse::<usize>` would
+//!   tolerate the sign) and a request carrying more than one
+//!   `Content-Length` header is rejected outright rather than
+//!   trusting either copy;
+//! - hard limits on head and body size, mapped to 431/413, and a 408
+//!   for a peer that stalls mid-request (slowloris) — a malformed or
+//!   hostile peer gets a 4xx and a closed socket, never a panic or an
+//!   unbounded buffer (the property tests in `tests/prop_wire.rs`
+//!   fuzz exactly this contract);
+//! - large response bodies stream with `Transfer-Encoding: chunked`
+//!   instead of materializing one giant `Content-Length` write, so a
+//!   multi-megabyte batch results document never forces the
+//!   connection to buffer-and-burst.
 
 use std::io::{Read, Write};
 
 /// Cap on the request head (request line + headers). Past it the
 /// request is rejected with 431 instead of buffering further.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Response bodies at or over this size are streamed with
+/// `Transfer-Encoding: chunked` rather than a single
+/// `Content-Length` write.
+pub const CHUNK_STREAM_BYTES: usize = 64 * 1024;
+
+/// Chunk payload size used when streaming a large body.
+pub const CHUNK_SIZE: usize = 16 * 1024;
 
 /// One parsed request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,6 +51,11 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body, when a `Content-Length` announced one.
     pub body: Vec<u8>,
+    /// What the request's version + `Connection` header ask of the
+    /// connection: `true` to keep serving requests on it (HTTP/1.1
+    /// default), `false` to close after the response (HTTP/1.0
+    /// default, or an explicit `Connection: close`).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -70,6 +95,13 @@ pub enum RequestError {
     /// `Transfer-Encoding` was requested; only `Content-Length`
     /// framing is implemented.
     UnsupportedTransfer,
+    /// The peer started a request but stalled past the socket's read
+    /// timeout (slowloris); answered 408 and closed. An idle
+    /// connection that times out *between* requests reads as
+    /// [`Closed`] instead.
+    ///
+    /// [`Closed`]: RequestError::Closed
+    TimedOut,
 }
 
 impl RequestError {
@@ -81,6 +113,7 @@ impl RequestError {
             RequestError::HeadTooLarge => 431,
             RequestError::BodyTooLarge => 413,
             RequestError::UnsupportedTransfer => 501,
+            RequestError::TimedOut => 408,
         }
     }
 
@@ -94,107 +127,213 @@ impl RequestError {
             RequestError::UnsupportedTransfer => {
                 "only Content-Length framing is supported".to_string()
             }
+            RequestError::TimedOut => "timed out mid-request".to_string(),
         }
     }
 }
 
-/// Reads and parses one request from `stream`, enforcing
-/// [`MAX_HEAD_BYTES`] and `max_body` (the body cap in bytes).
-pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, RequestError> {
-    // Accumulate until the blank line ends the head. Reading past the
-    // head into the body is fine — the leftover is the body prefix.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let head_end = loop {
-        if let Some(at) = find_head_end(&buf) {
-            break at;
-        }
-        if buf.len() > MAX_HEAD_BYTES {
+/// Whether an I/O error is a read-timeout expiry. `SO_RCVTIMEO`
+/// surfaces as `WouldBlock` on Unix and `TimedOut` on Windows.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Sequential request reader for one persistent connection.
+///
+/// Bytes read past one request's body (the next request, already in
+/// flight) are carried into the next [`read_request`] call instead of
+/// being dropped — that carry is what makes keep-alive (and client
+/// pipelining) correct with a block-at-a-time reader.
+///
+/// [`read_request`]: RequestReader::read_request
+#[derive(Debug, Default)]
+pub struct RequestReader {
+    carry: Vec<u8>,
+}
+
+impl RequestReader {
+    /// A reader with an empty carry, for a fresh connection.
+    pub fn new() -> Self {
+        RequestReader::default()
+    }
+
+    /// Reads and parses the next request from `stream`, enforcing
+    /// [`MAX_HEAD_BYTES`] and `max_body` (the body cap in bytes).
+    pub fn read_request(
+        &mut self,
+        stream: &mut impl Read,
+        max_body: usize,
+    ) -> Result<Request, RequestError> {
+        // Start from the carry-over of the previous request, then
+        // accumulate until the blank line ends the head. Reading past
+        // the head into the body is fine — the leftover is the body
+        // prefix (and past the body, the next request).
+        let mut buf: Vec<u8> = std::mem::take(&mut self.carry);
+        let head_end = loop {
+            if let Some(at) = find_head_end(&buf) {
+                break at;
+            }
+            if buf.len() > MAX_HEAD_BYTES {
+                return Err(RequestError::HeadTooLarge);
+            }
+            let mut chunk = [0u8; 1024];
+            let n = match stream.read(&mut chunk) {
+                Ok(n) => n,
+                Err(e) if is_timeout(&e) => {
+                    // Idle between requests: a quiet end. Mid-head:
+                    // slowloris, answered 408.
+                    if buf.is_empty() {
+                        return Err(RequestError::Closed);
+                    }
+                    return Err(RequestError::TimedOut);
+                }
+                Err(e) => return Err(RequestError::Malformed(format!("read failed: {e}"))),
+            };
+            if n == 0 {
+                if buf.is_empty() {
+                    return Err(RequestError::Closed);
+                }
+                return Err(RequestError::Malformed("truncated request head".into()));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        if head_end > MAX_HEAD_BYTES {
             return Err(RequestError::HeadTooLarge);
         }
-        let mut chunk = [0u8; 1024];
-        let n = stream
-            .read(&mut chunk)
-            .map_err(|e| RequestError::Malformed(format!("read failed: {e}")))?;
-        if n == 0 {
-            if buf.is_empty() {
-                return Err(RequestError::Closed);
+
+        let head = std::str::from_utf8(&buf[..head_end])
+            .map_err(|_| RequestError::Malformed("request head is not UTF-8".into()))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split(' ');
+        let (method, target, version) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+                _ => {
+                    return Err(RequestError::Malformed(format!(
+                        "bad request line {request_line:?}"
+                    )))
+                }
+            };
+        if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+            return Err(RequestError::Malformed(format!("bad method {method:?}")));
+        }
+        if !target.starts_with('/') {
+            return Err(RequestError::Malformed(format!("bad target {target:?}")));
+        }
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(RequestError::Malformed(format!("bad version {version:?}")));
+        }
+
+        let mut headers = Vec::new();
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(RequestError::Malformed(format!("bad header {line:?}")));
+            };
+            if name.is_empty() || name.contains(' ') {
+                return Err(RequestError::Malformed(format!("bad header name {name:?}")));
             }
-            return Err(RequestError::Malformed("truncated request head".into()));
+            headers.push((name.to_string(), value.trim().to_string()));
         }
-        buf.extend_from_slice(&chunk[..n]);
-    };
-    if head_end > MAX_HEAD_BYTES {
-        return Err(RequestError::HeadTooLarge);
-    }
 
-    let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| RequestError::Malformed("request head is not UTF-8".into()))?;
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split(' ');
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
-        _ => {
-            return Err(RequestError::Malformed(format!(
-                "bad request line {request_line:?}"
-            )))
-        }
-    };
-    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
-        return Err(RequestError::Malformed(format!("bad method {method:?}")));
-    }
-    if !target.starts_with('/') {
-        return Err(RequestError::Malformed(format!("bad target {target:?}")));
-    }
-    if version != "HTTP/1.1" && version != "HTTP/1.0" {
-        return Err(RequestError::Malformed(format!("bad version {version:?}")));
-    }
-
-    let mut headers = Vec::new();
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(RequestError::Malformed(format!("bad header {line:?}")));
+        let connection = headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case("connection"))
+            .map(|(_, v)| v.as_str());
+        let keep_alive = wants_keep_alive(version == "HTTP/1.1", connection);
+        let request = Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers,
+            body: Vec::new(),
+            keep_alive,
         };
-        if name.is_empty() || name.contains(' ') {
-            return Err(RequestError::Malformed(format!("bad header name {name:?}")));
+        if request.header("transfer-encoding").is_some() {
+            return Err(RequestError::UnsupportedTransfer);
         }
-        headers.push((name.to_string(), value.trim().to_string()));
-    }
-
-    let request = Request {
-        method: method.to_string(),
-        target: target.to_string(),
-        headers,
-        body: Vec::new(),
-    };
-    if request.header("transfer-encoding").is_some() {
-        return Err(RequestError::UnsupportedTransfer);
-    }
-    let content_length = match request.header("content-length") {
-        None => 0,
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| RequestError::Malformed(format!("bad Content-Length {v:?}")))?,
-    };
-    if content_length > max_body {
-        return Err(RequestError::BodyTooLarge);
-    }
-
-    // Body = what was over-read past the head, plus the rest.
-    let mut body = buf[head_end + 4..].to_vec();
-    body.truncate(content_length); // over-read past the body is pipelining we ignore
-    while body.len() < content_length {
-        let mut chunk = [0u8; 4096];
-        let want = (content_length - body.len()).min(chunk.len());
-        let n = stream
-            .read(&mut chunk[..want])
-            .map_err(|e| RequestError::Malformed(format!("read failed: {e}")))?;
-        if n == 0 {
-            return Err(RequestError::Malformed("truncated request body".into()));
+        let content_length = parse_content_length(&request.headers)?;
+        if content_length > max_body {
+            return Err(RequestError::BodyTooLarge);
         }
-        body.extend_from_slice(&chunk[..n]);
+
+        // Body = what was over-read past the head, plus the rest.
+        let mut body = buf[head_end + 4..].to_vec();
+        let over = body.split_off(body.len().min(content_length));
+        while body.len() < content_length {
+            let mut chunk = [0u8; 4096];
+            let want = (content_length - body.len()).min(chunk.len());
+            let n = match stream.read(&mut chunk[..want]) {
+                Ok(n) => n,
+                Err(e) if is_timeout(&e) => return Err(RequestError::TimedOut),
+                Err(e) => return Err(RequestError::Malformed(format!("read failed: {e}"))),
+            };
+            if n == 0 {
+                return Err(RequestError::Malformed("truncated request body".into()));
+            }
+            body.extend_from_slice(&chunk[..n]);
+        }
+        // Over-read past the body is the next request, pipelined —
+        // keep it for the next call.
+        self.carry = over;
+        Ok(Request { body, ..request })
     }
-    Ok(Request { body, ..request })
+}
+
+/// What the version + `Connection` header ask of the connection:
+/// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and the
+/// `Connection` header (a comma-separated token list) overrides in
+/// either direction.
+fn wants_keep_alive(version_default: bool, connection: Option<&str>) -> bool {
+    match connection {
+        None => version_default,
+        Some(value) => {
+            let mut keep = version_default;
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    keep = false;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep = true;
+                }
+            }
+            keep
+        }
+    }
+}
+
+/// Parses the request's `Content-Length`, with smuggling hygiene:
+/// at most one header, plain ASCII digits only (no sign, no
+/// whitespace, no list).
+fn parse_content_length(headers: &[(String, String)]) -> Result<usize, RequestError> {
+    let mut values = headers
+        .iter()
+        .filter(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v.as_str());
+    let Some(first) = values.next() else {
+        return Ok(0);
+    };
+    if values.next().is_some() {
+        return Err(RequestError::Malformed(
+            "more than one Content-Length header".into(),
+        ));
+    }
+    if first.is_empty() || !first.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(RequestError::Malformed(format!(
+            "bad Content-Length {first:?}"
+        )));
+    }
+    first
+        .parse::<usize>()
+        .map_err(|_| RequestError::Malformed(format!("bad Content-Length {first:?}")))
+}
+
+/// Reads and parses one request from `stream` with a fresh carry —
+/// the one-shot form of [`RequestReader::read_request`].
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, RequestError> {
+    RequestReader::new().read_request(stream, max_body)
 }
 
 /// Byte offset of the `\r\n\r\n` head terminator, if present.
@@ -202,7 +341,10 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// One response, written with `Content-Length` and `Connection: close`.
+/// One response. Small bodies are written with `Content-Length`
+/// framing; bodies at or over [`CHUNK_STREAM_BYTES`] stream chunked.
+/// The `Connection` header mirrors whether the caller will keep
+/// serving the connection.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Response {
     /// Status code.
@@ -232,14 +374,24 @@ impl Response {
         }
     }
 
-    /// The response serialized to wire bytes.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    fn connection_header(keep_alive: bool) -> &'static str {
+        if keep_alive {
+            "keep-alive"
+        } else {
+            "close"
+        }
+    }
+
+    /// The response serialized to wire bytes with `Content-Length`
+    /// framing (the non-streaming form, whatever the body size).
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let mut out = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status,
             reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            Self::connection_header(keep_alive),
         )
         .into_bytes();
         out.extend_from_slice(&self.body);
@@ -247,10 +399,33 @@ impl Response {
     }
 
     /// Writes the response to `stream`; errors are swallowed — the
-    /// peer hanging up mid-response is its own problem.
-    pub fn write_to(&self, stream: &mut impl Write) {
-        let _ = stream.write_all(&self.to_bytes());
-        let _ = stream.flush();
+    /// peer hanging up mid-response is its own problem. Bodies at or
+    /// over [`CHUNK_STREAM_BYTES`] are streamed with
+    /// `Transfer-Encoding: chunked` in [`CHUNK_SIZE`] pieces.
+    pub fn write_to(&self, stream: &mut impl Write, keep_alive: bool) {
+        if self.body.len() < CHUNK_STREAM_BYTES {
+            let _ = stream.write_all(&self.to_bytes(keep_alive));
+            let _ = stream.flush();
+            return;
+        }
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            Self::connection_header(keep_alive),
+        );
+        let mut write = || -> std::io::Result<()> {
+            stream.write_all(head.as_bytes())?;
+            for chunk in self.body.chunks(CHUNK_SIZE) {
+                stream.write_all(format!("{:x}\r\n", chunk.len()).as_bytes())?;
+                stream.write_all(chunk)?;
+                stream.write_all(b"\r\n")?;
+            }
+            stream.write_all(b"0\r\n\r\n")?;
+            stream.flush()
+        };
+        let _ = write();
     }
 }
 
@@ -291,6 +466,7 @@ mod tests {
         assert_eq!(req.path(), "/v1/batches");
         assert_eq!(req.header("HOST"), Some("x"));
         assert_eq!(req.body, b"hello");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -299,6 +475,53 @@ mod tests {
         assert_eq!(req.path(), "/v1/batches/j-1");
         assert_eq!(req.target, "/v1/batches/j-1?verbose=1");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn connection_semantics_follow_version_and_header() {
+        assert!(parse(b"GET /x HTTP/1.1\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            !parse(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            !parse(b"GET /x HTTP/1.1\r\nConnection: Close\r\n\r\n")
+                .unwrap()
+                .keep_alive,
+            "token match is case-insensitive"
+        );
+        assert!(!parse(b"GET /x HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            parse(b"GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            !parse(b"GET /x HTTP/1.1\r\nConnection: foo, close\r\n\r\n")
+                .unwrap()
+                .keep_alive,
+            "Connection is a token list"
+        );
+    }
+
+    #[test]
+    fn sequential_requests_reuse_the_carry() {
+        let wire = b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /b HTTP/1.1\r\n\r\n\
+                     POST /c HTTP/1.1\r\nContent-Length: 2\r\n\r\nxy";
+        let mut stream = &wire[..];
+        let mut reader = RequestReader::new();
+        let a = reader.read_request(&mut stream, 1024).expect("first");
+        assert_eq!((a.path(), a.body.as_slice()), ("/a", &b"abc"[..]));
+        let b = reader.read_request(&mut stream, 1024).expect("second");
+        assert_eq!((b.path(), b.body.as_slice()), ("/b", &b""[..]));
+        let c = reader.read_request(&mut stream, 1024).expect("third");
+        assert_eq!((c.path(), c.body.as_slice()), ("/c", &b"xy"[..]));
+        assert_eq!(
+            reader.read_request(&mut stream, 1024),
+            Err(RequestError::Closed),
+            "clean end of conversation"
+        );
     }
 
     #[test]
@@ -314,6 +537,27 @@ mod tests {
             b"GET /x HTTP/1.1\r\nContent-Length: soup\r\n\r\n",
             b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
             b"GET /x HTTP/1.1\r\ntrunca",
+        ] {
+            let err = parse(bad).expect_err("must be rejected");
+            assert_eq!(err.status(), 400, "{err:?} for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_content_length_smuggling_shapes() {
+        // A leading sign parses under str::parse::<usize> but is not
+        // a valid HTTP Content-Length — reject, don't normalize.
+        for bad in [
+            &b"POST /x HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello"[..],
+            b"POST /x HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 5 5\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 5,5\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length:\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 99999999999999999999999\r\n\r\n",
+            // Duplicate headers: conflicting or not, reject both.
+            b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nhello",
+            b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello",
+            b"POST /x HTTP/1.1\r\nContent-Length: 5\r\ncontent-length: 2\r\n\r\nhello",
         ] {
             let err = parse(bad).expect_err("must be rejected");
             assert_eq!(err.status(), 400, "{err:?} for {bad:?}");
@@ -342,15 +586,91 @@ mod tests {
         assert_eq!(parse(b""), Err(RequestError::Closed));
     }
 
+    /// A reader that yields a prefix, then a read-timeout error — the
+    /// shape of a slowloris peer against `SO_RCVTIMEO`.
+    struct Stall<'a>(&'a [u8]);
+
+    impl Read for Stall<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() {
+                return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+            }
+            let n = self.0.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.0[..n]);
+            self.0 = &self.0[n..];
+            Ok(n)
+        }
+    }
+
     #[test]
-    fn responses_carry_length_and_close() {
-        let bytes = Response::json(202, "{}").to_bytes();
+    fn stalls_map_to_timeout_or_quiet_close() {
+        // Nothing sent: an idle keep-alive connection expiring.
+        assert_eq!(
+            read_request(&mut Stall(b""), 1024),
+            Err(RequestError::Closed)
+        );
+        // A partial head, then silence: slowloris, answered 408.
+        assert_eq!(
+            read_request(&mut Stall(b"GET /x HT"), 1024),
+            Err(RequestError::TimedOut)
+        );
+        // A full head with a stalled body: same.
+        assert_eq!(
+            read_request(
+                &mut Stall(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nab"),
+                1024
+            ),
+            Err(RequestError::TimedOut)
+        );
+        assert_eq!(RequestError::TimedOut.status(), 408);
+    }
+
+    #[test]
+    fn responses_carry_framing_and_connection() {
+        let bytes = Response::json(202, "{}").to_bytes(false);
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"), "{text}");
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+        let keep = String::from_utf8(Response::json(200, "{}").to_bytes(true)).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"), "{keep}");
         assert_eq!(reason(499), "Client Closed Request");
         assert_eq!(reason(299), "Unknown");
+    }
+
+    #[test]
+    fn large_bodies_stream_chunked_and_reassemble() {
+        let body = "x".repeat(CHUNK_STREAM_BYTES + CHUNK_SIZE / 2);
+        let response = Response::text(200, body.clone());
+        let mut wire = Vec::new();
+        response.write_to(&mut wire, true);
+        let text = String::from_utf8(wire).unwrap();
+        assert!(
+            text.contains("Transfer-Encoding: chunked\r\n"),
+            "no chunking"
+        );
+        assert!(!text.contains("Content-Length"), "chunked excludes length");
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        // Decode the chunked framing back to the body.
+        let (_, mut rest) = text.split_once("\r\n\r\n").expect("has a head");
+        let mut decoded = String::new();
+        loop {
+            let (size, tail) = rest.split_once("\r\n").expect("chunk size line");
+            let size = usize::from_str_radix(size, 16).expect("hex size");
+            if size == 0 {
+                assert_eq!(tail, "\r\n", "terminal chunk ends the stream");
+                break;
+            }
+            decoded.push_str(&tail[..size]);
+            rest = &tail[size + 2..];
+        }
+        assert_eq!(decoded, body);
+        // Small bodies keep Content-Length framing.
+        let mut wire = Vec::new();
+        Response::text(200, "ok").write_to(&mut wire, true);
+        assert!(String::from_utf8(wire)
+            .unwrap()
+            .contains("Content-Length: 2\r\n"));
     }
 }

@@ -1,4 +1,4 @@
-//! The job layer: a per-job state machine behind a `Mutex<HashMap>`
+//! The job layer: a per-job state machine behind a **sharded** store
 //! and the bounded MPMC queue feeding the worker pool.
 //!
 //! Lifecycle (see DESIGN.md for the full diagram):
@@ -16,11 +16,54 @@
 //! `Cancelled`/degraded, byte-identical to an in-process run with a
 //! pre-fired token. That keeps exactly one code path producing results
 //! and keeps cancelled jobs queryable like any finished job.
+//!
+//! **Sharding.** Both the store and the queue are split into
+//! shared-nothing shards selected by a mix of the job id, each behind
+//! its own `Mutex` — per-connection handler threads and pool workers
+//! touching different jobs no longer serialize on one lock. Ids stay
+//! dense and monotone ([`AtomicU64`], no lock at all), and the
+//! `/v1/jobs` listing gathers from every shard and sorts, so the
+//! external API is unchanged.
+//!
+//! **Poison recovery.** Every lock acquisition recovers from
+//! poisoning instead of panicking: the job maps and queue deques hold
+//! plain data whose invariants do not span the critical section, so a
+//! worker that panicked while holding a lock (already isolated per
+//! page by `catch_unwind` upstream) must degrade that one job, not
+//! wedge every future request into a `lock().expect()` panic cascade.
 
 use metaform_extractor::AdaptiveBatch;
 use metaform_parser::CancelToken;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Default shard count for the store and the queue. Eight covers the
+/// worker-pool parallelism this service runs at; the `--shards` flag
+/// overrides.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Locks with poison recovery: a panic under the lock marks the data
+/// un-poisoned and keeps serving. See the module docs for why that is
+/// sound here.
+fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| {
+        mutex.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+/// Shard index for a job id: a splitmix64 finalizer so dense ids
+/// spread instead of striding.
+fn shard_of(id: u64, shards: usize) -> usize {
+    let mut x = id;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
 
 /// Where a job is in its lifecycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,23 +112,43 @@ pub struct Job {
     pub result: Option<AdaptiveBatch>,
 }
 
-/// All jobs the service knows, keyed by id. Ids are dense and
-/// monotone; jobs are kept after completion so results stay queryable
-/// for the life of the process (the work-queue protocol has no expiry).
-#[derive(Debug, Default)]
+/// All jobs the service knows, keyed by id and sharded by a hash of
+/// the id. Ids are dense and monotone; jobs are kept after completion
+/// so results stay queryable for the life of the process (the
+/// work-queue protocol has no expiry).
+#[derive(Debug)]
 pub struct JobStore {
-    jobs: Mutex<HashMap<u64, Job>>,
-    next_id: Mutex<u64>,
+    shards: Box<[Mutex<HashMap<u64, Job>>]>,
+    next_id: AtomicU64,
+}
+
+impl Default for JobStore {
+    fn default() -> Self {
+        JobStore::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl JobStore {
+    /// An empty store with `shards` shards (0 is promoted to 1).
+    pub fn with_shards(shards: usize) -> Self {
+        JobStore {
+            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards the store was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Job>> {
+        &self.shards[shard_of(id, self.shards.len())]
+    }
+
     /// Registers a new queued job, returning its id.
     pub fn create(&self, pages: Vec<String>, max_retries: Option<usize>) -> u64 {
-        let id = {
-            let mut next = self.next_id.lock().expect("job id lock");
-            *next += 1;
-            *next
-        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let job = Job {
             pages: Arc::new(pages),
             max_retries,
@@ -93,19 +156,19 @@ impl JobStore {
             phase: JobPhase::Queued,
             result: None,
         };
-        self.jobs.lock().expect("job map lock").insert(id, job);
+        lock_clean(self.shard(id)).insert(id, job);
         id
     }
 
     /// Runs `f` on the job, if it exists.
     pub fn with_job<T>(&self, id: u64, f: impl FnOnce(&Job) -> T) -> Option<T> {
-        self.jobs.lock().expect("job map lock").get(&id).map(f)
+        lock_clean(self.shard(id)).get(&id).map(f)
     }
 
     /// Claims the job for a worker: marks it `Running` and hands back
     /// what the run needs. Returns `None` for an unknown id.
     pub fn claim(&self, id: u64) -> Option<(Arc<Vec<String>>, Option<usize>, CancelToken)> {
-        let mut jobs = self.jobs.lock().expect("job map lock");
+        let mut jobs = lock_clean(self.shard(id));
         let job = jobs.get_mut(&id)?;
         job.phase = JobPhase::Running;
         Some((Arc::clone(&job.pages), job.max_retries, job.token.clone()))
@@ -115,7 +178,7 @@ impl JobStore {
     /// batch: a token fired mid-run settles as `Cancelled` even if
     /// every page had already completed.
     pub fn finish(&self, id: u64, result: AdaptiveBatch) {
-        let mut jobs = self.jobs.lock().expect("job map lock");
+        let mut jobs = lock_clean(self.shard(id));
         if let Some(job) = jobs.get_mut(&id) {
             job.phase = if job.token.is_cancelled() {
                 JobPhase::Cancelled
@@ -128,13 +191,16 @@ impl JobStore {
 
     /// Snapshot of every known job as `(id, phase, pages)`, sorted by
     /// id, for the `/v1/jobs` listing. Ids are dense and monotone, so
-    /// the sort is submission order regardless of map iteration order.
+    /// the sort is submission order regardless of shard layout.
     pub fn list(&self) -> Vec<(u64, JobPhase, usize)> {
-        let jobs = self.jobs.lock().expect("job map lock");
-        let mut out: Vec<(u64, JobPhase, usize)> = jobs
-            .iter()
-            .map(|(&id, job)| (id, job.phase, job.pages.len()))
-            .collect();
+        let mut out: Vec<(u64, JobPhase, usize)> = Vec::new();
+        for shard in self.shards.iter() {
+            let jobs = lock_clean(shard);
+            out.extend(
+                jobs.iter()
+                    .map(|(&id, job)| (id, job.phase, job.pages.len())),
+            );
+        }
         out.sort_unstable_by_key(|&(id, _, _)| id);
         out
     }
@@ -142,13 +208,13 @@ impl JobStore {
     /// Forgets a job that was never accepted into the queue (the
     /// submit path backs out a registration when the queue is full).
     pub fn remove(&self, id: u64) {
-        self.jobs.lock().expect("job map lock").remove(&id);
+        lock_clean(self.shard(id)).remove(&id);
     }
 
     /// Fires the job's cancel token. Returns the phase the job was in,
     /// or `None` for an unknown id.
     pub fn cancel(&self, id: u64) -> Option<JobPhase> {
-        let jobs = self.jobs.lock().expect("job map lock");
+        let jobs = lock_clean(self.shard(id));
         jobs.get(&id).map(|job| {
             job.token.cancel();
             job.phase
@@ -157,29 +223,51 @@ impl JobStore {
 }
 
 /// The bounded MPMC queue between the HTTP handlers (producers) and
-/// the worker pool (consumers). `Mutex<VecDeque>` + `Condvar` — the
-/// std-only shape of a bounded channel.
+/// the worker pool (consumers), sharded by the same job-id hash as
+/// the store. Each shard is a `Mutex<VecDeque>` + `Condvar`; a shared
+/// atomic length enforces the global capacity without a global lock.
+///
+/// FIFO is preserved across shards: every push takes a global ticket
+/// and `pop` claims the lowest outstanding ticket, so jobs run in
+/// submission order (exactly, under one consumer; near-exactly under
+/// many — two concurrent pops can swap neighbours, which is
+/// indistinguishable from scheduling anyway).
 #[derive(Debug)]
 pub struct JobQueue {
-    inner: Mutex<QueueInner>,
-    ready: Condvar,
+    shards: Box<[QueueShard]>,
+    /// Jobs currently queued, across shards.
+    len: AtomicUsize,
+    /// Monotone push ticket, for cross-shard FIFO.
+    ticket: AtomicU64,
+    shutdown: AtomicBool,
     capacity: usize,
 }
 
 #[derive(Debug, Default)]
-struct QueueInner {
-    ids: VecDeque<u64>,
-    shutdown: bool,
+struct QueueShard {
+    ids: Mutex<VecDeque<(u64, u64)>>, // (ticket, job id)
+    ready: Condvar,
 }
 
+/// How long a blocked `pop` waits before rescanning every shard —
+/// bounds the latency of a job pushed to a shard nobody is parked on.
+const POP_RESCAN: Duration = Duration::from_millis(5);
+
 impl JobQueue {
-    /// An empty queue holding at most `capacity` queued jobs
-    /// (`capacity` 0 is promoted to 1 — a queue that can never accept
-    /// would deadlock the service).
+    /// An empty queue holding at most `capacity` queued jobs across
+    /// [`DEFAULT_SHARDS`] shards (`capacity` 0 is promoted to 1 — a
+    /// queue that can never accept would deadlock the service).
     pub fn new(capacity: usize) -> Self {
+        JobQueue::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// An empty queue with an explicit shard count.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
         JobQueue {
-            inner: Mutex::new(QueueInner::default()),
-            ready: Condvar::new(),
+            shards: (0..shards.max(1)).map(|_| QueueShard::default()).collect(),
+            len: AtomicUsize::new(0),
+            ticket: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
             capacity: capacity.max(1),
         }
     }
@@ -188,48 +276,80 @@ impl JobQueue {
     /// shutting down — the caller answers 503 and the job is never
     /// queued.
     pub fn push(&self, id: u64) -> Result<(), u64> {
-        let mut inner = self.inner.lock().expect("queue lock");
-        if inner.shutdown || inner.ids.len() >= self.capacity {
+        if self.shutdown.load(Ordering::SeqCst) {
             return Err(id);
         }
-        inner.ids.push_back(id);
-        self.ready.notify_one();
+        // Reserve a slot against the global bound first; back out on
+        // the race where several producers reserve past the cap.
+        if self.len.fetch_add(1, Ordering::SeqCst) >= self.capacity {
+            self.len.fetch_sub(1, Ordering::SeqCst);
+            return Err(id);
+        }
+        let ticket = self.ticket.fetch_add(1, Ordering::SeqCst);
+        let shard = &self.shards[shard_of(id, self.shards.len())];
+        lock_clean(&shard.ids).push_back((ticket, id));
+        shard.ready.notify_one();
         Ok(())
     }
 
     /// Blocks until a job is available or the queue shuts down.
     /// Returns `None` only when shut down **and** drained, so every
     /// accepted job is still run during a graceful shutdown.
-    pub fn pop(&self) -> Option<u64> {
-        let mut inner = self.inner.lock().expect("queue lock");
+    /// `home_shard` is where this consumer parks while idle (workers
+    /// pass their index; any value works).
+    pub fn pop(&self, home_shard: usize) -> Option<u64> {
+        let home = &self.shards[home_shard % self.shards.len()];
         loop {
-            if let Some(id) = inner.ids.pop_front() {
-                return Some(id);
+            // Claim the oldest ticket across shards.
+            let mut best: Option<(u64, usize)> = None;
+            for (index, shard) in self.shards.iter().enumerate() {
+                if let Some(&(ticket, _)) = lock_clean(&shard.ids).front() {
+                    if best.is_none_or(|(b, _)| ticket < b) {
+                        best = Some((ticket, index));
+                    }
+                }
             }
-            if inner.shutdown {
+            if let Some((_, index)) = best {
+                if let Some((_, id)) = lock_clean(&self.shards[index].ids).pop_front() {
+                    self.len.fetch_sub(1, Ordering::SeqCst);
+                    return Some(id);
+                }
+                continue; // lost the race; rescan
+            }
+            if self.shutdown.load(Ordering::SeqCst) && self.len.load(Ordering::SeqCst) == 0 {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("queue lock");
+            // Park on the home shard; the timeout covers pushes (and
+            // capacity reservations still in flight) on other shards.
+            let guard = lock_clean(&home.ids);
+            let _ = home
+                .ready
+                .wait_timeout(guard, POP_RESCAN)
+                .unwrap_or_else(|poisoned| {
+                    home.ids.clear_poison();
+                    poisoned.into_inner()
+                });
         }
     }
 
     /// Stops accepting jobs and wakes every blocked worker. Queued jobs
     /// still drain.
     pub fn shutdown(&self) {
-        self.inner.lock().expect("queue lock").shutdown = true;
-        self.ready.notify_all();
+        self.shutdown.store(true, Ordering::SeqCst);
+        for shard in self.shards.iter() {
+            shard.ready.notify_all();
+        }
     }
 
     /// Jobs currently queued.
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock").ids.len()
+        self.len.load(Ordering::SeqCst)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
 
     #[test]
     fn store_walks_the_lifecycle() {
@@ -271,26 +391,29 @@ mod tests {
     }
 
     #[test]
-    fn list_is_sorted_by_id_with_phases() {
-        let store = JobStore::default();
-        let a = store.create(vec!["<form>a</form>".to_string()], None);
-        let b = store.create(vec![], None);
-        let c = store.create(
-            vec!["<form>c</form>".to_string(), "<form>d</form>".to_string()],
-            None,
-        );
-        store.claim(b);
-        store.claim(c);
-        store.finish(c, AdaptiveBatch::default());
-        let listed = store.list();
-        assert_eq!(
-            listed,
-            vec![
-                (a, JobPhase::Queued, 1),
-                (b, JobPhase::Running, 0),
-                (c, JobPhase::Done, 2),
-            ]
-        );
+    fn list_is_sorted_by_id_across_shards() {
+        for shards in [1, 2, 8] {
+            let store = JobStore::with_shards(shards);
+            let a = store.create(vec!["<form>a</form>".to_string()], None);
+            let b = store.create(vec![], None);
+            let c = store.create(
+                vec!["<form>c</form>".to_string(), "<form>d</form>".to_string()],
+                None,
+            );
+            store.claim(b);
+            store.claim(c);
+            store.finish(c, AdaptiveBatch::default());
+            let listed = store.list();
+            assert_eq!(
+                listed,
+                vec![
+                    (a, JobPhase::Queued, 1),
+                    (b, JobPhase::Running, 0),
+                    (c, JobPhase::Done, 2),
+                ],
+                "{shards} shards"
+            );
+        }
     }
 
     #[test]
@@ -304,6 +427,23 @@ mod tests {
     }
 
     #[test]
+    fn store_survives_a_panic_under_the_lock() {
+        let store = JobStore::with_shards(1);
+        let id = store.create(vec![], None);
+        // Poison the single shard's mutex.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.with_job(id, |_| panic!("worker bug"))
+        }));
+        // Every operation still works.
+        assert_eq!(store.with_job(id, |j| j.phase), Some(JobPhase::Queued));
+        let other = store.create(vec![], None);
+        assert!(store.claim(other).is_some());
+        store.finish(other, AdaptiveBatch::default());
+        assert_eq!(store.with_job(other, |j| j.phase), Some(JobPhase::Done));
+        assert_eq!(store.list().len(), 2);
+    }
+
+    #[test]
     fn queue_bounds_accepts_and_drains_on_shutdown() {
         let q = JobQueue::new(2);
         assert_eq!(q.push(1), Ok(()));
@@ -314,10 +454,20 @@ mod tests {
         q.shutdown();
         assert_eq!(q.push(4), Err(4), "closed");
         // Shutdown drains what was accepted, then signals exhaustion.
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), Some(2));
-        assert_eq!(q.pop(), None);
-        assert_eq!(q.pop(), None, "stays exhausted");
+        assert_eq!(q.pop(0), Some(1));
+        assert_eq!(q.pop(0), Some(2));
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(0), None, "stays exhausted");
+    }
+
+    #[test]
+    fn pop_is_fifo_across_shards() {
+        let q = JobQueue::with_shards(64, 8);
+        for id in 1..=32 {
+            q.push(id).expect("accepts");
+        }
+        let order: Vec<u64> = (0..32).map(|i| q.pop(i).expect("has a job")).collect();
+        assert_eq!(order, (1..=32).collect::<Vec<u64>>());
     }
 
     #[test]
@@ -325,7 +475,7 @@ mod tests {
         let q = Arc::new(JobQueue::new(4));
         let consumer = {
             let q = Arc::clone(&q);
-            std::thread::spawn(move || q.pop())
+            std::thread::spawn(move || q.pop(3))
         };
         // Give the consumer a moment to block, then feed it.
         std::thread::sleep(Duration::from_millis(20));

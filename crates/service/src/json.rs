@@ -75,6 +75,50 @@ impl JsonValue {
             _ => Err("expected an array".to_string()),
         }
     }
+
+    /// Serializes the value back to JSON text (compact, fields in
+    /// arrival order). `parse(v.to_json()) == v` for every value this
+    /// parser produces — the daemon uses this to re-frame a submission
+    /// line as a `POST /v1/batches` body.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Str(s) => push_json_str(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (index, item) in items.iter().enumerate() {
+                    if index > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (index, (name, value)) in fields.iter().enumerate() {
+                    if index > 0 {
+                        out.push_str(", ");
+                    }
+                    push_json_str(out, name);
+                    out.push_str(": ");
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Nesting cap: deeper input is rejected rather than recursed into —
@@ -411,5 +455,18 @@ mod tests {
         push_json_str(&mut out, "a\"b\\c\nd\u{1}é");
         let back = JsonValue::parse(out.as_bytes()).unwrap();
         assert_eq!(back.as_str().unwrap(), "a\"b\\c\nd\u{1}é");
+    }
+
+    #[test]
+    fn to_json_round_trips_through_the_parser() {
+        for src in [
+            r#"{"pages": ["<form>a</form>", {"html": "x\"y\n", "revisit": true}], "n": 7}"#,
+            r#"[null, true, false, 0, "", {}]"#,
+            "\"a\\u0001b\"",
+        ] {
+            let value = JsonValue::parse(src.as_bytes()).expect("parses");
+            let text = value.to_json();
+            assert_eq!(JsonValue::parse(text.as_bytes()).unwrap(), value, "{src}");
+        }
     }
 }

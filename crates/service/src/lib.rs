@@ -23,16 +23,25 @@
 //! | `GET /metrics` | Text counters |
 //! | `POST /v1/shutdown` | Graceful drain-and-exit |
 //!
-//! Module map: [`http`] (hand-rolled wire parsing with hard limits),
-//! [`json`] (request-body parsing and escaping), [`jobs`] (the
-//! `Queued → Running → Done | Cancelled` state machine and the bounded
-//! queue), [`server`] (routing, worker pool, accept loop), [`error`]
-//! (the per-page `ExtractError → HTTP status` mapping), [`metrics`]
-//! (the counter block).
+//! Connections are persistent: HTTP/1.1 requests on one connection
+//! are served sequentially with keep-alive, each connection on its own
+//! handler thread, and the job store/queue behind the handlers are
+//! sharded by job-id hash — see `DESIGN.md` §5.9. A Unix-socket
+//! line-delimited-JSON daemon mode ([`daemon`]) serves co-located
+//! callers over the same routing table.
+//!
+//! Module map: [`http`] (hand-rolled wire parsing with hard limits and
+//! keep-alive), [`json`] (request-body parsing and escaping), [`jobs`]
+//! (the `Queued → Running → Done | Cancelled` state machine and the
+//! sharded bounded queue), [`server`] (routing, worker pool, accept
+//! loop), [`daemon`] (the Unix-socket listener), [`error`] (the
+//! per-page `ExtractError → HTTP status` mapping), [`metrics`] (the
+//! striped counter block).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod daemon;
 pub mod error;
 pub mod http;
 pub mod jobs;
@@ -41,8 +50,8 @@ pub mod metrics;
 pub mod server;
 
 pub use error::status_for;
-pub use http::{read_request, Request, RequestError, Response, MAX_HEAD_BYTES};
+pub use http::{read_request, Request, RequestError, RequestReader, Response, MAX_HEAD_BYTES};
 pub use jobs::{Job, JobPhase, JobQueue, JobStore};
 pub use json::{parse_batch_request, push_json_str, BatchRequest, JsonValue};
-pub use metrics::Metrics;
+pub use metrics::{Counter, Gauge, Metrics};
 pub use server::{handle_connection, route, Server, ServerHandle, ServiceConfig, ServiceState};

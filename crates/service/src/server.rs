@@ -4,25 +4,29 @@
 //! Wiring (see DESIGN.md):
 //!
 //! ```text
-//! accept loop ──▶ handle_connection ──▶ route
+//! accept loop ──▶ connection thread (×conn) ──▶ route (per request)
 //!                   POST /v1/batches ──▶ JobStore::create ─▶ JobQueue
-//!                                                              │
-//!                 pool worker (×N) ◀── JobQueue::pop ◀─────────┘
+//!                                          (sharded)      (sharded)  │
+//!                 pool worker (×N) ◀── JobQueue::pop ◀───────────────┘
 //!                   └─▶ extractor.cancel_token(job).extract_batch_adaptive
 //!                         └─▶ JobStore::finish (Done | Cancelled)
 //! ```
 //!
-//! The HTTP side is intentionally serial (one connection at a time):
-//! every handler is a queue/map operation that completes in
-//! microseconds, because the actual work — batch extraction — runs on
-//! the pool workers. A slow batch never blocks `/healthz`.
+//! Every accepted connection gets its own handler thread, which
+//! serves HTTP/1.1 requests **sequentially with keep-alive** until
+//! the peer closes, errs, asks `Connection: close`, or stalls past
+//! the read timeout — so a slow or chatty client occupies one thread,
+//! never the accept loop, and `/healthz` stays responsive under any
+//! single client's behaviour. Handlers are queue/map operations that
+//! complete in microseconds; the actual work — batch extraction —
+//! runs on the pool workers.
 //!
 //! Routing runs behind `catch_unwind`: a handler bug answers 500 on
-//! that one connection and the service keeps serving, the same
+//! that one request and the service keeps serving, the same
 //! page-level fault isolation stance the batch engine takes.
 
 use crate::error::status_for;
-use crate::http::{read_request, Request, RequestError, Response};
+use crate::http::{Request, RequestError, RequestReader, Response};
 use crate::jobs::{JobQueue, JobStore};
 use crate::json::{parse_batch_request, push_json_str};
 use crate::metrics::Metrics;
@@ -32,7 +36,7 @@ use metaform_extractor::{
 };
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -54,6 +58,9 @@ pub struct ServiceConfig {
     pub batch_workers: Option<usize>,
     /// Jobs the queue holds before submissions answer 503.
     pub queue_capacity: usize,
+    /// Shards for the job store and queue (default
+    /// [`crate::jobs::DEFAULT_SHARDS`]).
+    pub shards: usize,
     /// Default adaptive retry rounds (a submission's `max_retries`
     /// field overrides per job).
     pub max_retries: usize,
@@ -65,6 +72,13 @@ pub struct ServiceConfig {
     pub page_deadline: Option<Duration>,
     /// Request body cap in bytes (oversized submissions answer 413).
     pub max_body_bytes: usize,
+    /// Socket read timeout per request: an idle keep-alive connection
+    /// past it closes quietly; a peer stalled mid-request (slowloris)
+    /// answers 408 and closes.
+    pub read_timeout: Duration,
+    /// Unix-socket path for the line-delimited-JSON daemon listener;
+    /// `None` disables daemon mode.
+    pub uds_path: Option<String>,
     /// Test-only fault injection: pages containing this marker panic
     /// the pipeline (mirrors `FormExtractor::inject_panic_marker`).
     pub panic_marker: Option<String>,
@@ -81,11 +95,14 @@ impl Default for ServiceConfig {
             pool_workers: 2,
             batch_workers: None,
             queue_capacity: 64,
+            shards: crate::jobs::DEFAULT_SHARDS,
             max_retries: 2,
             budget_growth: 2,
             max_instances: None,
             page_deadline: None,
             max_body_bytes: 16 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            uds_path: None,
             panic_marker: None,
             cancel_marker: None,
         }
@@ -98,9 +115,9 @@ pub struct ServiceState {
     /// The compile-once engine; cloned per job to attach that job's
     /// cancel token (clones share the one compiled grammar).
     pub extractor: FormExtractor,
-    /// All jobs, by id.
+    /// All jobs, by id, sharded by id hash.
     pub store: JobStore,
-    /// The bounded queue between handlers and pool workers.
+    /// The bounded sharded queue between handlers and pool workers.
     pub queue: JobQueue,
     /// The `/metrics` counter block.
     pub metrics: Metrics,
@@ -134,8 +151,8 @@ impl ServiceState {
         }
         ServiceState {
             extractor,
-            store: JobStore::default(),
-            queue: JobQueue::new(config.queue_capacity),
+            store: JobStore::with_shards(config.shards),
+            queue: JobQueue::with_shards(config.queue_capacity, config.shards),
             metrics: Metrics::default(),
             config,
             stopping: AtomicBool::new(false),
@@ -155,10 +172,11 @@ impl ServiceState {
     }
 
     /// One pool worker: claim, extract, settle — until the queue shuts
-    /// down and drains.
-    pub fn work_loop(&self) {
-        while let Some(id) = self.queue.pop() {
-            Metrics::drop_one(&self.metrics.queue_depth);
+    /// down and drains. `worker` is the worker's index, used as its
+    /// home queue shard.
+    pub fn work_loop(&self, worker: usize) {
+        while let Some(id) = self.queue.pop(worker) {
+            self.metrics.queue_depth.dec();
             self.run_job(id);
         }
     }
@@ -175,36 +193,63 @@ impl ServiceState {
             budget_growth: self.config.budget_growth,
         };
         let batch = extractor.extract_batch_adaptive(&refs, &opts);
-        Metrics::add(&self.metrics.pages_degraded, batch.stats.degraded as u64);
-        Metrics::add(&self.metrics.pages_recovered, batch.stats.recovered as u64);
-        Metrics::add(&self.metrics.pages_cancelled, batch.stats.cancelled as u64);
-        Metrics::add(&self.metrics.pages_cache_hit, batch.stats.cache_hits as u64);
-        Metrics::add(
-            &self.metrics.pages_cache_delta,
-            batch.stats.cache_delta as u64,
-        );
-        Metrics::add(
-            &self.metrics.pages_cache_miss,
-            batch.stats.cache_misses as u64,
-        );
-        Metrics::bump(&self.metrics.jobs_completed);
+        self.metrics.pages_degraded.add(batch.stats.degraded as u64);
+        self.metrics
+            .pages_recovered
+            .add(batch.stats.recovered as u64);
+        self.metrics
+            .pages_cancelled
+            .add(batch.stats.cancelled as u64);
+        self.metrics
+            .pages_cache_hit
+            .add(batch.stats.cache_hits as u64);
+        self.metrics
+            .pages_cache_delta
+            .add(batch.stats.cache_delta as u64);
+        self.metrics
+            .pages_cache_miss
+            .add(batch.stats.cache_misses as u64);
+        self.metrics.jobs_completed.bump();
         self.store.finish(id, batch);
     }
 }
 
-/// Serves one connection: read a request, route it behind a panic
-/// boundary, write the response, close. Generic over the stream so the
-/// property tests can drive it with in-memory bytes — the fuzzing
-/// contract is on *this* function, not on a socket.
+/// Serves one connection to completion: requests are read
+/// sequentially with [`RequestReader`] (keep-alive), each routed
+/// behind a panic boundary, until the peer closes, errs, asks
+/// `Connection: close`, or the service is shutting down. Generic over
+/// the stream so the property tests can drive it with in-memory
+/// bytes — the fuzzing contract is on *this* function, not on a
+/// socket.
 pub fn handle_connection<S: Read + Write>(state: &ServiceState, stream: &mut S) {
-    let response = match read_request(stream, state.config.max_body_bytes) {
-        Err(RequestError::Closed) => return,
-        Err(err) => Response::json(err.status(), error_body(&err.detail())),
-        Ok(request) => std::panic::catch_unwind(AssertUnwindSafe(|| route(state, &request)))
-            .unwrap_or_else(|_| Response::json(500, error_body("handler panicked"))),
-    };
-    state.metrics.observe_status(response.status);
-    response.write_to(stream);
+    let mut reader = RequestReader::new();
+    loop {
+        match reader.read_request(stream, state.config.max_body_bytes) {
+            Err(RequestError::Closed) => return,
+            Err(err) => {
+                // Any request error ends the conversation: framing is
+                // no longer trustworthy past a malformed request.
+                let response = Response::json(err.status(), error_body(&err.detail()));
+                state.metrics.observe_status(response.status);
+                response.write_to(stream, false);
+                return;
+            }
+            Ok(request) => {
+                let response =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| route(state, &request)))
+                        .unwrap_or_else(|_| Response::json(500, error_body("handler panicked")));
+                // The stop flag is read *after* routing so the request
+                // that triggers the shutdown is itself answered with
+                // `Connection: close`.
+                let keep_alive = request.keep_alive && !state.is_stopping();
+                state.metrics.observe_status(response.status);
+                response.write_to(stream, keep_alive);
+                if !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
 }
 
 /// `{"error": "<detail>"}`.
@@ -271,13 +316,13 @@ fn submit(state: &ServiceState, request: &Request) -> Response {
     let id = state.store.create(batch.pages, batch.max_retries);
     if state.queue.push(id).is_err() {
         state.store.remove(id);
-        Metrics::bump(&state.metrics.jobs_rejected);
+        state.metrics.jobs_rejected.bump();
         return Response::json(503, error_body("job queue is full"));
     }
-    Metrics::bump(&state.metrics.jobs_submitted);
-    Metrics::add(&state.metrics.pages_submitted, pages as u64);
-    Metrics::add(&state.metrics.revisit_hints, revisit_hints);
-    Metrics::bump(&state.metrics.queue_depth);
+    state.metrics.jobs_submitted.bump();
+    state.metrics.pages_submitted.add(pages as u64);
+    state.metrics.revisit_hints.add(revisit_hints);
+    state.metrics.queue_depth.inc();
     Response::json(
         202,
         format!("{{\"job\": {id}, \"state\": \"queued\", \"pages\": {pages}}}"),
@@ -350,7 +395,7 @@ fn job_status(state: &ServiceState, id: u64) -> Response {
 fn job_cancel(state: &ServiceState, id: u64) -> Response {
     match state.store.cancel(id) {
         Some(phase) => {
-            Metrics::bump(&state.metrics.jobs_cancelled);
+            state.metrics.jobs_cancelled.bump();
             Response::json(
                 202,
                 format!(
@@ -367,7 +412,8 @@ fn job_cancel(state: &ServiceState, id: u64) -> Response {
 /// the job finishes. The `failures` field is
 /// [`metaform_extractor::failures_to_json`] output verbatim, placed
 /// last so clients (and the differential test) can slice it out and
-/// feed it straight back to `failures_from_json`.
+/// feed it straight back to `failures_from_json`. Large documents
+/// stream chunked (see [`Response::write_to`]).
 fn job_results(state: &ServiceState, id: u64) -> Response {
     let body = state.store.with_job(id, |job| {
         let Some(batch) = &job.result else {
@@ -425,6 +471,11 @@ pub struct Server {
     state: Arc<ServiceState>,
 }
 
+/// How long the accept loops (TCP here, Unix in [`crate::daemon`])
+/// sleep when no connection is pending — also the latency bound on
+/// observing a shutdown request.
+pub(crate) const ACCEPT_IDLE: Duration = Duration::from_millis(2);
+
 impl Server {
     /// Binds the configured address and builds the shared state (this
     /// is where the grammar compiles — before the first request).
@@ -444,37 +495,68 @@ impl Server {
         Arc::clone(&self.state)
     }
 
-    /// Serves until shut down: spawns the pool workers, then accepts
-    /// connections serially. Returns once a shutdown has been
-    /// requested (`POST /v1/shutdown` or [`ServerHandle::shutdown`])
-    /// and every queued job has drained.
+    /// Serves until shut down: spawns the pool workers (and the Unix
+    /// daemon listener when configured), then accepts connections and
+    /// hands each to its own handler thread. Returns once a shutdown
+    /// has been requested (`POST /v1/shutdown`, the daemon `shutdown`
+    /// op, or [`ServerHandle::shutdown`]) and every queued job has
+    /// drained; connection threads are detached and die with their
+    /// sockets.
     pub fn run(self) {
         let workers: Vec<JoinHandle<()>> = (0..self.state.config.pool_workers.max(1))
-            .map(|_| {
+            .map(|index| {
                 let state = Arc::clone(&self.state);
-                std::thread::spawn(move || state.work_loop())
+                std::thread::spawn(move || state.work_loop(index))
             })
             .collect();
+        let daemon =
+            self.state.config.uds_path.clone().and_then(|path| {
+                match crate::daemon::spawn(Arc::clone(&self.state), &path) {
+                    Ok(handle) => Some(handle),
+                    Err(e) => {
+                        eprintln!("metaformd: cannot bind daemon socket {path}: {e}");
+                        None
+                    }
+                }
+            });
+        // Nonblocking accept so the loop observes the stop flag
+        // within ACCEPT_IDLE even with no traffic.
+        let _ = self.listener.set_nonblocking(true);
         loop {
+            if self.state.is_stopping() {
+                break;
+            }
             match self.listener.accept() {
-                Ok((mut stream, _)) => {
-                    // A peer that connects and goes silent must not
-                    // wedge the accept loop.
-                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-                    handle_connection(&self.state, &mut stream);
+                Ok((stream, _)) => {
+                    // Accepted sockets go back to blocking with a read
+                    // timeout: a peer that connects and goes silent
+                    // occupies one thread for at most the timeout.
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_read_timeout(Some(self.state.config.read_timeout));
+                    let state = Arc::clone(&self.state);
+                    state.metrics.connections.bump();
+                    state.metrics.connections_active.inc();
+                    std::thread::spawn(move || {
+                        let mut stream = stream;
+                        handle_connection(&state, &mut stream);
+                        state.metrics.connections_active.dec();
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_IDLE);
                 }
                 Err(_) => {
                     // Transient accept errors (EINTR, resource blips):
-                    // keep serving; the stop flag still exits below.
+                    // keep serving; the stop flag still exits above.
                 }
-            }
-            if self.state.is_stopping() {
-                break;
             }
         }
         self.state.queue.shutdown();
         for worker in workers {
             let _ = worker.join();
+        }
+        if let Some(daemon) = daemon {
+            let _ = daemon.join();
         }
     }
 
@@ -504,11 +586,9 @@ pub struct ServerHandle {
 
 impl ServerHandle {
     /// Gracefully shuts the server down and waits for it: drains the
-    /// queue, then pokes the accept loop awake so it observes the stop
-    /// flag (accept blocks; a no-op connection is the std-only wakeup).
+    /// queue and joins the accept loop (which polls the stop flag).
     pub fn shutdown(self) {
         self.state.begin_shutdown();
-        let _ = TcpStream::connect(self.addr);
         let _ = self.thread.join();
     }
 }
@@ -603,6 +683,37 @@ mod tests {
     }
 
     #[test]
+    fn one_connection_serves_sequential_requests() {
+        let state = test_state();
+        let mut stream = MockStream {
+            input: Cursor::new(
+                b"GET /healthz HTTP/1.1\r\n\r\n\
+                  GET /v1/jobs HTTP/1.1\r\n\r\n\
+                  GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n\
+                  GET /never-reached HTTP/1.1\r\n\r\n"
+                    .to_vec(),
+            ),
+            output: Vec::new(),
+        };
+        handle_connection(&state, &mut stream);
+        let text = String::from_utf8(stream.output).expect("UTF-8");
+        let responses: Vec<&str> = text.split("HTTP/1.1 ").filter(|s| !s.is_empty()).collect();
+        assert_eq!(
+            responses.len(),
+            3,
+            "three served, fourth never read past Connection: close — {text}"
+        );
+        assert!(responses[0].starts_with("200"));
+        assert!(responses[0].contains("Connection: keep-alive\r\n"));
+        assert!(responses[1].contains("\"count\": 0"));
+        assert!(
+            responses[2].contains("Connection: close\r\n"),
+            "explicit close honoured"
+        );
+        assert_eq!(state.metrics.requests.value(), 3);
+    }
+
+    #[test]
     fn a_job_walks_submit_run_results() {
         let state = test_state();
         let (status, body) = send(
@@ -623,7 +734,7 @@ mod tests {
         assert_eq!(status, 409);
 
         // Run the queued job the way a pool worker would.
-        let id = state.queue.pop().expect("queued");
+        let id = state.queue.pop(0).expect("queued");
         state.run_job(id);
 
         let (status, body) = send(&state, b"GET /v1/batches/1 HTTP/1.1\r\n\r\n");
@@ -660,7 +771,7 @@ mod tests {
         let page = r#"["<form>A <input type=text name=a></form>"]"#;
         assert_eq!(send(&state, &post_batch(page)).0, 202);
         assert_eq!(send(&state, &post_batch("[]")).0, 202);
-        let id = state.queue.pop().expect("queued");
+        let id = state.queue.pop(0).expect("queued");
         state.run_job(id);
 
         let (status, body) = send(&state, b"GET /v1/jobs HTTP/1.1\r\n\r\n");
@@ -682,14 +793,14 @@ mod tests {
 
         // First visit: a miss that populates the cache.
         assert_eq!(send(&state, &post_batch(&format!("[\"{page}\"]"))).0, 202);
-        let id = state.queue.pop().expect("queued");
+        let id = state.queue.pop(0).expect("queued");
         state.run_job(id);
         let (_, first) = send(&state, b"GET /v1/batches/1/results HTTP/1.1\r\n\r\n");
         assert!(first.contains("\"via\": \"grammar\""), "{first}");
 
         // Second visit, flagged revisit: served from the cache.
         assert_eq!(send(&state, &post_batch(&format!("[{entry}]"))).0, 202);
-        let id = state.queue.pop().expect("queued");
+        let id = state.queue.pop(0).expect("queued");
         state.run_job(id);
         let (status, second) = send(&state, b"GET /v1/batches/2/results HTTP/1.1\r\n\r\n");
         assert_eq!(status, 200);
@@ -735,7 +846,7 @@ mod tests {
         assert!(body.contains("\"cancel\": \"requested\""), "{body}");
 
         // The worker still runs it — against the fired token.
-        let id = state.queue.pop().expect("still queued");
+        let id = state.queue.pop(0).expect("still queued");
         state.run_job(id);
         let (_, body) = send(&state, b"GET /v1/batches/1 HTTP/1.1\r\n\r\n");
         assert!(body.contains("\"state\": \"cancelled\""), "{body}");
@@ -769,6 +880,6 @@ mod tests {
         assert_eq!(status, 202);
         assert!(body.contains("draining"), "{body}");
         assert!(state.is_stopping());
-        assert_eq!(state.queue.pop(), None, "queue is shut down and empty");
+        assert_eq!(state.queue.pop(0), None, "queue is shut down and empty");
     }
 }

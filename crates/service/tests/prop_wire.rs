@@ -225,8 +225,63 @@ proptest! {
         if !response.is_empty() {
             let text = String::from_utf8_lossy(&response);
             prop_assert!(text.starts_with("HTTP/1.1 "), "malformed response: {text}");
-            prop_assert!(text.contains("\r\nConnection: close\r\n"), "{text}");
+            prop_assert!(
+                text.contains("\r\nConnection: close\r\n")
+                    || text.contains("\r\nConnection: keep-alive\r\n"),
+                "{text}"
+            );
         }
+    }
+
+    /// Keep-alive sequencing: N well-formed requests on one connection
+    /// answer exactly N responses, all but the last keep-alive (EOF
+    /// after the last ends the conversation quietly).
+    #[test]
+    fn a_pipelined_connection_answers_every_request(count in 1usize..6) {
+        let mut wire = Vec::new();
+        for _ in 0..count {
+            wire.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        }
+        let response = serve(wire);
+        let text = String::from_utf8_lossy(&response);
+        prop_assert_eq!(
+            text.matches("HTTP/1.1 200 OK\r\n").count(),
+            count,
+            "{}", text
+        );
+        prop_assert_eq!(
+            text.matches("\r\nConnection: keep-alive\r\n").count(),
+            count,
+            "{}", text
+        );
+    }
+
+    /// Content-Length smuggling shapes — signed values that
+    /// `str::parse::<usize>` would tolerate, garnished values, and
+    /// duplicate headers (conflicting or not) — all answer 400.
+    #[test]
+    fn content_length_smuggling_shapes_answer_400(header in prop_oneof![
+        // A sign on the value: +5 parses under parse::<usize>.
+        (0usize..100).prop_map(|n| format!("Content-Length: +{n}")),
+        (0usize..100).prop_map(|n| format!("Content-Length: -{n}")),
+        // Whitespace, lists, or trailing junk inside the value.
+        (0usize..100).prop_map(|n| format!("Content-Length: {n} {n}")),
+        (0usize..100).prop_map(|n| format!("Content-Length: {n},{n}")),
+        (0usize..100).prop_map(|n| format!("Content-Length: 0x{n}")),
+        Just("Content-Length:".to_string()),
+        // Duplicate headers: equal or conflicting, reject both.
+        (0usize..100, 0usize..100).prop_map(|(a, b)| {
+            format!("Content-Length: {a}\r\nContent-Length: {b}")
+        }),
+        (0usize..100, 0usize..100).prop_map(|(a, b)| {
+            format!("Content-Length: {a}\r\ncontent-length: {b}")
+        }),
+    ]) {
+        let raw = format!("POST /v1/batches HTTP/1.1\r\n{header}\r\n\r\nhello");
+        let response = serve(raw.into_bytes());
+        let text = String::from_utf8_lossy(&response);
+        prop_assert!(text.starts_with("HTTP/1.1 400 "), "expected 400: {text}");
+        prop_assert!(text.contains("\r\nConnection: close\r\n"), "{text}");
     }
 
     #[test]

@@ -43,8 +43,20 @@ grep -q '"tier_delta"' "$tmp/BENCH_revisit.json"
 echo "==> cargo test -q --test service_http (HTTP vs in-process differential)"
 cargo test -q --test service_http
 
+echo "==> cargo test -q --test service_edge (keep-alive, slowloris, daemon socket)"
+cargo test -q --test service_edge
+
+echo "==> cargo test -q --test service_load (soak + queue-saturation backpressure)"
+cargo test -q --test service_load
+
+echo "==> bench_service smoke (load generator; keep-alive vs close legs)"
+cargo run --release -q -p metaform-bench --bin bench_service -- --smoke "$tmp/BENCH_service.json" > /dev/null
+grep -q '"keep_alive_speedup"' "$tmp/BENCH_service.json"
+grep -q '"submit_drain"' "$tmp/BENCH_service.json"
+
 echo "==> metaformd smoke (boot, /healthz, one batch end to end, shutdown)"
-./target/release/metaformd --addr 127.0.0.1:0 --pool-workers 1 > "$tmp/metaformd.log" &
+./target/release/metaformd --addr 127.0.0.1:0 --pool-workers 1 \
+    --uds "$tmp/metaformd.sock" > "$tmp/metaformd.log" &
 metaformd_pid=$!
 for _ in $(seq 1 100); do
     grep -q 'listening on' "$tmp/metaformd.log" 2>/dev/null && break
@@ -77,8 +89,17 @@ done
 curl -fsS "http://$addr/v1/batches/$revisit_job/results" | grep -q '"via": "cache_hit"'
 curl -fsS "http://$addr/metrics" | grep -q 'metaformd_pages_cache_hit_total 1'
 curl -fsS "http://$addr/metrics" | grep -q 'metaformd_revisit_hints_total 1'
+
+echo "==> metaformd daemon echo probe (line-JSON ping over --uds)"
+for _ in $(seq 1 100); do
+    test -S "$tmp/metaformd.sock" && break
+    sleep 0.1
+done
+./target/release/bench_service --daemon-probe "$tmp/metaformd.sock" | grep -q pong
+
 curl -fsS -X POST "http://$addr/v1/shutdown" | grep -q draining
 wait "$metaformd_pid"
+test ! -e "$tmp/metaformd.sock"   # the daemon removes its socket file on exit
 
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --no-run --workspace --quiet

@@ -10,6 +10,9 @@
 //! metaformd --max-instances <n>      parser instance cap per page
 //! metaformd --page-deadline-ms <n>   wall-clock parse budget per page
 //! metaformd --max-body-bytes <n>     request body cap (default 16 MiB)
+//! metaformd --shards <n>             job store/queue shards (default 8)
+//! metaformd --read-timeout-ms <n>    socket read timeout (default 10000)
+//! metaformd --uds <path>             also serve line-JSON on a Unix socket
 //! ```
 //!
 //! Compiles the grammar once at startup, prints the bound address
@@ -25,7 +28,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: metaformd [--addr <host:port>] [--pool-workers <n>] [--batch-workers <n>]\n\
          \x20                [--queue-capacity <n>] [--max-retries <n>] [--max-instances <n>]\n\
-         \x20                [--page-deadline-ms <n>] [--max-body-bytes <n>]"
+         \x20                [--page-deadline-ms <n>] [--max-body-bytes <n>] [--shards <n>]\n\
+         \x20                [--read-timeout-ms <n>] [--uds <path>]"
     );
     ExitCode::from(2)
 }
@@ -90,6 +94,27 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 config.max_body_bytes = n;
+            }
+            "--shards" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--shards needs a number");
+                    return usage();
+                };
+                config.shards = n.max(1);
+            }
+            "--read-timeout-ms" => {
+                let Some(ms) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--read-timeout-ms needs a number of milliseconds");
+                    return usage();
+                };
+                config.read_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--uds" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--uds needs a socket path");
+                    return usage();
+                };
+                config.uds_path = Some(path);
             }
             "--help" | "-h" => {
                 let _ = usage();

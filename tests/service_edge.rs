@@ -1,0 +1,349 @@
+//! Edge-behavior tests for `metaformd`'s connection handling, over
+//! real sockets: keep-alive sequencing, slowloris vs the read timeout,
+//! accept-loop isolation from slow clients, and the Unix-socket daemon
+//! listener. The wire *semantics* (results byte-identical to
+//! in-process runs) live in `tests/service_http.rs`; this file is
+//! about the connection lifecycle around them.
+
+use metaform_service::{JsonValue, Server, ServerHandle, ServiceConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Spawns a server on an ephemeral port with a short read timeout so
+/// the timeout scenarios run in milliseconds.
+fn spawn(read_timeout_ms: u64) -> ServerHandle {
+    Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        pool_workers: 1,
+        batch_workers: Some(1),
+        read_timeout: Duration::from_millis(read_timeout_ms),
+        ..ServiceConfig::default()
+    })
+    .expect("binds")
+    .spawn()
+    .expect("spawns")
+}
+
+/// Reads exactly one framed HTTP response off a keep-alive connection:
+/// head until `\r\n\r\n`, then `Content-Length` bytes or chunks until
+/// the terminal chunk. Returns `(status, head, body)`.
+fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(at) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break at;
+        }
+        let n = stream.read(&mut chunk).expect("reads a response head");
+        assert!(n > 0, "connection closed mid-head: {buf:?}");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buf[..head_end].to_vec()).expect("head is UTF-8");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("has a status");
+    let mut rest = buf[head_end + 4..].to_vec();
+    let mut read_more = |rest: &mut Vec<u8>, want: usize| {
+        while rest.len() < want {
+            let n = stream.read(&mut chunk).expect("reads a response body");
+            assert!(n > 0, "connection closed mid-body");
+            rest.extend_from_slice(&chunk[..n]);
+        }
+    };
+    let body = if head.contains("Transfer-Encoding: chunked") {
+        let mut body = Vec::new();
+        loop {
+            let line_end = loop {
+                if let Some(at) = rest.windows(2).position(|w| w == b"\r\n") {
+                    break at;
+                }
+                let want = rest.len() + 1;
+                read_more(&mut rest, want);
+            };
+            let size_line = String::from_utf8(rest[..line_end].to_vec()).expect("size line");
+            let size = usize::from_str_radix(&size_line, 16).expect("hex size");
+            read_more(&mut rest, line_end + 2 + size + 2);
+            body.extend_from_slice(&rest[line_end + 2..line_end + 2 + size]);
+            rest.drain(..line_end + 2 + size + 2);
+            if size == 0 {
+                break;
+            }
+        }
+        body
+    } else {
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .and_then(|v| v.parse().ok())
+            .expect("has a Content-Length");
+        read_more(&mut rest, length);
+        rest.truncate(length);
+        rest
+    };
+    (
+        status,
+        head,
+        String::from_utf8(body).expect("body is UTF-8"),
+    )
+}
+
+#[test]
+fn one_connection_serves_many_requests_with_keep_alive() {
+    let handle = spawn(2_000);
+    let mut stream = TcpStream::connect(handle.addr).expect("connects");
+
+    // Ten sequential request/response cycles on the same socket,
+    // mixing bodies in: this is the tentpole's core conformance.
+    for round in 0..10 {
+        if round % 3 == 2 {
+            let body = r#"{"pages": []}"#;
+            let head = format!(
+                "POST /v1/batches HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            stream.write_all(head.as_bytes()).expect("writes");
+            let (status, head, body) = read_response(&mut stream);
+            assert_eq!(status, 202, "{body}");
+            assert!(head.contains("Connection: keep-alive"), "{head}");
+        } else {
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+                .expect("writes");
+            let (status, head, body) = read_response(&mut stream);
+            assert_eq!((status, body.as_str()), (200, "ok\n"));
+            assert!(head.contains("Connection: keep-alive"), "{head}");
+        }
+    }
+
+    // All ten rounds rode one accepted connection.
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .expect("writes");
+    let (status, head, body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+    assert!(body.contains("metaformd_connections_total 1\n"), "{body}");
+    // The /metrics request itself is counted after it renders, so the
+    // snapshot shows the ten rounds before it.
+    assert!(body.contains("metaformd_requests_total 10\n"), "{body}");
+
+    // After Connection: close the server hangs up: next read is EOF.
+    let mut probe = [0u8; 16];
+    assert_eq!(stream.read(&mut probe).expect("reads EOF"), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn a_slowloris_client_gets_408_and_the_socket_closed() {
+    let handle = spawn(150);
+    let mut stream = TcpStream::connect(handle.addr).expect("connects");
+    // Start a request head and stall: the read timeout must cut the
+    // conversation with a 408, not hold the thread hostage.
+    stream
+        .write_all(b"GET /healthz HT")
+        .expect("writes a prefix");
+    let started = Instant::now();
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("reads until server close");
+    assert!(
+        response.starts_with("HTTP/1.1 408 "),
+        "stalled mid-request expects 408: {response}"
+    );
+    assert!(response.contains("Connection: close"), "{response}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "timeout must be the configured 150ms, not a hang"
+    );
+
+    // Same for a stalled body.
+    let mut stream = TcpStream::connect(handle.addr).expect("connects");
+    stream
+        .write_all(b"POST /v1/batches HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"pages\"")
+        .expect("writes a partial body");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("reads");
+    assert!(response.starts_with("HTTP/1.1 408 "), "{response}");
+    handle.shutdown();
+}
+
+#[test]
+fn an_idle_keep_alive_connection_expires_quietly() {
+    let handle = spawn(150);
+    let mut stream = TcpStream::connect(handle.addr).expect("connects");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+        .expect("writes");
+    let (status, _, _) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    // Go idle between requests: the server closes without a 408 — an
+    // expired idle connection is normal, not a client error.
+    let mut rest = String::new();
+    stream.read_to_string(&mut rest).expect("reads until close");
+    assert_eq!(rest, "", "idle expiry is silent, got: {rest}");
+    handle.shutdown();
+}
+
+#[test]
+fn a_stalled_client_does_not_block_other_connections() {
+    let handle = spawn(2_000);
+    // Open stalled connections that never complete a request...
+    let mut stalled = Vec::new();
+    for _ in 0..4 {
+        let mut s = TcpStream::connect(handle.addr).expect("connects");
+        s.write_all(b"GET /heal").expect("writes a prefix");
+        stalled.push(s);
+    }
+    // ...and the service still answers others immediately.
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(handle.addr).expect("connects");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+        .expect("writes");
+    let (status, _, body) = read_response(&mut stream);
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert!(
+        started.elapsed() < Duration::from_millis(1_500),
+        "a healthy client waited {:?} behind stalled ones",
+        started.elapsed()
+    );
+    handle.shutdown();
+}
+
+#[cfg(unix)]
+#[test]
+fn the_daemon_socket_speaks_line_json_end_to_end() {
+    use std::os::unix::net::UnixStream;
+
+    let sock = std::env::temp_dir().join(format!("metaformd-edge-{}.sock", std::process::id()));
+    let sock_path = sock.to_str().expect("socket path is UTF-8").to_string();
+    let handle = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        pool_workers: 1,
+        batch_workers: Some(1),
+        uds_path: Some(sock_path.clone()),
+        ..ServiceConfig::default()
+    })
+    .expect("binds")
+    .spawn()
+    .expect("spawns");
+
+    // The listener binds on the serve thread; wait for the file.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !sock.exists() {
+        assert!(Instant::now() < deadline, "daemon socket never appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut stream = UnixStream::connect(&sock).expect("connects to the daemon socket");
+    let mut lines = LineClient::new(&mut stream);
+    let (status, body) = lines.roundtrip(r#"{"op": "ping"}"#);
+    assert_eq!((status, body.as_str()), (200, "pong"));
+
+    let (status, body) = lines.roundtrip(
+        r#"{"op": "submit", "pages": ["<form>Author <input type=text name=q><input type=submit value=S></form>"]}"#,
+    );
+    assert_eq!(status, 202, "{body}");
+    let job = JsonValue::parse(body.as_bytes())
+        .expect("submit body is JSON")
+        .field("job")
+        .and_then(JsonValue::as_num)
+        .expect("has a job id");
+
+    // Poll over the same connection until done, then fetch results.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = lines.roundtrip(&format!("{{\"op\": \"status\", \"job\": {job}}}"));
+        assert_eq!(status, 200, "{body}");
+        if body.contains("\"state\": \"done\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job stuck: {body}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (status, body) = lines.roundtrip(&format!("{{\"op\": \"results\", \"job\": {job}}}"));
+    assert_eq!(status, 200);
+    assert!(body.contains("\"via\": \"grammar\""), "{body}");
+    assert!(body.contains("Author"), "{body}");
+
+    // Both listeners share one state: HTTP sees the daemon's job.
+    let mut tcp = TcpStream::connect(handle.addr).expect("connects");
+    tcp.write_all(b"GET /v1/jobs HTTP/1.1\r\n\r\n")
+        .expect("writes");
+    let (status, _, body) = read_response(&mut tcp);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"count\": 1"), "{body}");
+
+    handle.shutdown();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while sock.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "daemon socket file not removed on shutdown"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Line-delimited JSON client over any stream: one request line out,
+/// one `{"status": ..., "body": ...}` line back.
+struct LineClient<'a, S: Read + Write> {
+    stream: &'a mut S,
+    carry: Vec<u8>,
+}
+
+impl<'a, S: Read + Write> LineClient<'a, S> {
+    fn new(stream: &'a mut S) -> Self {
+        LineClient {
+            stream,
+            carry: Vec::new(),
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> (u64, String) {
+        self.stream.write_all(line.as_bytes()).expect("writes");
+        self.stream.write_all(b"\n").expect("writes the newline");
+        let mut chunk = [0u8; 1024];
+        let at = loop {
+            if let Some(at) = self.carry.iter().position(|&b| b == b'\n') {
+                break at;
+            }
+            let n = self.stream.read(&mut chunk).expect("reads a response line");
+            assert!(n > 0, "daemon closed mid-line");
+            self.carry.extend_from_slice(&chunk[..n]);
+        };
+        let line: Vec<u8> = self.carry.drain(..=at).collect();
+        let value = JsonValue::parse(String::from_utf8(line).expect("UTF-8").trim().as_bytes())
+            .expect("response line is JSON");
+        (
+            value
+                .field("status")
+                .and_then(JsonValue::as_num)
+                .expect("status"),
+            value
+                .field("body")
+                .and_then(|v| v.as_str().map(str::to_string))
+                .expect("body"),
+        )
+    }
+}
+
+#[test]
+fn requests_during_drain_are_answered_with_close() {
+    let handle = spawn(2_000);
+    let mut stream = TcpStream::connect(handle.addr).expect("connects");
+    stream
+        .write_all(b"POST /v1/shutdown HTTP/1.1\r\n\r\n")
+        .expect("writes");
+    let (status, head, _) = read_response(&mut stream);
+    assert_eq!(status, 202);
+    assert!(
+        head.contains("Connection: close"),
+        "draining answers close even on keep-alive requests: {head}"
+    );
+    handle.shutdown();
+}

@@ -26,27 +26,49 @@ use std::time::{Duration, Instant};
 
 // ------------------------------------------------------- HTTP client
 
-/// One request over a fresh connection (the server closes after each
-/// response). Returns `(status, body)`.
+/// One request over a fresh connection, opting out of keep-alive with
+/// `Connection: close` so EOF ends the response. Returns
+/// `(status, body)` with chunked framing decoded — large results
+/// documents stream with `Transfer-Encoding: chunked`.
 fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connects");
     let head = match body {
         Some(body) => format!(
-            "{method} {path} HTTP/1.1\r\nHost: metaformd\r\nContent-Length: {}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: metaformd\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{body}",
             body.len()
         ),
-        None => format!("{method} {path} HTTP/1.1\r\nHost: metaformd\r\n\r\n"),
+        None => format!("{method} {path} HTTP/1.1\r\nHost: metaformd\r\nConnection: close\r\n\r\n"),
     };
     stream.write_all(head.as_bytes()).expect("writes");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("reads");
-    let (head, body) = response.split_once("\r\n\r\n").expect("has a head");
+    let (head, raw_body) = response.split_once("\r\n\r\n").expect("has a head");
     let status = head
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse().ok())
         .expect("has a status");
-    (status, body.to_string())
+    let body = if head.contains("Transfer-Encoding: chunked") {
+        decode_chunked(raw_body)
+    } else {
+        raw_body.to_string()
+    };
+    (status, body)
+}
+
+/// Reassembles a `Transfer-Encoding: chunked` body.
+fn decode_chunked(mut rest: &str) -> String {
+    let mut out = String::new();
+    loop {
+        let (size, tail) = rest.split_once("\r\n").expect("chunk size line");
+        let size = usize::from_str_radix(size, 16).expect("hex chunk size");
+        if size == 0 {
+            return out;
+        }
+        out.push_str(&tail[..size]);
+        rest = &tail[size + 2..];
+    }
 }
 
 /// Builds the `POST /v1/batches` body for `pages`.

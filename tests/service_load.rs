@@ -1,0 +1,274 @@
+//! Soak and saturation tests for `metaformd` under concurrent
+//! keep-alive load: many clients hammering one server, queue
+//! saturation answered with 503 backpressure (never a hang or a
+//! dropped accepted job), and a full drain on shutdown. Sized to run
+//! in seconds under `cargo test` — the heavier open-ended version is
+//! the `bench_service` binary.
+
+use metaform_service::{JsonValue, Server, ServiceConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One keep-alive request on an open connection; `Content-Length`
+/// framing only (these tests never fetch large documents).
+fn framed(stream: &mut TcpStream, raw: &str) -> (u16, String) {
+    stream.write_all(raw.as_bytes()).expect("writes");
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(at) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break at;
+        }
+        let n = stream.read(&mut chunk).expect("reads");
+        assert!(n > 0, "server closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buf[..head_end].to_vec()).expect("UTF-8 head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("has a status");
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.parse().ok())
+        .expect("has a Content-Length");
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < length {
+        let n = stream.read(&mut chunk).expect("reads the body");
+        assert!(n > 0, "server closed mid-body");
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(length);
+    (status, String::from_utf8(body).expect("UTF-8 body"))
+}
+
+fn submit_body(pages: usize, tag: &str) -> String {
+    let mut body = String::from("{\"pages\": [");
+    for page in 0..pages {
+        if page > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&format!(
+            "\"<form>Field {tag}-{page} <input type=text name=f{page}>\
+             <input type=submit value=Go></form>\""
+        ));
+    }
+    body.push_str("]}");
+    body
+}
+
+fn post_batch(stream: &mut TcpStream, body: &str) -> (u16, String) {
+    framed(
+        stream,
+        &format!(
+            "POST /v1/batches HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn soak_concurrent_keep_alive_clients_converge_clean() {
+    let handle = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        pool_workers: 2,
+        batch_workers: Some(1),
+        queue_capacity: 1024,
+        ..ServiceConfig::default()
+    })
+    .expect("binds")
+    .spawn()
+    .expect("spawns");
+    let addr = handle.addr;
+
+    const CLIENTS: usize = 6;
+    const JOBS_EACH: usize = 4;
+    let workers: Vec<std::thread::JoinHandle<Vec<u64>>> = (0..CLIENTS)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connects");
+                let mut ids = Vec::new();
+                for round in 0..JOBS_EACH {
+                    // Interleave job submissions with cheap requests on
+                    // the same connection, like a crawler would.
+                    let (status, _) = framed(&mut stream, "GET /healthz HTTP/1.1\r\n\r\n");
+                    assert_eq!(status, 200);
+                    let (status, answer) =
+                        post_batch(&mut stream, &submit_body(3, &format!("{client}-{round}")));
+                    assert_eq!(status, 202, "{answer}");
+                    ids.push(
+                        JsonValue::parse(answer.as_bytes())
+                            .expect("JSON")
+                            .field("job")
+                            .and_then(JsonValue::as_num)
+                            .expect("job id"),
+                    );
+                    let (status, _) = framed(&mut stream, "GET /v1/jobs HTTP/1.1\r\n\r\n");
+                    assert_eq!(status, 200);
+                }
+                // Poll own jobs to done over the same connection.
+                for id in &ids {
+                    let deadline = Instant::now() + Duration::from_secs(60);
+                    loop {
+                        let (status, answer) = framed(
+                            &mut stream,
+                            &format!("GET /v1/batches/{id} HTTP/1.1\r\n\r\n"),
+                        );
+                        assert_eq!(status, 200, "{answer}");
+                        if answer.contains("\"state\": \"done\"") {
+                            break;
+                        }
+                        assert!(Instant::now() < deadline, "job {id} stuck: {answer}");
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                ids
+            })
+        })
+        .collect();
+    let mut all_ids: Vec<u64> = Vec::new();
+    for worker in workers {
+        all_ids.extend(worker.join().expect("client joins"));
+    }
+
+    // Every job got a distinct id and every one completed.
+    all_ids.sort_unstable();
+    all_ids.dedup();
+    assert_eq!(all_ids.len(), CLIENTS * JOBS_EACH, "ids must be distinct");
+
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    let (status, metrics) = framed(&mut stream, "GET /metrics HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 200);
+    let value_of = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{name} missing from:\n{metrics}"))
+    };
+    assert_eq!(
+        value_of("metaformd_jobs_submitted_total"),
+        all_ids.len() as u64
+    );
+    assert_eq!(
+        value_of("metaformd_jobs_completed_total"),
+        all_ids.len() as u64
+    );
+    assert_eq!(value_of("metaformd_jobs_rejected_total"), 0);
+    assert_eq!(value_of("metaformd_queue_depth"), 0, "queue fully drained");
+    assert_eq!(
+        value_of("metaformd_pages_submitted_total"),
+        (all_ids.len() * 3) as u64
+    );
+    assert_eq!(value_of("metaformd_server_errors_total"), 0);
+    // One connection per client plus this probe.
+    assert_eq!(
+        value_of("metaformd_connections_total"),
+        (CLIENTS + 1) as u64
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn saturated_queue_backpressures_with_503_and_recovers() {
+    // A tiny queue and one worker: concurrent submitters must overrun
+    // it, and every overrun answers 503 without wedging the service or
+    // losing an *accepted* job.
+    let handle = Server::bind(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        pool_workers: 1,
+        batch_workers: Some(1),
+        queue_capacity: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("binds")
+    .spawn()
+    .expect("spawns");
+    let addr = handle.addr;
+
+    const CLIENTS: usize = 4;
+    const ATTEMPTS_EACH: usize = 10;
+    let workers: Vec<std::thread::JoinHandle<(usize, usize, Vec<u64>)>> = (0..CLIENTS)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connects");
+                let (mut accepted, mut rejected) = (0usize, 0usize);
+                let mut ids = Vec::new();
+                for round in 0..ATTEMPTS_EACH {
+                    let (status, answer) =
+                        post_batch(&mut stream, &submit_body(6, &format!("{client}-{round}")));
+                    match status {
+                        202 => {
+                            accepted += 1;
+                            ids.push(
+                                JsonValue::parse(answer.as_bytes())
+                                    .expect("JSON")
+                                    .field("job")
+                                    .and_then(JsonValue::as_num)
+                                    .expect("job id"),
+                            );
+                        }
+                        503 => rejected += 1,
+                        other => panic!("unexpected status {other}: {answer}"),
+                    }
+                }
+                (accepted, rejected, ids)
+            })
+        })
+        .collect();
+    let mut accepted = 0;
+    let mut rejected = 0;
+    let mut ids = Vec::new();
+    for worker in workers {
+        let (a, r, i) = worker.join().expect("joins");
+        accepted += a;
+        rejected += r;
+        ids.extend(i);
+    }
+    assert_eq!(accepted + rejected, CLIENTS * ATTEMPTS_EACH);
+    assert!(
+        rejected > 0,
+        "a 2-deep queue under {CLIENTS} concurrent submitters must overrun"
+    );
+
+    // Every accepted job still runs to completion.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    for id in &ids {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let (status, answer) = framed(
+                &mut stream,
+                &format!("GET /v1/batches/{id} HTTP/1.1\r\n\r\n"),
+            );
+            assert_eq!(status, 200, "{answer}");
+            if answer.contains("\"state\": \"done\"") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job {id} stuck: {answer}");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    // And the service recovered: a fresh submission is accepted again.
+    let (status, _) = post_batch(&mut stream, &submit_body(1, "after"));
+    assert_eq!(status, 202, "queue must accept again after the drain");
+
+    let (_, metrics) = framed(&mut stream, "GET /metrics HTTP/1.1\r\n\r\n");
+    assert!(
+        metrics.contains(&format!("metaformd_jobs_rejected_total {rejected}\n")),
+        "{metrics}"
+    );
+    // A rejected submission must not leave a phantom job behind: ids
+    // stay dense over accepted jobs only... the store forgot the rest.
+    let (status, listing) = framed(&mut stream, "GET /v1/jobs HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 200);
+    let count = JsonValue::parse(listing.as_bytes())
+        .expect("JSON")
+        .field("count")
+        .and_then(JsonValue::as_num)
+        .expect("count");
+    assert_eq!(count, accepted as u64 + 1, "{listing}");
+    handle.shutdown();
+}
