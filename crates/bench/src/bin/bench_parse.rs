@@ -3,72 +3,134 @@
 //! fix-point schedules. Run as:
 //!
 //! ```text
-//! cargo run --release -p metaform-bench --bin bench_parse [-- <out.json>]
+//! cargo run --release -p metaform-bench --bin bench_parse [-- [--smoke] <out.json>]
 //! ```
 //!
 //! Writes `BENCH_parse.json` (or `<out.json>`) with, per schedule, the
-//! median wall-clock time for parsing the whole batch, the total
-//! component combinations enumerated, and the total instances created.
-//! Instances must match between schedules (the parity invariant); the
-//! combos ratio is the redundancy the delta schedule removes.
+//! median wall-clock time for parsing the whole batch, per-interface
+//! p50/p99 latency, a per-phase breakdown (collected in a separate
+//! profile-enabled pass so the timed passes stay unperturbed), the
+//! total component combinations enumerated, and the total instances
+//! created. Instances must match between schedules (the parity
+//! invariant); the combos ratio is the redundancy the delta schedule
+//! removes.
+//!
+//! `--smoke` drops to 3 timing iterations over the same workload — the
+//! quick regression gate `scripts/check.sh` runs; medians stay
+//! comparable to a full run because the workload is identical.
 
-use metaform_bench::tokens_of;
+use metaform_bench::{metadata_json, tokens_of};
 use metaform_core::Token;
 use metaform_datasets::basic;
 use metaform_grammar::global_compiled;
-use metaform_parser::{FixpointMode, ParseSession, ParserOptions};
+use metaform_parser::{FixpointMode, ParseSession, ParserOptions, PhaseBreakdown};
 use std::time::{Duration, Instant};
 
 /// Timing iterations per schedule (median taken; one extra warm-up).
 const ITERATIONS: usize = 7;
+/// Timing iterations under `--smoke`.
+const SMOKE_ITERATIONS: usize = 3;
 
 struct ModeResult {
     name: &'static str,
     median: Duration,
+    /// Per-interface wall-clock percentiles over one collected pass.
+    p50_us: f64,
+    p99_us: f64,
+    /// Per-phase totals from the profile pass, summed over the batch.
+    phase: PhaseBreakdown,
     combos_enumerated: u64,
     combos_skipped: u64,
     pairs_skipped: u64,
     instances_created: u64,
+    fixpoint_rounds: u64,
     trees: u64,
 }
 
-fn run_mode(mode: FixpointMode, name: &'static str, batch: &[Vec<Token>]) -> ModeResult {
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn run_mode(
+    mode: FixpointMode,
+    name: &'static str,
+    batch: &[Vec<Token>],
+    iterations: usize,
+) -> ModeResult {
     let opts = ParserOptions {
         fixpoint: mode,
         ..Default::default()
     };
     let mut session = ParseSession::with_options(global_compiled(), opts);
-    let mut run_batch = |collect: bool| -> (Duration, ModeResult) {
-        let mut r = ModeResult {
-            name,
-            median: Duration::ZERO,
-            combos_enumerated: 0,
-            combos_skipped: 0,
-            pairs_skipped: 0,
-            instances_created: 0,
-            trees: 0,
-        };
+    let mut r = ModeResult {
+        name,
+        median: Duration::ZERO,
+        p50_us: 0.0,
+        p99_us: 0.0,
+        phase: PhaseBreakdown::default(),
+        combos_enumerated: 0,
+        combos_skipped: 0,
+        pairs_skipped: 0,
+        instances_created: 0,
+        fixpoint_rounds: 0,
+        trees: 0,
+    };
+
+    let run_batch = |session: &mut ParseSession, collect: Option<&mut ModeResult>| -> Duration {
+        let mut collect = collect;
         let started = Instant::now();
         for tokens in batch {
             let result = session.parse(tokens);
-            if collect {
+            if let Some(r) = collect.as_deref_mut() {
                 r.combos_enumerated += result.stats.combos_enumerated;
                 r.combos_skipped += result.stats.combos_skipped_delta;
                 r.pairs_skipped += result.stats.pairs_skipped_delta;
                 r.instances_created += result.stats.created as u64;
+                r.fixpoint_rounds += result.stats.fixpoint_rounds as u64;
                 r.trees += result.stats.trees as u64;
             }
             session.recycle(result);
         }
-        (started.elapsed(), r)
+        started.elapsed()
     };
 
-    run_batch(false); // warm-up: fault in buffers and caches
-    let (_, mut collected) = run_batch(true);
-    let mut times: Vec<Duration> = (0..ITERATIONS).map(|_| run_batch(false).0).collect();
+    run_batch(&mut session, None); // warm-up: fault in buffers and caches
+    run_batch(&mut session, Some(&mut r));
+    let mut times: Vec<Duration> = (0..iterations)
+        .map(|_| run_batch(&mut session, None))
+        .collect();
     times.sort();
-    collected.median = times[times.len() / 2];
-    collected
+    r.median = times[times.len() / 2];
+
+    // Separate profile-enabled pass: per-interface latency percentiles
+    // (from the engine's own per-parse clock) and the per-phase
+    // breakdown. Profiling adds clock reads to the hot loop, which is
+    // exactly why it stays out of the timed passes above.
+    let opts = ParserOptions {
+        fixpoint: mode,
+        profile: true,
+        ..Default::default()
+    };
+    let mut session = ParseSession::with_options(global_compiled(), opts);
+    run_batch(&mut session, None); // warm the profiled session too
+    let mut per_iface_us: Vec<f64> = Vec::with_capacity(batch.len());
+    for tokens in batch {
+        let result = session.parse(tokens);
+        per_iface_us.push(result.stats.elapsed.as_secs_f64() * 1e6);
+        r.phase.alloc_ns += result.stats.phase.alloc_ns;
+        r.phase.instantiate_ns += result.stats.phase.instantiate_ns;
+        r.phase.enforce_ns += result.stats.phase.enforce_ns;
+        r.phase.maximize_ns += result.stats.phase.maximize_ns;
+        session.recycle(result);
+    }
+    per_iface_us.sort_by(|a, b| a.total_cmp(b));
+    r.p50_us = percentile(&per_iface_us, 0.50);
+    r.p99_us = percentile(&per_iface_us, 0.99);
+    r
 }
 
 fn json_entry(r: &ModeResult) -> String {
@@ -76,6 +138,14 @@ fn json_entry(r: &ModeResult) -> String {
         concat!(
             "    \"{}\": {{\n",
             "      \"median_batch_ms\": {:.3},\n",
+            "      \"per_interface_p50_us\": {:.1},\n",
+            "      \"per_interface_p99_us\": {:.1},\n",
+            "      \"phase_ms\": {{\n",
+            "        \"alloc\": {:.3},\n",
+            "        \"instantiate\": {:.3},\n",
+            "        \"enforce\": {:.3},\n",
+            "        \"maximize\": {:.3}\n",
+            "      }},\n",
             "      \"combos_enumerated\": {},\n",
             "      \"combos_skipped_delta\": {},\n",
             "      \"pairs_skipped_delta\": {},\n",
@@ -85,6 +155,12 @@ fn json_entry(r: &ModeResult) -> String {
         ),
         r.name,
         r.median.as_secs_f64() * 1e3,
+        r.p50_us,
+        r.p99_us,
+        r.phase.alloc_ns as f64 / 1e6,
+        r.phase.instantiate_ns as f64 / 1e6,
+        r.phase.enforce_ns as f64 / 1e6,
+        r.phase.maximize_ns as f64 / 1e6,
         r.combos_enumerated,
         r.combos_skipped,
         r.pairs_skipped,
@@ -94,9 +170,13 @@ fn json_entry(r: &ModeResult) -> String {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.first().map(String::as_str) == Some("--smoke");
+    let out_path = args
+        .get(if smoke { 1 } else { 0 })
+        .cloned()
         .unwrap_or_else(|| "BENCH_parse.json".into());
+    let iterations = if smoke { SMOKE_ITERATIONS } else { ITERATIONS };
 
     let ds = basic();
     let batch: Vec<Vec<Token>> = ds
@@ -107,14 +187,15 @@ fn main() {
         .collect();
     let total_tokens: usize = batch.iter().map(Vec::len).sum();
     eprintln!(
-        "bench_parse: {} interfaces, {} tokens, {} timing iterations per schedule",
+        "bench_parse: {} interfaces, {} tokens, {} timing iterations per schedule{}",
         batch.len(),
         total_tokens,
-        ITERATIONS
+        iterations,
+        if smoke { " (smoke)" } else { "" }
     );
 
-    let semi = run_mode(FixpointMode::SemiNaive, "seminaive", &batch);
-    let naive = run_mode(FixpointMode::Naive, "naive", &batch);
+    let semi = run_mode(FixpointMode::SemiNaive, "seminaive", &batch, iterations);
+    let naive = run_mode(FixpointMode::Naive, "naive", &batch, iterations);
 
     assert_eq!(
         semi.instances_created, naive.instances_created,
@@ -126,12 +207,22 @@ fn main() {
     let speedup = naive.median.as_secs_f64() / semi.median.as_secs_f64();
     for r in [&semi, &naive] {
         eprintln!(
-            "  {:<9} median {:>8.3} ms  combos {:>9}  skipped {:>9}  instances {}",
+            "  {:<9} median {:>8.3} ms  p50 {:>6.1} µs  p99 {:>7.1} µs  combos {:>9}  rounds {:>6}  instances {}",
             r.name,
             r.median.as_secs_f64() * 1e3,
+            r.p50_us,
+            r.p99_us,
             r.combos_enumerated,
-            r.combos_skipped,
+            r.fixpoint_rounds,
             r.instances_created
+        );
+        eprintln!(
+            "  {:<9} phases  alloc {:>7.3} ms  instantiate {:>7.3} ms  enforce {:>7.3} ms  maximize {:>7.3} ms",
+            r.name,
+            r.phase.alloc_ns as f64 / 1e6,
+            r.phase.instantiate_ns as f64 / 1e6,
+            r.phase.enforce_ns as f64 / 1e6,
+            r.phase.maximize_ns as f64 / 1e6,
         );
     }
     eprintln!("  combos reduction {combo_ratio:.2}x, wall-clock speedup {speedup:.2}x");
@@ -143,6 +234,7 @@ fn main() {
             "  \"interfaces\": {},\n",
             "  \"total_tokens\": {},\n",
             "  \"iterations\": {},\n",
+            "{},\n",
             "  \"modes\": {{\n{},\n{}\n  }},\n",
             "  \"combos_reduction\": {:.3},\n",
             "  \"wall_clock_speedup\": {:.3}\n",
@@ -150,7 +242,8 @@ fn main() {
         ),
         batch.len(),
         total_tokens,
-        ITERATIONS,
+        iterations,
+        metadata_json("  "),
         json_entry(&semi),
         json_entry(&naive),
         combo_ratio,

@@ -205,6 +205,7 @@ fn main() {
             "  \"interfaces\": {},\n",
             "  \"scenarios\": {},\n",
             "  \"iterations\": {},\n",
+            "{},\n",
             "  \"legs\": {{\n",
             "    \"cold\": {{ \"pages\": {}, \"median_ms\": {:.3} }},\n",
             "    \"exact_hit\": {{ \"pages\": {}, \"median_ms\": {:.3} }},\n",
@@ -220,6 +221,7 @@ fn main() {
         corpus.len(),
         scenarios.len(),
         ITERATIONS,
+        metaform_bench::metadata_json("  "),
         corpus.len(),
         ms(cold_median),
         corpus.len(),

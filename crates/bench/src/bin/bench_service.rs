@@ -106,6 +106,7 @@ fn main() {
             "  \"workload\": \"service_load\",\n",
             "  \"clients\": {},\n",
             "  \"requests_per_client\": {},\n",
+            "{},\n",
             "  \"legs\": {{\n",
             "    \"close\": {{ \"requests\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"rps\": {:.0} }},\n",
             "    \"keep_alive\": {{ \"requests\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"rps\": {:.0} }},\n",
@@ -117,6 +118,7 @@ fn main() {
         ),
         CLIENTS,
         requests,
+        metaform_bench::metadata_json("  "),
         close_leg.count,
         close_leg.p50_us,
         close_leg.p99_us,

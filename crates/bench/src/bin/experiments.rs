@@ -260,12 +260,11 @@ fn fig14() {
         result.stats.complete
     );
     for (i, &tr) in result.trees.iter().enumerate() {
-        let inst = result.chart.get(tr);
         println!(
             "  tree {}: {} covering {} tokens",
             i + 1,
-            compiled.grammar().symbols.name(inst.symbol),
-            inst.span.count()
+            compiled.grammar().symbols.name(result.chart.symbol(tr)),
+            result.chart.span(tr).count()
         );
     }
     let report = merge(&result.chart, &result.trees);

@@ -44,6 +44,41 @@ pub fn tokens_of(html: &str) -> Vec<Token> {
     metaform_tokenizer::tokenize(&doc, &lay).tokens
 }
 
+/// Provenance block every `BENCH_*.json` embeds: the git revision the
+/// numbers were measured at, the compiler, and the host — without
+/// these, a committed benchmark file cannot be compared against a
+/// fresh run with any confidence. Each field degrades to `"unknown"`
+/// when the underlying probe fails (no git, sandboxed, …) rather than
+/// failing the bench.
+pub fn metadata_json(indent: &str) -> String {
+    let run = |cmd: &str, args: &[&str]| -> Option<String> {
+        let out = std::process::Command::new(cmd).args(args).output().ok()?;
+        out.status
+            .success()
+            .then(|| String::from_utf8_lossy(&out.stdout).trim().to_string())
+    };
+    let or_unknown = |v: Option<String>| -> String {
+        match v {
+            Some(s) if !s.is_empty() => s,
+            _ => "unknown".into(),
+        }
+    };
+    let git_rev = or_unknown(run("git", &["rev-parse", "--short", "HEAD"]));
+    let rustc = or_unknown(run("rustc", &["--version"]));
+    let host = or_unknown(std::env::var("HOSTNAME").ok().or_else(|| {
+        std::fs::read_to_string("/etc/hostname")
+            .ok()
+            .map(|s| s.trim().to_string())
+    }));
+    format!(
+        "{indent}\"meta\": {{\n\
+         {indent}  \"git_rev\": \"{git_rev}\",\n\
+         {indent}  \"rustc\": \"{rustc}\",\n\
+         {indent}  \"host\": \"{host}\"\n\
+         {indent}}}"
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

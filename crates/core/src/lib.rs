@@ -33,4 +33,4 @@ pub use fingerprint::TokenFingerprint;
 pub use geom::BBox;
 pub use relations::Proximity;
 pub use report::{Conflict, ExtractionReport};
-pub use token::{normalize_label, Token, TokenId, TokenKind};
+pub use token::{normalize_label, trim_label, Token, TokenId, TokenKind};

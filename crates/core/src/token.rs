@@ -227,12 +227,20 @@ impl Token {
     }
 }
 
+/// The slice [`normalize_label`] lowercases: whitespace and trailing
+/// punctuation decorations (`:`, `*`, `?`) trimmed, case untouched.
+/// Exposed so allocation-free checks (emptiness, word count, …) can
+/// run against exactly the normalized extent without building the
+/// lowercased copy.
+pub fn trim_label(s: &str) -> &str {
+    s.trim()
+        .trim_end_matches(|c: char| c == ':' || c == '*' || c == '?' || c.is_whitespace())
+}
+
 /// Normalizes a label for comparison: lowercase, trims whitespace and
 /// trailing punctuation decorations (`:`, `*`, `?`).
 pub fn normalize_label(s: &str) -> String {
-    s.trim()
-        .trim_end_matches(|c: char| c == ':' || c == '*' || c == '?' || c.is_whitespace())
-        .to_lowercase()
+    trim_label(s).to_lowercase()
 }
 
 #[cfg(test)]

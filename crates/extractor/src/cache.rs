@@ -82,8 +82,15 @@ pub trait ParseCache: Send + Sync + std::fmt::Debug {
 /// revisit tiers are defined over (same fields the
 /// [`TokenFingerprint`] hashes).
 pub fn token_content_eq(a: &Token, b: &Token) -> bool {
+    token_content_eq_translated(a, b, 0, 0)
+}
+
+/// [`token_content_eq`] with `a`'s position translated by `(dx, dy)`
+/// before comparing — how the parser's revisit diff matches a suffix
+/// that an earlier edit shifted wholesale.
+fn token_content_eq_translated(a: &Token, b: &Token, dx: i32, dy: i32) -> bool {
     a.kind == b.kind
-        && a.pos == b.pos
+        && b.pos == a.pos.translated(dx, dy)
         && a.checked == b.checked
         && a.sval == b.sval
         && a.name == b.name
@@ -93,17 +100,59 @@ pub fn token_content_eq(a: &Token, b: &Token) -> bool {
 /// Length of the longest content-equal prefix plus suffix between two
 /// token streams (ids ignored; the two never overlap) — the shared
 /// region a delta re-parse would carry.
+///
+/// Mirrors the parser's diff: the prefix must match geometry-exactly,
+/// while the suffix may match modulo the uniform translation implied
+/// by the final token pair. Without the translated probe, any edit
+/// that changes rendered length (a reworded label, an inserted row)
+/// shifts every later token and collapses the scored suffix to zero —
+/// so `nearest` would pass over exactly the visits the delta re-parse
+/// handles best.
+///
+/// The translated probe requires at least one exactly-anchored
+/// prefix token. With no anchor, "this page shifted wholesale" is
+/// indistinguishable from "a *different* page that happens to be a
+/// translated subsequence of a cached one" — the survey corpus
+/// contains such pairs, and matching them would make a page's
+/// provenance depend on which of its siblings a concurrent batch
+/// worker stored first. Anchored matches can only be the same page
+/// edited below the anchor, so scoring stays deterministic.
+///
+/// Deliberately NOT covered: edits that realign one layout column
+/// (e.g. rewording a label widens its column, shifting only the
+/// widgets aligned under it while interleaved labels stay put). The
+/// shifted and unshifted tokens alternate, so no contiguous affix —
+/// translated or not — can span them; and absolute distances between
+/// the two classes genuinely change, so proximity predicates must be
+/// re-evaluated. Those visits correctly score below the seeding
+/// threshold and re-parse cold.
 pub fn shared_affix(old: &[Token], new: &[Token]) -> usize {
     let limit = old.len().min(new.len());
     let mut prefix = 0;
     while prefix < limit && token_content_eq(&old[prefix], &new[prefix]) {
         prefix += 1;
     }
-    let mut suffix = 0;
-    while suffix < limit - prefix
-        && token_content_eq(&old[old.len() - 1 - suffix], &new[new.len() - 1 - suffix])
-    {
-        suffix += 1;
+    let suffix_at = |dx: i32, dy: i32| -> usize {
+        let mut suffix = 0;
+        while suffix < limit - prefix
+            && token_content_eq_translated(
+                &old[old.len() - 1 - suffix],
+                &new[new.len() - 1 - suffix],
+                dx,
+                dy,
+            )
+        {
+            suffix += 1;
+        }
+        suffix
+    };
+    let mut suffix = suffix_at(0, 0);
+    if prefix > 0 && prefix < limit {
+        let (op, np) = (old[old.len() - 1].pos, new[new.len() - 1].pos);
+        let (dx, dy) = (np.left - op.left, np.top - op.top);
+        if (dx, dy) != (0, 0) {
+            suffix = suffix.max(suffix_at(dx, dy));
+        }
     }
     prefix + suffix
 }
@@ -288,6 +337,50 @@ mod tests {
         // A stream sharing nothing finds nothing.
         let alien = vec![tok(5, "zzz")];
         assert!(cache.nearest(&alien).is_none());
+    }
+
+    #[test]
+    fn shared_affix_counts_a_uniformly_translated_suffix() {
+        // A middle edit that grows by one row shifts every later token
+        // down by 20px. Geometry-exact matching would score suffix 0;
+        // the translated probe recovers the tail, mirroring what the
+        // parser's delta re-parse actually carries.
+        let old = vec![tok(0, "a"), tok(1, "edited"), tok(2, "c"), tok(3, "d")];
+        let mut new = old.clone();
+        new[1].sval = "now two lines".into();
+        for t in &mut new[2..] {
+            t.pos = t.pos.translated(0, 20);
+        }
+        assert_eq!(
+            shared_affix(&old, &new),
+            3,
+            "prefix 1 + translated suffix 2"
+        );
+        // A tail that shifted non-uniformly stays unmatched.
+        let mut skewed = new.clone();
+        skewed[2].pos = skewed[2].pos.translated(0, 5);
+        assert_eq!(shared_affix(&old, &skewed), 2, "prefix 1 + suffix 1");
+    }
+
+    #[test]
+    fn translated_suffix_requires_an_anchored_prefix() {
+        // A page that is exactly another page's tail, translated
+        // wholesale (the survey corpus contains such sibling pairs).
+        // With no exactly-matching prefix token there is no anchor
+        // tying the two streams to the same page, so the translated
+        // probe must not fire — otherwise a cold visit's provenance
+        // would depend on which sibling a concurrent worker cached
+        // first.
+        let old = vec![tok(0, "from"), tok(1, "to"), tok(2, "go")];
+        let subsequence: Vec<Token> = old[1..]
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                t.pos = t.pos.translated(0, -20);
+                t
+            })
+            .collect();
+        assert_eq!(shared_affix(&old, &subsequence), 0, "no anchor, no match");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the parser generic.
 
 use crate::payload::Payload;
-use metaform_core::{normalize_label, relations, BBox, Proximity, Token};
+use metaform_core::{relations, trim_label, BBox, Proximity, Token};
 
 /// A read-only view of a candidate component instance during constraint
 /// evaluation and construction.
@@ -85,10 +85,335 @@ pub enum Constraint {
     Not(Box<Constraint>),
 }
 
+/// Result of [`Constraint::hoist`]: the compiled enumeration-time
+/// form of a production's constraint.
+#[derive(Clone, Debug, Default)]
+pub struct Hoisted {
+    /// Per-slot unary predicates, checked once per candidate when the
+    /// slot's candidate list is built.
+    pub slot_preds: Vec<Vec<Pred>>,
+    /// Residual conjunction terms grouped by the deepest slot index
+    /// they mention: `by_depth[d]` is decidable as soon as slots
+    /// `0..=d` are chosen.
+    pub by_depth: Vec<DepthTerms>,
+    /// A necessary vertical window for the last slot, when one of its
+    /// residual terms pins it against an earlier slot — lets the
+    /// enumeration band-query a sorted index instead of scanning.
+    pub band: Option<LastSlotBand>,
+}
+
+/// Residual terms decidable at one enumeration depth, split by what
+/// they read. Geometry-only terms run against a plain bounding-box
+/// stack ([`Constraint::eval_boxes`]); only terms that reach into a
+/// payload (an `Is` under `Or`/`Not`) force component views to be
+/// materialized for a candidate that hasn't passed the geometry yet.
+#[derive(Clone, Debug, Default)]
+pub struct DepthTerms {
+    /// Terms reading only component bounding boxes.
+    pub boxes_only: Vec<Constraint>,
+    /// Terms that also read payloads, evaluated on full views.
+    pub with_payload: Vec<Constraint>,
+}
+
+/// Which edge of the anchor box a [`YBound`] offsets from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Edge {
+    /// The anchor's top edge.
+    Top,
+    /// The anchor's bottom edge.
+    Bottom,
+}
+
+/// One end of a vertical window over candidate *top* edges, expressed
+/// relative to an already-chosen anchor box. `sub_max_h` widens a
+/// lower bound by the tallest candidate's height — used when the
+/// underlying relation constrains the candidate's *bottom* edge, which
+/// sits at most `max_h` below its top.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct YBound {
+    /// Anchor edge the offset applies to.
+    pub edge: Edge,
+    /// Pixel offset from that edge.
+    pub offset: i32,
+    /// Whether the tallest-candidate height is subtracted (lower
+    /// bounds only).
+    pub sub_max_h: bool,
+}
+
+impl YBound {
+    fn value(&self, anchor: &BBox, max_h: i32) -> i32 {
+        let base = match self.edge {
+            Edge::Top => anchor.top,
+            Edge::Bottom => anchor.bottom,
+        };
+        base + self.offset - if self.sub_max_h { max_h } else { 0 }
+    }
+}
+
+/// A *necessary* vertical window for the last component slot of a
+/// production, derived from one of its residual geometry terms: any
+/// candidate whose top edge falls outside the window is guaranteed to
+/// fail the full constraint, so an enumeration can restrict the last
+/// slot to a band query over a top-edge-sorted index instead of
+/// scanning the whole candidate list. Disjunctions contribute one
+/// `(lo, hi)` alternative each; the effective window is their hull.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LastSlotBand {
+    /// The earlier slot the window is anchored to.
+    pub anchor: usize,
+    /// Window alternatives, hulled at query time.
+    pub alts: Vec<(YBound, YBound)>,
+}
+
+impl LastSlotBand {
+    /// The inclusive `[lo, hi]` window on candidate top edges for a
+    /// concrete anchor box, given the tallest candidate height.
+    pub fn window(&self, anchor: &BBox, max_h: i32) -> (i32, i32) {
+        let mut lo = i32::MAX;
+        let mut hi = i32::MIN;
+        for (l, h) in &self.alts {
+            lo = lo.min(l.value(anchor, max_h));
+            hi = hi.max(h.value(anchor, max_h));
+        }
+        (lo, hi)
+    }
+}
+
+/// Derives a [`LastSlotBand`] from one residual term, if the term
+/// pins slot `d` vertically against a single earlier slot. Every
+/// window below is a relaxation of the relation it is derived from
+/// (checked against the definitions in `metaform_core::relations`):
+/// a candidate outside it cannot satisfy the term, while one inside
+/// still faces the full evaluation.
+fn band_of(term: &Constraint, d: usize, prox: &Proximity) -> Option<LastSlotBand> {
+    use Edge::{Bottom, Top};
+    let tol = prox.align_tol;
+    let bound = |edge, offset, sub_max_h| YBound {
+        edge,
+        offset,
+        sub_max_h,
+    };
+    // `anchor above candidate, gap in [-tol, max]` pins the candidate
+    // top directly; the mirrored form pins its bottom, so the lower
+    // bound widens by `max_h`.
+    let above_cand = |max: i32| (bound(Bottom, -tol, false), bound(Bottom, max, false));
+    let cand_above = |max: i32| (bound(Top, -max, true), bound(Top, tol, false));
+    // Sharing a row requires >= 1px of vertical overlap.
+    let same_row = || (bound(Top, 1, true), bound(Bottom, -1, false));
+    let pair = |i: usize, j: usize| -> Option<(usize, bool)> {
+        // Returns (anchor, candidate_is_second) when exactly the last
+        // slot and one earlier slot are involved.
+        if j == d && i < d {
+            Some((i, true))
+        } else if i == d && j < d {
+            Some((j, false))
+        } else {
+            None
+        }
+    };
+    let (anchor, alt) = match term {
+        Constraint::Above(i, j) => {
+            let (a, fwd) = pair(*i, *j)?;
+            (
+                a,
+                if fwd {
+                    above_cand(prox.max_v_gap)
+                } else {
+                    cand_above(prox.max_v_gap)
+                },
+            )
+        }
+        Constraint::AboveWithin(i, j, m) => {
+            let (a, fwd) = pair(*i, *j)?;
+            (a, if fwd { above_cand(*m) } else { cand_above(*m) })
+        }
+        Constraint::Below(i, j) => {
+            // `Below(i, j)` evaluates `above(j, i)`.
+            let (a, fwd) = pair(*i, *j)?;
+            (
+                a,
+                if fwd {
+                    cand_above(prox.max_v_gap)
+                } else {
+                    above_cand(prox.max_v_gap)
+                },
+            )
+        }
+        Constraint::Left(i, j) | Constraint::LeftWithin(i, j, _) | Constraint::SameRow(i, j) => {
+            (pair(*i, *j)?.0, same_row())
+        }
+        Constraint::AlignTop(i, j) => (
+            pair(*i, *j)?.0,
+            (bound(Top, -tol, false), bound(Top, tol, false)),
+        ),
+        Constraint::AlignBottom(i, j) => (
+            pair(*i, *j)?.0,
+            (bound(Bottom, -tol, true), bound(Bottom, tol, false)),
+        ),
+        Constraint::MaxDist(i, j, m) => (
+            pair(*i, *j)?.0,
+            (bound(Top, -m, true), bound(Bottom, *m, false)),
+        ),
+        Constraint::And(cs) => return cs.iter().find_map(|c| band_of(c, d, prox)),
+        Constraint::Or(cs) => {
+            // A disjunction is necessary only as the union of its
+            // branches; every branch must derive a window on the same
+            // anchor for the hull to stay a necessary condition.
+            let mut bands = cs.iter().map(|c| band_of(c, d, prox));
+            let mut merged = bands.next()??;
+            for b in bands {
+                let b = b?;
+                if b.anchor != merged.anchor {
+                    return None;
+                }
+                merged.alts.extend(b.alts);
+            }
+            return Some(merged);
+        }
+        _ => return None,
+    };
+    Some(LastSlotBand {
+        anchor,
+        alts: vec![alt],
+    })
+}
+
 impl Constraint {
     /// Conjunction helper.
     pub fn all(cs: impl IntoIterator<Item = Constraint>) -> Constraint {
         Constraint::And(cs.into_iter().collect())
+    }
+
+    /// Splits this constraint into per-slot unary predicates and
+    /// residual combination terms grouped by evaluation depth, such
+    /// that `self.eval(views)` equals "every hoisted predicate holds
+    /// on its slot's view" AND "every residual term holds on the
+    /// combination".
+    ///
+    /// The hoisted predicates are the `Is` terms of the top-level
+    /// conjunction: they depend on a single component, so an
+    /// enumeration pass can check them once per *candidate* and filter
+    /// the candidate lists, instead of re-evaluating them inside every
+    /// cell of the cartesian product. `Is` terms under `Or`/`Not` are
+    /// not hoistable (their verdict alone doesn't veto a candidate)
+    /// and stay residual.
+    ///
+    /// Each remaining top-level conjunct lands in
+    /// [`Hoisted::by_depth`] at the deepest component index it
+    /// mentions — the earliest point in a left-to-right enumeration
+    /// where its verdict is decidable. Checking it there prunes the
+    /// whole subtree of deeper slots: for a ternary production whose
+    /// first two slots must share a row, the third slot's candidate
+    /// list is never even scanned for off-row pairs.
+    pub fn hoist(&self, arity: usize, prox: &Proximity) -> Hoisted {
+        fn walk(c: &Constraint, per_slot: &mut [Vec<Pred>], residual: &mut Vec<Constraint>) {
+            match c {
+                Constraint::True => {}
+                Constraint::Is(i, p) if *i < per_slot.len() => per_slot[*i].push(*p),
+                Constraint::And(cs) => {
+                    for c in cs {
+                        walk(c, per_slot, residual);
+                    }
+                }
+                other => residual.push(other.clone()),
+            }
+        }
+        let mut slot_preds = vec![Vec::new(); arity];
+        let mut residual = Vec::new();
+        walk(self, &mut slot_preds, &mut residual);
+        let mut by_depth = vec![DepthTerms::default(); arity];
+        for term in residual {
+            let d = term.max_slot().min(arity.saturating_sub(1));
+            if term.uses_payload() {
+                by_depth[d].with_payload.push(term);
+            } else {
+                by_depth[d].boxes_only.push(term);
+            }
+        }
+        let band = (arity >= 2)
+            .then(|| {
+                by_depth[arity - 1]
+                    .boxes_only
+                    .iter()
+                    .find_map(|t| band_of(t, arity - 1, prox))
+            })
+            .flatten();
+        Hoisted {
+            slot_preds,
+            by_depth,
+            band,
+        }
+    }
+
+    /// Whether evaluating this constraint reads a component payload —
+    /// i.e. an `Is` appears anywhere in the tree. Everything else is
+    /// pure bounding-box geometry.
+    fn uses_payload(&self) -> bool {
+        match self {
+            Constraint::Is(..) => true,
+            Constraint::And(cs) | Constraint::Or(cs) => cs.iter().any(Constraint::uses_payload),
+            Constraint::Not(c) => c.uses_payload(),
+            _ => false,
+        }
+    }
+
+    /// [`Constraint::eval`] over bare bounding boxes, for terms with
+    /// no payload reads ([`DepthTerms::boxes_only`]). Panics on `Is`:
+    /// the hoist routes payload-reading terms to the view-based
+    /// evaluator.
+    pub fn eval_boxes(&self, boxes: &[BBox], prox: &Proximity) -> bool {
+        match self {
+            Constraint::True => true,
+            Constraint::Left(i, j) => relations::left(&boxes[*i], &boxes[*j], prox),
+            Constraint::Above(i, j) => relations::above(&boxes[*i], &boxes[*j], prox),
+            Constraint::Below(i, j) => relations::above(&boxes[*j], &boxes[*i], prox),
+            Constraint::LeftWithin(i, j, max) => {
+                let (a, b) = (&boxes[*i], &boxes[*j]);
+                let gap = a.h_gap_to(b);
+                (-prox.align_tol..=*max).contains(&gap) && relations::same_row(a, b, prox)
+            }
+            Constraint::AboveWithin(i, j, max) => {
+                let (a, b) = (&boxes[*i], &boxes[*j]);
+                let gap = a.v_gap_to(b);
+                (-prox.align_tol..=*max).contains(&gap) && a.h_overlap(b) > 0
+            }
+            Constraint::SameRow(i, j) => relations::same_row(&boxes[*i], &boxes[*j], prox),
+            Constraint::SameCol(i, j) => relations::same_col(&boxes[*i], &boxes[*j], prox),
+            Constraint::AlignBottom(i, j) => relations::align_bottom(&boxes[*i], &boxes[*j], prox),
+            Constraint::AlignTop(i, j) => relations::align_top(&boxes[*i], &boxes[*j], prox),
+            Constraint::AlignLeft(i, j) => relations::align_left(&boxes[*i], &boxes[*j], prox),
+            Constraint::MaxDist(i, j, max) => boxes[*i].distance(&boxes[*j]) <= *max,
+            Constraint::Is(..) => unreachable!("payload term routed to the box evaluator"),
+            Constraint::And(cs) => cs.iter().all(|c| c.eval_boxes(boxes, prox)),
+            Constraint::Or(cs) => cs.iter().any(|c| c.eval_boxes(boxes, prox)),
+            Constraint::Not(c) => !c.eval_boxes(boxes, prox),
+        }
+    }
+
+    /// The deepest component index this constraint mentions — the
+    /// slot at which its verdict becomes decidable during a
+    /// left-to-right enumeration. `True` mentions nothing and reports
+    /// slot 0 (decidable immediately).
+    fn max_slot(&self) -> usize {
+        match self {
+            Constraint::True => 0,
+            Constraint::Left(i, j)
+            | Constraint::Above(i, j)
+            | Constraint::Below(i, j)
+            | Constraint::LeftWithin(i, j, _)
+            | Constraint::AboveWithin(i, j, _)
+            | Constraint::SameRow(i, j)
+            | Constraint::SameCol(i, j)
+            | Constraint::AlignBottom(i, j)
+            | Constraint::AlignTop(i, j)
+            | Constraint::AlignLeft(i, j)
+            | Constraint::MaxDist(i, j, _) => (*i).max(*j),
+            Constraint::Is(i, _) => *i,
+            Constraint::And(cs) | Constraint::Or(cs) => {
+                cs.iter().map(Constraint::max_slot).max().unwrap_or(0)
+            }
+            Constraint::Not(c) => c.max_slot(),
+        }
     }
 
     /// Evaluates against candidate component views.
@@ -159,9 +484,16 @@ const OP_WORDS: &[&str] = &[
     "initials",
 ];
 
+/// Case-insensitive ASCII substring search — the op vocabulary is all
+/// ASCII, so this matches `s.to_lowercase().contains(w)` without the
+/// allocation (predicates run per candidate in the refresh hot path).
+fn contains_ignore_ascii_case(hay: &str, needle: &str) -> bool {
+    let (h, n) = (hay.as_bytes(), needle.as_bytes());
+    h.len() >= n.len() && h.windows(n.len()).any(|w| w.eq_ignore_ascii_case(n))
+}
+
 fn looks_op_like(s: &str) -> bool {
-    let t = s.to_lowercase();
-    OP_WORDS.iter().any(|w| t.contains(w))
+    OP_WORDS.iter().any(|w| contains_ignore_ascii_case(s, w))
 }
 
 fn is_connector(s: &str) -> bool {
@@ -173,17 +505,38 @@ fn is_connector(s: &str) -> bool {
         || matches!(t, "to" | "and" | "through" | "thru" | "between" | "up to")
 }
 
+impl Pred {
+    /// Evaluates the predicate against one component view — the
+    /// hoisted per-candidate form of `Constraint::Is`.
+    pub fn eval(self, view: &View<'_>) -> bool {
+        eval_pred(self, view)
+    }
+}
+
 fn eval_pred(pred: Pred, view: &View<'_>) -> bool {
     match pred {
         Pred::AttrLike => {
             let Some(text) = view.payload.text() else {
                 return false;
             };
-            let norm = normalize_label(text);
-            !norm.is_empty()
-                && norm.len() <= 48
-                && norm.split_whitespace().count() <= 6
-                && norm.chars().any(|c| c.is_alphabetic())
+            // Allocation-free equivalent of checking `normalize_label(text)`:
+            // lowercasing never changes emptiness, word boundaries, or
+            // alphabetic-ness, so those run on the trimmed slice; the
+            // length bound counts the lowercased byte length incrementally
+            // (lowercase can expand some characters) and bails early.
+            let t = trim_label(text);
+            if t.is_empty() {
+                return false;
+            }
+            let mut lower_len = 0usize;
+            for c in t.chars() {
+                lower_len += c.to_lowercase().map(char::len_utf8).sum::<usize>();
+                if lower_len > 48 {
+                    return false;
+                }
+            }
+            t.split_whitespace().count() <= 6
+                && t.chars().any(|c| c.is_alphabetic())
                 && !is_connector(text)
         }
         Pred::OpsLike => view

@@ -19,7 +19,7 @@ use std::fmt::Write;
 /// ```
 pub fn render_tree(chart: &Chart, grammar: &Grammar, root: InstId) -> String {
     let mut out = String::new();
-    let span = chart.get(root).span.count();
+    let span = chart.span(root).count();
     let _ = writeln!(
         out,
         "{} [{} token{}]",
@@ -27,7 +27,7 @@ pub fn render_tree(chart: &Chart, grammar: &Grammar, root: InstId) -> String {
         span,
         if span == 1 { "" } else { "s" }
     );
-    let children = chart.get(root).children.clone();
+    let children = chart.children(root);
     for (i, &c) in children.iter().enumerate() {
         render_into(chart, grammar, c, "", i + 1 == children.len(), &mut out);
     }
@@ -44,7 +44,7 @@ fn render_into(
 ) {
     let branch = if last { "└─ " } else { "├─ " };
     let _ = writeln!(out, "{prefix}{branch}{}", node_label(chart, grammar, node));
-    let children = chart.get(node).children.clone();
+    let children = chart.children(node);
     let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
     for (i, &c) in children.iter().enumerate() {
         render_into(
@@ -59,16 +59,15 @@ fn render_into(
 }
 
 fn node_label(chart: &Chart, grammar: &Grammar, node: InstId) -> String {
-    let inst = chart.get(node);
-    let name = grammar.symbols.name(inst.symbol);
-    if let Some(tid) = inst.token {
+    let name = grammar.symbols.name(chart.symbol(node));
+    if let Some(tid) = chart.token(node) {
         let token = &chart.tokens()[tid.index()];
         return match token.kind {
             TokenKind::Text => format!("{name} {tid:?} {:?}", token.sval),
             _ => format!("{name} {tid:?}"),
         };
     }
-    match &inst.payload {
+    match chart.payload(node) {
         Payload::Cond(c) => format!("{name}  ⇒ {c}"),
         Payload::Attr(a) => format!("{name} {a:?}"),
         Payload::Text(t) => format!("{name} {t:?}"),

@@ -15,10 +15,10 @@ use crate::cancel::CancelToken;
 use crate::instance::{Chart, InstId, SeedInfo};
 use crate::maximize::maximize;
 use crate::stats::{BudgetOutcome, ParseStats};
-use metaform_core::Token;
+use metaform_core::{BBox, Token};
 use metaform_grammar::{
-    build_schedule, preference_index, ConflictCond, Grammar, Payload, PrefId, ProdId, Production,
-    Schedule, SymbolId, SymbolKind, View, WinCriteria,
+    build_schedule, preference_index, ConflictCond, Constructor, DepthTerms, Grammar, Hoisted,
+    LastSlotBand, Payload, PrefId, ProdId, Production, Schedule, SymbolId, SymbolKind, WinCriteria,
 };
 use std::time::{Duration, Instant};
 
@@ -90,6 +90,11 @@ pub struct ParserOptions {
     /// chart holds. Cancellation wins over the deadline when both
     /// trigger at one poll.
     pub cancel: Option<CancelToken>,
+    /// Collect a per-phase wall-clock breakdown into
+    /// [`ParseStats::phase`]. Off by default: the extra clock reads are
+    /// cheap but not free, and benchmarks want their timed passes
+    /// unperturbed — profile in a separate collection pass.
+    pub profile: bool,
 }
 
 impl Default for ParserOptions {
@@ -102,6 +107,7 @@ impl Default for ParserOptions {
             preference_order: PreferenceOrder::Scheduled,
             fixpoint: FixpointMode::SemiNaive,
             cancel: None,
+            profile: false,
         }
     }
 }
@@ -213,6 +219,10 @@ pub(crate) fn run_parse(
     let token_count = chart.tokens().len();
     scratch.reset_for(grammar);
     if let Some(seed) = seed {
+        debug_assert!(
+            seed.prod_boundary <= seed.boundary,
+            "production floor may only stop short of the carried-valid group"
+        );
         if opts.fixpoint == FixpointMode::SemiNaive {
             // Pairs of carried old-valid instances both survived the
             // old (completed) parse, so their verdicts are permanent:
@@ -243,7 +253,12 @@ pub(crate) fn run_parse(
         scratch,
         seed,
     };
+    let profile = opts.profile;
+    let t = profile.then(Instant::now);
     p.seed_terminals();
+    if let Some(t) = t {
+        p.stats.phase.alloc_ns += t.elapsed().as_nanos() as u64;
+    }
     for i in 0..schedule.order.len() {
         // The cancel token and deadline are re-checked per symbol
         // (and, cheaply, inside the enumeration fix-point); once
@@ -253,9 +268,17 @@ pub(crate) fn run_parse(
             break;
         }
         let symbol = schedule.order[i];
+        let t = profile.then(Instant::now);
         p.instantiate(symbol);
+        if let Some(t) = t {
+            p.stats.phase.instantiate_ns += t.elapsed().as_nanos() as u64;
+        }
         if p.opts.enforce_preferences {
+            let t = profile.then(Instant::now);
             p.enforce_involving(symbol);
+            if let Some(t) = t {
+                p.stats.phase.enforce_ns += t.elapsed().as_nanos() as u64;
+            }
         }
     }
     // Final sweep: catches losers of rollback-mode preferences created
@@ -268,12 +291,20 @@ pub(crate) fn run_parse(
             BudgetOutcome::DeadlineExceeded | BudgetOutcome::Cancelled
         )
     {
+        let t = profile.then(Instant::now);
         p.enforce_all();
+        if let Some(t) = t {
+            p.stats.phase.enforce_ns += t.elapsed().as_nanos() as u64;
+        }
     }
+    let t = profile.then(Instant::now);
     let trees = maximize(&p.chart, grammar);
+    if let Some(t) = t {
+        p.stats.phase.maximize_ns += t.elapsed().as_nanos() as u64;
+    }
     p.stats.trees = trees.len();
     p.stats.complete =
-        trees.len() == 1 && p.chart.get(trees[0]).span.count() == token_count && token_count > 0;
+        trees.len() == 1 && p.chart.span(trees[0]).count() == token_count && token_count > 0;
     p.stats.complete_parses = count_complete_parses(&p.chart, grammar);
     p.stats.temporary = count_temporary(&p.chart, &trees);
     p.stats.created = p.chart.len();
@@ -290,10 +321,7 @@ fn count_complete_parses(chart: &Chart, grammar: &Grammar) -> usize {
     chart
         .of_symbol(grammar.start)
         .iter()
-        .filter(|&&i| {
-            let inst = chart.get(i);
-            inst.valid && inst.span.count() == chart.tokens().len()
-        })
+        .filter(|&&i| chart.is_valid(i) && chart.span(i).count() == chart.tokens().len())
         .count()
 }
 
@@ -315,10 +343,6 @@ fn count_temporary(chart: &Chart, trees: &[InstId]) -> usize {
 /// alive across parses so the steady state allocates nothing here.
 #[derive(Default)]
 pub(crate) struct Scratch {
-    /// Per-component candidate lists of the production being applied.
-    candidates: Vec<Vec<InstId>>,
-    /// Empty buffers awaiting reuse as candidate lists.
-    spare_bufs: Vec<Vec<InstId>>,
     /// The combination being enumerated.
     combo: Vec<InstId>,
     /// Deferred creations of one enumeration pass: children flat,
@@ -329,6 +353,39 @@ pub(crate) struct Scratch {
     /// candidates the production saw at its previous application.
     /// Pinned at zero under [`FixpointMode::Naive`].
     prod_marks: Vec<Vec<u32>>,
+    /// Per-production component-symbol versions
+    /// ([`Chart::symbol_version`]) captured at the last application
+    /// whose watermarks committed; empty until then. When they still
+    /// match the chart, the candidate lists are bit-identical to the
+    /// previous pass and the whole application short-circuits before
+    /// snapshotting anything.
+    prod_vers: Vec<Vec<(u32, u32)>>,
+    /// Per-production per-slot cached candidate lists: the valid ids
+    /// of the slot's symbol that pass its hoisted unary predicates.
+    /// Keyed by `slot_vers`; refreshed only when the symbol changed,
+    /// and extended in place (not rebuilt) when the change was pure
+    /// append.
+    prod_cands: Vec<Vec<Vec<InstId>>>,
+    /// The [`Chart::symbol_version`] each `prod_cands` list was built
+    /// at (`u32::MAX` components = never built; a chart can't reach
+    /// that many changes under any instance cap).
+    slot_vers: Vec<Vec<(u32, u32)>>,
+    /// Per-production split of the constraint into per-slot unary
+    /// predicates (applied once per candidate, filtering the lists
+    /// before enumeration) and depth-grouped residual terms (checked
+    /// at the shallowest enumeration depth where they are decidable)
+    /// — see [`Constraint::hoist`]. Built once: a `Scratch` only ever
+    /// serves one grammar.
+    hoisted: Vec<Hoisted>,
+    /// Per-production last-slot band index (productions with
+    /// [`Hoisted::band`] only): the last slot's candidate positions
+    /// sorted by bounding-box top edge, plus the tallest candidate
+    /// height. Mirrors `prod_cands[pid][arity - 1]` exactly; updated
+    /// in the same refresh that updates the list.
+    prod_band: Vec<BandIndex>,
+    /// Query scratch for banded enumeration: candidate positions
+    /// inside the window, re-sorted into list order.
+    band_buf: Vec<u32>,
     /// Per-preference `(winner, loser)` index high-water marks over the
     /// chart's per-symbol lists. Pinned at zero under
     /// [`FixpointMode::Naive`].
@@ -338,6 +395,26 @@ pub(crate) struct Scratch {
     suffix_new: Vec<bool>,
     /// Saturating product of candidate-list lengths for slots `d..`.
     suffix_prod: Vec<u64>,
+}
+
+/// Smallest last-slot candidate count worth a band query: below this,
+/// a linear scan beats the binary searches plus the hit re-sort.
+const BAND_MIN_CANDS: usize = 4;
+
+/// Upper bound on production arity, sized for fixed enumeration
+/// buffers (the widest global-grammar production has four components).
+/// Checked once per parse when the hoisted constraints are built.
+const MAX_ARITY: usize = 8;
+
+/// Top-edge-sorted index over one production's last-slot candidate
+/// list, for [`LastSlotBand`] window queries.
+#[derive(Default)]
+struct BandIndex {
+    /// `(bbox.top, position in the candidate list)`, sorted.
+    sorted: Vec<(i32, u32)>,
+    /// Tallest candidate height — the necessary-window slack for
+    /// bounds that constrain a candidate's bottom edge.
+    max_h: i32,
 }
 
 impl Scratch {
@@ -350,10 +427,49 @@ impl Scratch {
         }
         self.prod_marks
             .resize_with(grammar.productions.len(), Vec::new);
+        self.prod_vers.truncate(grammar.productions.len());
+        for vers in &mut self.prod_vers {
+            vers.clear();
+        }
+        self.prod_vers
+            .resize_with(grammar.productions.len(), Vec::new);
+        self.prod_cands.truncate(grammar.productions.len());
+        self.prod_cands
+            .resize_with(grammar.productions.len(), Vec::new);
+        // Clearing the slot versions (not the lists) is what
+        // invalidates the candidate cache across parses: the sentinel
+        // forces a refill on first application.
+        self.slot_vers.truncate(grammar.productions.len());
+        for vers in &mut self.slot_vers {
+            vers.clear();
+        }
+        self.slot_vers
+            .resize_with(grammar.productions.len(), Vec::new);
+        self.prod_band.truncate(grammar.productions.len());
+        for b in &mut self.prod_band {
+            b.sorted.clear();
+            b.max_h = 0;
+        }
+        self.prod_band
+            .resize_with(grammar.productions.len(), BandIndex::default);
         self.pref_marks.clear();
         self.pref_marks.resize(grammar.preferences.len(), (0, 0));
         self.pending_children.clear();
         self.pending_payloads.clear();
+        if self.hoisted.len() != grammar.productions.len() {
+            self.hoisted = grammar
+                .productions
+                .iter()
+                .map(|p| {
+                    assert!(
+                        p.arity() <= MAX_ARITY,
+                        "production arity {} exceeds the fixed enumeration buffers",
+                        p.arity()
+                    );
+                    p.constraint.hoist(p.arity(), &grammar.proximity)
+                })
+                .collect();
+        }
     }
 }
 
@@ -511,15 +627,104 @@ impl Parser<'_> {
         let delta = self.opts.fixpoint == FixpointMode::SemiNaive;
         let scratch = &mut *self.scratch;
 
-        // Snapshot candidate lists into recycled buffers (instances
-        // added this round are picked up by the enclosing fix-point
-        // loop).
-        for &s in &prod.components {
-            let mut buf = scratch.spare_bufs.pop().unwrap_or_default();
-            self.chart.valid_of_symbol_into(s, &mut buf);
-            scratch.candidates.push(buf);
+        // Version-gated short-circuit: if no component symbol's valid
+        // list changed since this production's last committed
+        // application — no instance created, none invalidated, per
+        // [`Chart::symbol_version`] — the candidate lists are
+        // bit-identical to the previous pass and every combination
+        // already carries a permanent verdict. Return before paying
+        // for the snapshot copies. This is the common case: inside an
+        // `instantiate(A)` fix-point only the productions that just
+        // fired (or recurse on `A`) ever see changed inputs, yet every
+        // production of `A` is re-applied each round.
+        let vers = &scratch.prod_vers[pid.index()];
+        if delta
+            && !vers.is_empty()
+            && prod
+                .components
+                .iter()
+                .zip(vers)
+                .all(|(&s, &v)| self.chart.symbol_version(s) == v)
+        {
+            // Identical lists mean the lengths equal the committed
+            // watermarks, so this matches what the slow path's
+            // `suffix_prod[0]` would have reported.
+            let skipped = scratch.prod_marks[pid.index()]
+                .iter()
+                .fold(1u64, |acc, &m| acc.saturating_mul(m as u64));
+            self.stats.combos_skipped_delta += skipped;
+            return false;
         }
-        let candidates = &scratch.candidates[..];
+        // Refresh the per-slot cached candidate lists: valid ids that
+        // pass the slot's hoisted unary predicates (a failing
+        // candidate would fail the constraint in every combination,
+        // so filtering here shrinks the cartesian product instead of
+        // rediscovering the failure once per cell). The cache is
+        // keyed by [`Chart::symbol_version`]: a slot whose symbol did
+        // not change since its last refresh — by this production or a
+        // previous application — keeps its list as-is, no copy and no
+        // re-filter. Instances added mid-round are picked up by the
+        // enclosing fix-point loop.
+        let hoisted = &scratch.hoisted[pid.index()];
+        let slot_preds = &hoisted.slot_preds;
+        let cands = &mut scratch.prod_cands[pid.index()];
+        let slot_vers = &mut scratch.slot_vers[pid.index()];
+        cands.resize_with(arity, Vec::new);
+        slot_vers.resize(arity, (u32::MAX, u32::MAX));
+        let banded = hoisted.band.is_some();
+        for d in 0..arity {
+            let s = prod.components[d];
+            let (len, inv) = self.chart.symbol_version(s);
+            let (seen_len, seen_inv) = slot_vers[d];
+            if (seen_len, seen_inv) == (len, inv) {
+                continue;
+            }
+            let buf = &mut cands[d];
+            let preds = &slot_preds[d];
+            let keep = |chart: &Chart, id: InstId| -> bool {
+                preds.iter().all(|p| p.eval(&chart.view(id)))
+            };
+            let index_from = if seen_inv == inv && seen_len < len {
+                // Pure append since the last refresh: everything past
+                // the old length is valid, so the cached list extends
+                // in place — O(new ids), not O(list).
+                let old = buf.len();
+                for &id in &self.chart.of_symbol(s)[seen_len as usize..] {
+                    debug_assert!(self.chart.is_valid(id), "appended id already invalid");
+                    if keep(&self.chart, id) {
+                        buf.push(id);
+                    }
+                }
+                old
+            } else {
+                buf.clear();
+                for &id in self.chart.of_symbol(s) {
+                    if self.chart.is_valid(id) && keep(&self.chart, id) {
+                        buf.push(id);
+                    }
+                }
+                0
+            };
+            slot_vers[d] = (len, inv);
+            if banded && d == arity - 1 {
+                // Mirror the list change into the band index. Appends
+                // land mostly in top-edge order (instances are created
+                // roughly top-to-bottom), so the adaptive sort below
+                // is near-linear.
+                let bi = &mut scratch.prod_band[pid.index()];
+                if index_from == 0 {
+                    bi.sorted.clear();
+                    bi.max_h = 0;
+                }
+                for (k, &id) in buf[index_from..].iter().enumerate() {
+                    let b = self.chart.bbox(id);
+                    bi.sorted.push((b.top, (index_from + k) as u32));
+                    bi.max_h = bi.max_h.max(b.bottom - b.top);
+                }
+                bi.sorted.sort();
+            }
+        }
+        let candidates = &cands[..];
 
         // Delta bookkeeping. `marks[d]` is the candidate count slot `d`
         // saw at the previous application (grammar validation
@@ -533,14 +738,17 @@ impl Parser<'_> {
         if first_application && delta {
             if let Some(seed) = self.seed {
                 // Seeded floor: candidates below the carried-valid
-                // boundary all survived the old completed parse, where
-                // every combination over them was already enumerated
-                // with a permanent verdict. Candidate lists are in
-                // ascending id order, so the boundary is a partition
+                // production boundary all survived the old completed
+                // parse, where every combination over them was already
+                // enumerated with a permanent verdict (under a
+                // translated suffix the boundary stops at the
+                // prefix-region group — cross-region geometry changed,
+                // see [`SeedInfo::prod_boundary`]). Candidate lists are
+                // in ascending id order, so the boundary is a partition
                 // point. Revived and fresh instances sit above it and
                 // count as new.
                 for (m, c) in marks.iter_mut().zip(candidates) {
-                    *m = c.partition_point(|&id| id.0 < seed.boundary) as u32;
+                    *m = c.partition_point(|&id| id.0 < seed.prod_boundary) as u32;
                 }
             }
         }
@@ -563,15 +771,28 @@ impl Parser<'_> {
                 chart: &self.chart,
                 grammar,
                 prod,
+                by_depth: &hoisted.by_depth,
+                band: hoisted.band.as_ref(),
+                band_index: &scratch.prod_band[pid.index()],
+                band_buf: &mut scratch.band_buf,
                 pid,
                 candidates,
                 marks: &marks[..],
                 suffix_new: &scratch.suffix_new,
                 suffix_prod: &scratch.suffix_prod,
                 combo: &mut scratch.combo,
-                views: Vec::with_capacity(arity),
+                boxes: [BBox::new(0, 0, 0, 0); MAX_ARITY],
                 pending_children: &mut scratch.pending_children,
                 pending_payloads: &mut scratch.pending_payloads,
+                // In a delta pass of an unseeded parse every
+                // enumerated combination contains at least one
+                // instance created after the previous application
+                // (the all-old ones are skipped wholesale), so the
+                // dedup probe cannot hit and is elided. Seeded parses
+                // keep it: carried instances sit in the dedup table,
+                // and revived candidates above the production floor
+                // re-enumerate combinations that already exist.
+                probe_dedup: !delta || self.seed.is_some(),
                 stats: &mut self.stats,
                 max_instances: self.opts.max_instances,
                 deadline: self.deadline,
@@ -586,15 +807,24 @@ impl Parser<'_> {
 
         // Flush the deferred creations in enumeration order. The
         // children `Vec` is materialized only here — i.e. only for
-        // combinations that passed dedup and constraints.
+        // combinations that passed dedup and constraints. Unary
+        // `Inherit` productions share the child's payload slot instead
+        // of cloning the payload (see
+        // [`Chart::add_nonterminal_shared`]); their pending payloads
+        // are the `None` placeholders [`EnumPass::try_combo`] pushed.
         let added = !scratch.pending_payloads.is_empty();
+        let share = arity == 1 && matches!(prod.constructor, Constructor::Inherit(_));
         for (children, payload) in scratch
             .pending_children
             .chunks_exact(arity)
             .zip(scratch.pending_payloads.drain(..))
         {
-            self.chart
-                .add_nonterminal(prod.head, pid, children.to_vec(), payload);
+            if share {
+                self.chart.add_nonterminal_shared(prod.head, pid, children);
+            } else {
+                self.chart
+                    .add_nonterminal(prod.head, pid, children, payload);
+            }
         }
         scratch.pending_children.clear();
 
@@ -607,12 +837,18 @@ impl Parser<'_> {
             && self.stats.budget == BudgetOutcome::Completed
             && self.chart.len() < self.opts.max_instances
         {
-            for (m, c) in marks.iter_mut().zip(&scratch.candidates) {
+            for (m, c) in marks.iter_mut().zip(&scratch.prod_cands[pid.index()]) {
                 *m = c.len() as u32;
             }
+            // The slot versions were captured at refresh time, before
+            // the flush above could bump a component symbol of a
+            // recursive production — exactly the reading the skip
+            // gate must compare against.
+            let vers = &mut scratch.prod_vers[pid.index()];
+            vers.clear();
+            vers.extend_from_slice(&scratch.slot_vers[pid.index()]);
         }
 
-        scratch.spare_bufs.append(&mut scratch.candidates);
         added
     }
 
@@ -655,13 +891,13 @@ impl Parser<'_> {
         if w_len > w_mark || l_len > l_mark {
             for wi in 0..w_len {
                 let w = self.chart.of_symbol(w_sym)[wi];
-                if !self.chart.get(w).valid {
+                if !self.chart.is_valid(w) {
                     continue; // may have lost to a peer earlier in this pass
                 }
                 let l_start = if wi < w_mark { l_mark } else { 0 };
                 for li in l_start..l_len {
                     let l = self.chart.of_symbol(l_sym)[li];
-                    if w == l || !self.chart.get(l).valid || !self.chart.get(w).valid {
+                    if w == l || !self.chart.is_valid(l) || !self.chart.is_valid(w) {
                         continue;
                     }
                     if !self.conflicts(w, l, pref.condition) {
@@ -684,18 +920,16 @@ impl Parser<'_> {
     }
 
     fn conflicts(&self, w: InstId, l: InstId, cond: ConflictCond) -> bool {
-        let (wi, li) = (self.chart.get(w), self.chart.get(l));
         match cond {
-            ConflictCond::Overlap => wi.span.intersects(&li.span),
-            ConflictCond::LoserSubsumed => li.span.is_subset(&wi.span),
+            ConflictCond::Overlap => self.chart.span(w).intersects(self.chart.span(l)),
+            ConflictCond::LoserSubsumed => self.chart.span(l).is_subset(self.chart.span(w)),
         }
     }
 
     fn wins(&self, w: InstId, l: InstId, criteria: WinCriteria) -> bool {
-        let (wi, li) = (self.chart.get(w), self.chart.get(l));
         match criteria {
             WinCriteria::Always => true,
-            WinCriteria::WinnerLarger => wi.span.count() > li.span.count(),
+            WinCriteria::WinnerLarger => self.chart.span(w).count() > self.chart.span(l).count(),
             WinCriteria::WinnerTighter => self.chart.spread(w) < self.chart.spread(l),
         }
     }
@@ -706,11 +940,11 @@ impl Parser<'_> {
     /// participate in further instantiations and in turn generate more
     /// false parents").
     fn rollback(&mut self, loser: InstId) {
-        let mut stack: Vec<InstId> = self.chart.parents_of(loser).to_vec();
+        let mut stack: Vec<InstId> = self.chart.parents_of(loser).collect();
         while let Some(p) = stack.pop() {
             if self.chart.invalidate(p) {
                 self.stats.rolled_back += 1;
-                stack.extend(self.chart.parents_of(p).iter().copied());
+                stack.extend(self.chart.parents_of(p));
             }
         }
     }
@@ -719,17 +953,28 @@ impl Parser<'_> {
 /// One deferred enumeration pass of a production over an immutable
 /// chart — the inner loop of [`Parser::apply_production`].
 ///
-/// Holding the chart by shared reference is what lets the component
-/// [`View`]s buffer live across combinations (the old per-combo
-/// `Vec<View>` allocation): nothing is created until the pass ends, so
-/// the borrows never conflict. Accepted combinations are buffered flat
-/// in `pending_children`/`pending_payloads` and flushed by the caller
-/// in enumeration order, which reproduces the eager creation order
-/// exactly.
+/// Holding the chart by shared reference is what lets component
+/// [`View`]s be rebuilt on demand from stack buffers (no per-combo or
+/// per-pass heap allocation): nothing is created until the pass ends,
+/// so the borrows never conflict. Accepted combinations are buffered
+/// flat in `pending_children`/`pending_payloads` and flushed by the
+/// caller in enumeration order, which reproduces the eager creation
+/// order exactly.
 struct EnumPass<'a> {
     chart: &'a Chart,
     grammar: &'a Grammar,
     prod: &'a Production,
+    /// Residual constraint terms (what is left after the unary
+    /// predicates were hoisted into the candidate-list filters),
+    /// grouped by the deepest slot they mention. `by_depth[d]` is
+    /// checked the moment slot `d` is filled, pruning every deeper
+    /// combination a failing partial prefix would have spawned.
+    by_depth: &'a [DepthTerms],
+    /// Necessary vertical window for the last slot, with its sorted
+    /// index and query buffer — `None` disables banded enumeration.
+    band: Option<&'a LastSlotBand>,
+    band_index: &'a BandIndex,
+    band_buf: &'a mut Vec<u32>,
     pid: ProdId,
     /// Valid candidates per component slot, snapshotted at pass start.
     candidates: &'a [Vec<InstId>],
@@ -744,12 +989,19 @@ struct EnumPass<'a> {
     suffix_prod: &'a [u64],
     /// The combination under construction (`arity` slots).
     combo: &'a mut Vec<InstId>,
-    /// Component views of the combo being tried — reused across every
-    /// combination of the pass.
-    views: Vec<View<'a>>,
+    /// Bounding boxes of the combo prefix under construction — the
+    /// geometry residual terms read these; no view is materialized
+    /// for a candidate that fails them. Fixed-size so the pass setup
+    /// costs zero heap allocations; only `..=depth` is ever live, and
+    /// residual terms at `depth` index no deeper than that.
+    boxes: [BBox; MAX_ARITY],
     /// Deferred creations, flat (`arity` ids per accepted combo).
     pending_children: &'a mut Vec<InstId>,
     pending_payloads: &'a mut Vec<Payload>,
+    /// Whether completed combinations must be probed against the
+    /// dedup table. False only for delta passes of unseeded parses,
+    /// where every enumerated combination contains a fresh instance.
+    probe_dedup: bool,
     stats: &'a mut ParseStats,
     max_instances: usize,
     deadline: Option<Instant>,
@@ -828,59 +1080,125 @@ impl<'a> EnumPass<'a> {
         if start > 0 {
             self.stats.combos_skipped_delta += start as u64 * self.suffix_prod[depth + 1];
         }
-        for i in start..self.candidates[depth].len() {
-            let cand = self.candidates[depth][i];
-            // Candidate lists were filtered to valid instances at pass
-            // start, and nothing is invalidated during instantiation
-            // (enforcement only runs between fix-points), so validity
-            // needs no recheck here.
-            debug_assert!(
-                self.chart.get(cand).valid,
-                "candidate invalidated mid-pass: enforcement ran during instantiate?"
-            );
-            // Distinctness and token-disjointness against earlier picks.
-            let mut ok = true;
-            for &prev in self.combo[..depth].iter() {
-                if prev == cand
-                    || self
-                        .chart
-                        .get(prev)
-                        .span
-                        .intersects(&self.chart.get(cand).span)
-                {
-                    ok = false;
-                    break;
+        if depth + 1 == self.candidates.len() && self.band_index.sorted.len() >= BAND_MIN_CANDS {
+            if let Some(band) = self.band {
+                // Banded last slot: only candidates whose top edge
+                // falls inside the necessary window derived from the
+                // production's own constraint can pass it, so query
+                // the sorted index instead of scanning the list. The
+                // hits are re-sorted into list order, keeping
+                // creations in the exact lexicographic sequence the
+                // full scan would produce.
+                let (lo, hi) = band.window(&self.boxes[band.anchor], self.band_index.max_h);
+                let sorted = &self.band_index.sorted;
+                debug_assert_eq!(
+                    sorted.len(),
+                    self.candidates[depth].len(),
+                    "band index out of sync with the candidate list"
+                );
+                let from = sorted.partition_point(|&(y, _)| y < lo);
+                let to = sorted.partition_point(|&(y, _)| y <= hi);
+                let mut buf = std::mem::take(self.band_buf);
+                buf.clear();
+                buf.extend(sorted[from..to].iter().map(|&(_, i)| i));
+                buf.sort_unstable();
+                for &i in &buf {
+                    let i = i as usize;
+                    if i >= start {
+                        self.visit(depth, i, mark, has_new);
+                    }
                 }
+                *self.band_buf = buf;
+                return;
             }
-            if !ok {
-                continue;
-            }
-            self.combo[depth] = cand;
-            self.enumerate(depth + 1, has_new || i >= mark);
+        }
+        for i in start..self.candidates[depth].len() {
+            self.visit(depth, i, mark, has_new);
         }
     }
 
-    /// Dedup-probes the completed combination and, if fresh, runs the
-    /// constraint and constructor. Children are only materialized into
-    /// an owned `Vec` at flush time, i.e. for accepted combos.
-    fn try_combo(&mut self) {
-        self.stats.combos_enumerated += 1;
-        if self.chart.seen(self.pid, self.combo) {
-            return;
+    /// One candidate pick at `depth`: disjointness against the prefix,
+    /// the depth's residual terms, then recursion into the next slot.
+    #[inline]
+    fn visit(&mut self, depth: usize, i: usize, mark: usize, has_new: bool) {
+        let cand = self.candidates[depth][i];
+        // Candidate lists were filtered to valid instances at pass
+        // start, and nothing is invalidated during instantiation
+        // (enforcement only runs between fix-points), so validity
+        // needs no recheck here.
+        debug_assert!(
+            self.chart.is_valid(cand),
+            "candidate invalidated mid-pass: enforcement ran during instantiate?"
+        );
+        // Distinctness and token-disjointness against earlier picks.
+        for &prev in self.combo[..depth].iter() {
+            if prev == cand || self.chart.span(prev).intersects(self.chart.span(cand)) {
+                return;
+            }
         }
-        self.views.clear();
-        for &c in self.combo.iter() {
-            self.views.push(self.chart.view(c));
-        }
-        if !self
-            .prod
-            .constraint
-            .eval(&self.views, &self.grammar.proximity)
+        self.combo[depth] = cand;
+        self.boxes[depth] = self.chart.bbox(cand);
+        // Residual terms whose deepest slot is `depth` are fully
+        // determined now; a failure here rejects every completion
+        // of this prefix without visiting the deeper slots. The
+        // geometry-only terms run on the bare box stack — the
+        // common case, leaving views unbuilt for the rejects.
+        let terms = &self.by_depth[depth];
+        if !terms
+            .boxes_only
+            .iter()
+            .all(|c| c.eval_boxes(&self.boxes, &self.grammar.proximity))
         {
             return;
         }
-        self.pending_payloads
-            .push(self.prod.constructor.eval(&self.views));
+        if !terms.with_payload.is_empty() {
+            let mut views = [self.chart.view(cand); MAX_ARITY];
+            for (k, &c) in self.combo[..depth].iter().enumerate() {
+                views[k] = self.chart.view(c);
+            }
+            if !terms
+                .with_payload
+                .iter()
+                .all(|c| c.eval(&views[..=depth], &self.grammar.proximity))
+            {
+                return;
+            }
+        }
+        self.enumerate(depth + 1, has_new || i >= mark);
+    }
+
+    /// Dedup-probes the completed combination and runs the
+    /// constructor. Every residual constraint term was already checked
+    /// on the way down ([`Self::enumerate`] evaluates each at its
+    /// decidable depth), so a combination reaching full depth has
+    /// passed the whole constraint. Children are only materialized
+    /// into an owned `Vec` at flush time, i.e. for accepted combos.
+    fn try_combo(&mut self) {
+        self.stats.combos_enumerated += 1;
+        if self.probe_dedup {
+            if self.chart.seen(self.pid, self.combo) {
+                return;
+            }
+        } else {
+            debug_assert!(
+                !self.chart.seen(self.pid, self.combo),
+                "delta pass re-enumerated an already-created combination"
+            );
+        }
+        let arity = self.combo.len();
+        if arity == 1 && matches!(self.prod.constructor, Constructor::Inherit(_)) {
+            // Unary `Inherit`: the flush shares the child's payload
+            // slot, so no payload is built — push a placeholder to
+            // keep the pending columns aligned.
+            self.pending_payloads.push(Payload::default());
+        } else {
+            let mut views = [self.chart.view(self.combo[0]); MAX_ARITY];
+            for (k, &c) in self.combo[1..].iter().enumerate() {
+                views[k + 1] = self.chart.view(c);
+            }
+            self.pending_payloads
+                .push(self.prod.constructor.eval(&views[..arity]));
+        }
         self.pending_children.extend_from_slice(self.combo);
     }
 }
@@ -948,10 +1266,10 @@ mod tests {
         let res = parse(&g, &tokens);
         assert_eq!(res.stats.tokens, 8);
         assert_eq!(res.trees.len(), 1, "one maximal tree");
-        let root = res.chart.get(res.trees[0]);
-        assert_eq!(g.symbols.name(root.symbol), "QI");
-        assert_eq!(root.span.count(), 8, "covers the whole row");
-        let conds = root.payload.conditions();
+        let root = res.trees[0];
+        assert_eq!(g.symbols.name(res.chart.symbol(root)), "QI");
+        assert_eq!(res.chart.span(root).count(), 8, "covers the whole row");
+        let conds = res.chart.payload(root).conditions();
         assert_eq!(conds.len(), 1);
         assert_eq!(conds[0].attribute, "Author");
         assert_eq!(conds[0].operators.len(), 3, "three radio operators");
@@ -971,7 +1289,7 @@ mod tests {
         let tokens = renumber(tokens);
         let res = parse(&g, &tokens);
         assert_eq!(res.trees.len(), 1);
-        let conds = res.chart.get(res.trees[0]).payload.conditions();
+        let conds = res.chart.payload(res.trees[0]).conditions();
         assert_eq!(conds.len(), 2);
         assert_eq!(conds[0].attribute, "Author");
         assert_eq!(conds[1].attribute, "Title");
@@ -1011,8 +1329,7 @@ mod tests {
         // Only "Author" should survive as an attribute; the three radio
         // captions are claimed by RBUs (paper Example 5).
         assert_eq!(valid_attrs.len(), 1);
-        let payload = &res.chart.get(valid_attrs[0]).payload;
-        assert_eq!(payload.text(), Some("Author"));
+        assert_eq!(res.chart.payload(valid_attrs[0]).text(), Some("Author"));
     }
 
     #[test]
@@ -1023,7 +1340,7 @@ mod tests {
         let rblist = g.symbols.lookup("RBList").unwrap();
         let valid: Vec<_> = res.chart.valid_of_symbol(rblist);
         assert_eq!(valid.len(), 1, "paper Figure 8: one list of length 3");
-        assert_eq!(res.chart.get(valid[0]).span.count(), 6);
+        assert_eq!(res.chart.span(valid[0]).count(), 6);
     }
 
     #[test]

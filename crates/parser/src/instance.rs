@@ -4,6 +4,22 @@
 //! token) — a node of some derivation tree. The chart is the arena all
 //! instances live in, with per-symbol indexes, parent links (for
 //! rollback), and a dedup set so the fix-point terminates.
+//!
+//! ## Memory layout
+//!
+//! The chart is a struct-of-arrays: every instance attribute lives in
+//! its own parallel column (`spans`, `bboxes`, `valid`, …) indexed by
+//! [`InstId`]. The hot sweeps of the fix-point — validity filtering,
+//! span intersection during enumeration, the preference pair sweep —
+//! each touch one or two attributes of many instances, so columnar
+//! storage streams exactly the bytes they need instead of striding
+//! over a wide `Instance` struct. Children live flat in one arena
+//! (`children`/`child_off` offsets, contiguous because children are
+//! written exactly once at creation), and parent links form an
+//! intrusive linked list over one arena — creating an instance
+//! allocates nothing once the columns have warmed up, and
+//! [`Chart::reset_for`] bulk-resets every column while keeping the
+//! capacity.
 
 use crate::dedup::ComboSet;
 use crate::intern::{intern_locked, lock_pool};
@@ -30,26 +46,9 @@ impl fmt::Debug for InstId {
     }
 }
 
-/// One parse-chart instance.
-#[derive(Clone, Debug)]
-pub struct Instance {
-    /// Symbol this instance instantiates.
-    pub symbol: SymbolId,
-    /// Producing rule (`None` for terminal instances).
-    pub prod: Option<ProdId>,
-    /// Component instances, in production order.
-    pub children: Vec<InstId>,
-    /// The underlying token for terminal instances.
-    pub token: Option<TokenId>,
-    /// Tokens covered by this derivation.
-    pub span: TokenSet,
-    /// Union bounding box.
-    pub bbox: BBox,
-    /// Semantic payload.
-    pub payload: Payload,
-    /// False once invalidated by a preference (or rollback).
-    pub valid: bool,
-}
+/// Sentinel for "no production" / "no token" / "no parent link" in the
+/// packed columns.
+const NONE: u32 = u32::MAX;
 
 /// Interned text fields of one token: ids into the process-global
 /// pool for `sval` and `name`, plus a slice of option ids in the
@@ -70,7 +69,8 @@ impl TextKey {
     }
 }
 
-/// The parse chart: instance arena plus indexes.
+/// The parse chart: struct-of-arrays instance columns plus indexes
+/// (see the module docs for the layout rationale).
 #[derive(Clone, Debug)]
 pub struct Chart {
     tokens: Vec<Token>,
@@ -78,9 +78,43 @@ pub struct Chart {
     text_keys: Vec<TextKey>,
     /// Flat arena of interned option-label ids (see [`TextKey`]).
     opt_ids: Vec<u32>,
-    instances: Vec<Instance>,
+    // --- instance columns, all indexed by `InstId` ---
+    symbols: Vec<SymbolId>,
+    /// Producing rule per instance (`NONE` for terminals).
+    prods: Vec<u32>,
+    /// Underlying token per terminal instance (`NONE` for
+    /// nonterminals).
+    token_of: Vec<u32>,
+    spans: Vec<TokenSet>,
+    bboxes: Vec<BBox>,
+    /// Payload pool. Not 1:1 with instances: a unary `Inherit`
+    /// instance shares its child's slot (see
+    /// [`Chart::add_nonterminal_shared`]) instead of deep-cloning
+    /// condition lists and domain vectors up every wrapper chain.
+    payloads: Vec<Payload>,
+    /// Per-instance index into `payloads`.
+    payload_of: Vec<u32>,
+    valid: Vec<bool>,
+    /// Offsets into `children`: instance `i`'s children are
+    /// `children[child_off[i]..child_off[i + 1]]`. Always one longer
+    /// than the instance count.
+    child_off: Vec<u32>,
+    /// Flat children arena, in creation order.
+    children: Vec<InstId>,
+    /// Head of each instance's parent linked list (`NONE` = no
+    /// parents). Links live in `parent_links`.
+    parent_head: Vec<u32>,
+    /// `(parent, next)` link nodes of the intrusive parent lists.
+    parent_links: Vec<(InstId, u32)>,
     by_symbol: Vec<Vec<InstId>>,
-    parents: Vec<Vec<InstId>>,
+    /// Per-symbol invalidation counters. Together with
+    /// `by_symbol[s].len()` (which only grows) they version the
+    /// symbol's *valid* id list: the pair is unchanged between two
+    /// readings iff the list is unchanged — and an unchanged counter
+    /// with a grown list means pure append (everything past the old
+    /// length is valid). The semi-naive engine keys its candidate
+    /// caches on these.
+    sym_invals: Vec<u32>,
     dedup: ComboSet,
 }
 
@@ -92,9 +126,20 @@ impl Chart {
             tokens,
             text_keys: Vec::new(),
             opt_ids: Vec::new(),
-            instances: Vec::new(),
+            symbols: Vec::new(),
+            prods: Vec::new(),
+            token_of: Vec::new(),
+            spans: Vec::new(),
+            bboxes: Vec::new(),
+            payloads: Vec::new(),
+            payload_of: Vec::new(),
+            valid: Vec::new(),
+            child_off: vec![0],
+            children: Vec::new(),
+            parent_head: Vec::new(),
+            parent_links: Vec::new(),
             by_symbol: vec![Vec::new(); symbol_count],
-            parents: Vec::new(),
+            sym_invals: vec![0; symbol_count],
             dedup: ComboSet::default(),
         };
         chart.index_texts();
@@ -102,9 +147,9 @@ impl Chart {
     }
 
     /// Clears the chart and re-targets it at a new token slice,
-    /// recycling the arena, index, and dedup allocations. This is the
-    /// parse-many path: a [`crate::ParseSession`] resets one chart per
-    /// parse instead of allocating a fresh one.
+    /// recycling every column, index, and dedup allocation. This is
+    /// the parse-many path: a [`crate::ParseSession`] resets one chart
+    /// per parse instead of allocating a fresh one.
     pub fn reset_for(&mut self, tokens: &[Token], symbol_count: usize) {
         // Field-wise copy into the recycled tokens so the retained
         // `String`/`Vec` buffers are reused instead of reallocated.
@@ -121,13 +166,26 @@ impl Chart {
         }
         self.tokens.extend_from_slice(&tokens[shared..]);
         self.index_texts();
-        self.instances.clear();
+        self.symbols.clear();
+        self.prods.clear();
+        self.token_of.clear();
+        self.spans.clear();
+        self.bboxes.clear();
+        self.payloads.clear();
+        self.payload_of.clear();
+        self.valid.clear();
+        self.child_off.clear();
+        self.child_off.push(0);
+        self.children.clear();
+        self.parent_head.clear();
+        self.parent_links.clear();
         self.by_symbol.truncate(symbol_count);
         for bucket in &mut self.by_symbol {
             bucket.clear();
         }
         self.by_symbol.resize_with(symbol_count, Vec::new);
-        self.parents.clear();
+        self.sym_invals.clear();
+        self.sym_invals.resize(symbol_count, 0);
         self.dedup.clear();
     }
 
@@ -157,10 +215,24 @@ impl Chart {
     /// Do token `i` of `self` and token `j` of `other` carry the same
     /// content (everything but the id)? Texts compare by interned id.
     pub(crate) fn token_matches(&self, i: usize, other: &Chart, j: usize) -> bool {
+        self.token_matches_translated(i, other, j, 0, 0)
+    }
+
+    /// [`Chart::token_matches`] modulo a uniform translation: token `j`
+    /// of `other` must sit exactly `(dx, dy)` away from token `i` of
+    /// `self`, with identical content otherwise.
+    pub(crate) fn token_matches_translated(
+        &self,
+        i: usize,
+        other: &Chart,
+        j: usize,
+        dx: i32,
+        dy: i32,
+    ) -> bool {
         let (ta, tb) = (&self.tokens[i], &other.tokens[j]);
         let (ka, kb) = (self.text_keys[i], other.text_keys[j]);
         ta.kind == tb.kind
-            && ta.pos == tb.pos
+            && ta.pos.translated(dx, dy) == tb.pos
             && ta.checked == tb.checked
             && ka.sval == kb.sval
             && ka.name == kb.name
@@ -174,17 +246,66 @@ impl Chart {
 
     /// Number of instances ever created (valid or not).
     pub fn len(&self) -> usize {
-        self.instances.len()
+        self.symbols.len()
     }
 
     /// True when no instances exist yet.
     pub fn is_empty(&self) -> bool {
-        self.instances.is_empty()
+        self.symbols.is_empty()
     }
 
-    /// Borrow an instance.
-    pub fn get(&self, id: InstId) -> &Instance {
-        &self.instances[id.index()]
+    /// The symbol an instance instantiates.
+    #[inline]
+    pub fn symbol(&self, id: InstId) -> SymbolId {
+        self.symbols[id.index()]
+    }
+
+    /// The producing rule (`None` for terminal instances).
+    #[inline]
+    pub fn prod(&self, id: InstId) -> Option<ProdId> {
+        let p = self.prods[id.index()];
+        (p != NONE).then_some(ProdId(p))
+    }
+
+    /// The underlying token for terminal instances.
+    #[inline]
+    pub fn token(&self, id: InstId) -> Option<TokenId> {
+        let t = self.token_of[id.index()];
+        (t != NONE).then_some(TokenId(t))
+    }
+
+    /// Tokens covered by an instance's derivation.
+    #[inline]
+    pub fn span(&self, id: InstId) -> &TokenSet {
+        &self.spans[id.index()]
+    }
+
+    /// Union bounding box of an instance.
+    #[inline]
+    pub fn bbox(&self, id: InstId) -> BBox {
+        self.bboxes[id.index()]
+    }
+
+    /// Semantic payload of an instance.
+    #[inline]
+    pub fn payload(&self, id: InstId) -> &Payload {
+        &self.payloads[self.payload_of[id.index()] as usize]
+    }
+
+    /// False once invalidated by a preference (or rollback).
+    #[inline]
+    pub fn is_valid(&self, id: InstId) -> bool {
+        self.valid[id.index()]
+    }
+
+    /// Component instances, in production order (empty for terminals).
+    #[inline]
+    pub fn children(&self, id: InstId) -> &[InstId] {
+        let (lo, hi) = (
+            self.child_off[id.index()] as usize,
+            self.child_off[id.index() + 1] as usize,
+        );
+        &self.children[lo..hi]
     }
 
     /// All instance ids of a symbol (including invalidated ones).
@@ -207,36 +328,73 @@ impl Chart {
             self.by_symbol[s.index()]
                 .iter()
                 .copied()
-                .filter(|&i| self.get(i).valid),
+                .filter(|&i| self.valid[i.index()]),
         );
     }
 
     /// All instance ids.
     pub fn ids(&self) -> impl Iterator<Item = InstId> {
-        (0..self.instances.len() as u32).map(InstId)
+        (0..self.symbols.len() as u32).map(InstId)
     }
 
-    /// Parent instances (those using `id` as a component).
-    pub fn parents_of(&self, id: InstId) -> &[InstId] {
-        &self.parents[id.index()]
+    /// Parent instances (those using `id` as a component), most recent
+    /// first.
+    pub fn parents_of(&self, id: InstId) -> ParentIter<'_> {
+        ParentIter {
+            links: &self.parent_links,
+            at: self.parent_head[id.index()],
+        }
+    }
+
+    /// Appends one link to `child`'s parent list.
+    #[inline]
+    fn push_parent(&mut self, child: InstId, parent: InstId) {
+        let link = self.parent_links.len() as u32;
+        self.parent_links
+            .push((parent, self.parent_head[child.index()]));
+        self.parent_head[child.index()] = link;
+    }
+
+    /// Appends an owned payload to the pool, returning its slot.
+    #[inline]
+    fn push_payload(&mut self, payload: Payload) -> u32 {
+        let slot = self.payloads.len() as u32;
+        self.payloads.push(payload);
+        slot
+    }
+
+    /// Pushes one row across all instance columns. `payload_slot`
+    /// indexes the payload pool — fresh for owned payloads, a child's
+    /// slot for shared ones.
+    #[inline]
+    fn push_row(
+        &mut self,
+        symbol: SymbolId,
+        prod: u32,
+        token: u32,
+        span: TokenSet,
+        bbox: BBox,
+        payload_slot: u32,
+    ) -> InstId {
+        let id = InstId(self.symbols.len() as u32);
+        self.symbols.push(symbol);
+        self.prods.push(prod);
+        self.token_of.push(token);
+        self.spans.push(span);
+        self.bboxes.push(bbox);
+        self.payload_of.push(payload_slot);
+        self.valid.push(true);
+        self.child_off.push(self.children.len() as u32);
+        self.parent_head.push(NONE);
+        self.by_symbol[symbol.index()].push(id);
+        id
     }
 
     /// Adds a terminal instance for token `t`.
     pub fn add_terminal(&mut self, symbol: SymbolId, token: &Token) -> InstId {
-        let id = InstId(self.instances.len() as u32);
-        self.instances.push(Instance {
-            symbol,
-            prod: None,
-            children: Vec::new(),
-            token: Some(token.id),
-            span: TokenSet::singleton(self.tokens.len(), token.id),
-            bbox: token.pos,
-            payload: Payload::for_token(token),
-            valid: true,
-        });
-        self.by_symbol[symbol.index()].push(id);
-        self.parents.push(Vec::new());
-        id
+        let span = TokenSet::singleton(self.tokens.len(), token.id);
+        let slot = self.push_payload(Payload::for_token(token));
+        self.push_row(symbol, NONE, token.id.0, span, token.pos, slot)
     }
 
     /// Adds a terminal instance for the chart's own token at `idx` —
@@ -246,20 +404,9 @@ impl Chart {
             let t = &self.tokens[idx];
             (t.id, t.pos, Payload::for_token(t))
         };
-        let id = InstId(self.instances.len() as u32);
-        self.instances.push(Instance {
-            symbol,
-            prod: None,
-            children: Vec::new(),
-            token: Some(tid),
-            span: TokenSet::singleton(self.tokens.len(), tid),
-            bbox: pos,
-            payload,
-            valid: true,
-        });
-        self.by_symbol[symbol.index()].push(id);
-        self.parents.push(Vec::new());
-        id
+        let span = TokenSet::singleton(self.tokens.len(), tid);
+        let slot = self.push_payload(payload);
+        self.push_row(symbol, NONE, tid.0, span, pos, slot)
     }
 
     /// True when an instance for `(prod, children)` already exists.
@@ -271,59 +418,90 @@ impl Chart {
     /// Adds a nonterminal instance produced by `prod` over `children`.
     /// The caller must have verified dedup, disjointness, and
     /// constraints. Conditions in the payload get their token lists
-    /// filled from the new instance's span.
+    /// filled from the new instance's span. The children are copied
+    /// into the chart's flat arena — no per-instance `Vec`.
     pub fn add_nonterminal(
         &mut self,
         symbol: SymbolId,
         prod: ProdId,
-        children: Vec<InstId>,
+        children: &[InstId],
         mut payload: Payload,
     ) -> InstId {
         let mut span = TokenSet::new(self.tokens.len());
         let mut bbox: Option<BBox> = None;
-        for &c in &children {
-            let child = self.get(c);
-            span.union_with(&child.span);
-            bbox = Some(bbox.map_or(child.bbox, |b| b.union(&child.bbox)));
+        for &c in children {
+            span.union_with(&self.spans[c.index()]);
+            let cb = self.bboxes[c.index()];
+            bbox = Some(bbox.map_or(cb, |b| b.union(&cb)));
         }
         if let Payload::Cond(c) = &mut payload {
             c.tokens = span.iter().collect();
         }
-        let id = InstId(self.instances.len() as u32);
-        self.dedup.insert(prod, &children);
-        for &c in &children {
-            self.parents[c.index()].push(id);
+        self.dedup.insert(prod, children);
+        self.children.extend_from_slice(children);
+        let slot = self.push_payload(payload);
+        let id = self.push_row(symbol, prod.0, NONE, span, bbox.unwrap_or(BBox::ZERO), slot);
+        for &c in children {
+            self.push_parent(c, id);
         }
-        self.instances.push(Instance {
-            symbol,
-            prod: Some(prod),
-            children,
-            token: None,
-            span,
-            bbox: bbox.unwrap_or(BBox::ZERO),
-            payload,
-            valid: true,
-        });
-        self.by_symbol[symbol.index()].push(id);
-        self.parents.push(Vec::new());
+        id
+    }
+
+    /// Adds a unary nonterminal that *shares* its single child's
+    /// payload slot — the `Inherit` constructor of a unary production
+    /// is a pure copy, and since the new instance's span equals the
+    /// child's, even condition token lists come out identical to what
+    /// a deep clone plus refill would produce. This turns the wrapper
+    /// chains (`Val<-Textbox`, `CP<-Cond`, …) from deep payload clones
+    /// into a single index push.
+    pub fn add_nonterminal_shared(
+        &mut self,
+        symbol: SymbolId,
+        prod: ProdId,
+        children: &[InstId],
+    ) -> InstId {
+        debug_assert_eq!(children.len(), 1, "payload sharing is unary-only");
+        let c = children[0];
+        let span = self.spans[c.index()].clone();
+        let bbox = self.bboxes[c.index()];
+        self.dedup.insert(prod, children);
+        self.children.extend_from_slice(children);
+        let slot = self.payload_of[c.index()];
+        let id = self.push_row(symbol, prod.0, NONE, span, bbox, slot);
+        self.push_parent(c, id);
         id
     }
 
     /// Marks an instance invalid; returns whether it was valid before.
     pub fn invalidate(&mut self, id: InstId) -> bool {
-        let inst = &mut self.instances[id.index()];
-        let was = inst.valid;
-        inst.valid = false;
+        let was = self.valid[id.index()];
+        self.valid[id.index()] = false;
+        if was {
+            self.sym_invals[self.symbols[id.index()].index()] += 1;
+        }
         was
+    }
+
+    /// Versions the valid id list of `s` as `(total ids, invalidation
+    /// count)`. Both components only grow, so the pair is unchanged
+    /// between two readings iff [`Chart::valid_of_symbol_into`] would
+    /// return the same ids — and an unchanged invalidation count with
+    /// a grown total means the list changed by *appending* valid ids
+    /// only (everything at indexes past the old total).
+    #[inline]
+    pub fn symbol_version(&self, s: SymbolId) -> (u32, u32) {
+        (
+            self.by_symbol[s.index()].len() as u32,
+            self.sym_invals[s.index()],
+        )
     }
 
     /// A constraint/constructor view of an instance.
     pub fn view(&self, id: InstId) -> View<'_> {
-        let inst = self.get(id);
         View {
-            bbox: inst.bbox,
-            payload: &inst.payload,
-            token: inst.token.map(|t| &self.tokens[t.index()]),
+            bbox: self.bboxes[id.index()],
+            payload: &self.payloads[self.payload_of[id.index()] as usize],
+            token: self.token(id).map(|t| &self.tokens[t.index()]),
         }
     }
 
@@ -340,11 +518,11 @@ impl Chart {
     pub fn spread(&self, id: InstId) -> i32 {
         const STACKED: i32 = 1000;
         let prox = metaform_core::Proximity::default();
-        let children = &self.get(id).children;
+        let children = self.children(id);
         let mut max = 0;
         for (i, &a) in children.iter().enumerate() {
             for &b in &children[i + 1..] {
-                let (ba, bb) = (self.get(a).bbox, self.get(b).bbox);
+                let (ba, bb) = (self.bboxes[a.index()], self.bboxes[b.index()]);
                 let d = ba.distance(&bb);
                 let score = if metaform_core::relations::same_row(&ba, &bb, &prox) {
                     d
@@ -363,17 +541,17 @@ impl Chart {
         if ancestor == descendant {
             return false;
         }
-        let dspan = &self.get(descendant).span;
-        if !dspan.is_subset(&self.get(ancestor).span) {
+        let dspan = self.span(descendant);
+        if !dspan.is_subset(self.span(ancestor)) {
             return false;
         }
         let mut stack = vec![ancestor];
         while let Some(cur) = stack.pop() {
-            for &c in &self.get(cur).children {
+            for &c in self.children(cur) {
                 if c == descendant {
                     return true;
                 }
-                if dspan.is_subset(&self.get(c).span) {
+                if dspan.is_subset(self.span(c)) {
                     stack.push(c);
                 }
             }
@@ -383,7 +561,7 @@ impl Chart {
 
     /// All instances in the derivation of `root` (inclusive), deduped.
     pub fn tree_nodes(&self, root: InstId) -> Vec<InstId> {
-        let mut seen = vec![false; self.instances.len()];
+        let mut seen = vec![false; self.len()];
         let mut out = Vec::new();
         let mut stack = vec![root];
         while let Some(cur) = stack.pop() {
@@ -392,7 +570,7 @@ impl Chart {
             }
             seen[cur.index()] = true;
             out.push(cur);
-            stack.extend(self.get(cur).children.iter().copied());
+            stack.extend_from_slice(self.children(cur));
         }
         out
     }
@@ -403,15 +581,20 @@ impl Chart {
     ///
     /// An old instance is *carriable* when every token of its span is
     /// mapped by the diff (children's spans are subsets, so a
-    /// carriable instance's whole derivation is carriable). Carried
-    /// instances are renumbered densely in two groups:
+    /// carriable instance's whole derivation is carriable) — and, when
+    /// the diff's suffix is matched modulo a non-zero translation, its
+    /// span must additionally sit entirely within the prefix or
+    /// entirely within the suffix: an instance straddling both regions
+    /// has geometry-dependent internal structure that the translation
+    /// changed. Carried instances are renumbered densely in groups:
     ///
     /// 1. ids `0..boundary`: instances valid at the end of the old
-    ///    parse, in old creation order. Validity is monotone, so these
-    ///    were valid *throughout* the old parse — every combination
-    ///    and preference pair among them was already enumerated there
-    ///    with a permanent verdict, which is what lets the seeded
-    ///    watermarks start above zero.
+    ///    parse, in old creation order — prefix-region ones first, then
+    ///    (when the suffix is translated) suffix-region ones. Validity
+    ///    is monotone, so these were valid *throughout* the old parse —
+    ///    every combination and preference pair among them was already
+    ///    enumerated there with a permanent verdict, which is what lets
+    ///    the seeded watermarks start above zero.
     /// 2. ids `boundary..`: instances the old parse invalidated,
     ///    *revived* (validity reset to true), in old creation order.
     ///    Their invalidator may not have been carried, so their
@@ -419,13 +602,25 @@ impl Chart {
     ///    makes the engine treat them as new on both the production
     ///    and the preference side.
     ///
+    /// Under a translated suffix the production watermarks must not
+    /// skip combinations mixing prefix- and suffix-region instances
+    /// (production *constraints* relate component geometry across the
+    /// two regions, and the translation moved one side), so
+    /// [`SeedInfo::prod_boundary`] stops at the valid prefix-region
+    /// group. Preference verdicts survive: cross-region pairs have
+    /// disjoint spans (never in conflict, before or after), and
+    /// within-region pairs compare spans, counts, and spreads — all
+    /// translation-invariant — so the preference floor
+    /// ([`SeedInfo::valid_counts`]) covers the whole valid group.
+    ///
     /// Children, spans, dedup entries, parent links, and payload token
     /// lists are all remapped to new token ids; bounding boxes carry
-    /// unchanged (the diff only maps tokens with identical geometry).
+    /// unchanged for prefix-region instances and translated by the
+    /// diff's `(dx, dy)` for suffix-region ones.
     pub(crate) fn carry_from(&mut self, old: &Chart, diff: &TokenDiff) -> SeedInfo {
         let old_n = old.tokens.len();
         let new_n = self.tokens.len();
-        debug_assert!(self.instances.is_empty(), "carry into a reset chart");
+        debug_assert!(self.is_empty(), "carry into a reset chart");
 
         // Old-token → new-token map: identity on the common prefix,
         // tail-aligned on the common suffix.
@@ -439,75 +634,134 @@ impl Chart {
                 None
             }
         };
-        let mut mapped_old = TokenSet::new(old_n);
-        for i in (0..diff.prefix).chain(old_n - diff.suffix..old_n) {
-            mapped_old.insert(TokenId(i as u32));
-        }
         let mut mapped_new = vec![false; new_n];
         for (j, m) in mapped_new.iter_mut().enumerate() {
             *m = j < diff.prefix || j >= new_n - diff.suffix;
         }
 
-        // Assign new ids: the valid group first, then the revived.
-        let mut new_ids: Vec<Option<InstId>> = vec![None; old.instances.len()];
+        // `split` mode: the suffix matched modulo a non-zero
+        // translation *and* both regions are non-empty, so carried
+        // instances must be region-pure and cross-region production
+        // combinations must be re-derived. With a zero translation, or
+        // a diff that is all prefix / all suffix, both regions behave
+        // as one. Independent of the mode, any carried suffix-region
+        // instance has its bbox translated by `(dx, dy)`.
+        let has_translation = diff.dx != 0 || diff.dy != 0;
+        let split = has_translation && diff.prefix > 0 && diff.suffix > 0;
+        let suffix_start = old_n - diff.suffix;
+        // Ordering region of a carriable instance (0 = prefix, 1 =
+        // suffix, None = not carriable). Spans are bitsets, so the
+        // min/max extent classifies region purity cheaply.
+        let carriable = |i: usize| -> Option<u8> {
+            let span = old.span(InstId(i as u32));
+            let (lo, hi) = (span.min_id()?, span.max_id()?);
+            let in_prefix = hi.index() < diff.prefix;
+            let in_suffix = lo.index() >= suffix_start;
+            if in_prefix || in_suffix {
+                return Some(u8::from(in_suffix));
+            }
+            // Straddles the edit region or both sides: under a split
+            // diff the instance is dropped outright (its internal
+            // geometry changed); otherwise it carries if every span
+            // token is still mapped.
+            if split {
+                return None;
+            }
+            let mapped = span
+                .iter()
+                .all(|t| t.index() < diff.prefix || t.index() >= suffix_start);
+            mapped.then_some(0)
+        };
+
+        // Assign new ids: the valid group first (prefix-region before
+        // suffix-region when split — creation order within each), then
+        // the revived.
+        let mut new_ids: Vec<Option<InstId>> = vec![None; old.len()];
         let mut order: Vec<usize> = Vec::new();
+        let mut regions: Vec<u8> = Vec::new();
+        let mut prod_boundary = 0u32;
         let mut boundary = 0u32;
-        for pass_valid in [true, false] {
-            for (i, inst) in old.instances.iter().enumerate() {
-                if inst.valid == pass_valid && inst.span.is_subset(&mapped_old) {
-                    new_ids[i] = Some(InstId(order.len() as u32));
-                    order.push(i);
+        for (pass_valid, pass_region) in [(true, 0u8), (true, 1), (false, 0), (false, 1)] {
+            if pass_region == 1 && !split {
+                continue; // single-region mode: pass 0 takes everything
+            }
+            for (i, slot) in new_ids.iter_mut().enumerate() {
+                if old.valid[i] != pass_valid || slot.is_some() {
+                    continue;
                 }
+                let Some(region) = carriable(i) else { continue };
+                if split && region != pass_region {
+                    continue;
+                }
+                *slot = Some(InstId(order.len() as u32));
+                order.push(i);
+                regions.push(region);
+            }
+            if pass_valid && pass_region == 0 {
+                prod_boundary = order.len() as u32;
             }
             if pass_valid {
                 boundary = order.len() as u32;
             }
         }
+        if !split {
+            prod_boundary = boundary;
+        }
 
         let mut valid_counts = vec![0u32; self.by_symbol.len()];
         for (k, &oi) in order.iter().enumerate() {
-            let src = &old.instances[oi];
-            let id = InstId(k as u32);
-            let children: Vec<InstId> = src
-                .children
-                .iter()
-                .map(|&c| new_ids[c.index()].expect("carriable child"))
-                .collect();
+            let src = InstId(oi as u32);
             let mut span = TokenSet::new(new_n);
-            for t in src.span.iter() {
+            for t in old.span(src).iter() {
                 span.insert(map_old(t.index()).expect("carriable span token"));
             }
-            let mut payload = src.payload.clone();
+            let mut payload = old.payload(src).clone();
             remap_payload_tokens(&mut payload, &map_old);
-            if let Some(prod) = src.prod {
-                self.dedup.insert(prod, &children);
+            let child_base = self.children.len();
+            for &c in old.children(src) {
+                let mapped = new_ids[c.index()].expect("carriable child");
+                self.children.push(mapped);
+            }
+            if let Some(prod) = old.prod(src) {
+                self.dedup.insert(prod, &self.children[child_base..]);
             }
             if (k as u32) < boundary {
-                valid_counts[src.symbol.index()] += 1;
+                valid_counts[old.symbol(src).index()] += 1;
             }
-            self.by_symbol[src.symbol.index()].push(id);
-            self.instances.push(Instance {
-                symbol: src.symbol,
-                prod: src.prod,
-                children,
-                token: src.token.map(|t| map_old(t.index()).expect("mapped token")),
-                span,
-                bbox: src.bbox,
-                payload,
-                valid: true,
+            let bbox = if regions[k] == 1 {
+                old.bbox(src).translated(diff.dx, diff.dy)
+            } else {
+                old.bbox(src)
+            };
+            let id = InstId(self.symbols.len() as u32);
+            self.symbols.push(old.symbol(src));
+            self.prods.push(old.prods[src.index()]);
+            self.token_of.push(match old.token(src) {
+                Some(t) => map_old(t.index()).expect("mapped token").0,
+                None => NONE,
             });
-            self.parents.push(Vec::new());
+            self.spans.push(span);
+            self.bboxes.push(bbox);
+            let slot = self.payloads.len() as u32;
+            self.payloads.push(payload);
+            self.payload_of.push(slot);
+            self.valid.push(true);
+            self.child_off.push(self.children.len() as u32);
+            self.parent_head.push(NONE);
+            self.by_symbol[old.symbol(src).index()].push(id);
         }
         // Parent links, rebuilt in new creation order.
-        for k in 0..self.instances.len() {
+        for k in 0..self.len() {
             let id = InstId(k as u32);
-            for ci in 0..self.instances[k].children.len() {
-                let c = self.instances[k].children[ci];
-                self.parents[c.index()].push(id);
+            let (lo, hi) = (self.child_off[k] as usize, self.child_off[k + 1] as usize);
+            for ci in lo..hi {
+                let c = self.children[ci];
+                self.push_parent(c, id);
             }
         }
         SeedInfo {
             boundary,
+            prod_boundary,
             valid_counts,
             mapped: mapped_new,
         }
@@ -517,13 +771,32 @@ impl Chart {
     pub fn uncovered_tokens(&self, roots: &[InstId]) -> Vec<TokenId> {
         let mut covered = TokenSet::new(self.tokens.len());
         for &r in roots {
-            covered.union_with(&self.get(r).span);
+            covered.union_with(self.span(r));
         }
         self.tokens
             .iter()
             .map(|t| t.id)
             .filter(|&t| !covered.contains(t))
             .collect()
+    }
+}
+
+/// Iterator over an instance's parents (see [`Chart::parents_of`]).
+pub struct ParentIter<'a> {
+    links: &'a [(InstId, u32)],
+    at: u32,
+}
+
+impl Iterator for ParentIter<'_> {
+    type Item = InstId;
+
+    fn next(&mut self) -> Option<InstId> {
+        if self.at == NONE {
+            return None;
+        }
+        let (parent, next) = self.links[self.at as usize];
+        self.at = next;
+        Some(parent)
     }
 }
 
@@ -534,6 +807,12 @@ impl Chart {
 pub(crate) struct SeedInfo {
     /// Number of carried old-valid instances (ids `0..boundary`).
     pub boundary: u32,
+    /// Production-watermark boundary: ids below it may be skipped as
+    /// all-old *production components*. Equal to `boundary` except
+    /// under a translated suffix, where it stops at the valid
+    /// prefix-region group (cross-region component geometry changed,
+    /// so those combinations must be re-constrained).
+    pub prod_boundary: u32,
     /// Per-symbol count of carried old-valid instances, in the order
     /// of the grammar's symbol table.
     pub valid_counts: Vec<u32>,
@@ -585,8 +864,8 @@ mod tests {
         let a = chart.add_terminal(text_sym, &t0);
         let b = chart.add_terminal(tb_sym, &t1);
         assert_eq!(chart.len(), 2);
-        assert_eq!(chart.get(a).span.count(), 1);
-        assert!(chart.get(a).valid);
+        assert_eq!(chart.span(a).count(), 1);
+        assert!(chart.is_valid(a));
         assert_eq!(chart.of_symbol(text_sym), &[a]);
         assert_eq!(chart.of_symbol(tb_sym), &[b]);
         assert_eq!(chart.view(a).payload.text(), Some("Author"));
@@ -606,13 +885,12 @@ mod tests {
             metaform_core::DomainSpec::text(),
             vec![],
         );
-        let id = chart.add_nonterminal(nt, ProdId(0), vec![a, b], Payload::Cond(cond));
-        let inst = chart.get(id);
-        assert_eq!(inst.span.count(), 2);
-        assert_eq!(inst.bbox, BBox::new(0, 0, 190, 20));
-        let got = &inst.payload.conditions()[0];
+        let id = chart.add_nonterminal(nt, ProdId(0), &[a, b], Payload::Cond(cond));
+        assert_eq!(chart.span(id).count(), 2);
+        assert_eq!(chart.bbox(id), BBox::new(0, 0, 190, 20));
+        let got = &chart.payload(id).conditions()[0];
         assert_eq!(got.tokens, vec![TokenId(0), TokenId(1)]);
-        assert_eq!(chart.parents_of(a), &[id]);
+        assert_eq!(chart.parents_of(a).collect::<Vec<_>>(), vec![id]);
         assert!(chart.seen(ProdId(0), &[a, b]));
         assert!(!chart.seen(ProdId(0), &[b, a]));
     }
@@ -636,7 +914,7 @@ mod tests {
         let t1 = chart.tokens()[1].clone();
         let a = chart.add_terminal(text_sym, &t0);
         let b = chart.add_terminal(tb_sym, &t1);
-        let p = chart.add_nonterminal(nt, ProdId(0), vec![a, b], Payload::None);
+        let p = chart.add_nonterminal(nt, ProdId(0), &[a, b], Payload::None);
         assert!(chart.is_ancestor(p, a));
         assert!(chart.is_ancestor(p, b));
         assert!(!chart.is_ancestor(a, p));
@@ -654,7 +932,7 @@ mod tests {
         let a = chart.add_terminal(text_sym, &t0);
         let b = chart.add_terminal(tb_sym, &t1);
         assert_eq!(chart.spread(a), 0);
-        let p = chart.add_nonterminal(nt, ProdId(0), vec![a, b], Payload::None);
+        let p = chart.add_nonterminal(nt, ProdId(0), &[a, b], Payload::None);
         assert_eq!(chart.spread(p), 10, "gap between the two boxes");
     }
 
@@ -665,5 +943,22 @@ mod tests {
         let a = chart.add_terminal(text_sym, &t0);
         assert_eq!(chart.uncovered_tokens(&[a]), vec![TokenId(1)]);
         assert_eq!(chart.uncovered_tokens(&[]).len(), 2);
+    }
+
+    #[test]
+    fn children_live_in_one_flat_arena() {
+        let (mut chart, text_sym, tb_sym, nt) = setup();
+        let t0 = chart.tokens()[0].clone();
+        let t1 = chart.tokens()[1].clone();
+        let a = chart.add_terminal(text_sym, &t0);
+        let b = chart.add_terminal(tb_sym, &t1);
+        assert!(chart.children(a).is_empty());
+        let p = chart.add_nonterminal(nt, ProdId(0), &[a, b], Payload::None);
+        let q = chart.add_nonterminal(nt, ProdId(1), &[b, a], Payload::None);
+        assert_eq!(chart.children(p), &[a, b]);
+        assert_eq!(chart.children(q), &[b, a]);
+        // Both parents reachable from each child, most recent first.
+        assert_eq!(chart.parents_of(a).collect::<Vec<_>>(), vec![q, p]);
+        assert_eq!(chart.parents_of(b).collect::<Vec<_>>(), vec![q, p]);
     }
 }

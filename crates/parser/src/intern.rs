@@ -13,20 +13,50 @@
 //! per-compare string walks.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
-static POOL: OnceLock<Mutex<HashMap<String, u32>>> = OnceLock::new();
+/// FNV-1a as the pool's hasher. The keys are short form-vocabulary
+/// strings ("Author", "to", option captions) interned on every chart
+/// reset; SipHash's setup cost dominates hashing at these lengths,
+/// while FNV is a multiply-xor per byte. No DoS concern: the pool
+/// holds page vocabulary, not attacker-chosen keys in a hot map.
+#[derive(Default)]
+pub(crate) struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type Pool = HashMap<String, u32, BuildHasherDefault<Fnv1a>>;
+
+static POOL: OnceLock<Mutex<Pool>> = OnceLock::new();
 
 /// Locks the pool for a batch of interning calls — one lock per chart
 /// reset, not per string.
-pub(crate) fn lock_pool() -> MutexGuard<'static, HashMap<String, u32>> {
-    POOL.get_or_init(|| Mutex::new(HashMap::new()))
+pub(crate) fn lock_pool() -> MutexGuard<'static, Pool> {
+    POOL.get_or_init(|| Mutex::new(HashMap::default()))
         .lock()
         .expect("text interner poisoned")
 }
 
 /// Interns `s` under an already-held pool lock.
-pub(crate) fn intern_locked(pool: &mut HashMap<String, u32>, s: &str) -> u32 {
+pub(crate) fn intern_locked(pool: &mut Pool, s: &str) -> u32 {
     if let Some(&id) = pool.get(s) {
         return id;
     }

@@ -45,10 +45,10 @@ pub use cancel::CancelToken;
 pub use consistency::{check_preferences, check_preferences_compiled, Consistency};
 pub use display::render_tree;
 pub use engine::{parse, parse_with, FixpointMode, ParseResult, ParserOptions, PreferenceOrder};
-pub use instance::{Chart, InstId, Instance};
+pub use instance::{Chart, InstId, ParentIter};
 pub use maximize::{maximize, maximize_naive};
 pub use merger::merge;
 pub use revisit::ChartSnapshot;
 pub use session::ParseSession;
-pub use stats::{BudgetOutcome, ParseStats};
-pub use tokenset::TokenSet;
+pub use stats::{BudgetOutcome, ParseStats, PhaseBreakdown};
+pub use tokenset::{TokenSet, INLINE_TOKENS};

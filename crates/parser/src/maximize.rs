@@ -24,35 +24,72 @@ use metaform_grammar::Grammar;
 /// instances with strictly more tokens. That suffices by transitivity:
 /// if some valid instance strictly subsumes `i`, then a *maximal* one
 /// does too (follow strict supersets upward — token counts strictly
-/// increase, so the chain ends at an accepted instance). A bounding-box
-/// containment check prefilters the bitset subset test: an instance's
-/// bbox is the union of its span's token boxes, so span containment
-/// implies bbox containment.
+/// increase, so the chain ends at an accepted instance).
+///
+/// The accepted set is held as an *interval index*: entries sorted by
+/// their span's smallest token id, with a parallel running maximum of
+/// the largest token id over each sorted prefix. A strict superset of
+/// `i` must extend at least as far as `i` on both ends, so the only
+/// entries worth testing sit in the sorted prefix with `lo_j ≤ lo_i`
+/// (one binary search), scanned backward with an early exit the moment
+/// the prefix's running `hi` maximum drops below `hi_i` — no earlier
+/// entry can reach `i`'s right edge. Surviving candidates still pass
+/// through the bbox-containment prefilter (an instance's bbox is the
+/// union of its span's token boxes, so span containment implies bbox
+/// containment) before the bitset subset test.
 pub fn maximize(chart: &Chart, grammar: &Grammar) -> Vec<InstId> {
     let mut order: Vec<InstId> = chart
         .ids()
-        .filter(|&i| {
-            let inst = chart.get(i);
-            inst.valid && inst.prod.is_some() && !inst.span.is_empty()
-        })
+        .filter(|&i| chart.is_valid(i) && chart.prod(i).is_some() && !chart.span(i).is_empty())
         .collect();
-    order.sort_by_key(|&i| (std::cmp::Reverse(chart.get(i).span.count()), i));
+    order.sort_by_key(|&i| (std::cmp::Reverse(chart.span(i).count()), i));
 
     // Sweep: accepted entries are maximal-so-far; only entries with
     // strictly more tokens can strictly subsume the current candidate,
     // and ties on count cannot subsume at all.
     let mut maximal: Vec<InstId> = Vec::new();
+    // The interval index over `maximal`: `by_lo` ascending by span
+    // min-id, `prefix_max_hi[k]` = max span max-id over `by_lo[..=k]`
+    // (non-decreasing by construction).
+    let mut by_lo: Vec<(u32, InstId)> = Vec::new();
+    let mut prefix_max_hi: Vec<u32> = Vec::new();
     for &i in &order {
-        let inst = chart.get(i);
-        let count = inst.span.count();
-        let subsumed = maximal.iter().any(|&j| {
-            let cand = chart.get(j);
-            cand.span.count() > count
-                && cand.bbox.contains(&inst.bbox)
-                && inst.span.is_strict_subset(&cand.span)
-        });
+        let span = chart.span(i);
+        let count = span.count();
+        let (lo, hi) = match (span.min_id(), span.max_id()) {
+            (Some(l), Some(h)) => (l.0, h.0),
+            _ => unreachable!("empty spans were filtered"),
+        };
+        let end = by_lo.partition_point(|&(l, _)| l <= lo);
+        let mut subsumed = false;
+        for k in (0..end).rev() {
+            if prefix_max_hi[k] < hi {
+                break; // nothing earlier reaches i's right edge
+            }
+            let j = by_lo[k].1;
+            if chart.span(j).count() > count
+                && chart.bbox(j).contains(&chart.bbox(i))
+                && span.is_strict_subset(chart.span(j))
+            {
+                subsumed = true;
+                break;
+            }
+        }
         if !subsumed {
             maximal.push(i);
+            let at = by_lo.partition_point(|&(l, _)| l <= lo);
+            by_lo.insert(at, (lo, i));
+            prefix_max_hi.insert(at, hi);
+            // Restore the running maximum from the insertion point on;
+            // once an existing entry already meets the running max, the
+            // rest (cumulative over a superset) are untouched.
+            for k in at.max(1)..prefix_max_hi.len() {
+                if prefix_max_hi[k] < prefix_max_hi[k - 1] {
+                    prefix_max_hi[k] = prefix_max_hi[k - 1];
+                } else if k > at {
+                    break;
+                }
+            }
         }
     }
 
@@ -65,8 +102,8 @@ pub fn maximize(chart: &Chart, grammar: &Grammar) -> Vec<InstId> {
     maximal.retain(|&i| {
         !snapshot.iter().any(|&j| {
             j != i
-                && chart.get(i).span.count() == chart.get(j).span.count()
-                && chart.get(i).span == chart.get(j).span
+                && chart.span(i).count() == chart.span(j).count()
+                && chart.span(i) == chart.span(j)
                 && chart.is_ancestor(j, i)
         })
     });
@@ -82,10 +119,7 @@ pub fn maximize(chart: &Chart, grammar: &Grammar) -> Vec<InstId> {
 pub fn maximize_naive(chart: &Chart, grammar: &Grammar) -> Vec<InstId> {
     let valid: Vec<InstId> = chart
         .ids()
-        .filter(|&i| {
-            let inst = chart.get(i);
-            inst.valid && inst.prod.is_some() && !inst.span.is_empty()
-        })
+        .filter(|&i| chart.is_valid(i) && chart.prod(i).is_some() && !chart.span(i).is_empty())
         .collect();
 
     // Keep instances whose span is not strictly contained in another
@@ -94,10 +128,10 @@ pub fn maximize_naive(chart: &Chart, grammar: &Grammar) -> Vec<InstId> {
         .iter()
         .copied()
         .filter(|&i| {
-            let span = &chart.get(i).span;
+            let span = chart.span(i);
             !valid
                 .iter()
-                .any(|&j| j != i && span.is_strict_subset(&chart.get(j).span))
+                .any(|&j| j != i && span.is_strict_subset(chart.span(j)))
         })
         .collect();
 
@@ -107,10 +141,10 @@ pub fn maximize_naive(chart: &Chart, grammar: &Grammar) -> Vec<InstId> {
     maximal.retain(|&i| {
         !snapshot
             .iter()
-            .any(|&j| j != i && chart.get(i).span == chart.get(j).span && chart.is_ancestor(j, i))
+            .any(|&j| j != i && chart.span(i) == chart.span(j) && chart.is_ancestor(j, i))
     });
 
-    maximal.sort_by_key(|&i| (std::cmp::Reverse(chart.get(i).span.count()), i));
+    maximal.sort_by_key(|&i| (std::cmp::Reverse(chart.span(i).count()), i));
     let _ = grammar; // reserved for future symbol-rank tie-breaking
     maximal
 }
@@ -141,9 +175,13 @@ mod tests {
         let tokens = label_box_pair(0, "Author", 10, 10);
         let res = parse(&g, &tokens);
         assert_eq!(res.trees.len(), 1);
-        let root = res.chart.get(res.trees[0]);
-        assert_eq!(g.symbols.name(root.symbol), "QI", "topmost of the chain");
-        assert_eq!(root.span.count(), 2);
+        let root = res.trees[0];
+        assert_eq!(
+            g.symbols.name(res.chart.symbol(root)),
+            "QI",
+            "topmost of the chain"
+        );
+        assert_eq!(res.chart.span(root).count(), 2);
     }
 
     #[test]
@@ -158,7 +196,7 @@ mod tests {
         let spans: Vec<usize> = res
             .trees
             .iter()
-            .map(|&t| res.chart.get(t).span.count())
+            .map(|&t| res.chart.span(t).count())
             .collect();
         assert_eq!(spans, vec![2, 2]);
         // Union covers everything: nothing missing.
@@ -209,8 +247,8 @@ mod tests {
         tokens.extend(label_box_pair(4, "Price", 600, 700));
         let res = parse(&g, &tokens);
         assert_eq!(res.trees.len(), 2);
-        let first = res.chart.get(res.trees[0]).span.count();
-        let second = res.chart.get(res.trees[1]).span.count();
+        let first = res.chart.span(res.trees[0]).count();
+        let second = res.chart.span(res.trees[1]).count();
         assert!(first >= second);
         assert_eq!(first, 4, "stacked Author+Title rows grouped into one QI");
     }

@@ -29,10 +29,9 @@ use std::collections::HashMap;
 pub fn merge(chart: &Chart, trees: &[InstId]) -> ExtractionReport {
     let mut visit: Vec<InstId> = trees.to_vec();
     visit.sort_by_cached_key(|&t| {
-        let inst = chart.get(t);
-        let span: Vec<u32> = inst.span.iter().map(|tok| tok.0).collect();
-        let conds: Vec<(Vec<TokenId>, String)> = inst
-            .payload
+        let span: Vec<u32> = chart.span(t).iter().map(|tok| tok.0).collect();
+        let conds: Vec<(Vec<TokenId>, String)> = chart
+            .payload(t)
             .conditions()
             .iter()
             .map(|c| (c.tokens.clone(), c.to_string()))
@@ -45,7 +44,7 @@ pub fn merge(chart: &Chart, trees: &[InstId]) -> ExtractionReport {
     let mut conflicts: Vec<Conflict> = Vec::new();
 
     for &tree in &visit {
-        for cond in chart.get(tree).payload.conditions() {
+        for cond in chart.payload(tree).conditions() {
             if let Some(existing) = conditions.iter().position(|c| c.equivalent(cond)) {
                 // Same condition extracted from an overlapping tree —
                 // not a conflict, just overlap in coverage.

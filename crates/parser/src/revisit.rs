@@ -70,19 +70,36 @@ impl ChartSnapshot {
 }
 
 /// A prefix/suffix alignment between an old and a new token stream:
-/// the first `prefix` and last `suffix` tokens match content-wise
+/// the first `prefix` tokens match content-wise exactly, the last
+/// `suffix` tokens match modulo a uniform `(dx, dy)` translation
 /// (`prefix + suffix ≤ min(old, new)`), everything between is the
 /// changed region.
+///
+/// The translation is what makes single-edit revisits carriable when
+/// the edit changes rendered length: a reworded label or inserted row
+/// shifts every later token by one constant offset, so demanding
+/// geometry-identical suffixes would collapse `suffix` to zero. A
+/// zero-translation diff (`dx == dy == 0`) is the exact alignment the
+/// carry has always used.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct TokenDiff {
-    /// Length of the longest common prefix.
+    /// Length of the longest common prefix (exact match).
     pub prefix: usize,
-    /// Length of the longest common suffix of the remainders.
+    /// Length of the longest common suffix of the remainders, matched
+    /// modulo `(dx, dy)`.
     pub suffix: usize,
+    /// Uniform x offset of the suffix region (new minus old).
+    pub dx: i32,
+    /// Uniform y offset of the suffix region (new minus old).
+    pub dy: i32,
 }
 
 /// Computes the prefix/suffix diff between two charts' token streams,
 /// comparing every content field (texts by interned id) but not ids.
+/// The suffix is matched twice — geometry-exact and modulo the uniform
+/// translation implied by the last token pair — and the longer
+/// alignment wins (ties prefer exact: a zero translation carries more
+/// instances, since region purity is not required).
 pub(crate) fn diff_tokens(old: &Chart, new: &Chart) -> TokenDiff {
     let (old_n, new_n) = (old.tokens().len(), new.tokens().len());
     let limit = old_n.min(new_n);
@@ -90,12 +107,42 @@ pub(crate) fn diff_tokens(old: &Chart, new: &Chart) -> TokenDiff {
     while prefix < limit && old.token_matches(prefix, new, prefix) {
         prefix += 1;
     }
-    let mut suffix = 0;
-    while suffix < limit - prefix && old.token_matches(old_n - 1 - suffix, new, new_n - 1 - suffix)
-    {
-        suffix += 1;
+    let suffix_at = |dx: i32, dy: i32| -> usize {
+        let mut suffix = 0;
+        while suffix < limit - prefix
+            && old.token_matches_translated(old_n - 1 - suffix, new, new_n - 1 - suffix, dx, dy)
+        {
+            suffix += 1;
+        }
+        suffix
+    };
+    let exact = suffix_at(0, 0);
+    // Candidate translation from the last token pair's positions.
+    // Requires an exactly-anchored prefix, mirroring the cache's
+    // affix scorer: with no anchor, a wholesale shift of this page is
+    // indistinguishable from a different page that is a translated
+    // subsequence of it.
+    if prefix > 0 && prefix < limit {
+        let (op, np) = (old.tokens()[old_n - 1].pos, new.tokens()[new_n - 1].pos);
+        let (dx, dy) = (np.left - op.left, np.top - op.top);
+        if (dx, dy) != (0, 0) {
+            let translated = suffix_at(dx, dy);
+            if translated > exact {
+                return TokenDiff {
+                    prefix,
+                    suffix: translated,
+                    dx,
+                    dy,
+                };
+            }
+        }
     }
-    TokenDiff { prefix, suffix }
+    TokenDiff {
+        prefix,
+        suffix: exact,
+        dx: 0,
+        dy: 0,
+    }
 }
 
 #[cfg(test)]
@@ -119,7 +166,9 @@ mod tests {
             diff_tokens(&a, &b),
             TokenDiff {
                 prefix: 2,
-                suffix: 0
+                suffix: 0,
+                dx: 0,
+                dy: 0
             }
         );
     }
@@ -132,9 +181,56 @@ mod tests {
             diff_tokens(&a, &b),
             TokenDiff {
                 prefix: 1,
-                suffix: 1
+                suffix: 1,
+                dx: 0,
+                dy: 0
             }
         );
+    }
+
+    #[test]
+    fn shifted_suffix_matches_modulo_translation() {
+        // A label edit that grows the text pushes every later token
+        // down by 20px: the exact suffix is empty, the translated one
+        // recovers the whole tail.
+        let a = chart(vec![tok(0, "a"), tok(1, "b"), tok(2, "c"), tok(3, "d")]);
+        let b = chart(vec![
+            tok(0, "a"),
+            {
+                let mut t = tok(1, "BB");
+                t.pos = BBox::new(0, 20, 60, 36); // reworded, wider
+                t
+            },
+            {
+                let mut t = tok(2, "c");
+                t.pos = BBox::new(0, 60, 40, 76); // +20y vs old
+                t
+            },
+            {
+                let mut t = tok(3, "d");
+                t.pos = BBox::new(0, 80, 40, 96); // +20y vs old
+                t
+            },
+        ]);
+        assert_eq!(
+            diff_tokens(&a, &b),
+            TokenDiff {
+                prefix: 1,
+                suffix: 2,
+                dx: 0,
+                dy: 20
+            }
+        );
+    }
+
+    #[test]
+    fn exact_suffix_preferred_over_translation_on_tie() {
+        // Unchanged stream: translation candidate is (0,0), suffix
+        // stays exact.
+        let a = chart(vec![tok(0, "a"), tok(1, "b")]);
+        let b = chart(vec![tok(0, "a"), tok(1, "b")]);
+        let d = diff_tokens(&a, &b);
+        assert_eq!((d.dx, d.dy), (0, 0));
     }
 
     #[test]

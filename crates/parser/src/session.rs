@@ -38,6 +38,7 @@ use crate::revisit::{diff_tokens, ChartSnapshot};
 use metaform_core::Token;
 use metaform_grammar::CompiledGrammar;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A reusable parser over a compiled grammar (see module docs).
 pub struct ParseSession {
@@ -83,12 +84,14 @@ impl ParseSession {
     /// outcome in `ParseStats::budget` — a budget-limited parse still
     /// returns maximal partial trees over whatever was built.
     pub fn parse(&mut self, tokens: &[Token]) -> ParseResult {
+        let t = self.opts.profile.then(Instant::now);
         let mut chart = self
             .spare
             .take()
             .unwrap_or_else(|| Chart::new(Vec::new(), 0));
         chart.reset_for(tokens, self.grammar.grammar().symbols.len());
-        run_parse(
+        let setup_ns = t.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let mut result = run_parse(
             self.grammar.grammar(),
             self.grammar.schedule(),
             self.grammar.preference_index(),
@@ -96,7 +99,9 @@ impl ParseSession {
             &self.opts,
             &mut self.scratch,
             None,
-        )
+        );
+        result.stats.phase.alloc_ns += setup_ns;
+        result
     }
 
     /// Parses one token sequence *seeded* from a retained snapshot of
@@ -120,6 +125,7 @@ impl ParseSession {
     /// seeding under different pruning switches re-derives against the
     /// wrong baseline.
     pub fn parse_seeded(&mut self, tokens: &[Token], snapshot: &ChartSnapshot) -> ParseResult {
+        let t = self.opts.profile.then(Instant::now);
         let mut chart = self
             .spare
             .take()
@@ -127,7 +133,8 @@ impl ParseSession {
         chart.reset_for(tokens, self.grammar.grammar().symbols.len());
         let diff = diff_tokens(snapshot.chart(), &chart);
         let seed = chart.carry_from(snapshot.chart(), &diff);
-        run_parse(
+        let setup_ns = t.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let mut result = run_parse(
             self.grammar.grammar(),
             self.grammar.schedule(),
             self.grammar.preference_index(),
@@ -135,7 +142,9 @@ impl ParseSession {
             &self.opts,
             &mut self.scratch,
             Some(&seed),
-        )
+        );
+        result.stats.phase.alloc_ns += setup_ns;
+        result
     }
 
     /// Returns a finished parse's chart to the session's allocation

@@ -4,13 +4,32 @@
 //! detection (span intersection) and subsumption tests are the hottest
 //! operations in preference enforcement and partial-tree maximization,
 //! so they run word-wise over a compact bitset.
+//!
+//! The representation is inline-first: interfaces with at most
+//! [`INLINE_TOKENS`] tokens (the whole survey corpus — the median
+//! interface has 18) keep their two words inside the struct, so a span
+//! is created, unioned, and compared without ever touching the heap.
+//! Larger interfaces spill to a `Vec<u64>` transparently; all
+//! operations, `Eq`, and `Hash` see only the logical bit content, so
+//! the two representations are interchangeable.
 
 use metaform_core::TokenId;
+use std::hash::{Hash, Hasher};
+
+/// Highest token capacity the inline representation covers.
+pub const INLINE_TOKENS: usize = 128;
+
+/// Words kept inline (`INLINE_TOKENS / 64`).
+const INLINE_WORDS: usize = 2;
 
 /// A set of token ids, sized at construction for one interface.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Debug)]
 pub struct TokenSet {
-    words: Vec<u64>,
+    /// Inline words, authoritative while `spill` is empty.
+    inline: [u64; INLINE_WORDS],
+    /// Heap words, authoritative when non-empty (capacity >
+    /// [`INLINE_TOKENS`]). An empty vec means the set is inline.
+    spill: Vec<u64>,
     len: u32,
 }
 
@@ -18,7 +37,12 @@ impl TokenSet {
     /// Empty set able to hold ids `0..capacity`.
     pub fn new(capacity: usize) -> Self {
         TokenSet {
-            words: vec![0; capacity.div_ceil(64)],
+            inline: [0; INLINE_WORDS],
+            spill: if capacity <= INLINE_TOKENS {
+                Vec::new()
+            } else {
+                vec![0; capacity.div_ceil(64)]
+            },
             len: 0,
         }
     }
@@ -30,32 +54,84 @@ impl TokenSet {
         s
     }
 
+    /// The words backing the set (trailing zero words included).
+    #[inline]
+    fn words(&self) -> &[u64] {
+        if self.spill.is_empty() {
+            &self.inline
+        } else {
+            &self.spill
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        if self.spill.is_empty() {
+            &mut self.inline
+        } else {
+            &mut self.spill
+        }
+    }
+
     /// Adds an id.
+    #[inline]
     pub fn insert(&mut self, id: TokenId) {
         let (w, b) = (id.index() / 64, id.index() % 64);
         let mask = 1u64 << b;
-        if self.words[w] & mask == 0 {
-            self.words[w] |= mask;
+        let word = &mut self.words_mut()[w];
+        if *word & mask == 0 {
+            *word |= mask;
             self.len += 1;
         }
     }
 
     /// Membership test.
+    #[inline]
     pub fn contains(&self, id: TokenId) -> bool {
         let (w, b) = (id.index() / 64, id.index() % 64);
-        self.words
+        self.words()
             .get(w)
             .is_some_and(|word| word & (1u64 << b) != 0)
     }
 
     /// Number of ids in the set.
+    #[inline]
     pub fn count(&self) -> usize {
         self.len as usize
     }
 
     /// True when no ids are present.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Smallest id in the set, if any.
+    #[inline]
+    pub fn min_id(&self) -> Option<TokenId> {
+        if self.len == 0 {
+            return None;
+        }
+        for (wi, &word) in self.words().iter().enumerate() {
+            if word != 0 {
+                return Some(TokenId((wi * 64) as u32 + word.trailing_zeros()));
+            }
+        }
+        None
+    }
+
+    /// Largest id in the set, if any.
+    #[inline]
+    pub fn max_id(&self) -> Option<TokenId> {
+        if self.len == 0 {
+            return None;
+        }
+        for (wi, &word) in self.words().iter().enumerate().rev() {
+            if word != 0 {
+                return Some(TokenId((wi * 64) as u32 + 63 - word.leading_zeros()));
+            }
+        }
+        None
     }
 
     /// In-place union. The cardinality is maintained incrementally:
@@ -64,37 +140,61 @@ impl TokenSet {
     /// over mostly-disjoint spans, so most words change or are zero —
     /// but the recount was O(words) even for tiny deltas).
     pub fn union_with(&mut self, other: &TokenSet) {
-        debug_assert_eq!(self.words.len(), other.words.len());
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        if self.spill.is_empty() && other.spill.is_empty() {
+            for i in 0..INLINE_WORDS {
+                let gained = other.inline[i] & !self.inline[i];
+                if gained != 0 {
+                    self.inline[i] |= gained;
+                    self.len += gained.count_ones();
+                }
+            }
+            return;
+        }
+        let other_words = other.words();
+        debug_assert!(self.words().len() >= used_words(other_words));
+        let mut len = self.len;
+        for (a, b) in self.words_mut().iter_mut().zip(other_words) {
             let gained = b & !*a;
             if gained != 0 {
                 *a |= gained;
-                self.len += gained.count_ones();
+                len += gained.count_ones();
             }
         }
+        self.len = len;
     }
 
     /// Do the sets share any id?
+    #[inline]
     pub fn intersects(&self, other: &TokenSet) -> bool {
-        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+        if self.spill.is_empty() && other.spill.is_empty() {
+            return (self.inline[0] & other.inline[0]) | (self.inline[1] & other.inline[1]) != 0;
+        }
+        self.words()
+            .iter()
+            .zip(other.words())
+            .any(|(a, b)| a & b != 0)
     }
 
     /// Is `self ⊆ other`?
+    #[inline]
     pub fn is_subset(&self, other: &TokenSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
+        if self.spill.is_empty() && other.spill.is_empty() {
+            return (self.inline[0] & !other.inline[0]) | (self.inline[1] & !other.inline[1]) == 0;
+        }
+        let (a, b) = (self.words(), other.words());
+        let shared = a.len().min(b.len());
+        a[shared..].iter().all(|&w| w == 0) && a[..shared].iter().zip(b).all(|(x, y)| x & !y == 0)
     }
 
     /// Is `self ⊂ other` (subset and strictly smaller)?
+    #[inline]
     pub fn is_strict_subset(&self, other: &TokenSet) -> bool {
         self.len < other.len && self.is_subset(other)
     }
 
     /// Ids in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = TokenId> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+        self.words().iter().enumerate().flat_map(|(wi, &word)| {
             let mut w = word;
             std::iter::from_fn(move || {
                 if w == 0 {
@@ -105,6 +205,34 @@ impl TokenSet {
                 Some(TokenId((wi * 64) as u32 + b))
             })
         })
+    }
+}
+
+/// Word count with trailing zero words trimmed — the logical content
+/// `Eq`/`Hash` are defined over, independent of representation.
+fn used_words(words: &[u64]) -> usize {
+    words.len() - words.iter().rev().take_while(|&&w| w == 0).count()
+}
+
+impl PartialEq for TokenSet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let (a, b) = (self.words(), other.words());
+        let (ua, ub) = (used_words(a), used_words(b));
+        ua == ub && a[..ua] == b[..ub]
+    }
+}
+
+impl Eq for TokenSet {}
+
+impl Hash for TokenSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let words = self.words();
+        let used = used_words(words);
+        self.len.hash(state);
+        words[..used].hash(state);
     }
 }
 
@@ -197,5 +325,68 @@ mod tests {
         let s = TokenSet::singleton(10, TokenId(7));
         assert_eq!(s.count(), 1);
         assert!(s.contains(TokenId(7)));
+    }
+
+    #[test]
+    fn inline_sets_never_allocate() {
+        let s = TokenSet::new(INLINE_TOKENS);
+        assert!(s.spill.is_empty(), "≤{INLINE_TOKENS} tokens stay inline");
+        let big = TokenSet::new(INLINE_TOKENS + 1);
+        assert_eq!(big.spill.len(), 3, "larger interfaces spill to the heap");
+    }
+
+    #[test]
+    fn eq_and_hash_cross_representation() {
+        use std::collections::hash_map::DefaultHasher;
+        let hash_of = |s: &TokenSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        // Same bits at inline and spilled capacity compare and hash
+        // identically.
+        let mut small = TokenSet::new(100);
+        let mut big = TokenSet::new(400);
+        for i in [0u32, 64, 99] {
+            small.insert(TokenId(i));
+            big.insert(TokenId(i));
+        }
+        assert_eq!(small, big);
+        assert_eq!(hash_of(&small), hash_of(&big));
+        big.insert(TokenId(300));
+        assert_ne!(small, big);
+    }
+
+    #[test]
+    fn min_max_ids() {
+        let mut s = TokenSet::new(400);
+        assert_eq!(s.min_id(), None);
+        assert_eq!(s.max_id(), None);
+        for i in [130u32, 5, 64, 399] {
+            s.insert(TokenId(i));
+        }
+        assert_eq!(s.min_id(), Some(TokenId(5)));
+        assert_eq!(s.max_id(), Some(TokenId(399)));
+        let one = TokenSet::singleton(10, TokenId(7));
+        assert_eq!(one.min_id(), Some(TokenId(7)));
+        assert_eq!(one.max_id(), Some(TokenId(7)));
+    }
+
+    #[test]
+    fn spill_boundary_ops() {
+        // 128 tokens is the last inline capacity; 129 the first spill.
+        for cap in [INLINE_TOKENS, INLINE_TOKENS + 1] {
+            let mut a = TokenSet::new(cap);
+            let mut b = TokenSet::new(cap);
+            a.insert(TokenId(0));
+            a.insert(TokenId(127));
+            b.insert(TokenId(127));
+            assert!(a.intersects(&b));
+            assert!(b.is_subset(&a));
+            assert!(b.is_strict_subset(&a));
+            a.union_with(&b);
+            assert_eq!(a.count(), 2);
+            assert_eq!(a.max_id(), Some(TokenId(127)));
+        }
     }
 }

@@ -63,28 +63,26 @@ fn check_invariants(g: &Grammar, tokens: &[Token]) -> Result<(), TestCaseError> 
     let terminals = res
         .chart
         .ids()
-        .filter(|&i| res.chart.get(i).prod.is_none())
+        .filter(|&i| res.chart.prod(i).is_none())
         .count();
     prop_assert_eq!(terminals, tokens.len());
 
     // Every tree root is valid and nonterminal; spans within bounds.
     for &t in &res.trees {
-        let inst = res.chart.get(t);
-        prop_assert!(inst.valid);
-        prop_assert!(inst.prod.is_some());
-        prop_assert!(inst.span.count() <= tokens.len());
-        prop_assert!(!inst.span.is_empty());
+        prop_assert!(res.chart.is_valid(t));
+        prop_assert!(res.chart.prod(t).is_some());
+        prop_assert!(res.chart.span(t).count() <= tokens.len());
+        prop_assert!(!res.chart.span(t).is_empty());
     }
 
     // Maximality: no selected tree strictly subsumed by another valid
     // instance.
     for &t in &res.trees {
-        let span = &res.chart.get(t).span;
+        let span = res.chart.span(t);
         for j in res.chart.ids() {
-            let other = res.chart.get(j);
-            if other.valid && other.prod.is_some() {
+            if res.chart.is_valid(j) && res.chart.prod(j).is_some() {
                 prop_assert!(
-                    !span.is_strict_subset(&other.span),
+                    !span.is_strict_subset(res.chart.span(j)),
                     "tree {:?} subsumed by {:?}",
                     t,
                     j
@@ -95,20 +93,20 @@ fn check_invariants(g: &Grammar, tokens: &[Token]) -> Result<(), TestCaseError> 
 
     // Every instance's span equals the union of its children's spans.
     for i in res.chart.ids() {
-        let inst = res.chart.get(i);
-        if inst.prod.is_some() {
+        if res.chart.prod(i).is_some() {
             let mut union = metaform_parser::TokenSet::new(tokens.len());
-            for &c in &inst.children {
-                union.union_with(&res.chart.get(c).span);
+            for &c in res.chart.children(i) {
+                union.union_with(res.chart.span(c));
             }
-            prop_assert_eq!(&union, &inst.span, "instance {:?}", i);
+            prop_assert_eq!(&union, res.chart.span(i), "instance {:?}", i);
             // Children are pairwise token-disjoint.
-            let total: usize = inst
-                .children
+            let total: usize = res
+                .chart
+                .children(i)
                 .iter()
-                .map(|&c| res.chart.get(c).span.count())
+                .map(|&c| res.chart.span(c).count())
                 .sum();
-            prop_assert_eq!(total, inst.span.count());
+            prop_assert_eq!(total, res.chart.span(i).count());
         }
     }
     Ok(())
@@ -154,7 +152,7 @@ proptest! {
         for m in &report.missing {
             prop_assert!(m.index() < tokens.len());
             for tree in &res.trees {
-                prop_assert!(!res.chart.get(*tree).span.contains(*m));
+                prop_assert!(!res.chart.span(*tree).contains(*m));
             }
         }
     }

@@ -1,0 +1,135 @@
+//! Property tests: `TokenSet` against a `BTreeSet<u32>` model.
+//!
+//! The span bitset has two representations — two inline words for
+//! interfaces of at most [`INLINE_TOKENS`] tokens, a heap spill above
+//! that — and every operation carries dual code paths plus an
+//! incrementally-maintained cardinality. These tests pin both paths,
+//! and their interaction across the boundary, to the one obviously
+//! correct model: an ordered set of ids.
+
+use metaform_core::TokenId;
+use metaform_parser::{TokenSet, INLINE_TOKENS};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+fn build(capacity: usize, ids: &[u32]) -> (TokenSet, BTreeSet<u32>) {
+    let mut set = TokenSet::new(capacity);
+    let mut model = BTreeSet::new();
+    for &id in ids {
+        set.insert(TokenId(id));
+        model.insert(id);
+    }
+    (set, model)
+}
+
+fn ids_list(set: &TokenSet) -> Vec<u32> {
+    set.iter().map(|t| t.0).collect()
+}
+
+fn model_list(model: &BTreeSet<u32>) -> Vec<u32> {
+    model.iter().copied().collect()
+}
+
+fn fnv_hash(set: &TokenSet) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    set.hash(&mut h);
+    h.finish()
+}
+
+/// One capacity spanning inline, boundary, and spilled regimes, with
+/// two id samples drawn below it. Duplicated inserts are deliberate:
+/// the incremental `len` must not double-count.
+fn capacity_and_ids() -> impl Strategy<Value = (usize, Vec<u32>, Vec<u32>)> {
+    prop_oneof![
+        1usize..3 * INLINE_TOKENS + 1,
+        // Extra weight right at the inline/spill boundary.
+        (INLINE_TOKENS - 2)..(INLINE_TOKENS + 3),
+    ]
+    .prop_flat_map(|cap| {
+        let ids = || proptest::collection::vec(0..cap as u32, 0..cap.min(96) + 1);
+        (Just(cap), ids(), ids())
+    })
+}
+
+proptest! {
+    #[test]
+    fn observations_match_the_model((cap, a_ids, b_ids) in capacity_and_ids()) {
+        let (a, ma) = build(cap, &a_ids);
+        let (b, mb) = build(cap, &b_ids);
+
+        prop_assert_eq!(a.count(), ma.len());
+        prop_assert_eq!(a.is_empty(), ma.is_empty());
+        prop_assert_eq!(a.min_id().map(|t| t.0), ma.first().copied());
+        prop_assert_eq!(a.max_id().map(|t| t.0), ma.last().copied());
+        prop_assert_eq!(ids_list(&a), model_list(&ma));
+        for id in 0..cap as u32 {
+            prop_assert_eq!(a.contains(TokenId(id)), ma.contains(&id));
+        }
+
+        prop_assert_eq!(a.intersects(&b), !ma.is_disjoint(&mb));
+        prop_assert_eq!(a.is_subset(&b), ma.is_subset(&mb));
+        prop_assert_eq!(
+            a.is_strict_subset(&b),
+            ma.is_subset(&mb) && ma.len() < mb.len()
+        );
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        let mu: BTreeSet<u32> = ma.union(&mb).copied().collect();
+        prop_assert_eq!(u.count(), mu.len());
+        prop_assert_eq!(ids_list(&u), model_list(&mu));
+    }
+
+    #[test]
+    fn equality_and_hash_track_content_not_representation(
+        ids in proptest::collection::vec(0..INLINE_TOKENS as u32, 0..INLINE_TOKENS + 1),
+    ) {
+        // The same ids at the two capacities that straddle the
+        // boundary: one set stays inline, the other spills. `Eq` and
+        // `Hash` are defined over logical bit content, so the pair
+        // must be interchangeable.
+        let (inline_set, model) = build(INLINE_TOKENS, &ids);
+        let (spilled, _) = build(INLINE_TOKENS + 1, &ids);
+        prop_assert_eq!(&inline_set, &spilled);
+        prop_assert_eq!(fnv_hash(&inline_set), fnv_hash(&spilled));
+
+        // Cross-representation queries agree with self-queries.
+        prop_assert!(inline_set.is_subset(&spilled));
+        prop_assert!(spilled.is_subset(&inline_set));
+        prop_assert!(!inline_set.is_strict_subset(&spilled));
+        prop_assert_eq!(inline_set.intersects(&spilled), !model.is_empty());
+
+        // Union across representations is idempotent on equal content.
+        let mut u = spilled.clone();
+        u.union_with(&inline_set);
+        prop_assert_eq!(&u, &inline_set);
+        prop_assert_eq!(u.count(), model.len());
+    }
+}
+
+#[test]
+fn boundary_ids_at_127_and_128() {
+    // Highest inline id.
+    let s = TokenSet::singleton(INLINE_TOKENS, TokenId(127));
+    assert!(s.contains(TokenId(127)));
+    assert_eq!(s.count(), 1);
+    assert_eq!(s.min_id(), Some(TokenId(127)));
+    assert_eq!(s.max_id(), Some(TokenId(127)));
+
+    // First id that forces the spill representation.
+    let mut big = TokenSet::new(INLINE_TOKENS + 1);
+    big.insert(TokenId(128));
+    big.insert(TokenId(128)); // duplicate must not double-count
+    assert!(big.contains(TokenId(128)));
+    assert!(!big.contains(TokenId(127)));
+    assert_eq!(big.count(), 1);
+    assert_eq!(big.max_id(), Some(TokenId(128)));
+
+    // The two cannot intersect, and the empty inline set is a strict
+    // subset of the spilled singleton.
+    let empty = TokenSet::new(INLINE_TOKENS);
+    assert!(!s.intersects(&big));
+    assert!(empty.is_subset(&big));
+    assert!(empty.is_strict_subset(&big));
+}

@@ -62,11 +62,10 @@ fn rollback_erases_false_ancestors() {
     );
     // Consistency: no valid instance may rest on an invalid child.
     for id in result.chart.ids() {
-        let inst = result.chart.get(id);
-        if inst.valid {
-            for &child in &inst.children {
+        if result.chart.is_valid(id) {
+            for &child in result.chart.children(id) {
                 assert!(
-                    result.chart.get(child).valid,
+                    result.chart.is_valid(child),
                     "valid {id:?} has invalid child {child:?}"
                 );
             }

@@ -40,12 +40,11 @@ fn main() {
         result.trees.len()
     );
     for (i, &tree) in result.trees.iter().enumerate() {
-        let inst = result.chart.get(tree);
         println!(
             "  tree {}: rooted at {}, covering {} tokens",
             i + 1,
-            grammar.symbols.name(inst.symbol),
-            inst.span.count()
+            grammar.symbols.name(result.chart.symbol(tree)),
+            result.chart.span(tree).count()
         );
     }
 

@@ -94,14 +94,13 @@ fn main() {
     );
     let mut services = Vec::new();
     for &tree in &result.trees {
-        let inst = result.chart.get(tree);
-        if let Some(items) = inst.payload.ops() {
+        if let Some(items) = result.chart.payload(tree).ops() {
             if items.len() >= 3 {
                 services = items.to_vec();
                 println!(
                     "menu found ({} covering {} tokens):",
-                    grammar.symbols.name(inst.symbol),
-                    inst.span.count()
+                    grammar.symbols.name(result.chart.symbol(tree)),
+                    result.chart.span(tree).count()
                 );
                 for s in items {
                     println!("  • {s}");

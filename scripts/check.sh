@@ -40,6 +40,22 @@ cargo run --release -q -p metaform-bench --bin bench_revisit -- "$tmp/BENCH_revi
 grep -q '"exact_hit_speedup"' "$tmp/BENCH_revisit.json"
 grep -q '"tier_delta"' "$tmp/BENCH_revisit.json"
 
+echo "==> bench_parse perf smoke (fails on >1.5x median regression vs committed BENCH_parse.json)"
+cargo run --release -q -p metaform-bench --bin bench_parse -- --smoke "$tmp/BENCH_parse.json" > /dev/null
+# First "median_batch_ms" in each file is the seminaive mode — the
+# headline the regression gate tracks. The 1.5x allowance absorbs
+# ordinary scheduler noise on shared hosts; a real algorithmic
+# regression (the semi-naive machinery degrading to naive re-walks)
+# shows up as 2x+.
+committed="$(sed -n 's/.*"median_batch_ms": \([0-9.]*\),.*/\1/p' BENCH_parse.json | head -1)"
+smoke="$(sed -n 's/.*"median_batch_ms": \([0-9.]*\),.*/\1/p' "$tmp/BENCH_parse.json" | head -1)"
+test -n "$committed" && test -n "$smoke"
+awk -v s="$smoke" -v c="$committed" 'BEGIN {
+    ratio = s / c
+    printf "    seminaive median %.3f ms vs committed %.3f ms (%.2fx)\n", s, c, ratio
+    exit (ratio > 1.5) ? 1 : 0
+}'
+
 echo "==> cargo test -q --test service_http (HTTP vs in-process differential)"
 cargo test -q --test service_http
 

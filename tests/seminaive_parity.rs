@@ -31,15 +31,15 @@ fn assert_identical(semi: &ParseResult, naive: &ParseResult, label: &str) {
         "{label}: chart size diverged"
     );
     for (a, b) in semi.chart.ids().zip(naive.chart.ids()) {
-        let (ia, ib) = (semi.chart.get(a), naive.chart.get(b));
-        assert_eq!(ia.symbol, ib.symbol, "{label}/{a:?}: symbol");
-        assert_eq!(ia.prod, ib.prod, "{label}/{a:?}: production");
-        assert_eq!(ia.children, ib.children, "{label}/{a:?}: children");
-        assert_eq!(ia.token, ib.token, "{label}/{a:?}: token");
-        assert_eq!(ia.span, ib.span, "{label}/{a:?}: span");
-        assert_eq!(ia.bbox, ib.bbox, "{label}/{a:?}: bbox");
-        assert_eq!(ia.payload, ib.payload, "{label}/{a:?}: payload");
-        assert_eq!(ia.valid, ib.valid, "{label}/{a:?}: validity");
+        let (ca, cb) = (&semi.chart, &naive.chart);
+        assert_eq!(ca.symbol(a), cb.symbol(b), "{label}/{a:?}: symbol");
+        assert_eq!(ca.prod(a), cb.prod(b), "{label}/{a:?}: production");
+        assert_eq!(ca.children(a), cb.children(b), "{label}/{a:?}: children");
+        assert_eq!(ca.token(a), cb.token(b), "{label}/{a:?}: token");
+        assert_eq!(ca.span(a), cb.span(b), "{label}/{a:?}: span");
+        assert_eq!(ca.bbox(a), cb.bbox(b), "{label}/{a:?}: bbox");
+        assert_eq!(ca.payload(a), cb.payload(b), "{label}/{a:?}: payload");
+        assert_eq!(ca.is_valid(a), cb.is_valid(b), "{label}/{a:?}: validity");
     }
     assert_eq!(semi.trees, naive.trees, "{label}: maximal trees diverged");
     assert_eq!(
