@@ -134,8 +134,8 @@ fn main() {
                     tier_counts[2] += 1;
                     tier_miss_scenarios.push(mutated[i].0.clone());
                 }
-                Provenance::BaselineFallback => {
-                    panic!("{}: revisit degraded to the baseline", mutated[i].0)
+                Provenance::BaselineFallback | Provenance::PartialSalvage => {
+                    panic!("{}: revisit fell off the grammar path", mutated[i].0)
                 }
             }
             assert_parity(&cold_mutated_reports[i], &e, &mutated[i].0);

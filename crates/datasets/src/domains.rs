@@ -4,7 +4,7 @@
 //! table that seeds the adaptive batch driver's first-pass budgets.
 
 use crate::schema::{Field, FieldKind, Schema};
-use metaform_extractor::{BatchStats, FormExtractor};
+use metaform_extractor::{BatchStats, ErrorKind, FailureOutcome, FailureRecord, FormExtractor};
 use std::time::Duration;
 
 fn f(label: &str, control: &str, kind: FieldKind) -> Field {
@@ -359,13 +359,26 @@ impl BudgetPreset {
     /// harder.
     pub fn from_stats(stats: &BatchStats) -> BudgetPreset {
         // Degraded pages report zeroed parse counters, so only the
-        // grammar-path pages carry calibration signal.
-        let grammar_pages = stats.pages.saturating_sub(stats.degraded);
-        if stats.pages == 0 || grammar_pages == 0 || stats.created == 0 {
+        // grammar-path and salvaged pages carry calibration signal.
+        let informative = stats.pages.saturating_sub(stats.degraded);
+        if stats.pages == 0 || informative == 0 || stats.created == 0 {
             return BudgetPreset::GENERIC;
         }
-        let per_page = stats.created / grammar_pages;
-        let max_instances = per_page.saturating_mul(4).max(1_000);
+        let per_page = stats.created / informative;
+        // Salvaged pages were cut off *at* their cap, so their counters
+        // are a floor on what the pages need, not an estimate of it.
+        // When salvage dominates the informative pages, double the
+        // headroom and never fit below the GENERIC floor: a
+        // salvage-heavy domain must grow toward completion, not freeze
+        // at the degenerate-budget clamp just above the cap that
+        // starved it.
+        let salvage_heavy = stats.salvaged.saturating_mul(2) >= informative;
+        let (headroom, floor) = if salvage_heavy {
+            (8, BudgetPreset::GENERIC.max_instances)
+        } else {
+            (4, 1_000)
+        };
+        let max_instances = per_page.saturating_mul(headroom).max(floor);
         let per_page_us = u64::try_from(stats.elapsed.as_micros())
             .unwrap_or(u64::MAX)
             .saturating_mul(stats.workers.max(1) as u64)
@@ -376,6 +389,44 @@ impl BudgetPreset {
             max_instances,
             deadline: Some(deadline),
         }
+    }
+
+    /// Fits the adaptive driver's retry growth factor from a window of
+    /// [`FailureRecord`] attempt trajectories — the self-tuning
+    /// replacement for a fixed `budget_growth` multiplier.
+    ///
+    /// For each budget-limited story (`Truncated`/`Timeout` — panics
+    /// and cancellations say nothing about budgets) the fitted factor
+    /// is what *one* retry round would have needed to multiply the
+    /// first attempt's cap by to cover the page: a recovered page
+    /// needs its last (successful) attempt's `created`; a page that
+    /// was still starving when the retries ran out (salvaged or
+    /// degraded) needs one doubling past its final count. The result
+    /// is the worst case over the window, clamped to `[2, 16]` —
+    /// never below the default escalation floor, never so large that
+    /// one round jumps a poison page to an absurd budget. Integer
+    /// math throughout: the fit is deterministic for a given window.
+    pub fn growth_from_failures(records: &[FailureRecord]) -> u32 {
+        let mut growth: u64 = 2;
+        for record in records {
+            if !matches!(record.error, ErrorKind::Truncated | ErrorKind::Timeout) {
+                continue;
+            }
+            let Some(first) = record.attempt_log.first() else {
+                continue;
+            };
+            let last = record.attempt_log.last().expect("nonempty attempt log");
+            if first.max_instances == 0 || last.created == 0 {
+                continue;
+            }
+            let need = match record.outcome {
+                FailureOutcome::Recovered => last.created as u64,
+                _ => (last.created as u64).saturating_mul(2),
+            };
+            let cap = first.max_instances as u64;
+            growth = growth.max(need.div_ceil(cap));
+        }
+        growth.min(16) as u32
     }
 
     /// Applies this preset to an extractor (builder style): the
@@ -510,6 +561,134 @@ mod tests {
             20_000,
             "4x the observed mean over grammar pages, not all pages"
         );
+    }
+
+    #[test]
+    fn salvage_heavy_rollup_grows_toward_completion() {
+        // Side by side with the all-degraded clamp above: an
+        // all-*salvaged* window DOES carry signal — every page was cut
+        // off at the starved cap — so the fit must grow past it (8×
+        // headroom) and never land below the GENERIC floor. Freezing
+        // at the 1_000 degenerate clamp would re-starve the domain on
+        // every refit.
+        let starved = BatchStats {
+            pages: 40,
+            workers: 4,
+            tokens: 2_000,
+            created: 20_000, // 500 per salvaged page: a tiny, starved cap
+            truncated: 40,
+            salvaged: 40,
+            elapsed: Duration::from_millis(200),
+            ..Default::default()
+        };
+        assert_eq!(
+            BudgetPreset::from_stats(&starved).max_instances,
+            BudgetPreset::GENERIC.max_instances,
+            "tiny salvaged caps climb to the GENERIC floor, not 8x-of-tiny"
+        );
+
+        // Once the salvaged mean is large enough, 8× headroom wins
+        // over the floor — twice what the same window would fit if its
+        // pages had completed on the grammar path.
+        let rich = BatchStats {
+            pages: 40,
+            workers: 4,
+            created: 200_000, // 5_000 per salvaged page
+            truncated: 40,
+            salvaged: 40,
+            elapsed: Duration::from_millis(200),
+            ..Default::default()
+        };
+        assert_eq!(BudgetPreset::from_stats(&rich).max_instances, 40_000, "8x");
+        let clean = BatchStats {
+            salvaged: 0,
+            truncated: 0,
+            ..rich
+        };
+        assert_eq!(
+            BudgetPreset::from_stats(&clean).max_instances,
+            20_000,
+            "the same counters on the grammar path fit 4x"
+        );
+    }
+
+    #[test]
+    fn growth_fits_from_attempt_trajectories() {
+        use metaform_extractor::AttemptRecord;
+
+        fn attempt(attempt: usize, cap: usize, created: usize) -> AttemptRecord {
+            AttemptRecord {
+                attempt,
+                max_instances: cap,
+                deadline_ms: None,
+                error: Some(ErrorKind::Truncated),
+                cache: None,
+                tokens: 50,
+                created,
+                covered: None,
+                elapsed_us: 0,
+            }
+        }
+        fn record(
+            outcome: FailureOutcome,
+            error: ErrorKind,
+            attempt_log: Vec<AttemptRecord>,
+        ) -> FailureRecord {
+            FailureRecord {
+                page_index: 0,
+                error,
+                message: None,
+                attempts: attempt_log.len(),
+                outcome,
+                final_max_instances: attempt_log.last().map_or(0, |a| a.max_instances),
+                final_deadline_ms: None,
+                salvage_covered: None,
+                salvage_tokens: None,
+                attempt_log,
+            }
+        }
+
+        // No evidence: the default escalation floor.
+        assert_eq!(BudgetPreset::growth_from_failures(&[]), 2);
+
+        // A recovered page needed 5× its first cap — one round at
+        // growth 5 would have covered it.
+        let recovered = record(
+            FailureOutcome::Recovered,
+            ErrorKind::Truncated,
+            vec![attempt(0, 1_000, 1_000), attempt(1, 4_000, 5_000)],
+        );
+        assert_eq!(
+            BudgetPreset::growth_from_failures(std::slice::from_ref(&recovered)),
+            5
+        );
+
+        // A salvaged page was still starving at its final count: aim
+        // one doubling past it (4_000 × 2 / 1_000 = 8).
+        let salvaged = record(
+            FailureOutcome::Salvaged,
+            ErrorKind::Truncated,
+            vec![attempt(0, 1_000, 1_000), attempt(1, 4_000, 4_000)],
+        );
+        assert_eq!(
+            BudgetPreset::growth_from_failures(&[recovered, salvaged.clone()]),
+            8,
+            "the worst case over the window wins"
+        );
+
+        // Panics say nothing about budgets; absurd needs clamp at 16.
+        let panicked = record(
+            FailureOutcome::Degraded,
+            ErrorKind::Panicked,
+            vec![attempt(0, 1, 1_000_000)],
+        );
+        assert_eq!(BudgetPreset::growth_from_failures(&[panicked]), 2);
+        let poison = record(
+            FailureOutcome::Degraded,
+            ErrorKind::Truncated,
+            vec![attempt(0, 10, 1_000_000)],
+        );
+        assert_eq!(BudgetPreset::growth_from_failures(&[poison]), 16);
     }
 
     #[test]

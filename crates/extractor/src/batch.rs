@@ -28,9 +28,12 @@
 //! [`AdaptiveOptions::budget_growth`] each round. `Panicked` and
 //! `EmptyForm` pages are never retried (a bigger budget reproduces the
 //! same verdict) and neither are `Cancelled` ones (retrying would
-//! fight the caller). Pages still failing after the last round degrade
-//! to the proximity baseline exactly like [`FormExtractor::extract_batch`].
-//! Because the parser is deterministic, a retried page's output is
+//! fight the caller). Pages still failing after the last round settle
+//! down the degradation ladder exactly like
+//! [`FormExtractor::extract_batch`]: the maximized partial
+//! grammar-path report when it dominates the proximity baseline
+//! ([`Provenance::PartialSalvage`]), the baseline otherwise. Because
+//! the parser is deterministic, a retried page's output is
 //! byte-identical to a one-shot run at the retry's budget.
 //!
 //! **Cancellation.** An extractor built with
@@ -42,18 +45,13 @@
 //! infallible APIs).
 
 use crate::error::ExtractError;
-use crate::pipeline::{Extraction, FormExtractor, Provenance};
+use crate::pipeline::{token_coverage, Attempt, Extraction, FormExtractor, Provenance};
 use crate::telemetry::{
     duration_to_ms, AttemptRecord, CacheOutcome, ErrorKind, FailureOutcome, FailureRecord,
 };
-use metaform_parser::{CancelToken, ParseStats};
+use metaform_parser::CancelToken;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
-
-/// What one page attempt produces: the page's verdict plus the parse
-/// stats of the attempt (absent when the pipeline never reached the
-/// parser, e.g. on a panic or a pre-parse cancellation).
-type AttemptResult = (Result<Extraction, ExtractError>, Option<ParseStats>);
 
 /// Rollup of one [`FormExtractor::extract_batch_stats`] or
 /// [`FormExtractor::extract_batch_adaptive`] run.
@@ -87,9 +85,15 @@ pub struct BatchStats {
     /// Pages abandoned because the batch-level cancel token fired.
     pub cancelled: usize,
     /// Pages served by the proximity-baseline fallback instead of the
-    /// grammar pipeline (every page that still failed after retries,
-    /// on the infallible APIs).
+    /// grammar pipeline (every page that still failed after retries
+    /// *and* whose salvaged partial did not dominate the baseline, on
+    /// the infallible APIs).
     pub degraded: usize,
+    /// Pages whose final attempt was budget-limited or cancelled
+    /// mid-parse but whose maximized partial grammar-path report
+    /// dominated the proximity baseline and was served instead
+    /// ([`Provenance::PartialSalvage`]).
+    pub salvaged: usize,
     /// Retry attempts run by the adaptive driver (page-attempts, not
     /// pages: one page retried twice counts 2). Always 0 on the
     /// non-adaptive APIs.
@@ -122,7 +126,7 @@ impl BatchStats {
     /// One-line summary for experiment tables.
     pub fn summary(&self) -> String {
         format!(
-            "pages={} workers={} tokens={} instances={} invalidated={} trees={} schedules_built={} panicked={} truncated={} timed_out={} empty={} cancelled={} degraded={} retried={} recovered={} cache_hits={} cache_delta={} cache_misses={} time={:?}",
+            "pages={} workers={} tokens={} instances={} invalidated={} trees={} schedules_built={} panicked={} truncated={} timed_out={} empty={} cancelled={} degraded={} salvaged={} retried={} recovered={} cache_hits={} cache_delta={} cache_misses={} time={:?}",
             self.pages,
             self.workers,
             self.tokens,
@@ -136,6 +140,7 @@ impl BatchStats {
             self.empty,
             self.cancelled,
             self.degraded,
+            self.salvaged,
             self.retried,
             self.recovered,
             self.cache_hits,
@@ -179,7 +184,9 @@ impl Default for AdaptiveOptions {
 pub struct AdaptiveBatch {
     /// One extraction per input page, in input order. Pages that
     /// exhausted their retries (or were cancelled) carry
-    /// [`Provenance::BaselineFallback`].
+    /// [`Provenance::PartialSalvage`] when their partial report
+    /// dominated the proximity baseline,
+    /// [`Provenance::BaselineFallback`] otherwise.
     pub extractions: Vec<Extraction>,
     /// The rollup, including retry/recovery/cancellation counters.
     pub stats: BatchStats,
@@ -189,10 +196,10 @@ pub struct AdaptiveBatch {
 }
 
 /// One page's in-progress story while the adaptive driver runs:
-/// the final result slot plus the attempt trail behind it.
+/// the latest attempt (verdict, stats, salvage candidate) plus the
+/// attempt trail behind it.
 struct PageState {
-    result: Result<Extraction, ExtractError>,
-    stats: Option<ParseStats>,
+    attempt: Attempt,
     story: PageStory,
 }
 
@@ -233,24 +240,25 @@ impl FormExtractor {
         let jobs: Vec<(usize, &str)> = pages.iter().copied().enumerate().collect();
         self.run_jobs(&jobs)
             .into_iter()
-            .map(|(result, _)| result)
+            .map(|attempt| attempt.result)
             .collect()
     }
 
     /// The batch core every driver runs on: extracts each `(page_index,
-    /// html)` job in parallel, returning `(result, parse_stats)` pairs
-    /// aligned with `jobs`. The page index travels *inside* the job,
-    /// not as the slot position — retry rounds pass sparse subsets of
-    /// the original batch, and every error and stat they produce must
-    /// name the page's index in the original input, never its position
-    /// in the subset.
-    pub(crate) fn run_jobs(&self, jobs: &[(usize, &str)]) -> Vec<AttemptResult> {
+    /// html)` job in parallel, returning one [`Attempt`] per job —
+    /// verdict, per-attempt parse stats, and the salvage candidate on
+    /// budget failures — aligned with `jobs`. The page index travels
+    /// *inside* the job, not as the slot position — retry rounds pass
+    /// sparse subsets of the original batch, and every error and stat
+    /// they produce must name the page's index in the original input,
+    /// never its position in the subset.
+    pub(crate) fn run_jobs(&self, jobs: &[(usize, &str)]) -> Vec<Attempt> {
         if jobs.is_empty() {
             return Vec::new();
         }
         let workers = self.batch_workers(jobs.len());
         let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<AttemptResult>> = Vec::new();
+        let mut slots: Vec<Option<Attempt>> = Vec::new();
         slots.resize_with(jobs.len(), || None);
 
         std::thread::scope(|scope| {
@@ -290,13 +298,10 @@ impl FormExtractor {
             .zip(jobs)
             .map(|(slot, &(page_index, _))| {
                 slot.unwrap_or_else(|| {
-                    (
-                        Err(ExtractError::Panicked {
-                            page_index,
-                            message: "batch worker died outside the page boundary".to_string(),
-                        }),
-                        None,
-                    )
+                    Attempt::failed(ExtractError::Panicked {
+                        page_index,
+                        message: "batch worker died outside the page boundary".to_string(),
+                    })
                 })
             })
             .collect()
@@ -312,19 +317,20 @@ impl FormExtractor {
             return (Vec::new(), BatchStats::default());
         }
         let workers = self.batch_workers(pages.len());
-        let results = self.extract_batch_results(pages);
+        let jobs: Vec<(usize, &str)> = pages.iter().copied().enumerate().collect();
+        let attempts = self.run_jobs(&jobs);
 
         let mut stats = BatchStats {
             pages: pages.len(),
             workers,
             ..Default::default()
         };
-        let extractions: Vec<Extraction> = results
+        let extractions: Vec<Extraction> = attempts
             .into_iter()
             .zip(pages)
-            .map(|(result, page)| match result {
+            .map(|(attempt, page)| match attempt.result {
                 Ok(extraction) => extraction,
-                Err(err) => self.degrade_and_count(page, &err, &mut stats),
+                Err(err) => self.settle_failed(page, &err, attempt.partial, &mut stats),
             })
             .collect();
         self.roll_up(&extractions, &mut stats);
@@ -359,10 +365,9 @@ impl FormExtractor {
         let first = self.run_jobs(&jobs);
         let mut states: Vec<PageState> = first
             .into_iter()
-            .map(|(result, pstats)| {
+            .map(|attempt| {
                 let mut state = PageState {
-                    result,
-                    stats: pstats,
+                    attempt,
                     story: PageStory {
                         attempts: Vec::new(),
                         last_error: None,
@@ -370,7 +375,7 @@ impl FormExtractor {
                         final_budgets: self.budgets(),
                     },
                 };
-                let cache = self.attempt_cache_outcome(&state.result);
+                let cache = self.attempt_cache_outcome(&state.attempt.result);
                 state.log_attempt(0, self.budgets(), cache);
                 state
             })
@@ -388,7 +393,8 @@ impl FormExtractor {
                 .iter()
                 .enumerate()
                 .filter(|(_, s)| {
-                    s.result
+                    s.attempt
+                        .result
                         .as_ref()
                         .is_err_and(ExtractError::is_budget_limited)
                 })
@@ -401,23 +407,22 @@ impl FormExtractor {
             let retry_jobs: Vec<(usize, &str)> = pending.iter().map(|&i| (i, pages[i])).collect();
             let retried = round_extractor.run_jobs(&retry_jobs);
             stats.retried += retry_jobs.len();
-            for (&i, (result, pstats)) in pending.iter().zip(retried) {
+            for (&i, attempt) in pending.iter().zip(retried) {
                 let state = &mut states[i];
-                state.result = result;
-                state.stats = pstats;
+                state.attempt = attempt;
                 state.story.final_budgets = round_extractor.budgets();
-                let cache = round_extractor.attempt_cache_outcome(&state.result);
+                let cache = round_extractor.attempt_cache_outcome(&state.attempt.result);
                 state.log_attempt(round, round_extractor.budgets(), cache);
             }
         }
 
-        // Settle every page: degrade the still-failing ones, collect
-        // the failure stories, count recoveries.
+        // Settle every page: salvage-or-degrade the still-failing
+        // ones, collect the failure stories, count recoveries.
         let mut extractions = Vec::with_capacity(pages.len());
         let mut failures = Vec::new();
         for (i, state) in states.into_iter().enumerate() {
-            let (result, story) = state.seal();
-            match result {
+            let (attempt, story) = state.seal();
+            match attempt.result {
                 Ok(extraction) => {
                     if story.attempts.len() > 1 {
                         stats.recovered += 1;
@@ -426,13 +431,22 @@ impl FormExtractor {
                     extractions.push(extraction);
                 }
                 Err(err) => {
-                    let outcome = if matches!(err, ExtractError::Cancelled { .. }) {
+                    let settled = self.settle_failed(pages[i], &err, attempt.partial, &mut stats);
+                    let outcome = if settled.via == Provenance::PartialSalvage {
+                        FailureOutcome::Salvaged
+                    } else if matches!(err, ExtractError::Cancelled { .. }) {
                         FailureOutcome::Cancelled
                     } else {
                         FailureOutcome::Degraded
                     };
-                    extractions.push(self.degrade_and_count(pages[i], &err, &mut stats));
-                    failures.push(story.record(i, outcome));
+                    let mut record = story.record(i, outcome);
+                    if settled.via == Provenance::PartialSalvage {
+                        record.salvage_covered =
+                            Some(token_coverage(&settled.report, settled.tokens.len()));
+                        record.salvage_tokens = Some(settled.tokens.len());
+                    }
+                    extractions.push(settled);
+                    failures.push(record);
                 }
             }
         }
@@ -445,14 +459,17 @@ impl FormExtractor {
         }
     }
 
-    /// The single degradation site of the batch drivers: counts the
-    /// failure cause in `stats` and serves the page via the proximity
-    /// baseline ([`FormExtractor::degrade`], the one place
-    /// [`Provenance::BaselineFallback`] is constructed).
-    fn degrade_and_count(
+    /// The single settlement site of the batch drivers for failed
+    /// pages: counts the failure cause in `stats`, then serves the
+    /// page via [`FormExtractor::salvage_or_degrade`] — the salvaged
+    /// partial grammar-path report when it dominates the proximity
+    /// baseline, the baseline otherwise. The salvaged/degraded split
+    /// itself is counted in `roll_up` from the provenance marks.
+    fn settle_failed(
         &self,
         page: &str,
         err: &ExtractError,
+        partial: Option<Extraction>,
         stats: &mut BatchStats,
     ) -> Extraction {
         match err {
@@ -462,7 +479,7 @@ impl FormExtractor {
             ExtractError::EmptyForm { .. } => stats.empty += 1,
             ExtractError::Cancelled { .. } => stats.cancelled += 1,
         }
-        self.degrade(page)
+        self.salvage_or_degrade(page, partial)
     }
 
     /// Sums per-page counters into the batch rollup (shared by the
@@ -474,6 +491,7 @@ impl FormExtractor {
         for ex in extractions {
             match ex.via {
                 Provenance::BaselineFallback => stats.degraded += 1,
+                Provenance::PartialSalvage => stats.salvaged += 1,
                 Provenance::CacheHit => stats.cache_hits += 1,
                 Provenance::DeltaReparse => stats.cache_delta += 1,
                 Provenance::Grammar if cached => stats.cache_misses += 1,
@@ -500,7 +518,7 @@ impl FormExtractor {
                 Provenance::CacheHit => Some(CacheOutcome::Hit),
                 Provenance::DeltaReparse => Some(CacheOutcome::Delta),
                 Provenance::Grammar => Some(CacheOutcome::Miss),
-                Provenance::BaselineFallback => None,
+                Provenance::BaselineFallback | Provenance::PartialSalvage => None,
             },
             Err(_) => None,
         }
@@ -530,17 +548,17 @@ impl PageState {
         budgets: (usize, Option<Duration>),
         cache: Option<CacheOutcome>,
     ) {
-        let error = self.result.as_ref().err().map(ErrorKind::of);
+        let error = self.attempt.result.as_ref().err().map(ErrorKind::of);
         if error.is_none() && self.story.attempts.is_empty() {
             return;
         }
         if let Some(kind) = error {
             self.story.last_error = Some(kind);
         }
-        if let Err(ExtractError::Panicked { message, .. }) = &self.result {
+        if let Err(ExtractError::Panicked { message, .. }) = &self.attempt.result {
             self.story.message = Some(message.clone());
         }
-        let (tokens, created, elapsed_us) = match &self.stats {
+        let (tokens, created, elapsed_us) = match &self.attempt.stats {
             Some(s) => (
                 s.tokens,
                 s.created,
@@ -556,13 +574,14 @@ impl PageState {
             cache,
             tokens,
             created,
+            covered: self.attempt.covered(),
             elapsed_us,
         });
     }
 
-    /// Splits the final verdict from the telemetry trail.
-    fn seal(self) -> (Result<Extraction, ExtractError>, PageStory) {
-        (self.result, self.story)
+    /// Splits the final attempt from the telemetry trail.
+    fn seal(self) -> (Attempt, PageStory) {
+        (self.attempt, self.story)
     }
 }
 
@@ -579,6 +598,8 @@ impl PageStory {
             outcome,
             final_max_instances: self.final_budgets.0,
             final_deadline_ms: duration_to_ms(self.final_budgets.1),
+            salvage_covered: None,
+            salvage_tokens: None,
             attempt_log: self.attempts,
         }
     }

@@ -35,10 +35,16 @@
 //! wall-clock deadline). The fallible APIs
 //! ([`FormExtractor::try_extract`],
 //! [`FormExtractor::extract_batch_results`]) surface failures as a
-//! typed [`ExtractError`]; the infallible APIs degrade failed pages to
-//! the proximity [`baseline`] extractor and mark the provenance
-//! ([`Provenance::BaselineFallback`]), so one poison page never kills
-//! a batch and callers always get *some* capability description.
+//! typed [`ExtractError`]; the infallible APIs settle failed pages
+//! down a degradation ladder and mark the provenance: the maximized
+//! partial grammar-path report when it dominates the proximity
+//! baseline ([`Provenance::PartialSalvage`], scored by
+//! [`condition_coverage`]), the [`baseline`] extractor otherwise
+//! ([`Provenance::BaselineFallback`]). One poison page never kills a
+//! batch and callers always get *some* capability description. A
+//! deterministic [`FaultPlan`] can inject panic/stall/cancel faults at
+//! chosen page indices to exercise the whole ladder without timing
+//! races.
 //!
 //! ## Adaptive retries, cancellation, telemetry
 //!
@@ -81,7 +87,9 @@ pub use baseline::extract_baseline;
 pub use batch::{AdaptiveBatch, AdaptiveOptions, BatchStats};
 pub use cache::{CachedVisit, LruParseCache, ParseCache};
 pub use error::ExtractError;
-pub use pipeline::{Extraction, FormExtractor, Provenance};
+pub use pipeline::{
+    condition_coverage, token_coverage, Extraction, Fault, FaultPlan, FormExtractor, Provenance,
+};
 pub use resolve::{attach_missing, resolve_conflicts, DomainKnowledge};
 pub use telemetry::{
     failures_from_json, failures_to_csv, failures_to_json, stats_from_json, stats_to_json,

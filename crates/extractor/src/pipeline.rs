@@ -12,7 +12,8 @@ use metaform_grammar::{global_compiled, CompiledGrammar, Grammar, GrammarError};
 use metaform_html::parse as parse_html;
 use metaform_layout::{layout_with, LayoutOptions};
 use metaform_parser::{
-    merge, BudgetOutcome, CancelToken, ChartSnapshot, ParseSession, ParseStats, ParserOptions,
+    merge, salvage_merge, BudgetOutcome, CancelToken, ChartSnapshot, ParseSession, ParseStats,
+    ParserOptions,
 };
 use metaform_tokenizer::tokenize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -42,6 +43,179 @@ pub enum Provenance {
     /// starting cold. Byte-identical to [`Provenance::Grammar`] output
     /// by the cache-parity invariant.
     DeltaReparse,
+    /// The parse hit a budget (or was cancelled mid-flight), but the
+    /// maximized partial trees it had already built interpret the form
+    /// better than the proximity baseline would, so the partial
+    /// grammar-path report is served instead of degrading all the way.
+    /// The salvage rung of the degradation ladder: chosen iff the
+    /// partial report *dominates* the baseline under the deterministic
+    /// metric of [`token_coverage`] (tokens the report accounts for),
+    /// then [`condition_coverage`] (tokens claimed by conditions),
+    /// then tree count, then a lexicographic tie-break on the rendered
+    /// report — gated on the partial claiming at least half as many
+    /// tokens as the baseline, so a parse cut before any semantics
+    /// materialized can never displace a claiming baseline.
+    PartialSalvage,
+}
+
+/// Tokens the report accounts for — claimed by a condition or covered
+/// by a maximal grammar-path tree (the page total minus the report's
+/// `missing` list). The salvage dominance rule's primary axis: the
+/// best-effort promise is to explain as much of the page as possible,
+/// and a partial parse whose maximal trees reach tokens the proximity
+/// pairing strands is a better interpretation even when both claim
+/// the same conditions. On its own this metric would be gameable —
+/// wide structural derivations span tokens without interpreting them
+/// — which is why the dominance rule pairs it with
+/// [`condition_coverage`] as the tie-break and the eligibility gate.
+pub fn token_coverage(report: &ExtractionReport, total_tokens: usize) -> usize {
+    total_tokens.saturating_sub(report.missing.len())
+}
+
+/// Tokens claimed by at least one extracted condition — the semantic
+/// half of the salvage dominance metric. [`token_coverage`] alone
+/// would be the wrong gate: bare structural trees "cover" tokens
+/// while interpreting none of them, so claims gate eligibility and
+/// break coverage ties. Only tokens a condition actually claims
+/// measure how much of the form was *understood*.
+pub fn condition_coverage(report: &ExtractionReport) -> usize {
+    let mut claimed: Vec<metaform_core::TokenId> = report
+        .conditions
+        .iter()
+        .flat_map(|c| c.tokens.iter().copied())
+        .collect();
+    claimed.sort_unstable();
+    claimed.dedup();
+    claimed.len()
+}
+
+/// One injectable fault — what goes wrong on a chosen page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The pipeline panics inside the tokenize stage, exactly where a
+    /// real defect would (caught at the page boundary →
+    /// [`ExtractError::Panicked`]).
+    Panic,
+    /// The page behaves as if it stalled until its wall-clock deadline
+    /// passed: its parse runs under a zeroed deadline and ends at the
+    /// first budget poll with [`ExtractError::Timeout`]. Deterministic —
+    /// no sleeping, no timing race — while exercising the same code
+    /// path a genuinely slow page would.
+    Stall,
+    /// The extractor's batch-level cancel token fires just before this
+    /// page's parse starts (no-op without an attached
+    /// [`FormExtractor::cancel_token`]), giving a deterministic
+    /// mid-batch cancellation point.
+    Cancel,
+}
+
+impl Fault {
+    /// Stable spec-string name (see [`FaultPlan::parse`]).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Fault::Panic => "panic",
+            Fault::Stall => "stall",
+            Fault::Cancel => "cancel",
+        }
+    }
+}
+
+/// A deterministic, option-gated fault plan: which batch page indices
+/// fail, and how. Attached via [`FormExtractor::fault_plan`] (or
+/// `metaformd --fault-plan`), it makes the whole degradation ladder —
+/// panic isolation, retry escalation, salvage, cancellation — testable
+/// without timing races or `cfg(test)`-only paths. Production
+/// extractors simply never attach one.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    entries: Vec<(usize, Fault)>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no page faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// This plan with `fault` injected at batch page `page_index`
+    /// (builder style). A later entry for the same index replaces the
+    /// earlier one.
+    pub fn with(mut self, page_index: usize, fault: Fault) -> Self {
+        self.entries.retain(|&(i, _)| i != page_index);
+        self.entries.push((page_index, fault));
+        self.entries.sort_unstable_by_key(|&(i, _)| i);
+        self
+    }
+
+    /// A pseudo-random plan over `pages` page slots: each page faults
+    /// with probability `rate_pct`/100, the kind chosen by the same
+    /// hash. Fully determined by `seed` — two runs with the same seed
+    /// build the same plan, so seeded chaos runs are reproducible.
+    pub fn seeded(seed: u64, pages: usize, rate_pct: u32) -> Self {
+        let mut plan = FaultPlan::new();
+        for page in 0..pages {
+            let h = splitmix64(seed ^ (page as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            if (h % 100) < rate_pct as u64 {
+                let fault = match (h >> 8) % 3 {
+                    0 => Fault::Panic,
+                    1 => Fault::Stall,
+                    _ => Fault::Cancel,
+                };
+                plan = plan.with(page, fault);
+            }
+        }
+        plan
+    }
+
+    /// Parses a flag-style spec: comma-separated `kind@page` entries,
+    /// e.g. `panic@3,stall@5,cancel@7` — the format `metaformd
+    /// --fault-plan` takes.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for entry in spec.split(',').filter(|e| !e.is_empty()) {
+            let (kind, page) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("fault entry {entry:?} is not kind@page"))?;
+            let fault = match kind {
+                "panic" => Fault::Panic,
+                "stall" => Fault::Stall,
+                "cancel" => Fault::Cancel,
+                other => return Err(format!("unknown fault kind {other:?}")),
+            };
+            let page: usize = page
+                .parse()
+                .map_err(|_| format!("bad page index {page:?} in fault entry {entry:?}"))?;
+            plan = plan.with(page, fault);
+        }
+        Ok(plan)
+    }
+
+    /// The fault injected at `page_index`, if any.
+    pub fn fault_for(&self, page_index: usize) -> Option<Fault> {
+        self.entries
+            .iter()
+            .find(|&&(i, _)| i == page_index)
+            .map(|&(_, f)| f)
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The planned faults, ordered by page index.
+    pub fn entries(&self) -> &[(usize, Fault)] {
+        &self.entries
+    }
+}
+
+/// SplitMix64 — the same mixer the job store shards with; enough
+/// avalanche for reproducible fault sampling.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Result of extracting one query interface.
@@ -72,7 +246,41 @@ pub struct FormExtractor {
     workers: Option<usize>,
     fault_marker: Option<String>,
     cancel_marker: Option<String>,
+    fault_plan: Option<Arc<FaultPlan>>,
     cache: Option<Arc<dyn ParseCache>>,
+}
+
+/// What one page attempt produces: the page's verdict, the parse stats
+/// of the attempt (absent when the pipeline never reached the parser),
+/// and — when the parse was budget-limited or cancelled mid-flight —
+/// the partial grammar-path extraction it still built, carried as the
+/// salvage candidate instead of being thrown away with the error.
+pub(crate) struct Attempt {
+    pub(crate) result: Result<Extraction, ExtractError>,
+    pub(crate) stats: Option<ParseStats>,
+    pub(crate) partial: Option<Extraction>,
+}
+
+impl Attempt {
+    pub(crate) fn failed(result: ExtractError) -> Self {
+        Attempt {
+            result: Err(result),
+            stats: None,
+            partial: None,
+        }
+    }
+
+    /// Token coverage of whatever report this attempt produced — the
+    /// full extraction on success, the salvage candidate on a budget
+    /// failure, nothing when no parse ran. This is the per-attempt
+    /// coverage trajectory the control plane fits budgets from.
+    pub(crate) fn covered(&self) -> Option<usize> {
+        match (&self.result, &self.partial) {
+            (Ok(ex), _) => Some(token_coverage(&ex.report, ex.tokens.len())),
+            (Err(_), Some(partial)) => Some(token_coverage(&partial.report, partial.tokens.len())),
+            (Err(_), None) => None,
+        }
+    }
 }
 
 impl FormExtractor {
@@ -111,6 +319,7 @@ impl FormExtractor {
             workers: None,
             fault_marker: None,
             cancel_marker: None,
+            fault_plan: None,
             cache: None,
         }
     }
@@ -183,6 +392,17 @@ impl FormExtractor {
     /// production extractors simply never set it.
     pub fn inject_cancel_marker(mut self, marker: impl Into<String>) -> Self {
         self.cancel_marker = Some(marker.into());
+        self
+    }
+
+    /// Attaches a deterministic fault plan (builder style): pages at
+    /// the planned batch indices panic, stall past their deadline, or
+    /// fire the cancel token, per [`FaultPlan`]. Index-addressed where
+    /// the marker injectors are content-addressed, so chaos suites can
+    /// plan faults without editing page HTML. Production extractors
+    /// simply never attach one.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = (!plan.is_empty()).then(|| Arc::new(plan));
         self
     }
 
@@ -298,9 +518,10 @@ impl FormExtractor {
         page_index: usize,
         html: &str,
     ) -> Extraction {
-        match self.try_extract_in(session, page_index, html) {
+        let attempt = self.attempt_in(session, page_index, html);
+        match attempt.result {
             Ok(extraction) => extraction,
-            Err(_) => self.degrade(html),
+            Err(_) => self.salvage_or_degrade(html, attempt.partial),
         }
     }
 
@@ -312,7 +533,7 @@ impl FormExtractor {
         page_index: usize,
         html: &str,
     ) -> Result<Extraction, ExtractError> {
-        self.attempt_in(session, page_index, html).0
+        self.attempt_in(session, page_index, html).result
     }
 
     /// One extraction attempt: tokenizes and parses one page with
@@ -331,13 +552,20 @@ impl FormExtractor {
         session: &mut ParseSession,
         page_index: usize,
         html: &str,
-    ) -> (Result<Extraction, ExtractError>, Option<ParseStats>) {
+    ) -> Attempt {
         // A batch already cancelled skips the whole pipeline — pages
         // not yet started cost nothing.
         if self.cancel().is_some_and(CancelToken::is_cancelled) {
-            return (Err(ExtractError::Cancelled { page_index }), None);
+            return Attempt::failed(ExtractError::Cancelled { page_index });
         }
+        let fault = self
+            .fault_plan
+            .as_ref()
+            .and_then(|plan| plan.fault_for(page_index));
         let tokens = catch_unwind(AssertUnwindSafe(|| {
+            if fault == Some(Fault::Panic) {
+                panic!("injected fault: plan panics page {page_index}");
+            }
             if let Some(marker) = &self.fault_marker {
                 assert!(
                     !html.contains(marker.as_str()),
@@ -351,49 +579,121 @@ impl FormExtractor {
         let tokens = match tokens {
             Ok(tokens) => tokens,
             Err(payload) => {
-                return (
-                    Err(ExtractError::Panicked {
-                        page_index,
-                        message: panic_message(payload),
-                    }),
-                    None,
-                )
+                return Attempt::failed(ExtractError::Panicked {
+                    page_index,
+                    message: panic_message(payload),
+                })
             }
         };
         if tokens.is_empty() {
-            return (Err(ExtractError::EmptyForm { page_index }), None);
+            return Attempt::failed(ExtractError::EmptyForm { page_index });
         }
-        // Deterministic cancellation point for tests: the marker page
-        // fires the token right before its own parse, which then
-        // observes the cancellation at its first poll.
-        if let (Some(marker), Some(token)) = (&self.cancel_marker, self.cancel()) {
-            if html.contains(marker.as_str()) {
+        // Deterministic cancellation points for tests: the marker page
+        // (or planned Cancel page) fires the token right before its own
+        // parse, which then observes the cancellation at its first poll.
+        if let Some(token) = self.cancel() {
+            let marker_hit = self
+                .cancel_marker
+                .as_ref()
+                .is_some_and(|marker| html.contains(marker.as_str()));
+            if marker_hit || fault == Some(Fault::Cancel) {
                 token.cancel();
             }
         }
         let extraction = catch_unwind(AssertUnwindSafe(|| {
-            self.extract_tokens_in(session, &tokens)
+            if fault == Some(Fault::Stall) {
+                // The stalled page's parse runs under a zeroed deadline
+                // and ends at its first budget poll — the deterministic
+                // equivalent of stalling until the deadline passed.
+                let mut opts = self.parser.clone();
+                opts.deadline = Some(Duration::ZERO);
+                let mut stalled = ParseSession::with_options(self.grammar.clone(), opts);
+                self.extract_tokens_in(&mut stalled, &tokens)
+            } else {
+                self.extract_tokens_in(session, &tokens)
+            }
         }));
         let extraction = match extraction {
             Ok(extraction) => extraction,
             Err(payload) => {
-                return (
-                    Err(ExtractError::Panicked {
-                        page_index,
-                        message: panic_message(payload),
-                    }),
-                    None,
-                )
+                return Attempt::failed(ExtractError::Panicked {
+                    page_index,
+                    message: panic_message(payload),
+                })
             }
         };
         let stats = extraction.stats.clone();
-        let result = match extraction.stats.budget {
-            BudgetOutcome::Completed => Ok(extraction),
-            BudgetOutcome::TruncatedInstances => Err(ExtractError::Truncated { page_index }),
-            BudgetOutcome::DeadlineExceeded => Err(ExtractError::Timeout { page_index }),
-            BudgetOutcome::Cancelled => Err(ExtractError::Cancelled { page_index }),
+        match extraction.stats.budget {
+            BudgetOutcome::Completed => Attempt {
+                result: Ok(extraction),
+                stats: Some(stats),
+                partial: None,
+            },
+            exhausted => {
+                // The budget-limited parse still maximized whatever it
+                // built (best-effort end to end) — keep the partial as
+                // the salvage candidate alongside the typed error.
+                let error = match exhausted {
+                    BudgetOutcome::TruncatedInstances => ExtractError::Truncated { page_index },
+                    BudgetOutcome::DeadlineExceeded => ExtractError::Timeout { page_index },
+                    _ => ExtractError::Cancelled { page_index },
+                };
+                Attempt {
+                    result: Err(error),
+                    stats: Some(stats),
+                    partial: Some(extraction),
+                }
+            }
+        }
+    }
+
+    /// The settlement site of the degradation ladder's last two rungs:
+    /// serves the salvaged partial grammar-path report when it
+    /// dominates the proximity baseline, the baseline otherwise. The
+    /// dominance metric is deterministic and total — token coverage
+    /// ([`token_coverage`]), then claimed tokens
+    /// ([`condition_coverage`]), then maximal tree count, then a
+    /// lexicographic tie-break on the rendered report, gated on the
+    /// partial claiming at least half the baseline's tokens — so the
+    /// choice is identical across worker counts and batch orders. This
+    /// is the one place [`Provenance::PartialSalvage`] is constructed,
+    /// as [`FormExtractor::degrade`] is for
+    /// [`Provenance::BaselineFallback`].
+    pub(crate) fn salvage_or_degrade(&self, html: &str, partial: Option<Extraction>) -> Extraction {
+        let baseline = self.degrade(html);
+        let Some(mut partial) = partial else {
+            return baseline;
         };
-        (result, Some(stats))
+        let partial_claims = condition_coverage(&partial.report);
+        let baseline_claims = condition_coverage(&baseline.report);
+        // Eligibility gate: structural trees cover tokens without
+        // interpreting them, so a partial that claims less than half
+        // of what the baseline claims never dominates, whatever its
+        // raw coverage.
+        if partial_claims * 2 < baseline_claims {
+            return baseline;
+        }
+        let partial_key = (
+            token_coverage(&partial.report, partial.tokens.len()),
+            partial_claims,
+            partial.stats.trees,
+        );
+        let baseline_key = (
+            token_coverage(&baseline.report, baseline.tokens.len()),
+            baseline_claims,
+            baseline.stats.trees,
+        );
+        let dominates = match partial_key.cmp(&baseline_key) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => partial.report.to_string() < baseline.report.to_string(),
+        };
+        if dominates {
+            partial.via = Provenance::PartialSalvage;
+            partial
+        } else {
+            baseline
+        }
     }
 
     /// The degradation path: re-tokenizes the page (behind its own
@@ -432,7 +732,14 @@ impl FormExtractor {
             Some(visit) => session.parse_seeded(tokens, &visit.snapshot),
             None => session.parse(tokens),
         };
-        let report = merge(&result.chart, &result.trees);
+        // A budget-limited chart gets the salvage merge — the regular
+        // union over maximal trees plus the sweep that recovers
+        // conditions stranded below the truncation point. Completed
+        // parses keep the plain merge byte-for-byte.
+        let report = match result.stats.budget {
+            BudgetOutcome::Completed => merge(&result.chart, &result.trees),
+            _ => salvage_merge(&result.chart, &result.trees),
+        };
         let stats = result.stats.clone();
         if let Some(spare) = self.store_visit(tokens, fingerprint, &report, result) {
             session.recycle(spare);

@@ -22,13 +22,20 @@
 //!   "outcome": "recovered",
 //!   "final_max_instances": 4000,
 //!   "final_deadline_ms": null,
+//!   "salvage_covered": null,
+//!   "salvage_tokens": null,
 //!   "attempt_log": [{
 //!     "attempt": 0, "max_instances": 2000, "deadline_ms": null,
 //!     "error": "truncated", "tokens": 22, "created": 2000,
-//!     "elapsed_us": 713
+//!     "covered": 4, "elapsed_us": 713
 //!   }]
 //! }]
 //! ```
+//!
+//! `salvage_covered`/`salvage_tokens` are present (non-null) exactly
+//! when `outcome` is `"salvaged"`: the page was served its partial
+//! grammar-path report (`Provenance::PartialSalvage`), and the pair
+//! gives its condition-coverage ratio over the page's tokens.
 
 use crate::batch::BatchStats;
 use crate::error::ExtractError;
@@ -130,11 +137,17 @@ pub enum FailureOutcome {
     /// A retry under a larger budget succeeded; the final extraction
     /// is a full grammar-path result.
     Recovered,
+    /// Every attempt failed, but the last attempt's maximized partial
+    /// grammar-path report dominated the proximity baseline and was
+    /// served (`Provenance::PartialSalvage`). The record's
+    /// `salvage_covered`/`salvage_tokens` carry its coverage.
+    Salvaged,
     /// Every attempt failed; the page was served by the proximity
     /// baseline (`Provenance::BaselineFallback`).
     Degraded,
     /// The batch was cancelled before the page could finish; it was
-    /// served by the baseline and never retried.
+    /// served by the baseline (or its salvaged partial, when one
+    /// dominated — then the outcome is `Salvaged`) and never retried.
     Cancelled,
 }
 
@@ -143,6 +156,7 @@ impl FailureOutcome {
     pub fn as_str(self) -> &'static str {
         match self {
             FailureOutcome::Recovered => "recovered",
+            FailureOutcome::Salvaged => "salvaged",
             FailureOutcome::Degraded => "degraded",
             FailureOutcome::Cancelled => "cancelled",
         }
@@ -152,6 +166,7 @@ impl FailureOutcome {
     pub fn parse(s: &str) -> Result<Self, String> {
         Ok(match s {
             "recovered" => FailureOutcome::Recovered,
+            "salvaged" => FailureOutcome::Salvaged,
             "degraded" => FailureOutcome::Degraded,
             "cancelled" => FailureOutcome::Cancelled,
             other => return Err(format!("unknown outcome {other:?}")),
@@ -177,6 +192,12 @@ pub struct AttemptRecord {
     pub tokens: usize,
     /// Instances the parse created before it ended.
     pub created: usize,
+    /// Condition coverage of the attempt's report
+    /// ([`crate::condition_coverage`]): tokens claimed by extracted
+    /// conditions — of the full report on success, of the salvage
+    /// candidate on a budget failure. `None` when no parse ran. The
+    /// per-attempt coverage trajectory budget refitting reads.
+    pub covered: Option<usize>,
     /// Parse wall-clock time in microseconds (0 when no parse ran).
     /// The one nondeterministic field — comparisons across runs should
     /// mask it (see `FailureRecord::normalized`).
@@ -202,6 +223,14 @@ pub struct FailureRecord {
     pub final_max_instances: usize,
     /// Deadline of the last attempt, in milliseconds.
     pub final_deadline_ms: Option<u64>,
+    /// Condition coverage of the served salvage report — present
+    /// exactly when [`FailureRecord::outcome`] is
+    /// [`FailureOutcome::Salvaged`].
+    pub salvage_covered: Option<usize>,
+    /// Token count of the salvaged page (the denominator of the
+    /// salvage coverage ratio) — present exactly when the outcome is
+    /// [`FailureOutcome::Salvaged`].
+    pub salvage_tokens: Option<usize>,
     /// Per-attempt parse counters, in attempt order.
     pub attempt_log: Vec<AttemptRecord>,
 }
@@ -280,6 +309,10 @@ pub fn failures_to_json(records: &[FailureRecord]) -> String {
         );
         out.push_str("\"final_deadline_ms\": ");
         push_opt_u64(&mut out, r.final_deadline_ms);
+        out.push_str(", \"salvage_covered\": ");
+        push_opt_u64(&mut out, r.salvage_covered.map(|v| v as u64));
+        out.push_str(", \"salvage_tokens\": ");
+        push_opt_u64(&mut out, r.salvage_tokens.map(|v| v as u64));
         out.push_str(", \"attempt_log\": [");
         for (j, a) in r.attempt_log.iter().enumerate() {
             if j > 0 {
@@ -305,9 +338,12 @@ pub fn failures_to_json(records: &[FailureRecord]) -> String {
             }
             let _ = write!(
                 out,
-                ", \"tokens\": {}, \"created\": {}, \"elapsed_us\": {}}}",
-                a.tokens, a.created, a.elapsed_us
+                ", \"tokens\": {}, \"created\": {}, ",
+                a.tokens, a.created
             );
+            out.push_str("\"covered\": ");
+            push_opt_u64(&mut out, a.covered.map(|v| v as u64));
+            let _ = write!(out, ", \"elapsed_us\": {}}}", a.elapsed_us);
         }
         if !r.attempt_log.is_empty() {
             out.push_str("\n  ");
@@ -323,16 +359,18 @@ pub fn failures_to_json(records: &[FailureRecord]) -> String {
 
 /// Serializes failure records as CSV, one row per page, with the
 /// attempt log flattened to its length (the per-attempt detail lives
-/// in the JSON form).
+/// in the JSON form). The salvage coverage pair rides at the end of
+/// the row — empty on every outcome but `salvaged` — so older column
+/// positions stay put.
 pub fn failures_to_csv(records: &[FailureRecord]) -> String {
     let mut out = String::from(
-        "page_index,error,outcome,attempts,final_max_instances,final_deadline_ms,message\n",
+        "page_index,error,outcome,attempts,final_max_instances,final_deadline_ms,message,salvage_covered,salvage_tokens\n",
     );
     for r in records {
         let msg = r.message.as_deref().unwrap_or("");
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},\"{}\"",
+            "{},{},{},{},{},{},\"{}\",{},{}",
             r.page_index,
             r.error.as_str(),
             r.outcome.as_str(),
@@ -342,6 +380,8 @@ pub fn failures_to_csv(records: &[FailureRecord]) -> String {
                 .map(|v| v.to_string())
                 .unwrap_or_default(),
             msg.replace('"', "\"\"").replace(['\n', '\r'], " "),
+            r.salvage_covered.map(|v| v.to_string()).unwrap_or_default(),
+            r.salvage_tokens.map(|v| v.to_string()).unwrap_or_default(),
         );
     }
     out
@@ -354,7 +394,7 @@ pub fn failures_to_csv(records: &[FailureRecord]) -> String {
 /// is the inverse up to that sub-microsecond truncation.
 pub fn stats_to_json(stats: &BatchStats) -> String {
     let mut out = String::from("{");
-    let fields: [(&str, u64); 18] = [
+    let fields: [(&str, u64); 19] = [
         ("pages", stats.pages as u64),
         ("workers", stats.workers as u64),
         ("tokens", stats.tokens as u64),
@@ -368,6 +408,7 @@ pub fn stats_to_json(stats: &BatchStats) -> String {
         ("empty", stats.empty as u64),
         ("cancelled", stats.cancelled as u64),
         ("degraded", stats.degraded as u64),
+        ("salvaged", stats.salvaged as u64),
         ("retried", stats.retried as u64),
         ("recovered", stats.recovered as u64),
         ("cache_hits", stats.cache_hits as u64),
@@ -414,6 +455,7 @@ pub fn stats_from_json(src: &str) -> Result<BatchStats, String> {
         empty: usize_field("empty")?,
         cancelled: usize_field("cancelled")?,
         degraded: usize_field("degraded")?,
+        salvaged: usize_field("salvaged")?,
         retried: usize_field("retried")?,
         recovered: usize_field("recovered")?,
         cache_hits: usize_field("cache_hits")?,
@@ -657,6 +699,7 @@ pub fn failures_from_json(src: &str) -> Result<Vec<FailureRecord>, String> {
                             },
                             tokens: a.field("tokens")?.num()? as usize,
                             created: a.field("created")?.num()? as usize,
+                            covered: a.field("covered")?.opt_num()?.map(|v| v as usize),
                             elapsed_us: a.field("elapsed_us")?.num()?,
                         })
                     })
@@ -674,6 +717,11 @@ pub fn failures_from_json(src: &str) -> Result<Vec<FailureRecord>, String> {
                 outcome: FailureOutcome::parse(item.field("outcome")?.str()?)?,
                 final_max_instances: item.field("final_max_instances")?.num()? as usize,
                 final_deadline_ms: item.field("final_deadline_ms")?.opt_num()?,
+                salvage_covered: item
+                    .field("salvage_covered")?
+                    .opt_num()?
+                    .map(|v| v as usize),
+                salvage_tokens: item.field("salvage_tokens")?.opt_num()?.map(|v| v as usize),
                 attempt_log,
             })
         })
@@ -694,6 +742,8 @@ mod tests {
                 outcome: FailureOutcome::Recovered,
                 final_max_instances: 4000,
                 final_deadline_ms: None,
+                salvage_covered: None,
+                salvage_tokens: None,
                 attempt_log: vec![
                     AttemptRecord {
                         attempt: 0,
@@ -703,6 +753,7 @@ mod tests {
                         cache: None,
                         tokens: 22,
                         created: 2000,
+                        covered: Some(4),
                         elapsed_us: 713,
                     },
                     AttemptRecord {
@@ -713,6 +764,7 @@ mod tests {
                         cache: Some(CacheOutcome::Delta),
                         tokens: 22,
                         created: 3107,
+                        covered: Some(22),
                         elapsed_us: 1911,
                     },
                 ],
@@ -725,6 +777,8 @@ mod tests {
                 outcome: FailureOutcome::Degraded,
                 final_max_instances: 2000,
                 final_deadline_ms: Some(250),
+                salvage_covered: None,
+                salvage_tokens: None,
                 attempt_log: vec![AttemptRecord {
                     attempt: 0,
                     max_instances: 2000,
@@ -733,6 +787,7 @@ mod tests {
                     cache: None,
                     tokens: 0,
                     created: 0,
+                    covered: None,
                     elapsed_us: 0,
                 }],
             },
@@ -744,7 +799,31 @@ mod tests {
                 outcome: FailureOutcome::Cancelled,
                 final_max_instances: 2000,
                 final_deadline_ms: Some(250),
+                salvage_covered: None,
+                salvage_tokens: None,
                 attempt_log: Vec::new(),
+            },
+            FailureRecord {
+                page_index: 19,
+                error: ErrorKind::Truncated,
+                message: None,
+                attempts: 2,
+                outcome: FailureOutcome::Salvaged,
+                final_max_instances: 4000,
+                final_deadline_ms: None,
+                salvage_covered: Some(17),
+                salvage_tokens: Some(22),
+                attempt_log: vec![AttemptRecord {
+                    attempt: 1,
+                    max_instances: 4000,
+                    deadline_ms: None,
+                    error: Some(ErrorKind::Truncated),
+                    cache: None,
+                    tokens: 22,
+                    created: 4000,
+                    covered: Some(17),
+                    elapsed_us: 902,
+                }],
             },
         ]
     }
@@ -778,12 +857,16 @@ mod tests {
     fn csv_has_one_row_per_record_and_escapes() {
         let csv = failures_to_csv(&sample());
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 4, "header + 3 records");
+        assert_eq!(lines.len(), 5, "header + 4 records");
         assert!(lines[0].starts_with("page_index,error,outcome"));
+        assert!(lines[0].ends_with(",salvage_covered,salvage_tokens"));
         assert!(lines[1].starts_with("7,truncated,recovered,2,4000,,"));
+        assert!(lines[1].ends_with(",,"), "no salvage columns: {}", lines[1]);
         assert!(lines[2].contains("\"\""), "quotes doubled: {}", lines[2]);
         assert!(!lines[2].contains('\n'));
         assert!(lines[3].starts_with("12,cancelled,cancelled,1,2000,250,"));
+        assert!(lines[4].starts_with("19,truncated,salvaged,2,4000,,"));
+        assert!(lines[4].ends_with(",17,22"), "coverage pair: {}", lines[4]);
     }
 
     #[test]
@@ -800,6 +883,7 @@ mod tests {
         assert!(ErrorKind::parse("nope").is_err());
         for outcome in [
             FailureOutcome::Recovered,
+            FailureOutcome::Salvaged,
             FailureOutcome::Degraded,
             FailureOutcome::Cancelled,
         ] {
@@ -824,6 +908,7 @@ mod tests {
             empty: 4,
             cancelled: 5,
             degraded: 15,
+            salvaged: 11,
             retried: 6,
             recovered: 7,
             cache_hits: 8,

@@ -47,7 +47,7 @@ pub use display::render_tree;
 pub use engine::{parse, parse_with, FixpointMode, ParseResult, ParserOptions, PreferenceOrder};
 pub use instance::{Chart, InstId, ParentIter};
 pub use maximize::{maximize, maximize_naive};
-pub use merger::merge;
+pub use merger::{merge, salvage_merge};
 pub use revisit::ChartSnapshot;
 pub use session::ParseSession;
 pub use stats::{BudgetOutcome, ParseStats, PhaseBreakdown};

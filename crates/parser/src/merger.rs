@@ -9,7 +9,7 @@
 
 use crate::instance::{Chart, InstId};
 use metaform_core::{Condition, Conflict, ExtractionReport, TokenId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Merges maximal partial trees into an [`ExtractionReport`].
 ///
@@ -78,6 +78,55 @@ pub fn merge(chart: &Chart, trees: &[InstId]) -> ExtractionReport {
         conflicts,
         missing,
     }
+}
+
+/// Salvage-tier merge for budget-limited parses: the regular
+/// [`merge`] over the maximal trees, then a sweep over *every* valid
+/// charted instance that adds any condition claiming only
+/// still-unclaimed tokens. A truncated fix-point often charted a
+/// condition whose enclosing derivation was cut by the budget before
+/// it reached a maximal tree — the sweep recovers those grammar-path
+/// claims without disturbing anything the maximal trees already said
+/// (added conditions are token-disjoint from the claimed set, so no
+/// new conflicts arise). The sweep visits instances in the same
+/// content order as [`merge`], so the result is deterministic across
+/// chart histories. Completed parses never come through here — the
+/// happy path stays byte-identical to [`merge`].
+pub fn salvage_merge(chart: &Chart, trees: &[InstId]) -> ExtractionReport {
+    let mut report = merge(chart, trees);
+    let mut claimed: HashSet<TokenId> = report
+        .conditions
+        .iter()
+        .flat_map(|c| c.tokens.iter().copied())
+        .collect();
+    let mut extras: Vec<InstId> = chart
+        .ids()
+        .filter(|&i| chart.is_valid(i) && chart.prod(i).is_some() && !chart.span(i).is_empty())
+        .collect();
+    extras.sort_by_cached_key(|&t| {
+        let span: Vec<u32> = chart.span(t).iter().map(|tok| tok.0).collect();
+        let conds: Vec<(Vec<TokenId>, String)> = chart
+            .payload(t)
+            .conditions()
+            .iter()
+            .map(|c| (c.tokens.clone(), c.to_string()))
+            .collect();
+        (std::cmp::Reverse(span.len()), span, conds)
+    });
+    for inst in extras {
+        for cond in chart.payload(inst).conditions() {
+            if cond.tokens.is_empty() || cond.tokens.iter().any(|t| claimed.contains(t)) {
+                continue;
+            }
+            if report.conditions.iter().any(|c| c.equivalent(cond)) {
+                continue;
+            }
+            claimed.extend(cond.tokens.iter().copied());
+            report.missing.retain(|t| !cond.tokens.contains(t));
+            report.conditions.push(cond.clone());
+        }
+    }
+    report
 }
 
 #[cfg(test)]

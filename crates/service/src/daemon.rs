@@ -18,6 +18,8 @@
 //! | `{"op": "cancel", "job": N}` | `DELETE /v1/batches/N` |
 //! | `{"op": "jobs"}` | `GET /v1/jobs` |
 //! | `{"op": "metrics"}` | `GET /metrics` |
+//! | `{"op": "budgets"}` | `GET /v1/budgets` |
+//! | `{"op": "budgets", "budget_growth": 3, ...}` | `POST /v1/budgets` |
 //! | `{"op": "shutdown"}` | `POST /v1/shutdown` |
 //!
 //! Every op except `ping` is translated onto the *same*
@@ -89,6 +91,26 @@ fn dispatch(state: &ServiceState, line: &str) -> (u16, String) {
         }
         "jobs" => ("GET", "/v1/jobs".to_string(), String::new()),
         "metrics" => ("GET", "/metrics".to_string(), String::new()),
+        "budgets" => {
+            // A bare line reads the budgets; one carrying overrides
+            // posts them (the line minus `op`, like `submit`).
+            let JsonValue::Obj(fields) = value else {
+                return (400, "budgets line must be an object".to_string());
+            };
+            let rest: Vec<_> = fields
+                .into_iter()
+                .filter(|(name, _)| name != "op")
+                .collect();
+            if rest.is_empty() {
+                ("GET", "/v1/budgets".to_string(), String::new())
+            } else {
+                (
+                    "POST",
+                    "/v1/budgets".to_string(),
+                    JsonValue::Obj(rest).to_json(),
+                )
+            }
+        }
         "shutdown" => ("POST", "/v1/shutdown".to_string(), String::new()),
         other => return (400, format!("unknown op {other:?}")),
     };
@@ -277,6 +299,22 @@ mod tests {
         let (status, _) = decode(&handle_line(&state, r#"{"op": "shutdown"}"#));
         assert_eq!(status, 202);
         assert!(state.is_stopping());
+    }
+
+    #[test]
+    fn budgets_op_reads_bare_and_posts_overrides() {
+        let state = test_state();
+        let (status, body) = decode(&handle_line(&state, r#"{"op": "budgets"}"#));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"budget_growth\": 2"), "{body}");
+        let (status, body) = decode(&handle_line(
+            &state,
+            r#"{"op": "budgets", "budget_growth": 5}"#,
+        ));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"budget_growth\": 5"), "{body}");
+        let (status, _) = decode(&handle_line(&state, r#"{"op": "budgets", "typo": 1}"#));
+        assert_eq!(status, 400);
     }
 
     struct MockStream {

@@ -353,6 +353,49 @@ pub fn parse_batch_request(body: &[u8]) -> Result<BatchRequest, String> {
     })
 }
 
+/// A manual budget override: the `POST /v1/budgets` body. Every field
+/// optional — absent fields leave the control plane's value untouched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BudgetUpdate {
+    /// New per-page instance cap.
+    pub max_instances: Option<usize>,
+    /// New per-page wall-clock deadline, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// New retry budget multiplier.
+    pub budget_growth: Option<u32>,
+}
+
+/// Parses the budget-override body:
+/// `{"max_instances": 40000, "deadline_ms": 800, "budget_growth": 3}`
+/// (any subset). Unknown fields are rejected so client typos fail
+/// loudly — a silently-ignored misspelled budget would be a
+/// particularly quiet way to not recalibrate anything.
+pub fn parse_budget_update(body: &[u8]) -> Result<BudgetUpdate, String> {
+    let root = JsonValue::parse(body)?;
+    let JsonValue::Obj(fields) = &root else {
+        return Err("body must be a JSON object".to_string());
+    };
+    let mut update = BudgetUpdate::default();
+    for (name, value) in fields {
+        let num = value
+            .as_num()
+            .map_err(|_| format!("{name:?} must be a number"));
+        match name.as_str() {
+            "max_instances" => {
+                update.max_instances =
+                    Some(usize::try_from(num?).map_err(|_| "\"max_instances\" out of range")?);
+            }
+            "deadline_ms" => update.deadline_ms = Some(num?),
+            "budget_growth" => {
+                update.budget_growth =
+                    Some(u32::try_from(num?).map_err(|_| "\"budget_growth\" out of range")?);
+            }
+            other => return Err(format!("unknown field {other:?}")),
+        }
+    }
+    Ok(update)
+}
+
 /// One `pages[]` entry: a bare HTML string, or
 /// `{"html": "...", "revisit": true|false}` (the hint optional).
 fn parse_page_entry(v: &JsonValue, revisit_hints: &mut u64) -> Result<String, String> {
@@ -418,6 +461,28 @@ mod tests {
             br#"{"pages": [{"html": "<form>a</form>", "surprise": true}]}"#,
         ] {
             assert!(parse_batch_request(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_budget_updates_and_rejects_typos() {
+        let update = parse_budget_update(br#"{"max_instances": 40000, "deadline_ms": 800}"#)
+            .expect("parses");
+        assert_eq!(update.max_instances, Some(40_000));
+        assert_eq!(update.deadline_ms, Some(800));
+        assert_eq!(update.budget_growth, None);
+        assert_eq!(
+            parse_budget_update(b"{}").expect("empty override is a no-op"),
+            BudgetUpdate::default()
+        );
+        for bad in [
+            &b"[]"[..],
+            br#"{"max_instances": "many"}"#,
+            br#"{"budget_growth": true}"#,
+            br#"{"deadline": 800}"#,
+            br#"{"max_instance": 1}"#,
+        ] {
+            assert!(parse_budget_update(bad).is_err(), "{bad:?}");
         }
     }
 

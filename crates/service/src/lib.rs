@@ -19,6 +19,8 @@
 //! | `GET /v1/batches/{id}` | Phase + [`metaform_extractor::BatchStats`] |
 //! | `GET /v1/batches/{id}/results` | Per-page reports + failure records |
 //! | `DELETE /v1/batches/{id}` | Fire the job's cancel token |
+//! | `GET /v1/budgets` | The control plane's live budgets + refit state |
+//! | `POST /v1/budgets` | Manually override budgets for subsequent jobs |
 //! | `GET /healthz` | Liveness |
 //! | `GET /metrics` | Text counters |
 //! | `POST /v1/shutdown` | Graceful drain-and-exit |
@@ -52,6 +54,10 @@ pub mod server;
 pub use error::status_for;
 pub use http::{read_request, Request, RequestError, RequestReader, Response, MAX_HEAD_BYTES};
 pub use jobs::{Job, JobPhase, JobQueue, JobStore};
-pub use json::{parse_batch_request, push_json_str, BatchRequest, JsonValue};
+pub use json::{
+    parse_batch_request, parse_budget_update, push_json_str, BatchRequest, BudgetUpdate, JsonValue,
+};
 pub use metrics::{Counter, Gauge, Metrics};
-pub use server::{handle_connection, route, Server, ServerHandle, ServiceConfig, ServiceState};
+pub use server::{
+    handle_connection, route, BudgetControl, Server, ServerHandle, ServiceConfig, ServiceState,
+};

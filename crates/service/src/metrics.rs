@@ -125,6 +125,12 @@ pub struct Metrics {
     pub pages_submitted: Counter,
     /// Pages that degraded to the proximity baseline.
     pub pages_degraded: Counter,
+    /// Pages served as a salvaged partial grammar-path report
+    /// (`Provenance::PartialSalvage`).
+    pub pages_salvaged: Counter,
+    /// Automatic budget refits run by the control plane (manual
+    /// `POST /v1/budgets` overrides are not counted).
+    pub budget_refits: Counter,
     /// Pages recovered by the adaptive retry loop.
     pub pages_recovered: Counter,
     /// Pages abandoned by a cancellation.
@@ -161,7 +167,7 @@ impl Metrics {
             C(&'a Counter),
             G(&'a Gauge),
         }
-        let rows: [(&str, &str, Any); 18] = [
+        let rows: [(&str, &str, Any); 20] = [
             (
                 "metaformd_requests_total",
                 "counter",
@@ -216,6 +222,16 @@ impl Metrics {
                 "metaformd_pages_degraded_total",
                 "counter",
                 Any::C(&self.pages_degraded),
+            ),
+            (
+                "metaformd_pages_salvaged_total",
+                "counter",
+                Any::C(&self.pages_salvaged),
+            ),
+            (
+                "metaformd_budget_refits_total",
+                "counter",
+                Any::C(&self.budget_refits),
             ),
             (
                 "metaformd_pages_recovered_total",

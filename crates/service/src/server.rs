@@ -28,18 +28,20 @@
 use crate::error::status_for;
 use crate::http::{Request, RequestError, RequestReader, Response};
 use crate::jobs::{JobQueue, JobStore};
-use crate::json::{parse_batch_request, push_json_str};
+use crate::json::{parse_batch_request, parse_budget_update, push_json_str};
 use crate::metrics::Metrics;
+use metaform_datasets::BudgetPreset;
 use metaform_extractor::telemetry::ErrorKind;
 use metaform_extractor::{
-    failures_to_json, stats_to_json, AdaptiveOptions, FormExtractor, LruParseCache, Provenance,
+    failures_to_json, stats_to_json, AdaptiveOptions, BatchStats, FailureRecord, FaultPlan,
+    FormExtractor, LruParseCache, Provenance,
 };
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -86,6 +88,16 @@ pub struct ServiceConfig {
     /// fires the job's cancel token mid-parse (mirrors
     /// `FormExtractor::inject_cancel_marker`).
     pub cancel_marker: Option<String>,
+    /// Automatic budget recalibration cadence: after every N completed
+    /// jobs the control plane refits the live budgets from the
+    /// accumulated rollups and failure records (see [`BudgetControl`]).
+    /// `None` disables the automatic refit; `/v1/budgets` POST still
+    /// works.
+    pub refit_every: Option<usize>,
+    /// Deterministic fault plan applied to every job's batch (page
+    /// indices are within each job). For chaos and soak testing —
+    /// production deployments leave it `None`.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -105,7 +117,116 @@ impl Default for ServiceConfig {
             uds_path: None,
             panic_marker: None,
             cancel_marker: None,
+            refit_every: None,
+            fault_plan: None,
         }
+    }
+}
+
+/// The self-tuning budget control plane: the live per-page budgets
+/// every job runs under, plus the evidence — rollups and failure
+/// records — accumulated since the last refit. A refit (automatic
+/// every [`ServiceConfig::refit_every`] jobs, or manual via
+/// `POST /v1/budgets`) replaces the budgets with
+/// [`BudgetPreset::from_stats`] over the accumulated rollup and the
+/// retry growth factor with
+/// [`BudgetPreset::growth_from_failures`] over the accumulated
+/// records, then resets the evidence. See DESIGN.md "Degradation
+/// ladder" for the loop's state machine.
+#[derive(Debug)]
+pub struct BudgetControl {
+    /// Per-page instance cap jobs run under (`None` = the extractor's
+    /// default).
+    pub max_instances: Option<usize>,
+    /// Per-page wall-clock deadline jobs run under, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Retry budget multiplier jobs run under.
+    pub growth: u32,
+    /// Rollup accumulated since the last refit.
+    acc: BatchStats,
+    /// Failure records accumulated since the last refit, oldest
+    /// dropped past [`BudgetControl::MAX_RECENT_FAILURES`].
+    recent_failures: Vec<FailureRecord>,
+    /// Jobs folded in since the last refit.
+    jobs_since_refit: usize,
+}
+
+impl BudgetControl {
+    /// Evidence window for growth fitting: records beyond this drop
+    /// oldest-first, so a long soak fits from recent behaviour.
+    const MAX_RECENT_FAILURES: usize = 256;
+
+    fn from_config(config: &ServiceConfig) -> BudgetControl {
+        BudgetControl {
+            max_instances: config.max_instances,
+            deadline_ms: config
+                .page_deadline
+                .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+            growth: config.budget_growth,
+            acc: BatchStats::default(),
+            recent_failures: Vec::new(),
+            jobs_since_refit: 0,
+        }
+    }
+
+    /// Folds one finished job's outcome into the evidence.
+    fn absorb(&mut self, stats: &BatchStats, failures: &[FailureRecord]) {
+        self.acc.pages += stats.pages;
+        self.acc.workers = self.acc.workers.max(stats.workers);
+        self.acc.tokens += stats.tokens;
+        self.acc.created += stats.created;
+        self.acc.truncated += stats.truncated;
+        self.acc.timed_out += stats.timed_out;
+        self.acc.degraded += stats.degraded;
+        self.acc.salvaged += stats.salvaged;
+        self.acc.recovered += stats.recovered;
+        self.acc.elapsed += stats.elapsed;
+        for record in failures {
+            if self.recent_failures.len() >= Self::MAX_RECENT_FAILURES {
+                self.recent_failures.remove(0);
+            }
+            self.recent_failures.push(record.clone());
+        }
+        self.jobs_since_refit += 1;
+    }
+
+    /// Refits the live budgets from the accumulated evidence and
+    /// resets it. A window with no pages carries no signal and leaves
+    /// the budgets untouched (still resets the job counter, so an idle
+    /// window does not pin the next refit).
+    fn refit(&mut self) -> bool {
+        let fitted = self.acc.pages > 0;
+        if fitted {
+            let preset = BudgetPreset::from_stats(&self.acc);
+            self.max_instances = Some(preset.max_instances);
+            self.deadline_ms = preset
+                .deadline
+                .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+            self.growth = BudgetPreset::growth_from_failures(&self.recent_failures);
+        }
+        self.acc = BatchStats::default();
+        self.recent_failures.clear();
+        self.jobs_since_refit = 0;
+        fitted
+    }
+
+    /// The `GET /v1/budgets` document body (also answers POST).
+    fn render(&self, refits: u64) -> String {
+        let mut out = String::from("{\"max_instances\": ");
+        match self.max_instances {
+            Some(cap) => out.push_str(&cap.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"deadline_ms\": ");
+        match self.deadline_ms {
+            Some(ms) => out.push_str(&ms.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(
+            ", \"budget_growth\": {}, \"jobs_since_refit\": {}, \"pages_observed\": {}, \"refits\": {refits}}}",
+            self.growth, self.jobs_since_refit, self.acc.pages
+        ));
+        out
     }
 }
 
@@ -123,6 +244,10 @@ pub struct ServiceState {
     pub metrics: Metrics,
     /// Configuration the state was built from.
     pub config: ServiceConfig,
+    /// The live budget control plane (see [`BudgetControl`]). Locked
+    /// briefly at job start (read budgets) and job end (absorb
+    /// evidence, maybe refit) — never across a parse.
+    pub budgets: Mutex<BudgetControl>,
     stopping: AtomicBool,
 }
 
@@ -149,12 +274,17 @@ impl ServiceState {
         if let Some(marker) = &config.cancel_marker {
             extractor = extractor.inject_cancel_marker(marker.clone());
         }
+        if let Some(plan) = &config.fault_plan {
+            extractor = extractor.fault_plan(plan.clone());
+        }
+        let budgets = Mutex::new(BudgetControl::from_config(&config));
         ServiceState {
             extractor,
             store: JobStore::with_shards(config.shards),
             queue: JobQueue::with_shards(config.queue_capacity, config.shards),
             metrics: Metrics::default(),
             config,
+            budgets,
             stopping: AtomicBool::new(false),
         }
     }
@@ -181,19 +311,44 @@ impl ServiceState {
         }
     }
 
-    /// Runs one claimed job to completion and records the result.
+    /// Runs one claimed job to completion and records the result. The
+    /// job runs under the control plane's *current* budgets (not the
+    /// boot configuration), and its outcome feeds the next refit.
     pub fn run_job(&self, id: u64) {
         let Some((pages, max_retries, token)) = self.store.claim(id) else {
             return;
         };
-        let extractor = self.extractor.clone().cancel_token(token);
+        let (cap, deadline_ms, growth) = {
+            let control = self.budgets.lock().expect("budget lock");
+            (control.max_instances, control.deadline_ms, control.growth)
+        };
+        let mut extractor = self.extractor.clone().cancel_token(token);
+        if let Some(cap) = cap {
+            extractor = extractor.max_instances(cap);
+        }
+        if let Some(ms) = deadline_ms {
+            extractor = extractor.page_deadline(Duration::from_millis(ms));
+        }
         let refs: Vec<&str> = pages.iter().map(String::as_str).collect();
         let opts = AdaptiveOptions {
             max_retries: max_retries.unwrap_or(self.config.max_retries),
-            budget_growth: self.config.budget_growth,
+            budget_growth: growth,
         };
         let batch = extractor.extract_batch_adaptive(&refs, &opts);
+        {
+            let mut control = self.budgets.lock().expect("budget lock");
+            control.absorb(&batch.stats, &batch.failures);
+            if self
+                .config
+                .refit_every
+                .is_some_and(|every| control.jobs_since_refit >= every.max(1))
+                && control.refit()
+            {
+                self.metrics.budget_refits.bump();
+            }
+        }
         self.metrics.pages_degraded.add(batch.stats.degraded as u64);
+        self.metrics.pages_salvaged.add(batch.stats.salvaged as u64);
         self.metrics
             .pages_recovered
             .add(batch.stats.recovered as u64);
@@ -281,6 +436,11 @@ pub fn route(state: &ServiceState, request: &Request) -> Response {
             "GET" => job_list(state),
             _ => method_not_allowed("GET"),
         },
+        "/v1/budgets" => match method {
+            "GET" => budgets_get(state),
+            "POST" => budgets_post(state, request),
+            _ => method_not_allowed("GET, POST"),
+        },
         "/v1/shutdown" => match method {
             "POST" => {
                 state.begin_shutdown();
@@ -327,6 +487,42 @@ fn submit(state: &ServiceState, request: &Request) -> Response {
         202,
         format!("{{\"job\": {id}, \"state\": \"queued\", \"pages\": {pages}}}"),
     )
+}
+
+/// `GET /v1/budgets`: the control plane's live budgets and the refit
+/// loop's position (jobs and pages absorbed since the last refit,
+/// total refits).
+fn budgets_get(state: &ServiceState) -> Response {
+    let body = state
+        .budgets
+        .lock()
+        .expect("budget lock")
+        .render(state.metrics.budget_refits.value());
+    Response::json(200, body)
+}
+
+/// `POST /v1/budgets`: manual recalibration — overrides any subset of
+/// `max_instances` / `deadline_ms` / `budget_growth` for subsequent
+/// jobs and answers the resulting document. Unknown fields are 400,
+/// like every other body this service parses. Manual overrides do not
+/// count as refits (the `budget_refits` counter tracks the automatic
+/// loop only).
+fn budgets_post(state: &ServiceState, request: &Request) -> Response {
+    let update = match parse_budget_update(&request.body) {
+        Ok(update) => update,
+        Err(why) => return Response::json(400, error_body(&why)),
+    };
+    let mut control = state.budgets.lock().expect("budget lock");
+    if let Some(cap) = update.max_instances {
+        control.max_instances = Some(cap);
+    }
+    if let Some(ms) = update.deadline_ms {
+        control.deadline_ms = Some(ms);
+    }
+    if let Some(growth) = update.budget_growth {
+        control.growth = growth;
+    }
+    Response::json(200, control.render(state.metrics.budget_refits.value()))
 }
 
 /// `GET /v1/jobs`: every known job — id, phase, page count — sorted by
@@ -425,6 +621,11 @@ fn job_results(state: &ServiceState, id: u64) -> Response {
             .filter(|f| f.outcome != metaform_extractor::FailureOutcome::Recovered)
             .map(|f| (f.page_index, f.error))
             .collect();
+        let salvage_by_page: HashMap<usize, (usize, usize)> = batch
+            .failures
+            .iter()
+            .filter_map(|f| Some((f.page_index, (f.salvage_covered?, f.salvage_tokens?))))
+            .collect();
         let mut out = format!(
             "{{\"job\": {id}, \"state\": \"{}\", \"stats\": {}, \"reports\": [",
             job.phase.as_str(),
@@ -436,14 +637,25 @@ fn job_results(state: &ServiceState, id: u64) -> Response {
             }
             let via = match extraction.via {
                 Provenance::Grammar => "grammar",
+                Provenance::PartialSalvage => "salvage",
                 Provenance::BaselineFallback => "baseline",
                 Provenance::CacheHit => "cache_hit",
                 Provenance::DeltaReparse => "delta_reparse",
             };
-            let http_status = status_by_page.get(&index).map_or(200, |&kind| status_for(kind));
+            let http_status = status_by_page
+                .get(&index)
+                .map_or(200, |&kind| status_for(kind));
             out.push_str(&format!(
-                "{{\"page_index\": {index}, \"via\": \"{via}\", \"http_status\": {http_status}, \"report\": "
+                "{{\"page_index\": {index}, \"via\": \"{via}\", \"http_status\": {http_status}, "
             ));
+            // Salvaged pages carry their coverage ratio: conditions'
+            // claimed tokens over the page's token count.
+            if let Some(&(covered, tokens)) = salvage_by_page.get(&index) {
+                out.push_str(&format!(
+                    "\"salvage_covered\": {covered}, \"salvage_tokens\": {tokens}, "
+                ));
+            }
+            out.push_str("\"report\": ");
             push_json_str(&mut out, &extraction.report.to_string());
             out.push('}');
         }
@@ -854,6 +1066,65 @@ mod tests {
         assert_eq!(status, 200, "cancelled jobs keep queryable results");
         assert!(body.contains("\"via\": \"baseline\""), "{body}");
         assert!(body.contains("\"http_status\": 499"), "{body}");
+    }
+
+    #[test]
+    fn budgets_endpoint_reads_and_overrides_the_control_plane() {
+        let state = test_state();
+        let (status, body) = send(&state, b"GET /v1/budgets HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"budget_growth\": 2"), "{body}");
+        assert!(body.contains("\"refits\": 0"), "{body}");
+
+        let post = |json: &str| {
+            format!(
+                "POST /v1/budgets HTTP/1.1\r\nContent-Length: {}\r\n\r\n{json}",
+                json.len()
+            )
+            .into_bytes()
+        };
+        let (status, body) = send(
+            &state,
+            &post(r#"{"max_instances": 12345, "budget_growth": 3}"#),
+        );
+        assert_eq!(status, 200);
+        assert!(body.contains("\"max_instances\": 12345"), "{body}");
+        assert!(body.contains("\"budget_growth\": 3"), "{body}");
+        let (status, body) = send(&state, &post(r#"{"max_retries": 1}"#));
+        assert_eq!(status, 400, "unknown fields fail loudly: {body}");
+
+        // The override sticks and governs subsequent jobs.
+        let (_, body) = send(&state, b"GET /v1/budgets HTTP/1.1\r\n\r\n");
+        assert!(body.contains("\"max_instances\": 12345"), "{body}");
+        assert_eq!(state.budgets.lock().unwrap().growth, 3);
+        assert_eq!(
+            state.metrics.budget_refits.value(),
+            0,
+            "manual overrides are not refits"
+        );
+        let (status, _) = send(&state, b"DELETE /v1/budgets HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn completed_jobs_feed_the_automatic_refit_loop() {
+        let state = ServiceState::new(ServiceConfig {
+            batch_workers: Some(1),
+            refit_every: Some(1),
+            ..ServiceConfig::default()
+        });
+        let page = r#"["<form>Author <input type=text name=q><input type=submit value=S></form>"]"#;
+        assert_eq!(send(&state, &post_batch(page)).0, 202);
+        let id = state.queue.pop(0).expect("queued");
+        state.run_job(id);
+        assert_eq!(state.metrics.budget_refits.value(), 1);
+        let (_, body) = send(&state, b"GET /v1/budgets HTTP/1.1\r\n\r\n");
+        assert!(body.contains("\"refits\": 1"), "{body}");
+        assert!(body.contains("\"jobs_since_refit\": 0"), "{body}");
+        assert!(
+            state.budgets.lock().expect("lock").max_instances.is_some(),
+            "the fit replaced the boot budgets with observed ones"
+        );
     }
 
     #[test]

@@ -41,9 +41,14 @@ fn error_kind() -> impl Strategy<Value = ErrorKind> {
 fn outcome() -> impl Strategy<Value = FailureOutcome> {
     prop_oneof![
         Just(FailureOutcome::Recovered),
+        Just(FailureOutcome::Salvaged),
         Just(FailureOutcome::Degraded),
         Just(FailureOutcome::Cancelled),
     ]
+}
+
+fn opt_usize() -> impl Strategy<Value = Option<usize>> {
+    prop_oneof![Just(None), (0usize..10_000).prop_map(Some)]
 }
 
 fn opt_u64() -> impl Strategy<Value = Option<u64>> {
@@ -68,10 +73,21 @@ fn attempt() -> impl Strategy<Value = AttemptRecord> {
         cache_outcome(),
         0usize..10_000,
         0usize..1_000_000,
+        opt_usize(),
         0u64..10_000_000,
     )
         .prop_map(
-            |(attempt, max_instances, deadline_ms, error, cache, tokens, created, elapsed_us)| {
+            |(
+                attempt,
+                max_instances,
+                deadline_ms,
+                error,
+                cache,
+                tokens,
+                created,
+                covered,
+                elapsed_us,
+            )| {
                 AttemptRecord {
                     attempt,
                     max_instances,
@@ -80,6 +96,7 @@ fn attempt() -> impl Strategy<Value = AttemptRecord> {
                     cache,
                     tokens,
                     created,
+                    covered,
                     elapsed_us,
                 }
             },
@@ -97,6 +114,8 @@ fn failure_record() -> impl Strategy<Value = FailureRecord> {
         outcome(),
         0usize..1_000_000,
         opt_u64(),
+        opt_usize(),
+        opt_usize(),
         vec(attempt(), 0..4),
     )
         .prop_map(
@@ -108,6 +127,8 @@ fn failure_record() -> impl Strategy<Value = FailureRecord> {
                 outcome,
                 final_max_instances,
                 final_deadline_ms,
+                salvage_covered,
+                salvage_tokens,
                 attempt_log,
             )| FailureRecord {
                 page_index,
@@ -117,6 +138,8 @@ fn failure_record() -> impl Strategy<Value = FailureRecord> {
                 outcome,
                 final_max_instances,
                 final_deadline_ms,
+                salvage_covered,
+                salvage_tokens,
                 attempt_log,
             },
         )
@@ -134,7 +157,7 @@ proptest! {
     }
 
     #[test]
-    fn batch_stats_round_trip_through_json(fields in vec(0u64..5_000_000, 19)) {
+    fn batch_stats_round_trip_through_json(fields in vec(0u64..5_000_000, 20)) {
         let stats = BatchStats {
             pages: fields[0] as usize,
             workers: fields[1] as usize,
@@ -149,12 +172,13 @@ proptest! {
             empty: fields[10] as usize,
             cancelled: fields[11] as usize,
             degraded: fields[12] as usize,
-            retried: fields[13] as usize,
-            recovered: fields[14] as usize,
-            cache_hits: fields[15] as usize,
-            cache_delta: fields[16] as usize,
-            cache_misses: fields[17] as usize,
-            elapsed: Duration::from_micros(fields[18]),
+            salvaged: fields[13] as usize,
+            retried: fields[14] as usize,
+            recovered: fields[15] as usize,
+            cache_hits: fields[16] as usize,
+            cache_delta: fields[17] as usize,
+            cache_misses: fields[18] as usize,
+            elapsed: Duration::from_micros(fields[19]),
         };
         let json = stats_to_json(&stats);
         let back = stats_from_json(&json);

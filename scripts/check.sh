@@ -32,6 +32,19 @@ grep -q '"error": "empty_form"' "$tmp/failures.json"
 grep -q '"outcome": "degraded"' "$tmp/failures.json"
 grep -q '^1,empty_form,degraded,' "$tmp/failures.csv"
 
+echo "==> cargo test -q --test salvage (partial-parse salvage tier, E17 pin)"
+cargo test -q --test salvage
+
+echo "==> cargo test -q --test fault_plan (fault injection: batch + service counter parity, refit convergence)"
+cargo test -q --test fault_plan
+
+echo "==> provenance construction gate (salvage/fallback each built in exactly one place)"
+# salvage_or_degrade is the only site allowed to promote a partial parse,
+# and degrade the only site allowed to mint the baseline fallback — the
+# salvage tests rely on that to reason about every degraded page.
+test "$(grep -c 'via = Provenance::PartialSalvage' crates/extractor/src/pipeline.rs)" = 1
+test "$(grep -c 'via: Provenance::BaselineFallback' crates/extractor/src/pipeline.rs)" = 1
+
 echo "==> cargo test -q --test cache_parity (revisit tiers vs cold parse)"
 cargo test -q --test cache_parity
 

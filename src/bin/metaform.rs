@@ -277,6 +277,9 @@ fn main() -> ExitCode {
             }
             println!();
         }
+        if extraction.via == Provenance::PartialSalvage {
+            println!("(via salvaged partial parse, page {page_index})");
+        }
         if extraction.via == Provenance::BaselineFallback {
             println!("(via proximity-baseline fallback, page {page_index})");
         }
@@ -330,6 +333,9 @@ fn run_adaptive(extractor: &FormExtractor, opts: &Options) -> ExitCode {
     for (page_index, (path, extraction)) in opts.inputs.iter().zip(&batch.extractions).enumerate() {
         if many {
             println!("== {path} ==");
+        }
+        if extraction.via == Provenance::PartialSalvage {
+            println!("(via salvaged partial parse, page {page_index})");
         }
         if extraction.via == Provenance::BaselineFallback {
             println!("(via proximity-baseline fallback, page {page_index})");

@@ -13,6 +13,8 @@
 //! metaformd --shards <n>             job store/queue shards (default 8)
 //! metaformd --read-timeout-ms <n>    socket read timeout (default 10000)
 //! metaformd --uds <path>             also serve line-JSON on a Unix socket
+//! metaformd --refit-every <n>        auto-refit budgets every n jobs
+//! metaformd --fault-plan <spec>      inject faults, e.g. panic@3,stall@5
 //! ```
 //!
 //! Compiles the grammar once at startup, prints the bound address
@@ -20,6 +22,7 @@
 //! `POST /v1/shutdown`. See README.md § "Running as a service" for the
 //! endpoint protocol and curl examples.
 
+use metaform_extractor::FaultPlan;
 use metaform_service::{Server, ServiceConfig};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -29,7 +32,8 @@ fn usage() -> ExitCode {
         "usage: metaformd [--addr <host:port>] [--pool-workers <n>] [--batch-workers <n>]\n\
          \x20                [--queue-capacity <n>] [--max-retries <n>] [--max-instances <n>]\n\
          \x20                [--page-deadline-ms <n>] [--max-body-bytes <n>] [--shards <n>]\n\
-         \x20                [--read-timeout-ms <n>] [--uds <path>]"
+         \x20                [--read-timeout-ms <n>] [--uds <path>] [--refit-every <n>]\n\
+         \x20                [--fault-plan <kind@page,...>]"
     );
     ExitCode::from(2)
 }
@@ -115,6 +119,26 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 config.uds_path = Some(path);
+            }
+            "--refit-every" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--refit-every needs a number of jobs");
+                    return usage();
+                };
+                config.refit_every = Some(n.max(1));
+            }
+            "--fault-plan" => {
+                let Some(spec) = args.next() else {
+                    eprintln!("--fault-plan needs a spec like panic@3,stall@5,cancel@7");
+                    return usage();
+                };
+                match FaultPlan::parse(&spec) {
+                    Ok(plan) => config.fault_plan = Some(plan),
+                    Err(why) => {
+                        eprintln!("bad --fault-plan: {why}");
+                        return usage();
+                    }
+                }
             }
             "--help" | "-h" => {
                 let _ = usage();

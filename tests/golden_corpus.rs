@@ -21,20 +21,43 @@ fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/survey_reports.txt")
 }
 
+fn starved_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/survey_starved_reports.txt")
+}
+
+/// The instance cap the starved fixture runs under — tight enough to
+/// truncate most survey pages, so the fixture pins which rung of the
+/// degradation ladder (grammar / salvage / baseline) serves each page
+/// and what the salvaged partial reports look like.
+const STARVED_CAP: usize = 40;
+
 /// Renders the whole corpus the way the golden file stores it: one
 /// `== name ==` header per page, the report's `Display` output, the
 /// provenance when degraded, and a blank separator line.
 fn render_corpus() -> String {
+    render_with(FormExtractor::new())
+}
+
+/// The same corpus under the starved instance cap: most pages
+/// truncate, and the fixture pins whether the salvage tier or the
+/// baseline serves each one.
+fn render_starved_corpus() -> String {
+    render_with(FormExtractor::new().max_instances(STARVED_CAP))
+}
+
+fn render_with(extractor: FormExtractor) -> String {
     let corpus = survey_corpus();
     let pages: Vec<&str> = corpus.iter().map(|(_, html)| html.as_str()).collect();
-    let extractions = FormExtractor::new().extract_batch(&pages);
+    let extractions = extractor.extract_batch(&pages);
     let mut out = String::new();
     for ((name, _), extraction) in corpus.iter().zip(&extractions) {
         out.push_str("== ");
         out.push_str(name);
         out.push_str(" ==\n");
-        if extraction.via == Provenance::BaselineFallback {
-            out.push_str("(via proximity-baseline fallback)\n");
+        match extraction.via {
+            Provenance::BaselineFallback => out.push_str("(via proximity-baseline fallback)\n"),
+            Provenance::PartialSalvage => out.push_str("(via salvaged partial parse)\n"),
+            _ => {}
         }
         out.push_str(&extraction.report.to_string());
         out.push('\n');
@@ -42,17 +65,17 @@ fn render_corpus() -> String {
     out
 }
 
-#[test]
-fn survey_corpus_reports_match_the_golden_file() {
-    let rendered = render_corpus();
-    let path = golden_path();
+/// The shared bless-or-compare core: regenerates `path` under
+/// `METAFORM_BLESS=1`, otherwise compares and panics with a focused
+/// diff on drift.
+fn check_golden(rendered: &str, path: &PathBuf) {
     if std::env::var_os("METAFORM_BLESS").is_some() {
         std::fs::create_dir_all(path.parent().expect("has a parent")).expect("mkdir");
-        std::fs::write(&path, &rendered).expect("write golden file");
+        std::fs::write(path, rendered).expect("write golden file");
         println!("blessed {} ({} bytes)", path.display(), rendered.len());
         return;
     }
-    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+    let golden = std::fs::read_to_string(path).unwrap_or_else(|e| {
         panic!(
             "cannot read {}: {e}\n\
              (first run? bless it: METAFORM_BLESS=1 cargo test --test golden_corpus)",
@@ -60,8 +83,18 @@ fn survey_corpus_reports_match_the_golden_file() {
         )
     });
     if rendered != golden {
-        panic!("{}", divergence_report(&golden, &rendered));
+        panic!("{}", divergence_report(&golden, rendered));
     }
+}
+
+#[test]
+fn survey_corpus_reports_match_the_golden_file() {
+    check_golden(&render_corpus(), &golden_path());
+}
+
+#[test]
+fn budget_starved_corpus_matches_its_golden_file() {
+    check_golden(&render_starved_corpus(), &starved_golden_path());
 }
 
 /// A focused mismatch report: the one-line regen hint, then a unified
@@ -84,7 +117,7 @@ fn divergence_report(golden: &str, rendered: &str) -> String {
          to accept the change: METAFORM_BLESS=1 cargo test --test golden_corpus\n",
     );
     out.push_str(&format!(
-        "--- golden   tests/golden/survey_reports.txt\n\
+        "--- golden   (blessed file)\n\
          +++ rendered (current engine output)\n\
          @@ -{},{} +{},{} @@ first divergence at line {}\n",
         start + 1,

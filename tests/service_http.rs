@@ -138,6 +138,7 @@ fn assert_differential(results_body: &str, expected: &AdaptiveBatch) {
         );
         let want_via = match extraction.via {
             Provenance::Grammar => "grammar",
+            Provenance::PartialSalvage => "salvage",
             Provenance::BaselineFallback => "baseline",
             Provenance::CacheHit => "cache_hit",
             Provenance::DeltaReparse => "delta_reparse",
