@@ -644,6 +644,8 @@ mod tests {
                 final_deadline_ms: None,
                 salvage_covered: None,
                 salvage_tokens: None,
+                partial_roots: Vec::new(),
+                arrangements: Vec::new(),
                 attempt_log,
             }
         }

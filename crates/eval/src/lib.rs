@@ -12,6 +12,7 @@
 
 pub mod ablation;
 pub mod distribution;
+pub mod induction;
 pub mod metrics;
 pub mod table;
 pub mod timing;
@@ -19,6 +20,10 @@ pub mod vocabulary;
 
 pub use ablation::{extractor_for, filter_grammar, global_grammar_top_k, ParserMode};
 pub use distribution::{cumulative, precision_distribution, recall_distribution, THRESHOLDS};
+pub use induction::{
+    frozen_corpus, refit_grammar, run_induction, AcceptedCandidate, InductionConfig, InductionGate,
+    InductionOutcome, RejectReason, RoundOutcome,
+};
 pub use metrics::{
     match_count, score_dataset, score_dataset_baseline, score_extraction, score_source,
     score_source_baseline, DatasetScore, SourceScore,

@@ -445,6 +445,18 @@ impl FormExtractor {
                             Some(token_coverage(&settled.report, settled.tokens.len()));
                         record.salvage_tokens = Some(settled.tokens.len());
                     }
+                    // Induction evidence: how far the partial parse got
+                    // and which token arrangements it left unexplained.
+                    record.partial_roots = settled.partial_roots.clone();
+                    record.arrangements = metaform_grammar::mine_page(
+                        &settled.tokens,
+                        &settled.report.missing,
+                        &settled.pattern_spans,
+                        &self.grammar().proximity,
+                    )
+                    .into_iter()
+                    .map(|a| a.signature)
+                    .collect();
                     extractions.push(settled);
                     failures.push(record);
                 }
@@ -600,6 +612,8 @@ impl PageStory {
             final_deadline_ms: duration_to_ms(self.final_budgets.1),
             salvage_covered: None,
             salvage_tokens: None,
+            partial_roots: Vec::new(),
+            arrangements: Vec::new(),
             attempt_log: self.attempts,
         }
     }

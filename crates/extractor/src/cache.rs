@@ -46,6 +46,12 @@ pub struct CachedVisit {
     /// The compiled grammar the visit parsed under. Consumers must
     /// ignore visits from a different artifact (`Arc::ptr_eq`).
     pub grammar: Arc<CompiledGrammar>,
+    /// Which pattern claimed which tokens in the visit's maximal
+    /// trees — replayed on exact hits so cached pages feed the
+    /// induction loop's mining evidence like cold ones.
+    pub pattern_spans: Vec<metaform_grammar::PatternSpan>,
+    /// The maximal trees' root symbols, replayed alongside.
+    pub partial_roots: Vec<String>,
 }
 
 /// A shareable store of finished visits, keyed by token fingerprint.
@@ -282,6 +288,8 @@ mod tests {
             report: metaform_parser::merge(&result.chart, &result.trees),
             snapshot,
             grammar,
+            pattern_spans: Vec::new(),
+            partial_roots: Vec::new(),
         })
     }
 

@@ -8,7 +8,7 @@
 use crate::cache::{CachedVisit, ParseCache};
 use crate::error::{panic_message, ExtractError};
 use metaform_core::{ExtractionReport, Token, TokenFingerprint};
-use metaform_grammar::{global_compiled, CompiledGrammar, Grammar, GrammarError};
+use metaform_grammar::{global_compiled, CompiledGrammar, Grammar, GrammarError, PatternSpan};
 use metaform_html::parse as parse_html;
 use metaform_layout::{layout_with, LayoutOptions};
 use metaform_parser::{
@@ -229,6 +229,14 @@ pub struct Extraction {
     pub tokens: Vec<Token>,
     /// Which extractor produced [`Extraction::report`].
     pub via: Provenance,
+    /// Which grammar pattern claimed which tokens, one entry per
+    /// pattern-level instance in the maximal trees — the induction
+    /// loop's mining evidence ([`metaform_parser::pattern_spans`]).
+    /// Empty on the baseline path, where no grammar ran.
+    pub pattern_spans: Vec<PatternSpan>,
+    /// The maximal partial trees' root symbols — the coarse
+    /// how-far-did-the-parse-get telemetry degraded pages record.
+    pub partial_roots: Vec<String>,
 }
 
 /// End-to-end form extractor with a configurable grammar, layout, and
@@ -333,6 +341,17 @@ impl FormExtractor {
     /// Overrides parser options (builder style).
     pub fn parser_options(mut self, parser: ParserOptions) -> Self {
         self.parser = parser;
+        self
+    }
+
+    /// Replaces the compiled grammar while keeping every other knob —
+    /// layout, parser options, workers, fault plan, parse cache —
+    /// untouched (builder style). This is how the daemon hot-adds
+    /// induced productions: cache entries recorded under the old
+    /// grammar degrade to misses automatically because cached visits
+    /// are gated on `Arc::ptr_eq` with the live grammar.
+    pub fn with_grammar_swapped(mut self, grammar: Arc<CompiledGrammar>) -> Self {
+        self.grammar = grammar;
         self
     }
 
@@ -718,6 +737,8 @@ impl FormExtractor {
             },
             tokens,
             via: Provenance::BaselineFallback,
+            pattern_spans: Vec::new(),
+            partial_roots: Vec::new(),
         }
     }
 
@@ -741,7 +762,19 @@ impl FormExtractor {
             _ => salvage_merge(&result.chart, &result.trees),
         };
         let stats = result.stats.clone();
-        if let Some(spare) = self.store_visit(tokens, fingerprint, &report, result) {
+        // Mining evidence must come off the chart before the store
+        // consumes the result into a snapshot.
+        let grammar = self.grammar.grammar();
+        let pattern_spans = metaform_parser::pattern_spans(&result.chart, &result.trees, grammar);
+        let partial_roots = metaform_parser::tree_symbols(&result.chart, &result.trees, grammar);
+        if let Some(spare) = self.store_visit(
+            tokens,
+            fingerprint,
+            &report,
+            &pattern_spans,
+            &partial_roots,
+            result,
+        ) {
             session.recycle(spare);
         }
         Extraction {
@@ -753,6 +786,8 @@ impl FormExtractor {
             } else {
                 Provenance::Grammar
             },
+            pattern_spans,
+            partial_roots,
         }
     }
 
@@ -775,6 +810,8 @@ impl FormExtractor {
             },
             tokens: tokens.to_vec(),
             via: Provenance::CacheHit,
+            pattern_spans: visit.pattern_spans.clone(),
+            partial_roots: visit.partial_roots.clone(),
         })
     }
 
@@ -799,6 +836,8 @@ impl FormExtractor {
         tokens: &[Token],
         fingerprint: Option<TokenFingerprint>,
         report: &ExtractionReport,
+        pattern_spans: &[PatternSpan],
+        partial_roots: &[String],
         result: metaform_parser::ParseResult,
     ) -> Option<metaform_parser::ParseResult> {
         let Some(cache) = &self.cache else {
@@ -815,6 +854,8 @@ impl FormExtractor {
                 report: report.clone(),
                 snapshot,
                 grammar: self.grammar.clone(),
+                pattern_spans: pattern_spans.to_vec(),
+                partial_roots: partial_roots.to_vec(),
             }),
         );
         None

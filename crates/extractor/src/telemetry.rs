@@ -24,6 +24,8 @@
 //!   "final_deadline_ms": null,
 //!   "salvage_covered": null,
 //!   "salvage_tokens": null,
+//!   "partial_roots": ["HQI"],
+//!   "arrangements": ["tb attr"],
 //!   "attempt_log": [{
 //!     "attempt": 0, "max_instances": 2000, "deadline_ms": null,
 //!     "error": "truncated", "tokens": 22, "created": 2000,
@@ -36,6 +38,12 @@
 //! when `outcome` is `"salvaged"`: the page was served its partial
 //! grammar-path report (`Provenance::PartialSalvage`), and the pair
 //! gives its condition-coverage ratio over the page's tokens.
+//!
+//! `partial_roots`/`arrangements` are the grammar-induction evidence
+//! of salvaged and degraded pages: the maximal partial trees' root
+//! symbols, and the recurring unparsed token arrangements
+//! (`metaform_grammar::induce` signatures) mined from the served
+//! report's residue. Both are empty for recovered pages.
 
 use crate::batch::BatchStats;
 use crate::error::ExtractError;
@@ -231,6 +239,14 @@ pub struct FailureRecord {
     /// salvage coverage ratio) — present exactly when the outcome is
     /// [`FailureOutcome::Salvaged`].
     pub salvage_tokens: Option<usize>,
+    /// Root symbols of the served report's maximal partial trees —
+    /// how far the grammar path got before the page was salvaged or
+    /// degraded. Empty for recovered pages.
+    pub partial_roots: Vec<String>,
+    /// Recurring unparsed token arrangement signatures mined from the
+    /// served report's residue (`metaform_grammar::induce`) — the
+    /// induction loop's Collect evidence. Empty for recovered pages.
+    pub arrangements: Vec<String>,
     /// Per-attempt parse counters, in attempt order.
     pub attempt_log: Vec<AttemptRecord>,
 }
@@ -273,6 +289,17 @@ fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
+fn push_str_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_json_str(out, s);
+    }
+    out.push(']');
+}
+
 fn push_opt_u64(out: &mut String, v: Option<u64>) {
     match v {
         Some(v) => {
@@ -313,6 +340,10 @@ pub fn failures_to_json(records: &[FailureRecord]) -> String {
         push_opt_u64(&mut out, r.salvage_covered.map(|v| v as u64));
         out.push_str(", \"salvage_tokens\": ");
         push_opt_u64(&mut out, r.salvage_tokens.map(|v| v as u64));
+        out.push_str(", \"partial_roots\": ");
+        push_str_array(&mut out, &r.partial_roots);
+        out.push_str(", \"arrangements\": ");
+        push_str_array(&mut out, &r.arrangements);
         out.push_str(", \"attempt_log\": [");
         for (j, a) in r.attempt_log.iter().enumerate() {
             if j > 0 {
@@ -364,13 +395,13 @@ pub fn failures_to_json(records: &[FailureRecord]) -> String {
 /// positions stay put.
 pub fn failures_to_csv(records: &[FailureRecord]) -> String {
     let mut out = String::from(
-        "page_index,error,outcome,attempts,final_max_instances,final_deadline_ms,message,salvage_covered,salvage_tokens\n",
+        "page_index,error,outcome,attempts,final_max_instances,final_deadline_ms,message,salvage_covered,salvage_tokens,partial_roots,arrangements\n",
     );
     for r in records {
         let msg = r.message.as_deref().unwrap_or("");
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},\"{}\",{},{}",
+            "{},{},{},{},{},{},\"{}\",{},{},\"{}\",\"{}\"",
             r.page_index,
             r.error.as_str(),
             r.outcome.as_str(),
@@ -382,6 +413,8 @@ pub fn failures_to_csv(records: &[FailureRecord]) -> String {
             msg.replace('"', "\"\"").replace(['\n', '\r'], " "),
             r.salvage_covered.map(|v| v.to_string()).unwrap_or_default(),
             r.salvage_tokens.map(|v| v.to_string()).unwrap_or_default(),
+            r.partial_roots.join(";").replace('"', "\"\""),
+            r.arrangements.join(";").replace('"', "\"\""),
         );
     }
     out
@@ -661,6 +694,13 @@ impl Json {
             _ => Err("expected a number or null".to_string()),
         }
     }
+
+    fn str_array(&self) -> Result<Vec<String>, String> {
+        match self {
+            Json::Arr(items) => items.iter().map(|v| v.str().map(str::to_string)).collect(),
+            _ => Err("expected an array of strings".to_string()),
+        }
+    }
 }
 
 /// Parses the output of [`failures_to_json`] back into records — the
@@ -722,6 +762,8 @@ pub fn failures_from_json(src: &str) -> Result<Vec<FailureRecord>, String> {
                     .opt_num()?
                     .map(|v| v as usize),
                 salvage_tokens: item.field("salvage_tokens")?.opt_num()?.map(|v| v as usize),
+                partial_roots: item.field("partial_roots")?.str_array()?,
+                arrangements: item.field("arrangements")?.str_array()?,
                 attempt_log,
             })
         })
@@ -744,6 +786,8 @@ mod tests {
                 final_deadline_ms: None,
                 salvage_covered: None,
                 salvage_tokens: None,
+                partial_roots: Vec::new(),
+                arrangements: Vec::new(),
                 attempt_log: vec![
                     AttemptRecord {
                         attempt: 0,
@@ -779,6 +823,8 @@ mod tests {
                 final_deadline_ms: Some(250),
                 salvage_covered: None,
                 salvage_tokens: None,
+                partial_roots: Vec::new(),
+                arrangements: Vec::new(),
                 attempt_log: vec![AttemptRecord {
                     attempt: 0,
                     max_instances: 2000,
@@ -801,6 +847,8 @@ mod tests {
                 final_deadline_ms: Some(250),
                 salvage_covered: None,
                 salvage_tokens: None,
+                partial_roots: Vec::new(),
+                arrangements: Vec::new(),
                 attempt_log: Vec::new(),
             },
             FailureRecord {
@@ -813,6 +861,8 @@ mod tests {
                 final_deadline_ms: None,
                 salvage_covered: Some(17),
                 salvage_tokens: Some(22),
+                partial_roots: vec!["HQI".to_string(), "CP".to_string()],
+                arrangements: vec!["tb attr".to_string()],
                 attempt_log: vec![AttemptRecord {
                     attempt: 1,
                     max_instances: 4000,
@@ -859,14 +909,22 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 5, "header + 4 records");
         assert!(lines[0].starts_with("page_index,error,outcome"));
-        assert!(lines[0].ends_with(",salvage_covered,salvage_tokens"));
+        assert!(lines[0].ends_with(",salvage_covered,salvage_tokens,partial_roots,arrangements"));
         assert!(lines[1].starts_with("7,truncated,recovered,2,4000,,"));
-        assert!(lines[1].ends_with(",,"), "no salvage columns: {}", lines[1]);
+        assert!(
+            lines[1].ends_with(",,,\"\",\"\""),
+            "no salvage or induction columns: {}",
+            lines[1]
+        );
         assert!(lines[2].contains("\"\""), "quotes doubled: {}", lines[2]);
         assert!(!lines[2].contains('\n'));
         assert!(lines[3].starts_with("12,cancelled,cancelled,1,2000,250,"));
         assert!(lines[4].starts_with("19,truncated,salvaged,2,4000,,"));
-        assert!(lines[4].ends_with(",17,22"), "coverage pair: {}", lines[4]);
+        assert!(
+            lines[4].ends_with(",17,22,\"HQI;CP\",\"tb attr\""),
+            "coverage pair + induction evidence: {}",
+            lines[4]
+        );
     }
 
     #[test]

@@ -54,7 +54,15 @@ impl CompiledGrammar {
         Self::build(grammar.clone())
     }
 
-    fn build(grammar: Grammar) -> Result<Self, GrammarError> {
+    fn build(mut grammar: Grammar) -> Result<Self, GrammarError> {
+        // Compile is the only fallible step, so it owns the integrity
+        // gate: re-validate and re-index even grammars whose
+        // production/preference lists were extended after the builder
+        // ran (hot-added induction candidates, deserialized DSL).
+        // Without this, the dense head table below would silently miss
+        // appended productions, and out-of-bounds symbol or slot
+        // references would surface as panics mid-parse.
+        grammar.validate_and_reindex()?;
         let schedule = build_schedule(&grammar)?;
         let prefs_by_symbol = preference_index(&grammar);
         let symbol_count = grammar.symbols.len();
@@ -136,9 +144,13 @@ pub fn preference_index(grammar: &Grammar) -> Vec<Vec<PrefId>> {
     let mut index = vec![Vec::new(); grammar.symbols.len()];
     for (i, pref) in grammar.preferences.iter().enumerate() {
         let id = PrefId(i as u32);
-        index[pref.winner.index()].push(id);
+        if let Some(list) = index.get_mut(pref.winner.index()) {
+            list.push(id);
+        }
         if pref.loser != pref.winner {
-            index[pref.loser.index()].push(id);
+            if let Some(list) = index.get_mut(pref.loser.index()) {
+                list.push(id);
+            }
         }
     }
     index

@@ -394,7 +394,7 @@ impl Constraint {
     /// slot at which its verdict becomes decidable during a
     /// left-to-right enumeration. `True` mentions nothing and reports
     /// slot 0 (decidable immediately).
-    fn max_slot(&self) -> usize {
+    pub(crate) fn max_slot(&self) -> usize {
         match self {
             Constraint::True => 0,
             Constraint::Left(i, j)
@@ -496,7 +496,7 @@ fn looks_op_like(s: &str) -> bool {
     OP_WORDS.iter().any(|w| contains_ignore_ascii_case(s, w))
 }
 
-fn is_connector(s: &str) -> bool {
+pub(crate) fn is_connector(s: &str) -> bool {
     let t = s.trim().trim_end_matches(':');
     // Case matters: an inline range connector is written lowercase
     // ("$[ ] to $[ ]"), whereas "To" / "TO" is a field label (city

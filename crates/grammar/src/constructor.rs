@@ -73,6 +73,30 @@ pub enum Constructor {
 }
 
 impl Constructor {
+    /// The deepest component index this constructor dereferences, if
+    /// any — compile-time validation checks it against the
+    /// production's arity so [`Constructor::eval`] can index
+    /// unchecked.
+    pub(crate) fn max_slot(&self) -> Option<usize> {
+        match self {
+            Constructor::Group | Constructor::CollectConds => None,
+            Constructor::Inherit(i)
+            | Constructor::MakeAttr(i)
+            | Constructor::TextOf(i)
+            | Constructor::ListStart(i)
+            | Constructor::OpsFromOptions(i)
+            | Constructor::MakeBoolCond(i)
+            | Constructor::MakeDate(i)
+            | Constructor::MakeUnlabeledCond(i) => Some(*i),
+            Constructor::ListAppend { list, unit } => Some((*list).max(*unit)),
+            Constructor::MakeCond { attr, ops, val, .. } => {
+                Some((*val).max(attr.unwrap_or(0)).max(ops.unwrap_or(0)))
+            }
+            Constructor::MakeEnumCond { attr, list } => Some((*list).max(attr.unwrap_or(0))),
+            Constructor::MakeRange { attr, lo, hi } => Some((*attr).max(*lo).max(*hi)),
+        }
+    }
+
     /// Builds the head payload from component views. Conditions are
     /// created with empty token lists; the parser fills them from the
     /// new instance's span.

@@ -23,6 +23,13 @@ pub enum GrammarError {
     CyclicProductions(String),
     /// The start symbol has no productions.
     UselessStart(String),
+    /// A production or preference names a symbol id outside the
+    /// grammar's symbol table — possible only for grammars assembled
+    /// by hand or machine (induction), never by the builder.
+    UnknownSymbol(String),
+    /// A production's constraint or constructor dereferences a
+    /// component slot at or beyond the production's arity.
+    BadSlotIndex(String),
 }
 
 impl fmt::Display for GrammarError {
@@ -34,6 +41,15 @@ impl fmt::Display for GrammarError {
                 write!(f, "cyclic mutual recursion through symbol {n}")
             }
             GrammarError::UselessStart(n) => write!(f, "start symbol {n} has no productions"),
+            GrammarError::UnknownSymbol(n) => {
+                write!(f, "rule {n} names a symbol outside the symbol table")
+            }
+            GrammarError::BadSlotIndex(n) => {
+                write!(
+                    f,
+                    "production {n} dereferences a component slot beyond its arity"
+                )
+            }
         }
     }
 }
@@ -79,6 +95,70 @@ impl Grammar {
     /// All preference ids.
     pub fn preference_ids(&self) -> impl Iterator<Item = PrefId> {
         (0..self.preferences.len() as u32).map(PrefId)
+    }
+
+    /// Re-runs every structural validity check and rebuilds the
+    /// per-head production index. This is the integrity gate of the
+    /// grammar lifecycle: [`GrammarBuilder::build`] runs it once for
+    /// hand-assembled grammars, and [`Grammar::compile`] runs it
+    /// again so grammars whose `productions`/`preferences` were
+    /// extended after building — the induction loop's hot-add path,
+    /// or a deserializer — are fully re-validated before any parse
+    /// touches them. After it succeeds, every symbol id in every
+    /// production and preference is in-bounds and every
+    /// constraint/constructor slot index is below its production's
+    /// arity, so the parse engine can index without checks.
+    pub fn validate_and_reindex(&mut self) -> Result<(), GrammarError> {
+        let n = self.symbols.len();
+        let mut heads: Vec<Vec<ProdId>> = vec![Vec::new(); n];
+        for (i, p) in self.productions.iter().enumerate() {
+            if p.head.index() >= n || p.components.iter().any(|c| c.index() >= n) {
+                return Err(GrammarError::UnknownSymbol(p.name.clone()));
+            }
+            if self.symbols.is_terminal(p.head) {
+                return Err(GrammarError::TerminalHead(p.name.clone()));
+            }
+            if p.components.is_empty() {
+                return Err(GrammarError::EmptyProduction(p.name.clone()));
+            }
+            let arity = p.arity();
+            if p.constraint.max_slot() >= arity
+                || p.constructor.max_slot().is_some_and(|s| s >= arity)
+            {
+                return Err(GrammarError::BadSlotIndex(p.name.clone()));
+            }
+            heads[p.head.index()].push(ProdId(i as u32));
+        }
+        for pref in &self.preferences {
+            if pref.winner.index() >= n || pref.loser.index() >= n {
+                return Err(GrammarError::UnknownSymbol(pref.name.clone()));
+            }
+        }
+        if self.start.index() >= n || heads[self.start.index()].is_empty() {
+            return Err(GrammarError::UselessStart(
+                self.symbols.name(self.start).to_string(),
+            ));
+        }
+        self.heads = heads;
+        Ok(())
+    }
+
+    /// This grammar plus extra productions and preferences, by value —
+    /// the induction loop's hot-add entry. Infallible by design: the
+    /// additions are *recorded* here and *validated* by
+    /// [`Grammar::compile`], which stays the only fallible step. The
+    /// head index is refreshed opportunistically when the extended
+    /// grammar is already valid; an invalid addition simply leaves the
+    /// index stale until compile rejects the grammar.
+    pub fn with_additions(
+        mut self,
+        productions: Vec<Production>,
+        preferences: Vec<Preference>,
+    ) -> Grammar {
+        self.productions.extend(productions);
+        self.preferences.extend(preferences);
+        let _ = self.validate_and_reindex();
+        self
     }
 
     /// Summary line for reports: counts of terminals, nonterminals,
@@ -193,27 +273,15 @@ impl GrammarBuilder {
             .symbols
             .lookup(&self.start_name)
             .expect("start symbol interned in new()");
-        let mut heads: Vec<Vec<ProdId>> = vec![Vec::new(); self.symbols.len()];
-        for (i, p) in self.productions.iter().enumerate() {
-            if self.symbols.is_terminal(p.head) {
-                return Err(GrammarError::TerminalHead(p.name.clone()));
-            }
-            if p.components.is_empty() {
-                return Err(GrammarError::EmptyProduction(p.name.clone()));
-            }
-            heads[p.head.index()].push(ProdId(i as u32));
-        }
-        if heads[start.index()].is_empty() {
-            return Err(GrammarError::UselessStart(self.start_name.clone()));
-        }
-        let g = Grammar {
+        let mut g = Grammar {
             symbols: self.symbols,
             start,
             productions: self.productions,
             preferences: self.preferences,
             proximity: self.proximity,
-            heads,
+            heads: Vec::new(),
         };
+        g.validate_and_reindex()?;
         // d-edge acyclicity (ignoring self-loops) is checked here so a
         // bad grammar fails at build time, not at first parse.
         crate::schedule::check_d_acyclic(&g)?;

@@ -26,6 +26,7 @@ pub mod describe;
 pub mod dsl;
 pub mod global;
 pub mod grammar;
+pub mod induce;
 pub mod payload;
 pub mod preference;
 pub mod production;
@@ -39,6 +40,10 @@ pub use describe::{constraint_to_string, schedule_to_dot};
 pub use dsl::{from_dsl, to_dsl, DslError};
 pub use global::{global_compiled, global_grammar, paper_example_grammar};
 pub use grammar::{Grammar, GrammarBuilder, GrammarError};
+pub use induce::{
+    mine_page, synthesize, synthesize_all, Arrangement, ArrangementBook, Candidate, Cluster,
+    PatternSpan,
+};
 pub use payload::Payload;
 pub use preference::{ConflictCond, PrefId, Preference, WinCriteria};
 pub use production::{ProdId, Production};

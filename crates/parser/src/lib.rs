@@ -36,6 +36,7 @@ pub mod instance;
 mod intern;
 pub mod maximize;
 pub mod merger;
+pub mod partial;
 pub mod revisit;
 pub mod session;
 pub mod stats;
@@ -48,6 +49,7 @@ pub use engine::{parse, parse_with, FixpointMode, ParseResult, ParserOptions, Pr
 pub use instance::{Chart, InstId, ParentIter};
 pub use maximize::{maximize, maximize_naive};
 pub use merger::{merge, salvage_merge};
+pub use partial::{pattern_spans, tree_symbols};
 pub use revisit::ChartSnapshot;
 pub use session::ParseSession;
 pub use stats::{BudgetOutcome, ParseStats, PhaseBreakdown};

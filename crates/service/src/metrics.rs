@@ -146,6 +146,12 @@ pub struct Metrics {
     /// Pages the client flagged `"revisit": true` at submission
     /// (advisory — compare against the cache hit/delta counters).
     pub revisit_hints: Counter,
+    /// Grammar-induction refits run by the `--induce-every` hook
+    /// (counted whether or not any candidate was accepted).
+    pub grammar_inductions: Counter,
+    /// Induced productions accepted by the validation gate and
+    /// hot-added to the live grammar.
+    pub productions_induced: Counter,
     /// Jobs currently waiting in the queue (gauge).
     pub queue_depth: Gauge,
 }
@@ -167,7 +173,7 @@ impl Metrics {
             C(&'a Counter),
             G(&'a Gauge),
         }
-        let rows: [(&str, &str, Any); 20] = [
+        let rows: [(&str, &str, Any); 22] = [
             (
                 "metaformd_requests_total",
                 "counter",
@@ -262,6 +268,16 @@ impl Metrics {
                 "metaformd_revisit_hints_total",
                 "counter",
                 Any::C(&self.revisit_hints),
+            ),
+            (
+                "metaformd_grammar_inductions_total",
+                "counter",
+                Any::C(&self.grammar_inductions),
+            ),
+            (
+                "metaformd_productions_induced_total",
+                "counter",
+                Any::C(&self.productions_induced),
             ),
             ("metaformd_queue_depth", "gauge", Any::G(&self.queue_depth)),
         ];

@@ -31,11 +31,13 @@ use crate::jobs::{JobQueue, JobStore};
 use crate::json::{parse_batch_request, parse_budget_update, push_json_str};
 use crate::metrics::Metrics;
 use metaform_datasets::BudgetPreset;
+use metaform_eval::{refit_grammar, AcceptedCandidate, InductionGate};
 use metaform_extractor::telemetry::ErrorKind;
 use metaform_extractor::{
     failures_to_json, stats_to_json, AdaptiveOptions, BatchStats, FailureRecord, FaultPlan,
     FormExtractor, LruParseCache, Provenance,
 };
+use metaform_grammar::{ArrangementBook, CompiledGrammar};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener};
@@ -94,6 +96,13 @@ pub struct ServiceConfig {
     /// `None` disables the automatic refit; `/v1/budgets` POST still
     /// works.
     pub refit_every: Option<usize>,
+    /// Grammar-induction cadence: after every N completed jobs the
+    /// service mines the accumulated parse residue, synthesizes
+    /// candidate productions, and hot-adds the ones that clear the
+    /// corpus-replay validation gate (see [`InductionControl`]).
+    /// `None` (the default) disables induction entirely — the daemon
+    /// never builds the gate and jobs run the boot grammar.
+    pub induce_every: Option<usize>,
     /// Deterministic fault plan applied to every job's batch (page
     /// indices are within each job). For chaos and soak testing —
     /// production deployments leave it `None`.
@@ -118,8 +127,59 @@ impl Default for ServiceConfig {
             panic_marker: None,
             cancel_marker: None,
             refit_every: None,
+            induce_every: None,
             fault_plan: None,
         }
+    }
+}
+
+/// The grammar-induction control plane, the `--induce-every` sibling
+/// of [`BudgetControl`]: evidence (mined token arrangements) absorbed
+/// from every finished job, plus the live grammar override once a
+/// candidate production has been accepted. Every accepted production
+/// flowed through `Grammar::compile` inside the validation gate —
+/// there is no other path into the live grammar. Job extractors pick
+/// the override up at claim time; parse-cache entries recorded under
+/// the old grammar degrade to misses on their own (cached visits are
+/// gated on grammar identity), so a hot swap needs no cache flush.
+#[derive(Debug, Default)]
+pub struct InductionControl {
+    /// Arrangements mined from job batches since the last refit.
+    book: ArrangementBook,
+    /// Jobs folded in since the last refit.
+    jobs_since: usize,
+    /// The live grammar override; `None` until a candidate is
+    /// accepted, after which every job runs the extended grammar.
+    grammar: Option<Arc<CompiledGrammar>>,
+    /// The corpus-replay validation gate, built lazily from the boot
+    /// grammar on the first refit (building it renders the frozen
+    /// corpus and scores the held-out slice, too costly for boot).
+    /// One gate lives for the daemon's lifetime: its acceptance bar
+    /// re-baselines on every admit, so it stays aligned with the live
+    /// grammar as productions accumulate.
+    gate: Option<InductionGate>,
+    /// Candidate signatures already proposed, accepted or not — a
+    /// rejected arrangement that keeps recurring is not re-validated
+    /// every cadence.
+    seen: std::collections::BTreeSet<String>,
+    /// Every production accepted since boot, in acceptance order.
+    accepted: Vec<AcceptedCandidate>,
+}
+
+impl InductionControl {
+    /// Support floor for synthesis: an arrangement must recur on at
+    /// least this many distinct pages before it becomes a candidate.
+    /// Matches the offline loop's `InductionConfig` default.
+    const MIN_SUPPORT: usize = 2;
+
+    /// The productions accepted since boot (name, signature, support).
+    pub fn accepted(&self) -> &[AcceptedCandidate] {
+        &self.accepted
+    }
+
+    /// The live grammar override, if any candidate has been accepted.
+    pub fn live_grammar(&self) -> Option<Arc<CompiledGrammar>> {
+        self.grammar.clone()
     }
 }
 
@@ -248,6 +308,13 @@ pub struct ServiceState {
     /// briefly at job start (read budgets) and job end (absorb
     /// evidence, maybe refit) — never across a parse.
     pub budgets: Mutex<BudgetControl>,
+    /// The grammar-induction control plane (see [`InductionControl`]).
+    /// Locked briefly at job start (read the grammar override) and job
+    /// end (absorb arrangements, maybe refit) — the refit itself
+    /// replays corpora and is the one deliberate long hold; it runs at
+    /// most once per `induce_every` jobs and never when induction is
+    /// disabled.
+    pub induction: Mutex<InductionControl>,
     stopping: AtomicBool,
 }
 
@@ -285,6 +352,7 @@ impl ServiceState {
             metrics: Metrics::default(),
             config,
             budgets,
+            induction: Mutex::new(InductionControl::default()),
             stopping: AtomicBool::new(false),
         }
     }
@@ -323,6 +391,12 @@ impl ServiceState {
             (control.max_instances, control.deadline_ms, control.growth)
         };
         let mut extractor = self.extractor.clone().cancel_token(token);
+        if self.config.induce_every.is_some() {
+            let control = self.induction.lock().expect("induction lock");
+            if let Some(grammar) = control.live_grammar() {
+                extractor = extractor.with_grammar_swapped(grammar);
+            }
+        }
         if let Some(cap) = cap {
             extractor = extractor.max_instances(cap);
         }
@@ -335,6 +409,55 @@ impl ServiceState {
             budget_growth: growth,
         };
         let batch = extractor.extract_batch_adaptive(&refs, &opts);
+        if let Some(every) = self.config.induce_every {
+            // Collect: fold the job's parse residue into the book. The
+            // arrangements are mined under the grammar the job actually
+            // ran (spans come from its charts), so the proximity
+            // quantizer must match that grammar too.
+            let proximity = extractor.grammar().proximity;
+            let mut control = self.induction.lock().expect("induction lock");
+            for (index, extraction) in batch.extractions.iter().enumerate() {
+                control.book.absorb_page(
+                    &format!("job{id}:{index}"),
+                    &extraction.tokens,
+                    &extraction.report.missing,
+                    &extraction.pattern_spans,
+                    &proximity,
+                );
+            }
+            control.jobs_since += 1;
+            if control.jobs_since >= every.max(1) {
+                control.jobs_since = 0;
+                self.metrics.grammar_inductions.bump();
+                if control.gate.is_none() {
+                    control.gate = Some(InductionGate::new(
+                        self.extractor.compiled(),
+                        self.config.batch_workers,
+                        metaform_parser::FixpointMode::default(),
+                    ));
+                }
+                let current = control
+                    .live_grammar()
+                    .unwrap_or_else(|| Arc::clone(self.extractor.compiled()));
+                let InductionControl {
+                    book,
+                    gate,
+                    seen,
+                    accepted,
+                    grammar,
+                    ..
+                } = &mut *control;
+                let gate = gate.as_mut().expect("gate built above");
+                let (next, newly) =
+                    refit_grammar(book, current, InductionControl::MIN_SUPPORT, gate, seen);
+                if !newly.is_empty() {
+                    self.metrics.productions_induced.add(newly.len() as u64);
+                    accepted.extend(newly);
+                    *grammar = Some(next);
+                }
+                book.clear();
+            }
+        }
         {
             let mut control = self.budgets.lock().expect("budget lock");
             control.absorb(&batch.stats, &batch.failures);
@@ -1125,6 +1248,70 @@ mod tests {
             state.budgets.lock().expect("lock").max_instances.is_some(),
             "the fit replaced the boot budgets with observed ones"
         );
+    }
+
+    #[test]
+    fn induce_every_mines_validates_and_hot_swaps_the_grammar() {
+        let state = ServiceState::new(ServiceConfig {
+            batch_workers: Some(1),
+            induce_every: Some(1),
+            ..ServiceConfig::default()
+        });
+        let boot = Arc::clone(state.extractor.compiled());
+        // Submit the induction-split training slice as one job: pages
+        // whose recurring unparsed arrangements the miner can cluster.
+        let (train, _) = metaform_datasets::induction_split();
+        let mut pages = String::from("[");
+        for (index, src) in train.sources.iter().enumerate() {
+            if index > 0 {
+                pages.push(',');
+            }
+            push_json_str(&mut pages, &src.html);
+        }
+        pages.push(']');
+        assert_eq!(send(&state, &post_batch(&pages)).0, 202);
+        let id = state.queue.pop(0).expect("queued");
+        state.run_job(id);
+
+        assert_eq!(state.metrics.grammar_inductions.value(), 1);
+        assert!(
+            state.metrics.productions_induced.value() >= 1,
+            "the training slice supports at least one accepted candidate"
+        );
+        {
+            let control = state.induction.lock().expect("induction lock");
+            assert!(!control.accepted().is_empty());
+            let live = control.live_grammar().expect("grammar hot-swapped");
+            assert!(
+                !Arc::ptr_eq(&live, &boot),
+                "acceptance replaces the live grammar"
+            );
+            assert!(
+                live.grammar().productions.len() > boot.grammar().productions.len(),
+                "the swap added productions"
+            );
+        }
+        let (_, body) = send(&state, b"GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(
+            body.contains("metaformd_grammar_inductions_total 1"),
+            "{body}"
+        );
+        assert!(
+            body.contains("metaformd_productions_induced_total"),
+            "{body}"
+        );
+
+        // A follow-up job runs under the extended grammar without
+        // disturbing it: its pages are in-grammar, so the next refit
+        // finds nothing new to accept.
+        let page = r#"["<form>Author <input type=text name=q><input type=submit value=S></form>"]"#;
+        assert_eq!(send(&state, &post_batch(page)).0, 202);
+        let id = state.queue.pop(0).expect("queued");
+        state.run_job(id);
+        assert_eq!(state.metrics.grammar_inductions.value(), 2);
+        let control = state.induction.lock().expect("induction lock");
+        let live = control.live_grammar().expect("override persists");
+        assert!(!Arc::ptr_eq(&live, &boot));
     }
 
     #[test]

@@ -114,8 +114,8 @@ fn failure_record() -> impl Strategy<Value = FailureRecord> {
         outcome(),
         0usize..1_000_000,
         opt_u64(),
-        opt_usize(),
-        opt_usize(),
+        (opt_usize(), opt_usize()),
+        (vec("\\PC{0,12}", 0..3), vec("\\PC{0,12}", 0..3)),
         vec(attempt(), 0..4),
     )
         .prop_map(
@@ -127,8 +127,8 @@ fn failure_record() -> impl Strategy<Value = FailureRecord> {
                 outcome,
                 final_max_instances,
                 final_deadline_ms,
-                salvage_covered,
-                salvage_tokens,
+                (salvage_covered, salvage_tokens),
+                (partial_roots, arrangements),
                 attempt_log,
             )| FailureRecord {
                 page_index,
@@ -140,6 +140,8 @@ fn failure_record() -> impl Strategy<Value = FailureRecord> {
                 final_deadline_ms,
                 salvage_covered,
                 salvage_tokens,
+                partial_roots,
+                arrangements,
                 attempt_log,
             },
         )

@@ -48,6 +48,23 @@ test "$(grep -c 'via: Provenance::BaselineFallback' crates/extractor/src/pipelin
 echo "==> cargo test -q --test cache_parity (revisit tiers vs cold parse)"
 cargo test -q --test cache_parity
 
+echo "==> cargo test -q --test induction (grammar induction: trajectory, determinism, safety)"
+# The gate must compare against the blessed trajectory, never re-bless
+# it; and a blessed-but-uncommitted golden file is drift, not a pass.
+test -z "${METAFORM_BLESS:-}"
+cargo test -q --test induction
+git diff --quiet -- tests/golden/induction_rounds.txt
+
+echo "==> induction construction gate (induced productions enter only via Grammar::compile)"
+# CompiledGrammar::build is the private plumbing of Grammar::compile —
+# no other module may mint a parse-ready grammar (mirrors the
+# provenance single-construction gates above).
+test "$(grep -rl 'CompiledGrammar::build' crates src | grep -v 'crates/grammar/src/compiled.rs' | wc -l)" = 0
+# The daemon's hot-swap path never compiles directly: every candidate
+# flows through the validation gate, whose first clause is the compile.
+test "$(grep -rn '\.compile()' crates/service/src | wc -l)" = 0
+grep -q 'RejectReason::CompileError' crates/eval/src/induction.rs
+
 echo "==> bench_revisit smoke (cache tiers engage; parity asserted inside)"
 cargo run --release -q -p metaform-bench --bin bench_revisit -- "$tmp/BENCH_revisit.json" > /dev/null
 grep -q '"exact_hit_speedup"' "$tmp/BENCH_revisit.json"

@@ -17,6 +17,12 @@
 //! metaform --export-grammar    print the grammar in its textual (.2pg) form
 //! metaform --grammar-file <f>  parse with a grammar loaded from a .2pg file
 //! metaform --schedule-dot      print the 2P schedule graph as DOT
+//! metaform induce              run the grammar induction loop
+//!   --rounds <n>                 max Collect→Infer→Validate rounds (default 4)
+//!   --min-support <n>            min distinct pages per candidate (default 2)
+//!   --workers <n>                extraction worker threads
+//!   --naive                      use the naive fix-point mode
+//!   --export <f.2pg>             write the extended grammar to a file
 //! ```
 //!
 //! Extraction is best-effort end to end: a page that panics the
@@ -58,7 +64,9 @@ fn usage() -> ExitCode {
          \x20               [--page-deadline-ms <n>] [--max-instances <n>]\n\
          \x20               [--adaptive] [--max-retries <n>] [--cancel-after-ms <n>]\n\
          \x20               [--failures-json <f>] [--failures-csv <f>] <page.html...| ->\n\
-         \x20      metaform --grammar | --export-grammar | --schedule-dot"
+         \x20      metaform --grammar | --export-grammar | --schedule-dot\n\
+         \x20      metaform induce [--rounds <n>] [--min-support <n>] [--workers <n>]\n\
+         \x20                      [--naive] [--export <f.2pg>]"
     );
     ExitCode::from(2)
 }
@@ -81,6 +89,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "induce" if opts.inputs.is_empty() => return run_induce(args),
             "--export-grammar" => {
                 print!("{}", metaform_grammar::to_dsl(&global_grammar()));
                 return ExitCode::SUCCESS;
@@ -287,6 +296,86 @@ fn main() -> ExitCode {
         if many && page_index + 1 < opts.inputs.len() {
             println!();
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `induce` subcommand: the Collect → Infer → Validate loop over
+/// the induction split, printing the per-round trajectory and the
+/// accepted production signatures. Exit code 0 whether or not any
+/// candidate was accepted — an empty round is a finding, not an error.
+fn run_induce(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut config = metaform_eval::InductionConfig::default();
+    let mut export: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rounds" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--rounds needs a number");
+                    return usage();
+                };
+                config.rounds = n;
+            }
+            "--min-support" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--min-support needs a number");
+                    return usage();
+                };
+                config.min_support = n;
+            }
+            "--workers" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--workers needs a number");
+                    return usage();
+                };
+                config.workers = Some(n);
+            }
+            "--naive" => config.fixpoint = metaform_parser::FixpointMode::Naive,
+            "--export" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--export needs a path");
+                    return usage();
+                };
+                export = Some(path);
+            }
+            other => {
+                eprintln!("unknown induce option: {other}");
+                return usage();
+            }
+        }
+    }
+    let outcome = metaform_eval::run_induction(&config);
+    println!(
+        "baseline: holdout {:.4}, random {:.4}",
+        outcome.baseline_holdout, outcome.baseline_random
+    );
+    for round in &outcome.rounds {
+        println!(
+            "round {}: mined {} signature(s), proposed {}, accepted {} -> holdout {:.4}, random {:.4}",
+            round.round,
+            round.mined,
+            round.proposed.len(),
+            round.accepted.len(),
+            round.holdout_accuracy,
+            round.random_accuracy
+        );
+        for accepted in &round.accepted {
+            println!(
+                "  + {} [{}] ({} supporting pages)",
+                accepted.name, accepted.signature, accepted.support
+            );
+        }
+    }
+    if outcome.accepted.is_empty() {
+        println!("no candidates accepted; grammar unchanged");
+    }
+    if let Some(path) = export {
+        let dsl = metaform_grammar::to_dsl(outcome.grammar.grammar());
+        if let Err(e) = std::fs::write(&path, dsl) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("extended grammar written to {path}");
     }
     ExitCode::SUCCESS
 }

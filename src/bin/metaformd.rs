@@ -14,6 +14,7 @@
 //! metaformd --read-timeout-ms <n>    socket read timeout (default 10000)
 //! metaformd --uds <path>             also serve line-JSON on a Unix socket
 //! metaformd --refit-every <n>        auto-refit budgets every n jobs
+//! metaformd --induce-every <n>       mine/validate/hot-add grammar productions every n jobs
 //! metaformd --fault-plan <spec>      inject faults, e.g. panic@3,stall@5
 //! ```
 //!
@@ -33,7 +34,7 @@ fn usage() -> ExitCode {
          \x20                [--queue-capacity <n>] [--max-retries <n>] [--max-instances <n>]\n\
          \x20                [--page-deadline-ms <n>] [--max-body-bytes <n>] [--shards <n>]\n\
          \x20                [--read-timeout-ms <n>] [--uds <path>] [--refit-every <n>]\n\
-         \x20                [--fault-plan <kind@page,...>]"
+         \x20                [--induce-every <n>] [--fault-plan <kind@page,...>]"
     );
     ExitCode::from(2)
 }
@@ -126,6 +127,13 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 config.refit_every = Some(n.max(1));
+            }
+            "--induce-every" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--induce-every needs a number of jobs");
+                    return usage();
+                };
+                config.induce_every = Some(n.max(1));
             }
             "--fault-plan" => {
                 let Some(spec) = args.next() else {

@@ -112,6 +112,60 @@ fn mutated_revisits_match_a_cold_parse() {
     }
 }
 
+/// The seven column-realignment scenarios DESIGN §5.10 documents as
+/// *soundly* cold: their edit realigns one layout column, so shifted
+/// and unshifted tokens alternate and no contiguous affix — translated
+/// or not — can clear the `shared * 2 >= len` seed threshold. Absolute
+/// distances between the two token classes genuinely change, so the
+/// proximity predicates must be re-evaluated; serving these from the
+/// delta tier would be unsound, not an optimization.
+const SOUNDLY_COLD: [&str; 7] = [
+    "books-006/label-edit",
+    "books-009/label-edit",
+    "automobiles-005/label-edit",
+    "automobiles-007/label-edit",
+    "airfares-000/label-edit",
+    "airfares-001/label-edit",
+    "airfares-004/bbox-jitter",
+];
+
+#[test]
+fn column_realignment_revisits_stay_soundly_cold() {
+    // Regression pin for the list above: a future delta-tier change
+    // that starts warming any of these must edit this list explicitly
+    // (and argue why re-seeding across a column realignment is sound).
+    let scenarios = revisit_scenarios();
+    let mut seen = 0;
+    for scenario in &scenarios {
+        if !SOUNDLY_COLD.contains(&scenario.name.as_str()) {
+            continue;
+        }
+        seen += 1;
+        for mode in MODES {
+            let cached = cached_extractor(mode);
+            cached.extract(&scenario.original);
+            let warm = cached.extract(&scenario.mutated);
+            assert_eq!(
+                warm.via,
+                Provenance::Grammar,
+                "{} [{mode:?}]: must re-parse cold, not {:?}",
+                scenario.name,
+                warm.via
+            );
+            assert_parity(
+                &cold_extractor(mode).extract(&scenario.mutated),
+                &warm,
+                &format!("{} [{mode:?}]", scenario.name),
+            );
+        }
+    }
+    assert_eq!(
+        seen,
+        SOUNDLY_COLD.len(),
+        "every pinned scenario still exists in the revisit set"
+    );
+}
+
 proptest! {
     // Each case runs four parses per mode; keep the count modest.
     #![proptest_config(ProptestConfig::with_cases(24))]
